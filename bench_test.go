@@ -1,0 +1,204 @@
+package idea_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§6), plus the ablations DESIGN.md §3 indexes. Each bench re-runs the
+// corresponding experiment end-to-end on the deterministic WAN emulator
+// and reports the headline quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the entire evaluation. cmd/idea-bench prints the full
+// tables and series.
+
+import (
+	"testing"
+	"time"
+
+	"idea/internal/experiments"
+)
+
+// BenchmarkFig7aHint95 regenerates Fig. 7(a): 40 nodes, 4 writers,
+// updates every 5 s for 100 s, hint level 95 %.
+func BenchmarkFig7aHint95(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig7a(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("lowest user level"), "lowest-level")
+		b.ReportMetric(r.Rec.Scalar("resolutions"), "resolutions")
+	}
+}
+
+// BenchmarkFig7bHint85 regenerates Fig. 7(b): hint level 85 %.
+func BenchmarkFig7bHint85(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig7b(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("lowest user level"), "lowest-level")
+		b.ReportMetric(r.Rec.Scalar("resolutions"), "resolutions")
+	}
+}
+
+// BenchmarkFig8HintChange regenerates Fig. 8: 200 s with the hint reset
+// from 95 % to 90 % at t = 100 s.
+func BenchmarkFig8HintChange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig8(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("lowest level before reset"), "floor-95")
+		b.ReportMetric(r.Rec.Scalar("lowest level after reset"), "floor-90")
+	}
+}
+
+// BenchmarkTable2PhaseBreakdown regenerates Table 2: the two-phase delay
+// breakdown of active resolution with a 4-node top layer.
+func BenchmarkTable2PhaseBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable2(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("phase1 ms (fast)"), "phase1-ms")
+		b.ReportMetric(r.Rec.Scalar("phase2 ms (fast)"), "phase2-ms")
+		b.ReportMetric(r.Rec.Scalar("per-member ms"), "per-member-ms")
+	}
+}
+
+// BenchmarkFig9Scalability regenerates Fig. 9: measured active-resolution
+// delay for top layers of 2..10 members vs the Formula 2 extrapolation.
+func BenchmarkFig9Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig9(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("delay at n=10 ms"), "delay-n10-ms")
+	}
+}
+
+// BenchmarkFig10Automatic regenerates Fig. 10: the automatic booking
+// system at 20 s and 40 s background-resolution frequencies.
+func BenchmarkFig10Automatic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig10Table3(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("mean level @20s"), "level-20s")
+		b.ReportMetric(r.Rec.Scalar("mean level @40s"), "level-40s")
+	}
+}
+
+// BenchmarkTable3Overhead regenerates Table 3: resolution-message
+// overhead of the two Fig. 10 runs.
+func BenchmarkTable3Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig10Table3(int64(i + 100))
+		b.ReportMetric(r.Rec.Scalar("messages @20s"), "msgs-20s")
+		b.ReportMetric(r.Rec.Scalar("messages @40s"), "msgs-40s")
+	}
+}
+
+// BenchmarkFormulaDerivations regenerates the §6.2/§6.3.2 formula
+// parameters: the per-member cost behind Formulas 2/3 and the per-round
+// message count behind Formulas 4/5.
+func BenchmarkFormulaDerivations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t2 := experiments.RunTable2(int64(i + 1))
+		f10 := experiments.RunFig10Table3(int64(i + 1))
+		b.ReportMetric(t2.Rec.Scalar("per-member ms"), "formula2-slope-ms")
+		b.ReportMetric(f10.Rec.Scalar("msgs per round (formula 5)"), "formula5-msgs")
+		b.ReportMetric(f10.Rec.Scalar("optimal rate (rounds/s)"), "formula4-rate")
+	}
+}
+
+// BenchmarkFig2Tradeoff measures the Fig. 2 positioning: IDEA between
+// optimistic and strong consistency on both axes.
+func BenchmarkFig2Tradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig2Tradeoff(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("IDEA (hint 95%) messages"), "idea-msgs")
+		b.ReportMetric(r.Rec.Scalar("optimistic (AE 30s) messages"), "opt-msgs")
+		b.ReportMetric(r.Rec.Scalar("strong (primary copy) messages"), "strong-msgs")
+	}
+}
+
+// BenchmarkTopLayerCapture measures the §4.3 top-layer capture claim
+// (>95 %).
+func BenchmarkTopLayerCapture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTopLayerCapture(int64(i+1), 0.05)
+		b.ReportMetric(r.Rec.Scalar("capture rate"), "capture")
+	}
+}
+
+// BenchmarkRollback measures the §4.4.2 rollback path: discrepancy delay
+// and operations undone.
+func BenchmarkRollback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunRollback(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("rollback delay s"), "delay-s")
+		b.ReportMetric(r.Rec.Scalar("undone ops"), "undone")
+	}
+}
+
+// BenchmarkBoundsLearning measures the §5.2 undersell/oversell frequency
+// bounds learning.
+func BenchmarkBoundsLearning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunBoundsLearning(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("final period s"), "period-s")
+	}
+}
+
+// BenchmarkParallelPhase2 measures the §6.2 parallel-phase-2 ablation:
+// sequential vs parallel collect at top-layer sizes up to 10.
+func BenchmarkParallelPhase2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunParallelPhase2(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("sequential @10 ms"), "seq-n10-ms")
+		b.ReportMetric(r.Rec.Scalar("parallel @10 ms"), "par-n10-ms")
+	}
+}
+
+// BenchmarkTTLTradeoff measures the §4.4.2 accuracy/responsiveness/cost
+// trade-off of the TTL-bounded bottom-layer sweep.
+func BenchmarkTTLTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTTLTradeoff(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("ttl1 digests"), "digests-ttl1")
+		b.ReportMetric(r.Rec.Scalar("ttl6 digests"), "digests-ttl6")
+	}
+}
+
+// BenchmarkRefSelectors compares reference-consistent-state choices.
+func BenchmarkRefSelectors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunRefSelectors(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("highest-id (paper) worst"), "paper-worst")
+		b.ReportMetric(r.Rec.Scalar("merged worst"), "merged-worst")
+	}
+}
+
+// BenchmarkSkewSensitivity validates the NTP clock assumption.
+func BenchmarkSkewSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunSkewSensitivity(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("skew 0s worst"), "skew0-worst")
+		b.ReportMetric(r.Rec.Scalar("skew 20s worst"), "skew20-worst")
+	}
+}
+
+// BenchmarkWorkloadSensitivity re-runs the hint experiment under Poisson
+// and bursty schedules — the §6 uniform-workload assumption is not
+// load-bearing.
+func BenchmarkWorkloadSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunWorkloadSensitivity(int64(i + 1))
+		b.ReportMetric(r.Rec.Scalar("uniform (paper) floor"), "uniform-floor")
+		b.ReportMetric(r.Rec.Scalar("poisson floor"), "poisson-floor")
+	}
+}
+
+// BenchmarkDetectionRoundTrip microbenchmarks the detect(update) hot path
+// on a 4-writer top layer (one full write+detect cycle under emulated
+// WAN latency).
+func BenchmarkDetectionRoundTrip(b *testing.B) {
+	r := experiments.RunHint(experiments.HintConfig{
+		Seed: 1, Nodes: 8, Duration: 20 * time.Second, Hint: 0, // no resolution
+	})
+	_ = r
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunHint(experiments.HintConfig{
+			Seed: int64(i + 1), Nodes: 8, Duration: 20 * time.Second, Hint: 0,
+		})
+	}
+}

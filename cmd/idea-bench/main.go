@@ -1,0 +1,67 @@
+// Command idea-bench regenerates every table and figure of the paper's
+// evaluation on the deterministic WAN emulator and prints them in the
+// layout the paper uses. Run with -seed to vary the replayed universe.
+//
+//	go run ./cmd/idea-bench            # everything
+//	go run ./cmd/idea-bench -only fig7a,table2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"idea/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed for every experiment")
+	only := flag.String("only", "", "comma-separated subset (fig7a,fig7b,fig8,table2,fig9,fig10,fig2,capture,rollback,bounds,parallel,ttl,refsel,skew)")
+	flag.Parse()
+
+	type exp struct {
+		key string
+		run func() experiments.Report
+	}
+	all := []exp{
+		{"fig7a", func() experiments.Report { return experiments.RunFig7a(*seed) }},
+		{"fig7b", func() experiments.Report { return experiments.RunFig7b(*seed) }},
+		{"fig8", func() experiments.Report { return experiments.RunFig8(*seed) }},
+		{"table2", func() experiments.Report { return experiments.RunTable2(*seed) }},
+		{"fig9", func() experiments.Report { return experiments.RunFig9(*seed) }},
+		{"fig10", func() experiments.Report { return experiments.RunFig10Table3(*seed) }},
+		{"fig2", func() experiments.Report { return experiments.RunFig2Tradeoff(*seed) }},
+		{"capture", func() experiments.Report { return experiments.RunTopLayerCapture(*seed, 0.05) }},
+		{"rollback", func() experiments.Report { return experiments.RunRollback(*seed) }},
+		{"bounds", func() experiments.Report { return experiments.RunBoundsLearning(*seed) }},
+		{"parallel", func() experiments.Report { return experiments.RunParallelPhase2(*seed) }},
+		{"ttl", func() experiments.Report { return experiments.RunTTLTradeoff(*seed) }},
+		{"refsel", func() experiments.Report { return experiments.RunRefSelectors(*seed) }},
+		{"skew", func() experiments.Report { return experiments.RunSkewSensitivity(*seed) }},
+		{"workload", func() experiments.Report { return experiments.RunWorkloadSensitivity(*seed) }},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+
+	fmt.Println("IDEA evaluation reproduction (emulated PlanetLab, virtual time)")
+	fmt.Printf("seed %d\n", *seed)
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.key] {
+			continue
+		}
+		r := e.run()
+		fmt.Print(r.Rendered)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched -only")
+		os.Exit(2)
+	}
+}

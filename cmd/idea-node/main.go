@@ -1,0 +1,204 @@
+// Command idea-node runs one live IDEA node over TCP — the same protocol
+// code the emulator drives, behind real sockets. A small line-oriented
+// console on stdin drives writes, hints, and resolutions, so a handful of
+// terminals (or examples/tcpcluster programmatically) form a working
+// deployment.
+//
+// Usage:
+//
+//	idea-node -id 1 -listen 127.0.0.1:7001 \
+//	          -peers 2=127.0.0.1:7002,3=127.0.0.1:7003 -all 1,2,3 \
+//	          -top board=1,2,3
+//
+// Console commands:
+//
+//	write <file> <text>     append an update (triggers detection)
+//	read <file>             print the local replica
+//	hint <file> <level>     set a hint level, e.g. 0.95
+//	resolve <file>          demand active resolution
+//	bg <file> <seconds>     set background resolution frequency
+//	level <file>            print the last detected consistency level
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"idea"
+)
+
+func main() {
+	idFlag := flag.Int64("id", 1, "node ID")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	peers := flag.String("peers", "", "comma-separated id=addr peer list")
+	allFlag := flag.String("all", "", "comma-separated node IDs of the full deployment")
+	top := flag.String("top", "", "comma-separated file=ids top-layer pins, e.g. board=1,2;log=2,3")
+	verbose := flag.Bool("v", false, "verbose transport logging")
+	flag.Parse()
+
+	cfg := idea.LiveNodeConfig{
+		Self:   idea.NodeID(*idFlag),
+		Listen: *listen,
+		Peers:  map[idea.NodeID]string{},
+	}
+	if *verbose {
+		cfg.Logger = log.New(os.Stderr, "idea-node ", log.LstdFlags|log.Lmicroseconds)
+	}
+	for _, p := range splitNonEmpty(*peers, ",") {
+		idStr, addr, ok := strings.Cut(p, "=")
+		if !ok {
+			fatalf("bad -peers entry %q", p)
+		}
+		nid, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			fatalf("bad peer id %q: %v", idStr, err)
+		}
+		cfg.Peers[idea.NodeID(nid)] = addr
+	}
+	for _, s := range splitNonEmpty(*allFlag, ",") {
+		nid, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			fatalf("bad -all id %q: %v", s, err)
+		}
+		cfg.All = append(cfg.All, idea.NodeID(nid))
+	}
+	if len(cfg.All) == 0 {
+		cfg.All = []idea.NodeID{cfg.Self}
+		for nid := range cfg.Peers {
+			cfg.All = append(cfg.All, nid)
+		}
+	}
+	if *top != "" {
+		cfg.TopLayers = map[idea.FileID][]idea.NodeID{}
+		for _, ent := range splitNonEmpty(*top, ";") {
+			file, idList, ok := strings.Cut(ent, "=")
+			if !ok {
+				fatalf("bad -top entry %q", ent)
+			}
+			var ids []idea.NodeID
+			for _, s := range splitNonEmpty(idList, ",") {
+				nid, err := strconv.ParseInt(s, 10, 64)
+				if err != nil {
+					fatalf("bad -top id %q: %v", s, err)
+				}
+				ids = append(ids, idea.NodeID(nid))
+			}
+			cfg.TopLayers[idea.FileID(file)] = ids
+		}
+	}
+
+	node, err := idea.NewLiveNode(cfg)
+	if err != nil {
+		fatalf("start: %v", err)
+	}
+	defer node.Close()
+	fmt.Printf("node %v listening on %s\n", cfg.Self, node.Addr())
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch cmd := fields[0]; cmd {
+		case "quit", "exit":
+			return
+		case "write":
+			if len(fields) < 3 {
+				fmt.Println("usage: write <file> <text>")
+				continue
+			}
+			file := idea.FileID(fields[1])
+			text := strings.Join(fields[2:], " ")
+			node.Inject(func(e idea.Env) {
+				u := node.N.Write(e, file, "text", []byte(text), float64(len(text)))
+				fmt.Printf("wrote %s\n", u.Key())
+			})
+		case "read":
+			if len(fields) != 2 {
+				fmt.Println("usage: read <file>")
+				continue
+			}
+			file := idea.FileID(fields[1])
+			done := make(chan []idea.Update, 1)
+			node.Inject(func(e idea.Env) { done <- node.N.Read(file) })
+			for _, u := range <-done {
+				fmt.Printf("  %-14s %q\n", u.Key(), string(u.Data))
+			}
+		case "hint":
+			if len(fields) != 3 {
+				fmt.Println("usage: hint <file> <level>")
+				continue
+			}
+			level, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				fmt.Println("bad level:", err)
+				continue
+			}
+			file := idea.FileID(fields[1])
+			node.Inject(func(e idea.Env) {
+				if err := node.N.SetHint(file, level); err != nil {
+					fmt.Println(err)
+				}
+			})
+		case "resolve":
+			if len(fields) != 2 {
+				fmt.Println("usage: resolve <file>")
+				continue
+			}
+			file := idea.FileID(fields[1])
+			node.Inject(func(e idea.Env) { node.N.DemandActiveResolution(e, file) })
+		case "bg":
+			if len(fields) != 3 {
+				fmt.Println("usage: bg <file> <seconds>")
+				continue
+			}
+			secs, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				fmt.Println("bad seconds:", err)
+				continue
+			}
+			file := idea.FileID(fields[1])
+			node.Inject(func(e idea.Env) {
+				node.N.SetBackgroundFreq(e, file, time.Duration(secs*float64(time.Second)))
+			})
+		case "level":
+			if len(fields) != 2 {
+				fmt.Println("usage: level <file>")
+				continue
+			}
+			file := idea.FileID(fields[1])
+			done := make(chan float64, 1)
+			node.Inject(func(e idea.Env) { done <- node.N.Level(file) })
+			fmt.Printf("consistency level: %.4f\n", <-done)
+		default:
+			fmt.Println("commands: write read hint resolve bg level quit")
+		}
+	}
+}
+
+func splitNonEmpty(s, sep string) []string {
+	var out []string
+	for _, part := range strings.Split(s, sep) {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Whiteboard: the paper's synchronous-collaboration scenario (§3.1/§5.1).
+// Four participants draw on a shared virtual white board; consistency is
+// order-weighted (out-of-order strokes confuse readers most). One
+// participant is picky: when the perceived level annoys them they
+// complain, IDEA resolves immediately and learns the new acceptable level
+// so the participant is not annoyed again — the adaptive interface of §2.
+//
+//	go run ./examples/whiteboard
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"idea"
+	"idea/internal/apps/whiteboard"
+	"idea/internal/env"
+	"idea/internal/workload"
+)
+
+const board = idea.FileID("standup-board")
+
+func main() {
+	nodes := []idea.NodeID{1, 2, 3, 4}
+	cluster := idea.NewEmulatedCluster(idea.EmulatedClusterConfig{
+		Seed:          7,
+		Nodes:         nodes,
+		TopLayers:     map[idea.FileID][]idea.NodeID{board: nodes},
+		DisableGossip: true,
+	})
+
+	boards := make(map[idea.NodeID]*whiteboard.Board, len(nodes))
+	for _, nid := range nodes {
+		b, err := whiteboard.New(cluster.Node(nid), board)
+		if err != nil {
+			panic(err)
+		}
+		boards[nid] = b
+	}
+
+	// Participant 1 is the picky one; starts with no declared tolerance
+	// (pure on-demand) and a true tolerance of 0.93.
+	user := &workload.User{Tolerance: 0.93, Patience: 1}
+
+	fmt.Println("phase 1: free drawing, no consistency control — levels decay")
+	for round := 1; round <= 12; round++ {
+		for _, nid := range nodes {
+			nid := nid
+			text := fmt.Sprintf("stroke r%d by %v", round, nid)
+			cluster.Call(0, nid, func(e env.Env) {
+				boards[nid].Draw(e, whiteboard.Op{Kind: "draw", X: round, Y: int(nid), Text: text})
+			})
+		}
+		cluster.Run(5 * time.Second)
+		level := boards[1].Level()
+		complain := user.Observe(level)
+		fmt.Printf("  t=%3.0fs participant 1 sees level %.4f%s\n",
+			cluster.Elapsed().Seconds(), level,
+			map[bool]string{true: "  → complains!", false: ""}[complain])
+		if complain {
+			cluster.Call(0, 1, func(e env.Env) { boards[1].Complain(e, nil) })
+			cluster.Run(2 * time.Second)
+			fmt.Printf("         after complaint: level %.4f, learned floor %.4f\n",
+				boards[1].Level(), cluster.Node(1).DesiredLevel(board))
+		}
+	}
+
+	fmt.Printf("\nparticipant 1 complained %d time(s); IDEA now keeps the board above %.4f automatically\n",
+		user.Complaints, cluster.Node(1).DesiredLevel(board))
+
+	fmt.Println("\nphase 2: same drawing pace — no more complaints needed")
+	before := user.Complaints
+	for round := 13; round <= 24; round++ {
+		for _, nid := range nodes {
+			nid := nid
+			text := fmt.Sprintf("stroke r%d by %v", round, nid)
+			cluster.Call(0, nid, func(e env.Env) {
+				boards[nid].Draw(e, whiteboard.Op{Kind: "draw", X: round, Y: int(nid), Text: text})
+			})
+		}
+		cluster.Run(5 * time.Second)
+		if user.Observe(boards[1].Level()) {
+			cluster.Call(0, 1, func(e env.Env) { boards[1].Complain(e, nil) })
+		}
+	}
+	fmt.Printf("  additional complaints in phase 2: %d\n", user.Complaints-before)
+
+	ops := boards[1].View()
+	fmt.Printf("\nfinal board at participant 1: %d strokes, level %.4f, %d total messages\n",
+		len(ops), boards[1].Level(), cluster.Messages())
+}

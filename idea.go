@@ -1,0 +1,265 @@
+// Package idea is the public facade of this repository's reproduction of
+// "IDEA: An Infrastructure for Detection-based Adaptive Consistency
+// Control in Replicated Services" (Yijun Lu, Ying Lu, Hong Jiang;
+// UNL TR-UNL-CSE-2007-0001 / HPDC 2007).
+//
+// IDEA is middleware between applications and a replication-based storage
+// substrate. Instead of enforcing a predefined consistency level, it
+// *detects* inconsistencies as they arise — using a two-layer
+// infrastructure whose small "temperature overlay" of active writers
+// catches the vast majority of conflicts within a round trip — and
+// *resolves* them only when the application's current requirement calls
+// for it: on explicit user demand, when a hint level is violated, or on
+// an adaptively scheduled background cadence.
+//
+// # Quick start
+//
+//	all := []idea.NodeID{1, 2, 3, 4}
+//	cluster := idea.NewEmulatedCluster(idea.EmulatedClusterConfig{Seed: 1, Nodes: all})
+//	for _, n := range cluster.Nodes() {
+//		n.SetHint("board", 0.95) // keep the board 95% consistent
+//	}
+//	...
+//
+// See examples/ for complete programs and internal/experiments for the
+// code that regenerates every table and figure of the paper.
+package idea
+
+import (
+	"log"
+	"time"
+
+	"idea/internal/core"
+	"idea/internal/detect"
+	"idea/internal/env"
+	"idea/internal/gossip"
+	"idea/internal/id"
+	"idea/internal/overlay"
+	"idea/internal/quantify"
+	"idea/internal/ransub"
+	"idea/internal/resolve"
+	"idea/internal/simnet"
+	"idea/internal/transport"
+	"idea/internal/vv"
+	"idea/internal/wire"
+)
+
+// Core identifiers and data types.
+type (
+	// NodeID identifies a replica/participant.
+	NodeID = id.NodeID
+	// FileID names a shared file/object; each has its own top layer.
+	FileID = id.FileID
+	// Priority ranks users for priority-based resolution.
+	Priority = id.Priority
+	// Update is one write operation on a shared file.
+	Update = wire.Update
+	// Vector is the extended version vector of Fig. 5.
+	Vector = vv.Vector
+	// Triple is the <numerical, order, staleness> error of §4.4.
+	Triple = vv.Triple
+	// Weights weighs the triple members in Formula 1.
+	Weights = quantify.Weights
+	// Maxima are the per-metric maximum errors of Formula 1.
+	Maxima = quantify.Maxima
+)
+
+// Node is one IDEA middleware instance (the paper's per-node deployment
+// of Fig. 1). It exposes the Table 1 developer API (SetConsistencyMetric,
+// SetWeight, SetResolution, SetHint, DemandActiveResolution,
+// SetBackgroundFreq) and the end-user interaction surface (Complain).
+type Node = core.Node
+
+// Options configures a Node.
+type Options = core.Options
+
+// Mode is the per-file adaptive scheme of §4.6.
+type Mode = core.Mode
+
+// The adaptive schemes.
+const (
+	OnDemand       = core.OnDemand
+	HintBased      = core.HintBased
+	FullyAutomatic = core.FullyAutomatic
+)
+
+// AutoController drives fully-automatic background-resolution frequency
+// (Formula 4 plus learned undersell/oversell bounds).
+type AutoController = core.AutoController
+
+// Alert is a bottom-layer discrepancy notification (§4.4.2).
+type Alert = core.Alert
+
+// Resolution policies (§4.5.1), usable with Node.SetResolution.
+const (
+	InvalidateBoth = int(resolve.InvalidateBoth)
+	HighestID      = int(resolve.HighestID)
+	PriorityBased  = int(resolve.PriorityBased)
+	MergeAll       = int(resolve.MergeAll)
+)
+
+// DetectResult is one completed detect(update) verdict.
+type DetectResult = detect.Result
+
+// Env is the runtime handle protocol callbacks receive; application
+// drivers obtain one via EmulatedCluster.Call or LiveNode.Inject.
+type Env = env.Env
+
+// NewNode constructs a bare IDEA node; most callers use
+// NewEmulatedCluster or NewLiveNode instead.
+func NewNode(self NodeID, opts Options) *Node { return core.NewNode(self, opts) }
+
+// ---- Emulated deployment (the PlanetLab substitute) ----
+
+// EmulatedClusterConfig configures an in-process WAN-emulated cluster.
+type EmulatedClusterConfig struct {
+	// Seed makes the run deterministic.
+	Seed int64
+	// Nodes lists every participant.
+	Nodes []NodeID
+	// TopLayers optionally pins the per-file top layers; when nil the
+	// RanSub temperature overlay elects them dynamically.
+	TopLayers map[FileID][]NodeID
+	// MeanRTT sets the emulated WAN round trip; zero means ~105 ms
+	// (the paper's PlanetLab testbed scale).
+	MeanRTT time.Duration
+	// Loss is the message-drop probability.
+	Loss float64
+	// GossipEvery sets the bottom-layer sweep period; zero means 10 s.
+	GossipEvery time.Duration
+	// DisableGossip turns the bottom layer off (as in the paper's §6).
+	DisableGossip bool
+}
+
+// EmulatedCluster is a deterministic in-process IDEA deployment under
+// virtual time.
+type EmulatedCluster struct {
+	sim   *simnet.Cluster
+	nodes map[NodeID]*Node
+	ids   []NodeID
+}
+
+// NewEmulatedCluster builds and starts an emulated deployment.
+func NewEmulatedCluster(cfg EmulatedClusterConfig) *EmulatedCluster {
+	var lat simnet.LatencyModel
+	if cfg.MeanRTT > 0 {
+		lat = simnet.WAN{Median: cfg.MeanRTT / 2}
+	}
+	sim := simnet.New(simnet.Config{Seed: cfg.Seed, Latency: lat, Loss: cfg.Loss})
+	ec := &EmulatedCluster{sim: sim, nodes: make(map[NodeID]*Node), ids: append([]NodeID(nil), cfg.Nodes...)}
+	var mem overlay.Membership
+	if cfg.TopLayers != nil {
+		mem = overlay.NewStatic(cfg.Nodes, cfg.TopLayers)
+	}
+	for _, nid := range cfg.Nodes {
+		opts := Options{
+			Membership:    mem,
+			All:           cfg.Nodes,
+			DisableGossip: cfg.DisableGossip,
+			DisableRansub: cfg.TopLayers != nil,
+			Gossip:        gossip.Config{Interval: cfg.GossipEvery},
+			Ransub:        ransub.Config{},
+		}
+		n := core.NewNode(nid, opts)
+		ec.nodes[nid] = n
+		sim.Add(nid, n)
+	}
+	sim.Start()
+	return ec
+}
+
+// Node returns the node with the given ID.
+func (ec *EmulatedCluster) Node(nid NodeID) *Node { return ec.nodes[nid] }
+
+// Nodes returns every node in ID order.
+func (ec *EmulatedCluster) Nodes() []*Node {
+	out := make([]*Node, 0, len(ec.ids))
+	for _, nid := range ec.sim.Nodes() {
+		out = append(out, ec.nodes[nid])
+	}
+	return out
+}
+
+// Call schedules fn inside node nid's event loop at the given virtual
+// offset from now — the way applications issue writes and user actions.
+func (ec *EmulatedCluster) Call(after time.Duration, nid NodeID, fn func(Env)) {
+	ec.sim.CallAt(ec.sim.Elapsed()+after, nid, func(e env.Env) { fn(e) })
+}
+
+// Run advances virtual time by d, delivering every due message and timer.
+func (ec *EmulatedCluster) Run(d time.Duration) { ec.sim.RunFor(d) }
+
+// Elapsed returns total virtual time.
+func (ec *EmulatedCluster) Elapsed() time.Duration { return ec.sim.Elapsed() }
+
+// Messages returns the total protocol messages sent so far (the paper's
+// overhead metric).
+func (ec *EmulatedCluster) Messages() int { return ec.sim.Stats().Total() }
+
+// MessageBytes returns total protocol bytes sent so far.
+func (ec *EmulatedCluster) MessageBytes() int { return ec.sim.Stats().Bytes() }
+
+// Partition cuts connectivity between two nodes; Heal restores it.
+func (ec *EmulatedCluster) Partition(a, b NodeID) { ec.sim.Partition(a, b) }
+
+// Heal restores connectivity between two nodes.
+func (ec *EmulatedCluster) Heal(a, b NodeID) { ec.sim.Heal(a, b) }
+
+// ---- Live deployment (real TCP) ----
+
+// LiveNodeConfig configures a live TCP node.
+type LiveNodeConfig struct {
+	Self   NodeID
+	Listen string // e.g. "127.0.0.1:0"
+	// Peers maps every other node to its address; more can be added
+	// later with AddPeer.
+	Peers map[NodeID]string
+	// All lists every node in the deployment (self included).
+	All []NodeID
+	// TopLayers optionally pins per-file top layers (nil → RanSub).
+	TopLayers map[FileID][]NodeID
+	// Logger receives transport diagnostics (nil = silent).
+	Logger *log.Logger
+}
+
+// LiveNode is an IDEA node running over real TCP: the same protocol code
+// as the emulation, behind sockets.
+type LiveNode struct {
+	N  *Node
+	tn *transport.Node
+}
+
+// NewLiveNode builds and starts a live node.
+func NewLiveNode(cfg LiveNodeConfig) (*LiveNode, error) {
+	var mem overlay.Membership
+	if cfg.TopLayers != nil {
+		mem = overlay.NewStatic(cfg.All, cfg.TopLayers)
+	}
+	n := core.NewNode(cfg.Self, Options{
+		Membership:    mem,
+		All:           cfg.All,
+		DisableRansub: cfg.TopLayers != nil,
+	})
+	tn, err := transport.Listen(cfg.Self, cfg.Listen, n, cfg.Logger)
+	if err != nil {
+		return nil, err
+	}
+	for nid, addr := range cfg.Peers {
+		tn.AddPeer(nid, addr)
+	}
+	tn.Start()
+	return &LiveNode{N: n, tn: tn}, nil
+}
+
+// Addr returns the bound listen address.
+func (ln *LiveNode) Addr() string { return ln.tn.Addr() }
+
+// AddPeer registers a peer address.
+func (ln *LiveNode) AddPeer(nid NodeID, addr string) { ln.tn.AddPeer(nid, addr) }
+
+// Inject runs fn inside the node's event loop (serialized with message
+// handling) — use it for writes and user actions.
+func (ln *LiveNode) Inject(fn func(Env)) { ln.tn.Inject(func(e env.Env) { fn(e) }) }
+
+// Close shuts the node down.
+func (ln *LiveNode) Close() error { return ln.tn.Close() }

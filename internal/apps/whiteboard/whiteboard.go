@@ -1,0 +1,151 @@
+// Package whiteboard emulates the distributed white board system of §3.1
+// and §5.1 on top of IDEA: a synchronous collaboration where every
+// participant holds a local replica of the shared board, draws and writes
+// on it, and perceives inconsistency when peers' strokes arrive late or
+// out of order.
+//
+// Casting onto IDEA's metric (§5.1): the critical metadata is the sum of
+// the ASCII values of the last several updates; numerical error is the
+// metadata gap; order error is the out-of-order update count — "the most
+// confusing for users because these updates make sense only when they are
+// read in order" — so the default weights favour order preservation
+// (0.2/0.7/0.1).
+package whiteboard
+
+import (
+	"fmt"
+	"strings"
+
+	"idea/internal/core"
+	"idea/internal/env"
+	"idea/internal/id"
+	"idea/internal/quantify"
+	"idea/internal/vv"
+	"idea/internal/wire"
+)
+
+// MetaWindow is how many recent updates contribute to the ASCII-sum
+// metadata.
+const MetaWindow = 5
+
+// Op is one white-board operation.
+type Op struct {
+	Kind string // "draw" or "text"
+	X, Y int
+	Text string
+}
+
+// Encode serializes the op as the update payload.
+func (o Op) Encode() []byte {
+	return []byte(fmt.Sprintf("%s@%d,%d:%s", o.Kind, o.X, o.Y, o.Text))
+}
+
+// DecodeOp parses an update payload back into an Op.
+func DecodeOp(b []byte) Op {
+	s := string(b)
+	var o Op
+	head, text, ok := strings.Cut(s, ":")
+	if ok {
+		o.Text = text
+	}
+	kind, pos, ok := strings.Cut(head, "@")
+	o.Kind = kind
+	if ok {
+		fmt.Sscanf(pos, "%d,%d", &o.X, &o.Y)
+	}
+	return o
+}
+
+// asciiSum is the paper's example metadata: "the sum of the ASCII value of
+// the last several updates".
+func asciiSum(log []wire.Update) float64 {
+	start := len(log) - MetaWindow
+	if start < 0 {
+		start = 0
+	}
+	sum := 0.0
+	for _, u := range log[start:] {
+		for _, b := range u.Data {
+			sum += float64(b)
+		}
+	}
+	return sum
+}
+
+// DefaultWeights favours order preservation, per §5.1's example of users
+// who "prefer more order preservation than staleness".
+func DefaultWeights() quantify.Weights {
+	return quantify.Weights{Numerical: 0.2, Order: 0.7, Staleness: 0.1}
+}
+
+// Board is one participant's white board bound to an IDEA node.
+type Board struct {
+	File id.FileID
+	Node *core.Node
+}
+
+// New attaches a white board named file to an IDEA node, configuring the
+// §5.1 casting: ASCII-sum metadata scaled into update-count units and the
+// order-heavy weights.
+func New(node *core.Node, file id.FileID) (*Board, error) {
+	b := &Board{File: file, Node: node}
+	// Numerical errors are measured in "updates of divergence": the
+	// ASCII gap is normalized by a typical op's ASCII sum (~500 for a
+	// short stroke description) so its magnitude matches order errors.
+	caster := quantify.Caster(func(replica, ref *vv.Vector) vv.Triple {
+		t := quantify.DefaultCaster()(replica, ref)
+		t.Numerical /= 500
+		return t
+	})
+	if err := node.SetConsistencyMetric(30, 30, 30, caster); err != nil {
+		return nil, err
+	}
+	w := DefaultWeights()
+	if err := node.SetWeight(w.Numerical, w.Order, w.Staleness); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Draw applies a local stroke/text op and triggers the IDEA protocol.
+func (b *Board) Draw(e env.Env, op Op) wire.Update {
+	payload := op.Encode()
+	// Metadata must reflect the post-write log.
+	log := append(b.Node.Store().Open(b.File).Log(), wire.Update{Data: payload})
+	return b.Node.Write(e, b.File, op.Kind, payload, asciiSum(log))
+}
+
+// Snapshot returns the board's current ops in application order and
+// triggers a consistency check (the "retrieve a new snapshot" read of
+// Fig. 3).
+func (b *Board) Snapshot(e env.Env) []Op {
+	log := b.Node.ReadChecked(e, b.File)
+	ops := make([]Op, len(log))
+	for i, u := range log {
+		ops[i] = DecodeOp(u.Data)
+	}
+	return ops
+}
+
+// View returns the ops without any consistency check (local fast path).
+func (b *Board) View() []Op {
+	log := b.Node.Read(b.File)
+	ops := make([]Op, len(log))
+	for i, u := range log {
+		ops[i] = DecodeOp(u.Data)
+	}
+	return ops
+}
+
+// SetTolerance declares the participant's hint level (hint-based scheme).
+func (b *Board) SetTolerance(h float64) error { return b.Node.SetHint(b.File, h) }
+
+// Complain lets the participant tell IDEA the board is too inconsistent;
+// IDEA resolves and learns (§5.1). Passing a non-nil weights shifts the
+// blame to a specific metric at the same time.
+func (b *Board) Complain(e env.Env, w *quantify.Weights) {
+	b.Node.Complain(e, b.File, w)
+}
+
+// Level reports the participant's current perceived consistency level.
+func (b *Board) Level() float64 { return b.Node.Level(b.File) }

@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"idea/internal/env"
+	"idea/internal/id"
+	"idea/internal/simnet"
+	"idea/internal/vv"
+)
+
+const board = id.FileID("board")
+
+func TestOptimisticConvergesLazily(t *testing.T) {
+	ids := []id.NodeID{1, 2, 3, 4}
+	c := simnet.New(simnet.Config{Seed: 91, Latency: simnet.Constant(50 * time.Millisecond)})
+	nodes := make(map[id.NodeID]*Optimistic)
+	for _, nid := range ids {
+		var peers []id.NodeID
+		for _, p := range ids {
+			if p != nid {
+				peers = append(peers, p)
+			}
+		}
+		o := NewOptimistic(OptimisticConfig{Interval: 10 * time.Second}, nid, peers)
+		nodes[nid] = o
+		c.Add(nid, o)
+	}
+	c.Start()
+	for _, nid := range ids {
+		nid := nid
+		c.CallAt(time.Second, nid, func(e env.Env) {
+			nodes[nid].Write(e, board, "w", nil, float64(nid))
+		})
+	}
+	// After several anti-entropy rounds everyone converges (pulls are
+	// random, so give it time).
+	c.RunFor(5 * time.Minute)
+	ref := nodes[1].Store().Open(board).Vector()
+	for _, nid := range ids[1:] {
+		if vv.Compare(ref, nodes[nid].Store().Open(board).Vector()) != vv.Equal {
+			t.Fatalf("node %v not converged after anti-entropy", nid)
+		}
+	}
+	if nodes[1].Store().Open(board).Len() != 4 {
+		t.Fatalf("log = %d, want all 4 updates", nodes[1].Store().Open(board).Len())
+	}
+}
+
+func TestOptimisticNoticesConflictsLate(t *testing.T) {
+	ids := []id.NodeID{1, 2}
+	c := simnet.New(simnet.Config{Seed: 93, Latency: simnet.Constant(50 * time.Millisecond)})
+	nodes := make(map[id.NodeID]*Optimistic)
+	var notices []ConflictNotice
+	for _, nid := range ids {
+		peer := ids[0]
+		if nid == ids[0] {
+			peer = ids[1]
+		}
+		o := NewOptimistic(OptimisticConfig{Interval: 20 * time.Second}, nid, []id.NodeID{peer})
+		o.OnConflict = func(_ env.Env, n ConflictNotice) { notices = append(notices, n) }
+		nodes[nid] = o
+		c.Add(nid, o)
+	}
+	c.Start()
+	c.CallAt(time.Second, 1, func(e env.Env) { nodes[1].Write(e, board, "w", nil, 1) })
+	c.CallAt(time.Second, 2, func(e env.Env) { nodes[2].Write(e, board, "w", nil, 2) })
+	c.RunFor(2 * time.Minute)
+	if len(notices) == 0 {
+		t.Fatal("conflict never noticed")
+	}
+	// Detection delay is on the order of the anti-entropy interval —
+	// orders of magnitude slower than IDEA's RTT-scale detection.
+	if notices[0].Since < 5*time.Second {
+		t.Fatalf("conflict noticed after %v, expected lazy (interval-scale) detection", notices[0].Since)
+	}
+}
+
+func TestStrongReplicatesSynchronously(t *testing.T) {
+	ids := []id.NodeID{1, 2, 3, 4}
+	c := simnet.New(simnet.Config{Seed: 95, Latency: simnet.Constant(50 * time.Millisecond)})
+	nodes := make(map[id.NodeID]*Strong)
+	var commits []CommitNotice
+	for _, nid := range ids {
+		s := NewStrong(StrongConfig{Replicas: ids}, nid)
+		s.OnCommit = func(_ env.Env, n CommitNotice) { commits = append(commits, n) }
+		nodes[nid] = s
+		c.Add(nid, s)
+	}
+	c.Start()
+	c.CallAt(time.Second, 3, func(e env.Env) { nodes[3].Write(e, board, "book", nil, 100) })
+	c.RunFor(5 * time.Second)
+	if len(commits) != 1 {
+		t.Fatalf("commits = %+v", commits)
+	}
+	// Commit latency: writer→primary + primary→replicas + acks + notify
+	// ≈ 4 one-way hops = 200 ms.
+	if commits[0].Latency < 150*time.Millisecond {
+		t.Fatalf("commit latency = %v, expected synchronous (>150ms)", commits[0].Latency)
+	}
+	// Every replica holds the update.
+	for _, nid := range ids {
+		if nodes[nid].Store().Open(board).Len() != 1 {
+			t.Fatalf("replica %v missing committed update", nid)
+		}
+	}
+	if nodes[1].Commits != 1 {
+		t.Fatalf("primary commits = %d", nodes[1].Commits)
+	}
+}
+
+func TestStrongNeverInconsistent(t *testing.T) {
+	ids := []id.NodeID{1, 2, 3}
+	c := simnet.New(simnet.Config{Seed: 97, Latency: simnet.Constant(20 * time.Millisecond)})
+	nodes := make(map[id.NodeID]*Strong)
+	for _, nid := range ids {
+		s := NewStrong(StrongConfig{Replicas: ids}, nid)
+		nodes[nid] = s
+		c.Add(nid, s)
+	}
+	c.Start()
+	// Concurrent writes from all three nodes.
+	for round := 0; round < 5; round++ {
+		at := time.Duration(round+1) * time.Second
+		for _, nid := range ids {
+			nid := nid
+			c.CallAt(at, nid, func(e env.Env) {
+				nodes[nid].Write(e, board, "w", nil, float64(nid))
+			})
+		}
+	}
+	c.RunFor(30 * time.Second)
+	// All replicas identical: the primary serialized everything.
+	ref := nodes[1].Store().Open(board).Vector()
+	for _, nid := range ids[1:] {
+		v := nodes[nid].Store().Open(board).Vector()
+		if vv.Compare(ref, v) != vv.Equal {
+			t.Fatalf("strong replicas diverged: %v vs %v", ref, v)
+		}
+	}
+	if got := nodes[2].Store().Open(board).Len(); got != 15 {
+		t.Fatalf("log = %d, want 15", got)
+	}
+}
+
+func TestStrongCostsMoreMessagesThanOptimistic(t *testing.T) {
+	run := func(strong bool) int {
+		ids := []id.NodeID{1, 2, 3, 4}
+		c := simnet.New(simnet.Config{Seed: 99, Latency: simnet.Constant(20 * time.Millisecond)})
+		opt := make(map[id.NodeID]*Optimistic)
+		str := make(map[id.NodeID]*Strong)
+		for _, nid := range ids {
+			if strong {
+				s := NewStrong(StrongConfig{Replicas: ids}, nid)
+				str[nid] = s
+				c.Add(nid, s)
+			} else {
+				var peers []id.NodeID
+				for _, p := range ids {
+					if p != nid {
+						peers = append(peers, p)
+					}
+				}
+				o := NewOptimistic(OptimisticConfig{Interval: 30 * time.Second}, nid, peers)
+				opt[nid] = o
+				c.Add(nid, o)
+			}
+		}
+		c.Start()
+		for round := 0; round < 10; round++ {
+			at := time.Duration(round*5+1) * time.Second
+			for _, nid := range ids {
+				nid := nid
+				c.CallAt(at, nid, func(e env.Env) {
+					if strong {
+						str[nid].Write(e, board, "w", nil, 0)
+					} else {
+						opt[nid].Write(e, board, "w", nil, 0)
+					}
+				})
+			}
+		}
+		c.RunFor(2 * time.Minute)
+		return c.Stats().Total()
+	}
+	strongMsgs, optMsgs := run(true), run(false)
+	if strongMsgs <= optMsgs {
+		t.Fatalf("strong=%d msgs <= optimistic=%d msgs; Fig. 2 ordering violated", strongMsgs, optMsgs)
+	}
+}

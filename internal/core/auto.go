@@ -1,0 +1,172 @@
+package core
+
+import (
+	"time"
+
+	"idea/internal/env"
+	"idea/internal/id"
+)
+
+// AutoController implements the fully-automatic scheme of §4.6/§5.2 for
+// one file: it derives the optimal background-resolution rate from the
+// system's available capacity (Formula 4,
+//
+//	Optimal_rate = b · x% / c
+//
+// with b the available bandwidth, x% the share IDEA may consume, and c
+// the per-round communication cost), and clamps the resulting period
+// inside bounds learned from business feedback: overselling means the
+// frequency was too low — the period that caused it becomes an upper
+// bound — while underselling means it was too high — a lower bound.
+// Over time IDEA "will learn the two boundaries within which it can
+// adjust the frequency".
+type AutoController struct {
+	// CapacityBps is b: currently available bandwidth in bytes/second,
+	// provided by the monitoring program the paper assumes.
+	CapacityBps float64
+	// MaxShare is x%: the fraction of capacity IDEA may use (the
+	// paper's example: 20 %).
+	MaxShare float64
+	// RoundCostBytes is c: one background round's communication cost.
+	// The paper derives c = 44·s from Table 3 (44 messages of average
+	// size s); callers can substitute a measured value.
+	RoundCostBytes float64
+	// MinPeriod/MaxPeriod are hard safety bounds; zero means
+	// 1 s / 10 min.
+	MinPeriod, MaxPeriod time.Duration
+
+	// Learned bounds (zero until feedback arrives).
+	periodLo time.Duration // from underselling: never resolve faster
+	periodHi time.Duration // from overselling: never resolve slower
+
+	// Adjustments counts recomputations; Oversells/Undersells count
+	// feedback events.
+	Adjustments int
+	Oversells   int
+	Undersells  int
+}
+
+func (a *AutoController) bounds() (time.Duration, time.Duration) {
+	lo, hi := a.MinPeriod, a.MaxPeriod
+	if lo == 0 {
+		lo = time.Second
+	}
+	if hi == 0 {
+		hi = 10 * time.Minute
+	}
+	if a.periodLo > lo {
+		lo = a.periodLo
+	}
+	if a.periodHi != 0 && a.periodHi < hi {
+		hi = a.periodHi
+	}
+	if hi < lo {
+		hi = lo // learned bounds crossed: the tighter (safer) one wins
+	}
+	return lo, hi
+}
+
+// OptimalPeriod applies Formula 4 and clamps into the learned bounds.
+func (a *AutoController) OptimalPeriod() time.Duration {
+	lo, hi := a.bounds()
+	if a.CapacityBps <= 0 || a.MaxShare <= 0 || a.RoundCostBytes <= 0 {
+		return hi
+	}
+	rate := a.CapacityBps * a.MaxShare / a.RoundCostBytes // rounds/second
+	if rate <= 0 {
+		return hi
+	}
+	p := time.Duration(float64(time.Second) / rate)
+	if p < lo {
+		p = lo
+	}
+	if p > hi {
+		p = hi
+	}
+	return p
+}
+
+// NoteOversell records that the current period caused overselling: the
+// frequency was too low, so future periods stay strictly below it.
+func (a *AutoController) NoteOversell(current time.Duration) {
+	a.Oversells++
+	capped := current * 9 / 10
+	if a.periodHi == 0 || capped < a.periodHi {
+		a.periodHi = capped
+	}
+}
+
+// NoteUndersell records that the current period caused underselling: the
+// frequency was too high, so future periods stay strictly above it.
+func (a *AutoController) NoteUndersell(current time.Duration) {
+	a.Undersells++
+	floor := current * 11 / 10
+	if floor > a.periodLo {
+		a.periodLo = floor
+	}
+}
+
+// LearnedBounds returns the feedback-learned period window (zero values
+// mean unlearned).
+func (a *AutoController) LearnedBounds() (lo, hi time.Duration) {
+	return a.periodLo, a.periodHi
+}
+
+// ---- Node integration ----
+
+// EnableAutomatic switches file to the fully-automatic scheme driven by
+// ctl and starts the periodic re-adjustment loop (every adjustEvery, the
+// "based on system's current load" cadence; zero means 30 s).
+func (n *Node) EnableAutomatic(e env.Env, file id.FileID, ctl *AutoController, adjustEvery time.Duration) {
+	if adjustEvery == 0 {
+		adjustEvery = 30 * time.Second
+	}
+	fs := n.file(file)
+	fs.mode = FullyAutomatic
+	fs.auto = ctl
+	fs.autoEvery = adjustEvery
+	n.applyAuto(e, file)
+	e.After(adjustEvery, "core.auto:"+string(file), nil)
+}
+
+// Auto returns the file's automatic controller (nil when not automatic).
+func (n *Node) Auto(file id.FileID) *AutoController { return n.file(file).auto }
+
+func (n *Node) autoTick(e env.Env, file id.FileID) {
+	fs := n.file(file)
+	if fs.mode != FullyAutomatic || fs.auto == nil {
+		return
+	}
+	n.applyAuto(e, file)
+	e.After(fs.autoEvery, "core.auto:"+string(file), nil)
+}
+
+func (n *Node) applyAuto(e env.Env, file id.FileID) {
+	fs := n.file(file)
+	p := fs.auto.OptimalPeriod()
+	fs.auto.Adjustments++
+	if n.res.BackgroundFreq(file) != p {
+		n.res.SetBackgroundFreq(e, file, p)
+	}
+}
+
+// ReportOversell feeds business feedback into the controller and
+// re-adjusts immediately.
+func (n *Node) ReportOversell(e env.Env, file id.FileID) {
+	fs := n.file(file)
+	if fs.auto == nil {
+		return
+	}
+	fs.auto.NoteOversell(n.res.BackgroundFreq(file))
+	n.applyAuto(e, file)
+}
+
+// ReportUndersell is the dual of ReportOversell.
+func (n *Node) ReportUndersell(e env.Env, file id.FileID) {
+	fs := n.file(file)
+	if fs.auto == nil {
+		return
+	}
+	fs.auto.NoteUndersell(n.res.BackgroundFreq(file))
+	n.applyAuto(e, file)
+}

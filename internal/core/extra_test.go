@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"idea/internal/env"
+	"idea/internal/id"
+	"idea/internal/overlay"
+	"idea/internal/simnet"
+)
+
+// TestPerFileControllersIndependent: one node can run different adaptive
+// schemes for different files simultaneously — the multi-application
+// scenario of §1 ("a system may run multiple applications with different
+// requirements of consistency").
+func TestPerFileControllersIndependent(t *testing.T) {
+	const (
+		boardF  = id.FileID("board")
+		flightF = id.FileID("flight")
+	)
+	ids := []id.NodeID{1, 2, 3}
+	mem := overlay.NewStatic(ids, map[id.FileID][]id.NodeID{
+		boardF:  ids,
+		flightF: ids,
+	})
+	c := simnet.New(simnet.Config{Seed: 83, Latency: simnet.Constant(30 * time.Millisecond)})
+	nodes := map[id.NodeID]*Node{}
+	for _, nid := range ids {
+		nd := NewNode(nid, Options{Membership: mem, All: ids, DisableGossip: true, DisableRansub: true})
+		nodes[nid] = nd
+		c.Add(nid, nd)
+	}
+	c.Start()
+
+	n1 := nodes[1]
+	if err := n1.SetHint(boardF, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	ctl := &AutoController{CapacityBps: 1000, MaxShare: 0.5, RoundCostBytes: 5000, MinPeriod: time.Second}
+	c.CallAt(0, 1, func(e env.Env) { n1.EnableAutomatic(e, flightF, ctl, time.Hour) })
+	c.RunFor(time.Second)
+
+	if n1.Mode(boardF) != HintBased || n1.Mode(flightF) != FullyAutomatic {
+		t.Fatalf("modes: board=%v flight=%v", n1.Mode(boardF), n1.Mode(flightF))
+	}
+	if n1.BackgroundFreq(boardF) != 0 {
+		t.Fatal("hint-based file acquired a background frequency")
+	}
+	if n1.BackgroundFreq(flightF) != 10*time.Second {
+		t.Fatalf("automatic period = %v", n1.BackgroundFreq(flightF))
+	}
+	if n1.Auto(boardF) != nil || n1.Auto(flightF) == nil {
+		t.Fatal("controller attachment leaked across files")
+	}
+}
+
+// TestAutoReadjustLoop: the periodic adjustment tick keeps re-deriving the
+// frequency as capacity changes.
+func TestAutoReadjustLoop(t *testing.T) {
+	cl := buildCluster(t, 2, 2, 85, nil)
+	ctl := &AutoController{CapacityBps: 10_000, MaxShare: 0.2, RoundCostBytes: 4_000, MinPeriod: time.Second}
+	cl.c.CallAt(0, 1, func(e env.Env) {
+		cl.nodes[1].EnableAutomatic(e, board, ctl, 5*time.Second)
+	})
+	cl.c.RunFor(time.Second)
+	if got := cl.nodes[1].BackgroundFreq(board); got != 2*time.Second {
+		t.Fatalf("initial period = %v", got)
+	}
+	// Capacity drops 4×: the next tick must slow resolution down 4×.
+	ctl.CapacityBps = 2_500
+	cl.c.RunFor(6 * time.Second)
+	if got := cl.nodes[1].BackgroundFreq(board); got != 8*time.Second {
+		t.Fatalf("re-adjusted period = %v, want 8s", got)
+	}
+	adjustments := ctl.Adjustments
+	if adjustments < 2 {
+		t.Fatalf("adjustments = %d, want the loop to keep ticking", adjustments)
+	}
+}
+
+// TestReadAutoTriggersOnlyWhenStale covers Fig. 3's context rule.
+func TestReadAutoTriggersOnlyWhenStale(t *testing.T) {
+	cl := buildCluster(t, 2, 2, 89, nil)
+	n1 := cl.nodes[1]
+	// Never-written file: detection triggers.
+	cl.c.CallAt(time.Second, 1, func(e env.Env) {
+		if _, triggered := n1.ReadAuto(e, board, 30*time.Second); !triggered {
+			t.Error("empty replica read did not trigger detection")
+		}
+	})
+	// Fresh write: a read right after must NOT trigger.
+	cl.c.CallAt(2*time.Second, 1, func(e env.Env) { n1.Write(e, board, "w", nil, 0) })
+	cl.c.CallAt(3*time.Second, 1, func(e env.Env) {
+		if _, triggered := n1.ReadAuto(e, board, 30*time.Second); triggered {
+			t.Error("fresh replica read triggered detection")
+		}
+	})
+	// Much later: the replica is stale, detection triggers again.
+	cl.c.CallAt(60*time.Second, 1, func(e env.Env) {
+		if _, triggered := n1.ReadAuto(e, board, 30*time.Second); !triggered {
+			t.Error("stale replica read did not trigger detection")
+		}
+	})
+	cl.c.RunFor(70 * time.Second)
+}
+
+// TestModeString covers the fmt.Stringer for modes.
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		OnDemand:       "on-demand",
+		HintBased:      "hint-based",
+		FullyAutomatic: "automatic",
+		Mode(99):       "Mode(99)",
+	} {
+		if got := m.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+// TestDisableRollbackKeepsAlertsOnly verifies the DisableRollback option.
+func TestDisableRollbackKeepsAlertsOnly(t *testing.T) {
+	ids := []id.NodeID{1, 2, 3}
+	mem := overlay.NewStatic(ids, map[id.FileID][]id.NodeID{board: {1, 2}})
+	c := simnet.New(simnet.Config{Seed: 87, Latency: simnet.Constant(30 * time.Millisecond)})
+	nodes := map[id.NodeID]*Node{}
+	for _, nid := range ids {
+		nd := NewNode(nid, Options{
+			Membership:      mem,
+			All:             ids,
+			DisableRansub:   true,
+			DisableRollback: true,
+			Gossip:          gossipCfg(),
+		})
+		nodes[nid] = nd
+		c.Add(nid, nd)
+	}
+	c.Start()
+	for _, nid := range ids {
+		if err := nodes[nid].SetHint(board, 0.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CallAt(time.Second, 3, func(e env.Env) {
+		for i := 0; i < 12; i++ {
+			nodes[3].Store().Open(board).WriteLocal(e.Stamp(), "w", nil, float64(i))
+		}
+	})
+	c.CallAt(2*time.Second, 1, func(e env.Env) {
+		u := nodes[1].Write(e, board, "w", nil, 1)
+		nodes[2].Store().Open(board).Apply(u)
+	})
+	c.RunFor(90 * time.Second)
+	if nodes[1].Alerts == 0 {
+		t.Fatal("alerts suppressed along with rollback")
+	}
+	if nodes[1].Rollbacks != 0 {
+		t.Fatal("rollback executed despite DisableRollback")
+	}
+}

@@ -1,0 +1,445 @@
+// Package core is the IDEA middleware itself: it composes the two-layer
+// infrastructure (RanSub temperature overlay + gossip bottom layer), the
+// inconsistency detection framework, the quantification of consistency
+// levels, and the resolution machinery into the protocol workflow of
+// Fig. 3, and drives them with the adaptive consistency controllers of
+// §4.6 (on-demand, hint-based, fully automatic). The developer-facing
+// APIs of Table 1 live in api.go; the end-user interaction surface
+// (complaints, demands, weight changes) is part of the same Node.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"idea/internal/detect"
+	"idea/internal/env"
+	"idea/internal/gossip"
+	"idea/internal/id"
+	"idea/internal/overlay"
+	"idea/internal/quantify"
+	"idea/internal/ransub"
+	"idea/internal/resolve"
+	"idea/internal/store"
+	"idea/internal/vv"
+	"idea/internal/wire"
+)
+
+// Mode is the per-file adaptive scheme (§4.6).
+type Mode int
+
+// The three application types IDEA caters to.
+const (
+	// OnDemand: users explicitly request resolution when dissatisfied;
+	// IDEA learns the acceptable level from each complaint (L1+Δ) and
+	// keeps the file above it afterwards.
+	OnDemand Mode = iota + 1
+	// HintBased: users pre-declare a tolerance hint; IDEA triggers
+	// active resolution whenever the detected level drops below it.
+	HintBased
+	// FullyAutomatic: no user in the loop; background resolution runs
+	// at a frequency adapted to system capacity within learned bounds
+	// (the airline-booking scheme of §5.2).
+	FullyAutomatic
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case OnDemand:
+		return "on-demand"
+	case HintBased:
+		return "hint-based"
+	case FullyAutomatic:
+		return "automatic"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options configures a Node.
+type Options struct {
+	// Membership pins the two-layer view; nil derives it dynamically
+	// from the RanSub agent (requires All to list the whole system).
+	Membership overlay.Membership
+	// All is the full node list, required when Membership is nil.
+	All []id.NodeID
+	// Quant is the consistency-level scorer; nil means paper defaults.
+	Quant *quantify.Quantifier
+	// Detect, Resolve, Gossip, Ransub tune the subsystems.
+	Detect  detect.Config
+	Resolve resolve.Config
+	Gossip  gossip.Config
+	Ransub  ransub.Config
+	// DisableGossip turns off the bottom-layer sweep (top-layer-only
+	// ablation; also how the paper ran its evaluation, §6).
+	DisableGossip bool
+	// DisableRansub turns off dynamic overlay maintenance (use with a
+	// static Membership).
+	DisableRansub bool
+	// HintDelta is Δ, the bump applied when a user complains; zero
+	// means 0.02.
+	HintDelta float64
+	// DisableRollback turns off the §4.4.2 rollback reaction to
+	// bottom-layer discrepancies (alerts still fire).
+	DisableRollback bool
+}
+
+// fileState is the controller state IDEA keeps per shared file.
+type fileState struct {
+	mode      Mode
+	hint      float64 // L1, the user's pre-declared tolerance (§4.6)
+	learned   float64 // learned desired level from complaints (L1 + Δ…)
+	last      float64 // most recent detected level
+	cpToken   int64   // live checkpoint for rollback
+	hasCP     bool
+	auto      *AutoController
+	autoEvery time.Duration
+}
+
+// Alert describes a bottom-layer discrepancy surfaced to the user
+// (§4.4.2: "IDEA alerts the user about the discrepancy").
+type Alert struct {
+	File       id.FileID
+	Top        float64
+	Bottom     float64
+	Reporter   id.NodeID
+	RolledBack bool
+	Undone     int // updates undone by the rollback
+}
+
+// Node is one IDEA middleware instance. It implements env.Handler and is
+// runnable unchanged under simnet (emulation) or transport (live TCP).
+type Node struct {
+	self  id.NodeID
+	opts  Options
+	st    *store.Store
+	quant *quantify.Quantifier
+	mem   overlay.Membership
+	det   *detect.Detector
+	res   *resolve.Resolver
+	gos   *gossip.Agent
+	ran   *ransub.Agent
+
+	files map[id.FileID]*fileState
+
+	// OnLevel observes every completed detection (file, level).
+	OnLevel func(e env.Env, file id.FileID, res detect.Result)
+	// OnAlert observes bottom-layer discrepancy alerts.
+	OnAlert func(e env.Env, a Alert)
+	// OnResolved observes every adoption of a consistent image.
+	OnResolved func(e env.Env, file id.FileID, winner id.NodeID)
+	// OnOutcome observes initiator-side resolution outcomes.
+	OnOutcome func(e env.Env, o resolve.Outcome)
+
+	// Alerts counts discrepancy alerts; Rollbacks counts executed
+	// rollbacks.
+	Alerts    int
+	Rollbacks int
+}
+
+// NewNode builds an IDEA node.
+func NewNode(self id.NodeID, opts Options) *Node {
+	n := &Node{
+		self:  self,
+		opts:  opts,
+		st:    store.New(self),
+		files: make(map[id.FileID]*fileState),
+	}
+	if opts.HintDelta == 0 {
+		n.opts.HintDelta = 0.02
+	}
+	n.quant = opts.Quant
+	if n.quant == nil {
+		n.quant = quantify.Default()
+	}
+	if !opts.DisableRansub {
+		all := opts.All
+		if all == nil && opts.Membership != nil {
+			all = opts.Membership.All()
+		}
+		n.ran = ransub.New(opts.Ransub, self, all)
+	}
+	n.mem = opts.Membership
+	if n.mem == nil {
+		if n.ran == nil {
+			panic("core: need Membership or RanSub")
+		}
+		n.mem = overlay.NewDynamic(opts.All, n.ran)
+	}
+	n.det = detect.New(opts.Detect, self, n.mem, n.st, n.quant)
+	n.det.OnResult(n.handleDetectResult)
+	n.det.OnDiscrepancy(n.handleDiscrepancy)
+	n.res = resolve.New(opts.Resolve, self, n.mem, n.st)
+	n.res.OnApplied(n.handleApplied)
+	n.res.OnOutcome(func(e env.Env, o resolve.Outcome) {
+		if n.OnOutcome != nil {
+			n.OnOutcome(e, o)
+		}
+	})
+	if !opts.DisableGossip {
+		peers := overlay.BottomPeers(n.mem, self)
+		n.gos = gossip.New(opts.Gossip, self, peers, gossipState{n}, n.quant, func(e env.Env, rep wire.GossipReport) {
+			n.det.HandleGossipReport(e, rep)
+		})
+	}
+	return n
+}
+
+// gossipState adapts the store to gossip.State without creating replicas.
+type gossipState struct{ n *Node }
+
+func (g gossipState) LocalVector(f id.FileID) *vv.Vector {
+	if r := g.n.st.Peek(f); r != nil {
+		return r.Vector()
+	}
+	return nil
+}
+
+func (g gossipState) ActiveFiles() []id.FileID { return g.n.st.Files() }
+
+// ID returns the node's identifier.
+func (n *Node) ID() id.NodeID { return n.self }
+
+// Store exposes the underlying replica store (the distributed-FS
+// substrate).
+func (n *Node) Store() *store.Store { return n.st }
+
+// Detector exposes the detection framework.
+func (n *Node) Detector() *detect.Detector { return n.det }
+
+// Resolver exposes the resolution machinery.
+func (n *Node) Resolver() *resolve.Resolver { return n.res }
+
+// Membership exposes the two-layer view.
+func (n *Node) Membership() overlay.Membership { return n.mem }
+
+// Quantifier exposes the Formula 1 scorer.
+func (n *Node) Quantifier() *quantify.Quantifier { return n.quant }
+
+func (n *Node) file(f id.FileID) *fileState {
+	fs, ok := n.files[f]
+	if !ok {
+		fs = &fileState{mode: OnDemand, last: 1}
+		n.files[f] = fs
+	}
+	return fs
+}
+
+// ---- env.Handler ----
+
+// Start implements env.Handler.
+func (n *Node) Start(e env.Env) {
+	if n.ran != nil {
+		n.ran.Start(e)
+	}
+	if n.gos != nil {
+		n.gos.Start(e)
+	}
+}
+
+// Recv implements env.Handler, dispatching to the subsystems.
+func (n *Node) Recv(e env.Env, from id.NodeID, msg env.Message) {
+	if n.det.Recv(e, from, msg) {
+		return
+	}
+	if n.res.Recv(e, from, msg) {
+		return
+	}
+	if n.gos != nil && n.gos.Recv(e, from, msg) {
+		return
+	}
+	if n.ran != nil && n.ran.Recv(e, from, msg) {
+		return
+	}
+	e.Logf("core: unhandled message %s from %v", msg.Kind(), from)
+}
+
+// Timer implements env.Handler, dispatching by key prefix.
+func (n *Node) Timer(e env.Env, key string, data any) {
+	switch {
+	case strings.HasPrefix(key, "detect."):
+		n.det.Timer(e, key, data)
+	case strings.HasPrefix(key, "resolve."):
+		n.res.Timer(e, key, data)
+	case strings.HasPrefix(key, "gossip."):
+		if n.gos != nil {
+			n.gos.Timer(e, key, data)
+		}
+	case strings.HasPrefix(key, "ransub."):
+		if n.ran != nil {
+			n.ran.Timer(e, key, data)
+		}
+	case strings.HasPrefix(key, "core.auto:"):
+		n.autoTick(e, id.FileID(strings.TrimPrefix(key, "core.auto:")))
+	default:
+		e.Logf("core: unhandled timer %q", key)
+	}
+}
+
+// ---- Application write/read surface (Fig. 3 triggers) ----
+
+// Write applies a local write and triggers the IDEA protocol: the update
+// bumps the file's temperature and detection runs against the top layer.
+// It returns the update.
+func (n *Node) Write(e env.Env, file id.FileID, op string, data []byte, meta float64) wire.Update {
+	u := n.st.Open(file).WriteLocal(e.Stamp(), op, data, meta)
+	if n.ran != nil {
+		n.ran.RecordUpdate(file)
+	}
+	n.det.Detect(e, file)
+	return u
+}
+
+// Read returns the local replica's log without triggering IDEA — the
+// "file is locally updated frequently" fast path of Fig. 3.
+func (n *Node) Read(file id.FileID) []wire.Update {
+	return n.st.Open(file).Log()
+}
+
+// ReadChecked returns the local replica's log and triggers detection —
+// the "retrieve a new file / file may be stale" path of Fig. 3. The
+// consistency verdict arrives via OnLevel.
+func (n *Node) ReadChecked(e env.Env, file id.FileID) []wire.Update {
+	log := n.st.Open(file).Log()
+	n.det.Detect(e, file)
+	return log
+}
+
+// ReadAuto implements Fig. 3's context-dependent read trigger: "if the
+// file is locally updated frequently, the read will not trigger IDEA; if
+// the file hasn't been locally updated for a long time and the user is
+// afraid that the file may be inconsistent, IDEA can be triggered". A
+// read of a replica whose most recent update is older than staleAfter
+// starts a detection; fresher replicas are served directly. It returns
+// the log and whether detection was triggered.
+func (n *Node) ReadAuto(e env.Env, file id.FileID, staleAfter time.Duration) ([]wire.Update, bool) {
+	rep := n.st.Open(file)
+	log := rep.Log()
+	latest := vv.LatestStamp(rep.Vector())
+	age := time.Duration(e.Stamp() - latest)
+	if latest == 0 || age > staleAfter {
+		n.det.Detect(e, file)
+		return log, true
+	}
+	return log, false
+}
+
+// Level returns the most recent detected consistency level for file (1
+// when never detected or resolved since).
+func (n *Node) Level(file id.FileID) float64 { return n.file(file).last }
+
+// DesiredLevel returns the level IDEA currently tries to keep file above:
+// the maximum of the user hint and any learned level.
+func (n *Node) DesiredLevel(file id.FileID) float64 {
+	fs := n.file(file)
+	if fs.learned > fs.hint {
+		return fs.learned
+	}
+	return fs.hint
+}
+
+// ---- Controller logic (Fig. 3 decision diamond + §4.6) ----
+
+func (n *Node) handleDetectResult(e env.Env, res detect.Result) {
+	fs := n.file(res.File)
+	fs.last = res.Level
+	if n.OnLevel != nil {
+		n.OnLevel(e, res.File, res)
+	}
+	desired := n.DesiredLevel(res.File)
+	switch fs.mode {
+	case HintBased, OnDemand:
+		// Resolve only when the level drops below what the user wants
+		// (for OnDemand, "wants" is whatever IDEA has learned from
+		// complaints so far; initially zero → never auto-resolve).
+		if desired > 0 && res.Level < desired {
+			n.res.RequestActive(e, res.File)
+			return
+		}
+	case FullyAutomatic:
+		// Background resolution owns convergence; detection only
+		// feeds the level signal.
+	}
+	// Level acceptable: the user continues on the top-layer verdict,
+	// but a checkpoint is taken so the bottom-layer sweep can still
+	// roll these operations back if it contradicts the verdict
+	// (§4.4.2). This applies to "all clear" verdicts too — those are
+	// exactly the ones a bottom-layer-only conflict falsifies.
+	n.checkpoint(res.File, res.Token)
+}
+
+func (n *Node) checkpoint(file id.FileID, token int64) {
+	fs := n.file(file)
+	rep := n.st.Open(file)
+	if fs.hasCP {
+		rep.DropCheckpoint(fs.cpToken)
+	}
+	rep.Checkpoint(token)
+	fs.cpToken = token
+	fs.hasCP = true
+}
+
+func (n *Node) handleDiscrepancy(e env.Env, file id.FileID, top, bottom float64, rep wire.GossipReport) {
+	fs := n.file(file)
+	a := Alert{File: file, Top: top, Bottom: bottom, Reporter: rep.Reporter}
+	n.Alerts++
+	// Roll back only when the corrected level is unacceptable for the
+	// user's (learned) preference.
+	if !n.opts.DisableRollback && fs.hasCP && bottom < n.DesiredLevel(file) {
+		if undone, err := n.st.Open(file).Rollback(fs.cpToken); err == nil {
+			fs.hasCP = false
+			a.RolledBack = true
+			a.Undone = len(undone)
+			n.Rollbacks++
+			// Re-resolve to catch up with the true state.
+			n.res.RequestActive(e, file)
+		}
+	}
+	if n.OnAlert != nil {
+		n.OnAlert(e, a)
+	}
+}
+
+func (n *Node) handleApplied(e env.Env, file id.FileID, winner id.NodeID) {
+	fs := n.file(file)
+	fs.last = 1
+	n.det.NoteResolved(file)
+	rep := n.st.Open(file)
+	if fs.hasCP {
+		rep.DropCheckpoint(fs.cpToken)
+		fs.hasCP = false
+	}
+	if n.OnResolved != nil {
+		n.OnResolved(e, file, winner)
+	}
+}
+
+// Complain is the end-user interface of §5.1: the user tells IDEA the
+// current consistency is not sufficient. IDEA resolves now and learns a
+// new desired level (current level + Δ, or hint + Δ when higher) so the
+// user is not annoyed again. Optional newWeights lets the user shift
+// blame to a specific metric at the same time.
+func (n *Node) Complain(e env.Env, file id.FileID, newWeights *quantify.Weights) {
+	fs := n.file(file)
+	if newWeights != nil {
+		n.quant.SetWeights(*newWeights)
+	}
+	bump := fs.last + n.opts.HintDelta
+	if h := fs.hint + n.opts.HintDelta; h > bump {
+		bump = h
+	}
+	if bump > 0.99 {
+		bump = 0.99
+	}
+	if bump > fs.learned {
+		fs.learned = bump
+	}
+	n.res.RequestActive(e, file)
+}
+
+// SetMode selects the adaptive scheme for file.
+func (n *Node) SetMode(file id.FileID, m Mode) { n.file(file).mode = m }
+
+// Mode returns the file's adaptive scheme.
+func (n *Node) Mode(file id.FileID) Mode { return n.file(file).mode }

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"idea/internal/detect"
+	"idea/internal/env"
+	"idea/internal/gossip"
+	"idea/internal/id"
+	"idea/internal/overlay"
+	"idea/internal/resolve"
+	"idea/internal/simnet"
+	"idea/internal/vv"
+)
+
+const board = id.FileID("board")
+
+type cluster struct {
+	c     *simnet.Cluster
+	nodes map[id.NodeID]*Node
+	ids   []id.NodeID
+}
+
+// buildCluster creates n IDEA nodes with a static top layer equal to the
+// first `top` node IDs (the paper's warmed-up configuration), gossip and
+// ransub disabled unless enabled.
+func buildCluster(t *testing.T, n, top int, seed int64, mutate func(*Options)) *cluster {
+	t.Helper()
+	ids := make([]id.NodeID, n)
+	for i := range ids {
+		ids[i] = id.NodeID(i + 1)
+	}
+	mem := overlay.NewStatic(ids, map[id.FileID][]id.NodeID{board: ids[:top]})
+	c := simnet.New(simnet.Config{Seed: seed, Latency: simnet.Constant(50 * time.Millisecond)})
+	nodes := make(map[id.NodeID]*Node, n)
+	for _, nid := range ids {
+		opts := Options{
+			Membership:    mem,
+			All:           ids,
+			DisableGossip: true,
+			DisableRansub: true,
+		}
+		if mutate != nil {
+			mutate(&opts)
+		}
+		nd := NewNode(nid, opts)
+		nodes[nid] = nd
+		c.Add(nid, nd)
+	}
+	c.Start()
+	return &cluster{c: c, nodes: nodes, ids: ids}
+}
+
+func (cl *cluster) converged(t *testing.T, among []id.NodeID) {
+	t.Helper()
+	var ref *vv.Vector
+	for _, nid := range among {
+		v := cl.nodes[nid].Store().Open(board).Vector()
+		if ref == nil {
+			ref = v
+			continue
+		}
+		if vv.Compare(ref, v) != vv.Equal {
+			t.Fatalf("node %v diverged: %v vs %v", nid, v, ref)
+		}
+	}
+}
+
+func TestHintBasedAutoResolution(t *testing.T) {
+	cl := buildCluster(t, 4, 4, 61, nil)
+	for _, nid := range cl.ids {
+		if err := cl.nodes[nid].SetHint(board, 0.95); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Conflicting updates every 5 s from all four writers for 60 s.
+	for s := 5 * time.Second; s <= 60*time.Second; s += 5 * time.Second {
+		for _, nid := range cl.ids {
+			nid := nid
+			cl.c.CallAt(s, nid, func(e env.Env) {
+				cl.nodes[nid].Write(e, board, "draw", nil, float64(nid))
+			})
+		}
+	}
+	cl.c.RunFor(70 * time.Second)
+	resolved := 0
+	for _, nid := range cl.ids {
+		resolved += cl.nodes[nid].Resolver().Resolutions
+	}
+	if resolved == 0 {
+		t.Fatal("hint-based controller never resolved despite conflicts")
+	}
+	// After the last resolution and no further writes, all replicas of
+	// the top layer converge.
+	cl.c.RunFor(10 * time.Second)
+	// One more resolution pass to clean up post-resolution writes.
+	cl.c.CallAt(cl.c.Elapsed()+time.Second, 1, func(e env.Env) {
+		cl.nodes[1].DemandActiveResolution(e, board)
+	})
+	cl.c.RunFor(10 * time.Second)
+	cl.converged(t, cl.ids)
+}
+
+func TestHintValidation(t *testing.T) {
+	cl := buildCluster(t, 2, 2, 63, nil)
+	n := cl.nodes[1]
+	if err := n.SetHint(board, 1.5); err == nil {
+		t.Fatal("accepted hint > 1")
+	}
+	if err := n.SetHint(board, -0.1); err == nil {
+		t.Fatal("accepted negative hint")
+	}
+	if err := n.SetHint(board, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if n.Mode(board) != HintBased || n.Hint(board) != 0.9 {
+		t.Fatalf("mode=%v hint=%g", n.Mode(board), n.Hint(board))
+	}
+	if err := n.SetHint(board, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnDemandLearnsFromComplaint(t *testing.T) {
+	cl := buildCluster(t, 2, 2, 65, nil)
+	n1 := cl.nodes[1]
+	if n1.Mode(board) != OnDemand {
+		// Mode defaults to OnDemand on first touch.
+		n1.SetMode(board, OnDemand)
+	}
+	// Conflict: both nodes write.
+	cl.c.CallAt(time.Second, 1, func(e env.Env) { n1.Write(e, board, "w", nil, 1) })
+	cl.c.CallAt(time.Second, 2, func(e env.Env) { cl.nodes[2].Write(e, board, "w", nil, 2) })
+	cl.c.RunFor(3 * time.Second)
+	if n1.Level(board) >= 1 {
+		t.Fatal("no conflict level recorded")
+	}
+	if n1.DesiredLevel(board) != 0 {
+		t.Fatal("on-demand file has a desired level before any complaint")
+	}
+	// The user demands resolution: IDEA learns last+Δ.
+	lastBefore := n1.Level(board)
+	cl.c.CallAt(4*time.Second, 1, func(e env.Env) { n1.DemandActiveResolution(e, board) })
+	cl.c.RunFor(5 * time.Second)
+	want := lastBefore + 0.02
+	if got := n1.DesiredLevel(board); got < want-1e-9 || got > 0.99+1e-9 {
+		t.Fatalf("learned level = %g, want >= %g", got, want)
+	}
+	cl.converged(t, cl.ids)
+	if n1.Level(board) != 1 {
+		t.Fatalf("level after resolution = %g, want 1", n1.Level(board))
+	}
+}
+
+func TestComplainBumpsAndResolves(t *testing.T) {
+	cl := buildCluster(t, 3, 3, 67, nil)
+	cl.c.CallAt(time.Second, 1, func(e env.Env) { cl.nodes[1].Write(e, board, "w", nil, 1) })
+	cl.c.CallAt(time.Second, 2, func(e env.Env) { cl.nodes[2].Write(e, board, "w", nil, 2) })
+	cl.c.RunFor(3 * time.Second)
+	cl.c.CallAt(4*time.Second, 1, func(e env.Env) {
+		cl.nodes[1].Complain(e, board, nil)
+	})
+	cl.c.RunFor(5 * time.Second)
+	if cl.nodes[1].DesiredLevel(board) == 0 {
+		t.Fatal("complaint did not teach IDEA a desired level")
+	}
+	cl.converged(t, cl.ids)
+}
+
+func TestComplainCanRebalanceWeights(t *testing.T) {
+	cl := buildCluster(t, 2, 2, 69, nil)
+	n := cl.nodes[1]
+	w := n.Quantifier().W
+	cl.c.CallAt(time.Second, 1, func(e env.Env) {
+		nw := w
+		nw.Staleness = 0.7
+		nw.Order = 0.2
+		nw.Numerical = 0.1
+		n.Complain(e, board, &nw)
+	})
+	cl.c.RunFor(3 * time.Second)
+	if n.Quantifier().W.Staleness <= w.Staleness {
+		t.Fatal("complaint weights not applied")
+	}
+}
+
+func TestTable1APIs(t *testing.T) {
+	cl := buildCluster(t, 2, 2, 71, nil)
+	n := cl.nodes[1]
+	if err := n.SetConsistencyMetric(10, 10, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n.Quantifier().Max.Order != 10 {
+		t.Fatal("maxima not applied")
+	}
+	if err := n.SetConsistencyMetric(0, 10, 10, nil); err == nil {
+		t.Fatal("accepted zero maximum")
+	}
+	if err := n.SetWeight(0.4, 0, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if n.Quantifier().W.Order != 0 {
+		t.Fatal("zero weight not applied")
+	}
+	if err := n.SetWeight(-1, 0, 0); err == nil {
+		t.Fatal("accepted negative weight")
+	}
+	for r := 1; r <= 4; r++ {
+		if err := n.SetResolution(r); err != nil {
+			t.Fatalf("policy %d rejected: %v", r, err)
+		}
+	}
+	if err := n.SetResolution(9); err == nil {
+		t.Fatal("accepted unknown policy")
+	}
+	if n.Resolver().Policy() != resolve.MergeAll {
+		t.Fatalf("policy = %v", n.Resolver().Policy())
+	}
+}
+
+func TestAutomaticModeDrivesBackgroundFreq(t *testing.T) {
+	cl := buildCluster(t, 3, 3, 73, nil)
+	ctl := &AutoController{
+		CapacityBps:    10_000,
+		MaxShare:       0.2,
+		RoundCostBytes: 4_000, // Formula 4: rate = 0.5/s → period 2 s
+		MinPeriod:      time.Second,
+	}
+	cl.c.CallAt(0, 1, func(e env.Env) {
+		cl.nodes[1].EnableAutomatic(e, board, ctl, 10*time.Second)
+	})
+	cl.c.RunFor(time.Second)
+	if got := cl.nodes[1].BackgroundFreq(board); got != 2*time.Second {
+		t.Fatalf("period = %v, want 2 s from Formula 4", got)
+	}
+	if cl.nodes[1].Mode(board) != FullyAutomatic {
+		t.Fatal("mode not automatic")
+	}
+	// Conflicts get resolved without any user action.
+	cl.c.CallAt(2*time.Second, 2, func(e env.Env) { cl.nodes[2].Write(e, board, "w", nil, 2) })
+	cl.c.CallAt(2*time.Second, 3, func(e env.Env) { cl.nodes[3].Write(e, board, "w", nil, 3) })
+	cl.c.RunFor(10 * time.Second)
+	cl.converged(t, cl.ids)
+}
+
+func TestOversellUndersellBoundsLearning(t *testing.T) {
+	cl := buildCluster(t, 2, 2, 75, nil)
+	ctl := &AutoController{
+		CapacityBps:    1_000,
+		MaxShare:       0.2,
+		RoundCostBytes: 2_000, // rate 0.1/s → period 10 s
+		MinPeriod:      time.Second,
+	}
+	cl.c.CallAt(0, 1, func(e env.Env) {
+		cl.nodes[1].EnableAutomatic(e, board, ctl, time.Hour)
+	})
+	cl.c.RunFor(time.Second)
+	if got := cl.nodes[1].BackgroundFreq(board); got != 10*time.Second {
+		t.Fatalf("period = %v, want 10 s", got)
+	}
+	// Business reports overselling: the 10 s period was too slow.
+	cl.c.CallAt(2*time.Second, 1, func(e env.Env) { cl.nodes[1].ReportOversell(e, board) })
+	cl.c.RunFor(2 * time.Second)
+	after := cl.nodes[1].BackgroundFreq(board)
+	if after >= 10*time.Second {
+		t.Fatalf("period after oversell = %v, want < 10 s", after)
+	}
+	_, hi := ctl.LearnedBounds()
+	if hi == 0 || hi >= 10*time.Second {
+		t.Fatalf("learned hi bound = %v", hi)
+	}
+	// Underselling at the new faster period: learn a floor.
+	cl.c.CallAt(5*time.Second, 1, func(e env.Env) { cl.nodes[1].ReportUndersell(e, board) })
+	cl.c.RunFor(2 * time.Second)
+	lo, _ := ctl.LearnedBounds()
+	if lo == 0 {
+		t.Fatal("undersell learned no floor")
+	}
+	if got := cl.nodes[1].BackgroundFreq(board); got < lo {
+		t.Fatalf("period %v below learned floor %v", got, lo)
+	}
+}
+
+func TestAutoControllerBoundsCrossed(t *testing.T) {
+	ctl := &AutoController{CapacityBps: 1000, MaxShare: 0.2, RoundCostBytes: 200, MinPeriod: time.Second}
+	ctl.NoteOversell(4 * time.Second)   // hi = 3.6s
+	ctl.NoteUndersell(10 * time.Second) // lo = 11s > hi
+	p := ctl.OptimalPeriod()
+	lo, hi := ctl.LearnedBounds()
+	if lo < hi {
+		t.Fatalf("expected crossed bounds, lo=%v hi=%v", lo, hi)
+	}
+	if p != lo {
+		t.Fatalf("crossed bounds should pin to the safer lo=%v, got %v", lo, p)
+	}
+}
+
+func TestRollbackOnBottomLayerDiscrepancy(t *testing.T) {
+	// Top layer = nodes 1,2. Node 3 is bottom-layer-only but writes
+	// conflicting updates the top layer cannot see. Gossip finds them,
+	// the discrepancy fires, and node 1 rolls back its checkpointed
+	// operations.
+	ids := []id.NodeID{1, 2, 3}
+	mem := overlay.NewStatic(ids, map[id.FileID][]id.NodeID{board: {1, 2}})
+	c := simnet.New(simnet.Config{Seed: 77, Latency: simnet.Constant(30 * time.Millisecond)})
+	nodes := make(map[id.NodeID]*Node)
+	var alerts []Alert
+	for _, nid := range ids {
+		nd := NewNode(nid, Options{
+			Membership:    mem,
+			All:           ids,
+			DisableRansub: true,
+			// Gossip ON: bottom layer sweeps every 5 s.
+			Gossip: gossipCfg(),
+		})
+		nd.OnAlert = func(_ env.Env, a Alert) { alerts = append(alerts, a) }
+		nodes[nid] = nd
+		c.Add(nid, nd)
+	}
+	c.Start()
+
+	// Every node wants >= 0.9.
+	for _, nid := range ids {
+		if err := nodes[nid].SetHint(board, 0.90); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 3 (bottom layer) writes a pile of conflicting updates.
+	c.CallAt(time.Second, 3, func(e env.Env) {
+		for i := 0; i < 12; i++ {
+			nodes[3].Store().Open(board).WriteLocal(e.Stamp(), "w", nil, float64(i))
+		}
+	})
+	// Node 1 writes and detects: the top layer (node 2 only) says all
+	// fine, so node 1 checkpoints and continues.
+	c.CallAt(2*time.Second, 1, func(e env.Env) {
+		u := nodes[1].Write(e, board, "w", nil, 1)
+		nodes[2].Store().Open(board).Apply(u) // replicate to 2: top layer consistent
+	})
+	// The user keeps working on the validated snapshot (raw store ops,
+	// no per-op detection) — exactly the operations §4.4.2 rolls back.
+	c.CallAt(4*time.Second, 1, func(e env.Env) {
+		r := nodes[1].Store().Open(board)
+		r.WriteLocal(e.Stamp(), "w", nil, 2)
+		r.WriteLocal(e.Stamp(), "w", nil, 3)
+	})
+	c.RunFor(90 * time.Second)
+
+	if len(alerts) == 0 {
+		t.Fatal("bottom-layer conflict never produced an alert")
+	}
+	if nodes[1].Alerts == 0 && nodes[3].Alerts == 0 {
+		t.Fatal("no node recorded an alert")
+	}
+	rolled := false
+	for _, a := range alerts {
+		if a.RolledBack && a.Undone > 0 {
+			rolled = true
+		}
+	}
+	if !rolled {
+		t.Fatalf("no rollback executed; alerts = %+v", alerts)
+	}
+}
+
+func gossipCfg() gossip.Config {
+	return gossip.Config{Interval: 5 * time.Second, Fanout: 2, TTL: 3}
+}
+
+func TestDetectionResultObservable(t *testing.T) {
+	cl := buildCluster(t, 2, 2, 79, nil)
+	var levels []float64
+	cl.nodes[1].OnLevel = func(_ env.Env, f id.FileID, res detect.Result) {
+		if f == board {
+			levels = append(levels, res.Level)
+		}
+	}
+	cl.c.CallAt(time.Second, 2, func(e env.Env) { cl.nodes[2].Write(e, board, "w", nil, 2) })
+	cl.c.CallAt(2*time.Second, 1, func(e env.Env) { cl.nodes[1].Write(e, board, "w", nil, 1) })
+	cl.c.RunFor(5 * time.Second)
+	if len(levels) == 0 || levels[len(levels)-1] >= 1 {
+		t.Fatalf("levels = %v, want a conflict level < 1", levels)
+	}
+}
+
+func TestReadCheckedTriggersDetection(t *testing.T) {
+	cl := buildCluster(t, 2, 2, 81, nil)
+	cl.c.CallAt(time.Second, 2, func(e env.Env) { cl.nodes[2].Write(e, board, "w", nil, 2) })
+	before := cl.nodes[1].Detector().Detections
+	cl.c.CallAt(2*time.Second, 1, func(e env.Env) { cl.nodes[1].ReadChecked(e, board) })
+	cl.c.RunFor(5 * time.Second)
+	if cl.nodes[1].Detector().Detections != before+1 {
+		t.Fatal("ReadChecked did not trigger detection")
+	}
+	// Plain Read does not.
+	before = cl.nodes[1].Detector().Detections
+	cl.nodes[1].Read(board)
+	cl.c.RunFor(3 * time.Second)
+	if cl.nodes[1].Detector().Detections != before {
+		t.Fatal("plain Read triggered detection")
+	}
+}

@@ -1,0 +1,289 @@
+// Package detect implements IDEA's inconsistency-detection framework
+// (§4.3), a re-implementation of the authors' two-layer IDF [14,15,16]:
+//
+//   - the powerful detect(update) API: given a locally applied update, the
+//     writer exchanges extended version vectors with the file's top layer;
+//     the call completes with "success" when no conflict exists or "fail"
+//     with a quantified consistency level when one does;
+//   - peer-side comparison: every top-layer member checks incoming vectors
+//     against its replica and scores conflicts with Formula 1;
+//   - the §4.4.2 top-vs-bottom discrepancy check: verdicts from the
+//     background gossip sweep are compared against the most recent
+//     top-layer verdict, and a discrepancy beyond epsilon triggers the
+//     caller's rollback hook.
+//
+// The detection module is deliberately independent of resolution: as the
+// paper notes, it "can be used by other consistency control mechanisms"
+// as well.
+package detect
+
+import (
+	"time"
+
+	"idea/internal/env"
+	"idea/internal/id"
+	"idea/internal/overlay"
+	"idea/internal/quantify"
+	"idea/internal/store"
+	"idea/internal/vv"
+	"idea/internal/wire"
+)
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Timeout bounds how long a detect() waits for top-layer replies
+	// before finalizing with whatever arrived; zero means 2 s.
+	Timeout time.Duration
+	// DiscrepancyEps is the §4.4.2 epsilon: a bottom-layer level within
+	// eps of the top-layer one keeps the top verdict intact ("78% vs
+	// 80%" is cited as sufficiently close); zero means 0.05.
+	DiscrepancyEps float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.DiscrepancyEps == 0 {
+		c.DiscrepancyEps = 0.05
+	}
+	return c
+}
+
+// Result is the outcome of one detect(update) call.
+type Result struct {
+	Token int64
+	File  id.FileID
+	// OK is the API's "success": no conflicting replica was found.
+	OK bool
+	// Level is the worst (minimum) consistency level reported by any
+	// top-layer peer; 1 when OK.
+	Level float64
+	// Triple is the error triple behind Level.
+	Triple vv.Triple
+	// Ref is the node whose replica served as reference state.
+	Ref id.NodeID
+	// Replies is how many top-layer peers answered before finalization.
+	Replies int
+	// Elapsed is the detection delay as observed by the writer.
+	Elapsed time.Duration
+}
+
+// ResultFunc receives completed detections on the writer.
+type ResultFunc func(e env.Env, res Result)
+
+// DiscrepancyFunc fires when the bottom layer contradicts the last
+// top-layer verdict for a file beyond epsilon. bottom < top means the
+// system is *less* consistent than the user was told; the owner decides
+// whether to roll back (§4.4.2).
+type DiscrepancyFunc func(e env.Env, file id.FileID, top, bottom float64, rep wire.GossipReport)
+
+const timerTimeout = "detect.timeout"
+
+type probe struct {
+	file    id.FileID
+	expect  int
+	replies int
+	worst   float64
+	triple  vv.Triple
+	ref     id.NodeID
+	started time.Time
+	done    bool
+}
+
+// Detector runs on every node; the owning node routes detect messages,
+// gossip reports, and "detect."-prefixed timers to it.
+type Detector struct {
+	cfg   Config
+	self  id.NodeID
+	mem   overlay.Membership
+	st    *store.Store
+	quant *quantify.Quantifier
+
+	onResult      ResultFunc
+	onDiscrepancy DiscrepancyFunc
+
+	nextToken int64
+	inflight  map[int64]*probe
+	// topVerdict remembers the last finalized top-layer level per file
+	// for the discrepancy check.
+	topVerdict map[id.FileID]float64
+
+	// Detections counts completed detect() calls; Conflicts counts the
+	// ones that returned "fail".
+	Detections int
+	Conflicts  int
+}
+
+// New creates a Detector.
+func New(cfg Config, self id.NodeID, mem overlay.Membership, st *store.Store, q *quantify.Quantifier) *Detector {
+	if q == nil {
+		q = quantify.Default()
+	}
+	return &Detector{
+		cfg:        cfg.withDefaults(),
+		self:       self,
+		mem:        mem,
+		st:         st,
+		quant:      q,
+		inflight:   make(map[int64]*probe),
+		topVerdict: make(map[id.FileID]float64),
+	}
+}
+
+// OnResult installs the completion callback.
+func (d *Detector) OnResult(f ResultFunc) { d.onResult = f }
+
+// OnDiscrepancy installs the §4.4.2 discrepancy callback.
+func (d *Detector) OnDiscrepancy(f DiscrepancyFunc) { d.onDiscrepancy = f }
+
+// Quantifier exposes the scorer (shared with the resolver and controllers).
+func (d *Detector) Quantifier() *quantify.Quantifier { return d.quant }
+
+// TopVerdict returns the last finalized top-layer level for file, or 1
+// when none exists.
+func (d *Detector) TopVerdict(file id.FileID) float64 {
+	if l, ok := d.topVerdict[file]; ok {
+		return l
+	}
+	return 1
+}
+
+// Detect starts a detect(update) probe for file: the writer's current
+// vector travels to every top-layer peer. It returns the probe token; the
+// result arrives via OnResult. With no top-layer peers the probe completes
+// immediately with success (a lone writer cannot conflict).
+func (d *Detector) Detect(e env.Env, file id.FileID) int64 {
+	d.nextToken++
+	token := d.nextToken
+	peers := overlay.TopPeers(d.mem, file, d.self)
+	p := &probe{
+		file:    file,
+		expect:  len(peers),
+		worst:   1,
+		started: e.Now(),
+	}
+	d.inflight[token] = p
+	if p.expect == 0 {
+		d.finalize(e, token)
+		return token
+	}
+	v := d.st.Open(file).Vector()
+	for _, peer := range peers {
+		e.Send(peer, wire.DetectRequest{File: file, Token: token, VV: v})
+	}
+	e.After(d.cfg.Timeout, timerTimeout, token)
+	return token
+}
+
+// HandleRequest is the peer side: compare the incoming vector against the
+// local replica, quantify, reply. Any difference between the vectors is
+// inconsistency ("two replicas are inconsistent if their version vectors
+// are different"); the reply carries the requester's level against the
+// reference consistent state.
+func (d *Detector) HandleRequest(e env.Env, from id.NodeID, m wire.DetectRequest) {
+	local := d.st.Open(m.File)
+	lv := local.Vector()
+	cmp := vv.Compare(lv, m.VV)
+	rep := wire.DetectReply{File: m.File, Token: m.Token, VV: lv}
+	if cmp != vv.Equal {
+		refID, ref := d.quant.RefSel(map[id.NodeID]*vv.Vector{d.self: lv, from: m.VV})
+		triple, level := d.quant.Score(m.VV, ref)
+		rep.Conflict = true
+		rep.Level = level
+		rep.Triple = triple
+		rep.Ref = refID
+	} else {
+		rep.Level = 1
+	}
+	e.Send(from, rep)
+}
+
+// HandleReply aggregates one peer's verdict into the writer's probe; the
+// probe finalizes when every peer answered (or on timeout).
+func (d *Detector) HandleReply(e env.Env, _ id.NodeID, m wire.DetectReply) {
+	p, ok := d.inflight[m.Token]
+	if !ok || p.done {
+		return
+	}
+	p.replies++
+	if m.Conflict && m.Level < p.worst {
+		p.worst = m.Level
+		p.triple = m.Triple
+		p.ref = m.Ref
+	}
+	if !m.Conflict && m.Level < p.worst {
+		p.worst = m.Level
+	}
+	if p.replies >= p.expect {
+		d.finalize(e, m.Token)
+	}
+}
+
+// Timer handles detect timers; it returns false for keys it does not own.
+func (d *Detector) Timer(e env.Env, key string, data any) bool {
+	if key != timerTimeout {
+		return false
+	}
+	if token, ok := data.(int64); ok {
+		if p, live := d.inflight[token]; live && !p.done {
+			d.finalize(e, token)
+		}
+	}
+	return true
+}
+
+func (d *Detector) finalize(e env.Env, token int64) {
+	p := d.inflight[token]
+	p.done = true
+	delete(d.inflight, token)
+	res := Result{
+		Token:   token,
+		File:    p.file,
+		OK:      p.worst >= 1,
+		Level:   p.worst,
+		Triple:  p.triple,
+		Ref:     p.ref,
+		Replies: p.replies,
+		Elapsed: e.Now().Sub(p.started),
+	}
+	d.Detections++
+	if !res.OK {
+		d.Conflicts++
+	}
+	d.topVerdict[p.file] = res.Level
+	if d.onResult != nil {
+		d.onResult(e, res)
+	}
+}
+
+// NoteResolved records that a resolution restored file to full
+// consistency, resetting the remembered top-layer verdict.
+func (d *Detector) NoteResolved(file id.FileID) { d.topVerdict[file] = 1 }
+
+// HandleGossipReport is the §4.4.2 bottom-layer check: compare the
+// bottom-layer level against the last top-layer verdict; if the bottom
+// layer says things are worse by more than epsilon, raise the discrepancy
+// hook so the owner can alert the user and roll back.
+func (d *Detector) HandleGossipReport(e env.Env, rep wire.GossipReport) {
+	top := d.TopVerdict(rep.File)
+	if rep.Level >= top-d.cfg.DiscrepancyEps {
+		return // sufficiently close (e.g. 78% vs 80%): keep silent
+	}
+	if d.onDiscrepancy != nil {
+		d.onDiscrepancy(e, rep.File, top, rep.Level, rep)
+	}
+}
+
+// Recv dispatches detection messages; it returns false for other kinds.
+func (d *Detector) Recv(e env.Env, from id.NodeID, msg env.Message) bool {
+	switch m := msg.(type) {
+	case wire.DetectRequest:
+		d.HandleRequest(e, from, m)
+	case wire.DetectReply:
+		d.HandleReply(e, from, m)
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+// Package env defines the single-threaded node runtime interface that all
+// IDEA protocol code is written against. Two runtimes implement it:
+//
+//   - internal/simnet: a deterministic discrete-event emulator with virtual
+//     time and WAN latency models (our PlanetLab substitute), and
+//   - internal/transport: a real TCP runtime for live clusters.
+//
+// A node's handler methods are never invoked concurrently; protocol code
+// therefore needs no locks, exactly like a classic event-driven server.
+package env
+
+import (
+	"math/rand"
+	"time"
+
+	"idea/internal/id"
+	"idea/internal/vv"
+)
+
+// Env is the runtime a node handler uses to observe time, send messages,
+// and arm timers. All methods must be called from within a handler
+// callback.
+type Env interface {
+	// ID returns this node's identifier.
+	ID() id.NodeID
+	// Now returns the node-local wall clock, including any simulated
+	// clock skew (the paper assumes NTP keeps skew within seconds).
+	Now() time.Time
+	// Stamp returns Now as a version-vector timestamp.
+	Stamp() vv.Stamp
+	// Send transmits a message to another node. Delivery is
+	// asynchronous and may be delayed, reordered across pairs, or (in
+	// lossy configurations) dropped.
+	Send(to id.NodeID, msg Message)
+	// After arms a one-shot timer that fires Handler.Timer(key, data)
+	// after d of node-local time.
+	After(d time.Duration, key string, data any)
+	// Rand returns this node's deterministic random source.
+	Rand() *rand.Rand
+	// Logf records a debug line tagged with the node and current time.
+	Logf(format string, args ...any)
+}
+
+// Message is the transport payload; aliased here so protocol packages can
+// depend on env alone.
+type Message interface {
+	Kind() string
+}
+
+// Handler is the node-side protocol logic. The runtime guarantees the
+// three methods are invoked serially per node.
+type Handler interface {
+	// Start runs once when the node boots, before any message arrives.
+	Start(e Env)
+	// Recv delivers one message from a peer.
+	Recv(e Env, from id.NodeID, msg Message)
+	// Timer delivers a timer armed with After.
+	Timer(e Env, key string, data any)
+}
+
+// HandlerFuncs adapts plain functions to Handler, for tests and small
+// examples.
+type HandlerFuncs struct {
+	OnStart func(e Env)
+	OnRecv  func(e Env, from id.NodeID, msg Message)
+	OnTimer func(e Env, key string, data any)
+}
+
+// Start implements Handler.
+func (h HandlerFuncs) Start(e Env) {
+	if h.OnStart != nil {
+		h.OnStart(e)
+	}
+}
+
+// Recv implements Handler.
+func (h HandlerFuncs) Recv(e Env, from id.NodeID, msg Message) {
+	if h.OnRecv != nil {
+		h.OnRecv(e, from, msg)
+	}
+}
+
+// Timer implements Handler.
+func (h HandlerFuncs) Timer(e Env, key string, data any) {
+	if h.OnTimer != nil {
+		h.OnTimer(e, key, data)
+	}
+}

@@ -1,0 +1,33 @@
+package env
+
+import (
+	"testing"
+
+	"idea/internal/id"
+)
+
+type testMsg struct{}
+
+func (testMsg) Kind() string { return "test" }
+
+func TestHandlerFuncsDispatch(t *testing.T) {
+	var started, received, timed bool
+	h := HandlerFuncs{
+		OnStart: func(Env) { started = true },
+		OnRecv:  func(Env, id.NodeID, Message) { received = true },
+		OnTimer: func(Env, string, any) { timed = true },
+	}
+	h.Start(nil)
+	h.Recv(nil, 1, testMsg{})
+	h.Timer(nil, "k", nil)
+	if !started || !received || !timed {
+		t.Fatalf("dispatch: start=%v recv=%v timer=%v", started, received, timed)
+	}
+}
+
+func TestHandlerFuncsNilSafe(t *testing.T) {
+	var h HandlerFuncs
+	h.Start(nil)
+	h.Recv(nil, 1, testMsg{})
+	h.Timer(nil, "k", nil)
+}

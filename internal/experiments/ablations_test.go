@@ -1,0 +1,74 @@
+package experiments
+
+import "testing"
+
+func TestParallelPhase2Ablation(t *testing.T) {
+	r := RunParallelPhase2(3)
+	seq := r.Rec.Scalar("sequential @10 ms")
+	par := r.Rec.Scalar("parallel @10 ms")
+	if par >= seq/3 {
+		t.Fatalf("parallel @10 (%.1f ms) should be far below sequential (%.1f ms)", par, seq)
+	}
+	if par < 50 || par > 400 {
+		t.Fatalf("parallel phase 2 = %.1f ms, want ≈1 RTT", par)
+	}
+}
+
+func TestTTLTradeoffAblation(t *testing.T) {
+	r := RunTTLTradeoff(3)
+	// Cost must grow with TTL.
+	d1 := r.Rec.Scalar("ttl1 digests")
+	d6 := r.Rec.Scalar("ttl6 digests")
+	if d6 <= d1 {
+		t.Fatalf("digests ttl6=%v should exceed ttl1=%v", d6, d1)
+	}
+	// Higher TTL must find the stray conflict.
+	if r.Rec.Scalar("ttl6 delay s") == 0 && r.Rec.Scalar("ttl4 delay s") == 0 {
+		t.Fatal("high-TTL sweep never found the bottom-layer conflict")
+	}
+}
+
+func TestRefSelectorAblation(t *testing.T) {
+	r := RunRefSelectors(3)
+	paper := r.Rec.Scalar("highest-id (paper) worst")
+	merged := r.Rec.Scalar("merged worst")
+	if paper <= 0 || merged <= 0 {
+		t.Fatalf("levels missing: paper=%v merged=%v", paper, merged)
+	}
+	// Against a merged (dominating) reference every replica is behind,
+	// so the worst level cannot exceed the highest-id variant's.
+	if merged > paper+1e-9 {
+		t.Fatalf("merged-ref worst %.4f should not exceed highest-id %.4f", merged, paper)
+	}
+}
+
+func TestSkewSensitivityAblation(t *testing.T) {
+	r := RunSkewSensitivity(3)
+	zero := r.Rec.Scalar("skew 0s worst")
+	one := r.Rec.Scalar("skew 1s worst")
+	if zero <= 0 || one <= 0 {
+		t.Fatal("levels missing")
+	}
+	// 1 s of skew against a 300 s staleness maximum must be negligible.
+	if diff := zero - one; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("1s skew moved the floor by %.4f; NTP assumption violated", diff)
+	}
+}
+
+func TestWorkloadSensitivityAblation(t *testing.T) {
+	r := RunWorkloadSensitivity(3)
+	uni := r.Rec.Scalar("uniform (paper) floor")
+	poi := r.Rec.Scalar("poisson floor")
+	if uni <= 0 || poi <= 0 {
+		t.Fatalf("floors missing: uniform=%v poisson=%v", uni, poi)
+	}
+	// The controller keeps the floor in the same regime (within ~10
+	// points) whatever the schedule; burst dips hardest but must still
+	// recover above 0.75.
+	if diff := uni - poi; diff > 0.10 || diff < -0.10 {
+		t.Fatalf("poisson floor %.4f too far from uniform %.4f", poi, uni)
+	}
+	if b := r.Rec.Scalar("burst floor"); b < 0.70 {
+		t.Fatalf("burst floor %.4f; controller collapsed under bursts", b)
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"idea/internal/env"
+	"idea/internal/id"
+	"idea/internal/trace"
+)
+
+// HintConfig parameterizes the §6.1 adaptive-interface experiments.
+type HintConfig struct {
+	Seed     int64
+	Nodes    int           // default 40 (paper)
+	Writers  int           // default 4 (paper)
+	Hint     float64       // hint level, e.g. 0.95 for Fig. 7(a)
+	Duration time.Duration // default 100 s
+	Interval time.Duration // write period, default 5 s
+	Sample   time.Duration // sampling period, default 5 s
+	// ResetHint, when non-zero, changes the hint to ResetHintTo at
+	// Duration/2 (the Fig. 8 combined run).
+	ResetHintTo float64
+	ResetAt     time.Duration
+}
+
+func (c HintConfig) withDefaults() HintConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 40
+	}
+	if c.Writers == 0 {
+		c.Writers = 4
+	}
+	if c.Duration == 0 {
+		c.Duration = 100 * time.Second
+	}
+	if c.Interval == 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.Sample == 0 {
+		c.Sample = 5 * time.Second
+	}
+	return c
+}
+
+// RunHint executes the hint-based white-board experiment: Writers
+// concurrent writers update the shared file every Interval; IDEA triggers
+// active resolution whenever a writer's detected level drops below the
+// hint. The recorder carries the "view from the user" (worst writer) and
+// "system average" series of Fig. 7.
+func RunHint(cfg HintConfig) Report {
+	cfg = cfg.withDefaults()
+	cl := NewCluster(ClusterConfig{Seed: cfg.Seed, Nodes: cfg.Nodes, Writers: cfg.Writers})
+	for _, w := range cl.Writers {
+		w := w
+		cl.C.CallAt(0, w, func(e env.Env) {
+			if err := cl.Nodes[w].SetHint(SharedFile, cfg.Hint); err != nil {
+				panic(err)
+			}
+		})
+	}
+	cl.Warmup()
+	if cfg.ResetHintTo > 0 {
+		at := cfg.ResetAt
+		if at == 0 {
+			at = cfg.Duration / 2
+		}
+		for _, w := range cl.Writers {
+			w := w
+			cl.C.CallAt(at, w, func(e env.Env) {
+				if err := cl.Nodes[w].SetHint(SharedFile, cfg.ResetHintTo); err != nil {
+					panic(err)
+				}
+			})
+		}
+	}
+	cl.ScheduleUniformWrites(cfg.Interval, cfg.Duration)
+
+	rec := trace.NewRecorder()
+	cl.RunSampling(rec, "view from the user", "system average", cfg.Sample, cfg.Duration+cfg.Sample)
+
+	resolutions := 0
+	for _, w := range cl.Writers {
+		resolutions += cl.Nodes[w].Resolver().Resolutions
+	}
+	worst := rec.Series("view from the user")
+	rec.SetScalar("lowest user level", worst.Min())
+	rec.SetScalar("mean user level", worst.Mean())
+	rec.SetScalar("resolutions", float64(resolutions))
+	rec.SetScalar("messages", float64(cl.C.Stats().Total()))
+	if cfg.ResetHintTo > 0 {
+		at := cfg.ResetAt
+		if at == 0 {
+			at = cfg.Duration / 2
+		}
+		rec.SetScalar("lowest level before reset", worst.MinBetween(0, at))
+		rec.SetScalar("lowest level after reset", worst.MinAfter(at))
+	}
+
+	name := fmt.Sprintf("hint %.0f%%", cfg.Hint*100)
+	title := fmt.Sprintf("Consistency level over time (hint %.0f%%, %d writers / %d nodes, write every %v)",
+		cfg.Hint*100, cfg.Writers, cfg.Nodes, cfg.Interval)
+	out := section(title) +
+		trace.SeriesTable("", rec.Series("view from the user"), rec.Series("system average")) +
+		fmt.Sprintf("\nlowest user-perceived level: %.4f   active resolutions: %d\n",
+			worst.Min(), resolutions)
+	return Report{Name: name, Rec: rec, Rendered: out}
+}
+
+// RunFig7a reproduces Fig. 7(a): hint level 95 %.
+func RunFig7a(seed int64) Report {
+	r := RunHint(HintConfig{Seed: seed, Hint: 0.95})
+	r.Name = "Fig7a"
+	return r
+}
+
+// RunFig7b reproduces Fig. 7(b): hint level 85 %.
+func RunFig7b(seed int64) Report {
+	r := RunHint(HintConfig{Seed: seed, Hint: 0.85})
+	r.Name = "Fig7b"
+	return r
+}
+
+// RunFig8 reproduces Fig. 8: a 200-second run with the hint reset from
+// 95 % to 90 % at t = 100 s.
+func RunFig8(seed int64) Report {
+	r := RunHint(HintConfig{
+		Seed:        seed,
+		Hint:        0.95,
+		Duration:    200 * time.Second,
+		ResetHintTo: 0.90,
+		ResetAt:     100 * time.Second,
+	})
+	r.Name = "Fig8"
+	return r
+}
+
+// observerID is unused but kept for interface stability of future
+// multi-observer variants.
+var _ = id.Nil

@@ -1,0 +1,200 @@
+// Package gossip implements the bottom-layer background detection sweep of
+// the two-layer framework (§4.3): a lightweight probabilistic broadcast
+// (lpbcast-style [6]) of version-vector digests across *all* nodes,
+// TTL-bounded to cap detection delay (§4.4.2: "we use TTL to control the
+// traversal of the bottom-layer detection messages, thus bound the
+// delay"). When a bottom-layer node finds its replica in conflict with a
+// digest, it reports back to the digest's origin so IDEA can compare the
+// bottom-layer verdict with the earlier top-layer one and roll back if
+// they disagree.
+package gossip
+
+import (
+	"fmt"
+	"time"
+
+	"idea/internal/env"
+	"idea/internal/id"
+	"idea/internal/quantify"
+	"idea/internal/vv"
+	"idea/internal/wire"
+)
+
+// Config parameterizes the agent.
+type Config struct {
+	// Interval between gossip rounds; zero means 10 s.
+	Interval time.Duration
+	// Fanout peers contacted per round; zero means 2.
+	Fanout int
+	// TTL is the hop bound per digest; zero means 3. Larger TTL covers
+	// more of the bottom layer per round at higher cost — the
+	// accuracy/responsiveness trade-off the paper calls out.
+	TTL int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval == 0 {
+		c.Interval = 10 * time.Second
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 2
+	}
+	if c.TTL == 0 {
+		c.TTL = 3
+	}
+	return c
+}
+
+// State is the read-only view of the local replicas the agent gossips
+// about; the owning node implements it.
+type State interface {
+	// LocalVector returns the replica's vector for file, or nil when
+	// the node holds no replica.
+	LocalVector(file id.FileID) *vv.Vector
+	// ActiveFiles lists files worth gossiping about.
+	ActiveFiles() []id.FileID
+}
+
+// ReportSink receives conflict reports that arrived at this node (it was
+// the digest origin). The IDEA protocol uses them for the §4.4.2
+// discrepancy check.
+type ReportSink func(e env.Env, rep wire.GossipReport)
+
+const timerRound = "gossip.round"
+
+// Agent is the per-node gossip participant.
+type Agent struct {
+	cfg   Config
+	self  id.NodeID
+	peers []id.NodeID // all other nodes (the bottom layer spans everyone)
+	state State
+	quant *quantify.Quantifier
+	sink  ReportSink
+
+	round int
+	seen  map[string]bool // digest dedup: origin/round/file
+
+	// statistics
+	ConflictsFound int // conflicts this node detected against digests
+	ReportsHeard   int // reports received as origin
+}
+
+// New creates a gossip agent. peers must exclude self.
+func New(cfg Config, self id.NodeID, peers []id.NodeID, state State, q *quantify.Quantifier, sink ReportSink) *Agent {
+	if q == nil {
+		q = quantify.Default()
+	}
+	return &Agent{
+		cfg:   cfg.withDefaults(),
+		self:  self,
+		peers: append([]id.NodeID(nil), peers...),
+		state: state,
+		quant: q,
+		sink:  sink,
+		seen:  make(map[string]bool),
+	}
+}
+
+// Start arms the round timer.
+func (a *Agent) Start(e env.Env) {
+	// Desynchronize rounds across nodes.
+	jitter := time.Duration(e.Rand().Int63n(int64(a.cfg.Interval)))
+	e.After(a.cfg.Interval+jitter, timerRound, nil)
+}
+
+// Timer handles gossip timers; it returns false for keys it does not own.
+func (a *Agent) Timer(e env.Env, key string, _ any) bool {
+	if key != timerRound {
+		return false
+	}
+	a.round++
+	for _, f := range a.state.ActiveFiles() {
+		if v := a.state.LocalVector(f); v != nil {
+			a.emit(e, wire.GossipDigest{
+				File:   f,
+				Origin: a.self,
+				Round:  a.round,
+				TTL:    a.cfg.TTL,
+				VV:     v,
+			})
+		}
+	}
+	e.After(a.cfg.Interval, timerRound, nil)
+	return true
+}
+
+// emit sends the digest to Fanout random peers.
+func (a *Agent) emit(e env.Env, d wire.GossipDigest) {
+	if len(a.peers) == 0 {
+		return
+	}
+	n := a.cfg.Fanout
+	if n > len(a.peers) {
+		n = len(a.peers)
+	}
+	// Partial shuffle for a uniform random subset.
+	idxs := e.Rand().Perm(len(a.peers))[:n]
+	for _, i := range idxs {
+		if a.peers[i] == d.Origin {
+			continue
+		}
+		e.Send(a.peers[i], d)
+	}
+}
+
+func digestKey(d wire.GossipDigest) string {
+	return fmt.Sprintf("%v/%v/%d", d.File, d.Origin, d.Round)
+}
+
+// HandleDigest compares the digest with the local replica, reports a
+// conflict to the origin, and forwards the digest while TTL remains.
+func (a *Agent) HandleDigest(e env.Env, d wire.GossipDigest) {
+	k := digestKey(d)
+	if a.seen[k] {
+		return
+	}
+	a.seen[k] = true
+
+	if local := a.state.LocalVector(d.File); local != nil && d.Origin != a.self {
+		if vv.Compare(local, d.VV) == vv.Concurrent {
+			a.ConflictsFound++
+			_, ref := a.quant.RefSel(map[id.NodeID]*vv.Vector{a.self: local, d.Origin: d.VV})
+			triple, level := a.quant.Score(d.VV, ref)
+			e.Send(d.Origin, wire.GossipReport{
+				File:     d.File,
+				Origin:   d.Origin,
+				Reporter: a.self,
+				Level:    level,
+				Triple:   triple,
+				VV:       local,
+			})
+		}
+	}
+	if d.TTL > 1 {
+		fwd := d
+		fwd.TTL--
+		a.emit(e, fwd)
+	}
+}
+
+// HandleReport delivers a conflict report to the sink (this node was the
+// origin).
+func (a *Agent) HandleReport(e env.Env, rep wire.GossipReport) {
+	a.ReportsHeard++
+	if a.sink != nil {
+		a.sink(e, rep)
+	}
+}
+
+// Recv dispatches gossip messages; it returns false for other kinds.
+func (a *Agent) Recv(e env.Env, _ id.NodeID, msg env.Message) bool {
+	switch m := msg.(type) {
+	case wire.GossipDigest:
+		a.HandleDigest(e, m)
+	case wire.GossipReport:
+		a.HandleReport(e, m)
+	default:
+		return false
+	}
+	return true
+}

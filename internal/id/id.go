@@ -1,0 +1,37 @@
+// Package id defines the small identifier types shared by every IDEA
+// subsystem: node identifiers, file (shared object) identifiers, and user
+// priorities. Keeping them in a leaf package avoids import cycles between
+// the version-vector, wire, and runtime layers.
+package id
+
+import "fmt"
+
+// NodeID identifies a replica/participant. The paper assigns each node a
+// randomly chosen ID (e.g. a hash of its IP address) so that the
+// "highest-ID wins" resolution policy treats members fairly (§4.5.1).
+type NodeID int64
+
+// Nil is the zero NodeID, used to mean "no node".
+const Nil NodeID = 0
+
+// String implements fmt.Stringer.
+func (n NodeID) String() string { return fmt.Sprintf("n%d", int64(n)) }
+
+// FileID names a shared file/object. Each file has its own independent
+// top layer ("temperature overlay", §4.1); a virtual white board is one
+// file, an airline seat inventory is another.
+type FileID string
+
+// String implements fmt.Stringer.
+func (f FileID) String() string { return string(f) }
+
+// Priority ranks users for the priority-based resolution policy (§4.5.1).
+// Higher values win conflicts.
+type Priority int
+
+// Common priorities. Applications may define their own levels; only the
+// ordering matters.
+const (
+	PriorityOrdinary   Priority = 0
+	PrioritySupervisor Priority = 100
+)

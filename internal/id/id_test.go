@@ -1,0 +1,24 @@
+package id
+
+import "testing"
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(42).String(); got != "n42" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Nil.String(); got != "n0" {
+		t.Fatalf("Nil.String = %q", got)
+	}
+}
+
+func TestFileIDString(t *testing.T) {
+	if got := FileID("board").String(); got != "board" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	if !(PrioritySupervisor > PriorityOrdinary) {
+		t.Fatal("supervisor must outrank ordinary")
+	}
+}

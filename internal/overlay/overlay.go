@@ -1,0 +1,120 @@
+// Package overlay exposes the two-layer (top/bottom) infrastructure of
+// §4.1 as a membership view: for every shared file there is a small top
+// layer — the "temperature overlay" of nodes updating the file frequently
+// and/or recently — while the bottom layer always covers all nodes.
+// Top layers are per-file and independent: a node participating in several
+// white boards sits in several unrelated top layers.
+//
+// Two implementations are provided: Static pins the top layer per file
+// (the evaluation's warmed-up four-writer configuration) and Dynamic
+// derives it live from a ransub.Agent.
+package overlay
+
+import (
+	"sort"
+
+	"idea/internal/id"
+	"idea/internal/ransub"
+)
+
+// Membership answers layer queries for one node's view of the system.
+type Membership interface {
+	// All returns every node in the system (the bottom layer), sorted.
+	All() []id.NodeID
+	// Top returns the believed top layer for file, sorted.
+	Top(file id.FileID) []id.NodeID
+	// IsTop reports whether n is in file's top layer.
+	IsTop(file id.FileID, n id.NodeID) bool
+}
+
+// TopPeers returns m's top layer for file excluding self — the set a
+// detection or resolution round must contact.
+func TopPeers(m Membership, file id.FileID, self id.NodeID) []id.NodeID {
+	var out []id.NodeID
+	for _, n := range m.Top(file) {
+		if n != self {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// BottomPeers returns every node except self.
+func BottomPeers(m Membership, self id.NodeID) []id.NodeID {
+	var out []id.NodeID
+	for _, n := range m.All() {
+		if n != self {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Static is a fixed membership view.
+type Static struct {
+	all []id.NodeID
+	top map[id.FileID][]id.NodeID
+}
+
+// NewStatic builds a static view. Both the node list and each top layer
+// are copied and sorted.
+func NewStatic(all []id.NodeID, top map[id.FileID][]id.NodeID) *Static {
+	s := &Static{
+		all: sortedCopy(all),
+		top: make(map[id.FileID][]id.NodeID, len(top)),
+	}
+	for f, ns := range top {
+		s.top[f] = sortedCopy(ns)
+	}
+	return s
+}
+
+// SetTop replaces file's top layer.
+func (s *Static) SetTop(file id.FileID, top []id.NodeID) {
+	s.top[file] = sortedCopy(top)
+}
+
+// All implements Membership.
+func (s *Static) All() []id.NodeID { return append([]id.NodeID(nil), s.all...) }
+
+// Top implements Membership.
+func (s *Static) Top(file id.FileID) []id.NodeID {
+	return append([]id.NodeID(nil), s.top[file]...)
+}
+
+// IsTop implements Membership.
+func (s *Static) IsTop(file id.FileID, n id.NodeID) bool {
+	for _, t := range s.top[file] {
+		if t == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Dynamic derives the top layer from a RanSub agent's temperature
+// knowledge, falling back to just the hot set it has learned so far.
+type Dynamic struct {
+	all   []id.NodeID
+	agent *ransub.Agent
+}
+
+// NewDynamic wraps a ransub agent.
+func NewDynamic(all []id.NodeID, agent *ransub.Agent) *Dynamic {
+	return &Dynamic{all: sortedCopy(all), agent: agent}
+}
+
+// All implements Membership.
+func (d *Dynamic) All() []id.NodeID { return append([]id.NodeID(nil), d.all...) }
+
+// Top implements Membership.
+func (d *Dynamic) Top(file id.FileID) []id.NodeID { return d.agent.HotSet(file) }
+
+// IsTop implements Membership.
+func (d *Dynamic) IsTop(file id.FileID, n id.NodeID) bool { return d.agent.Hot(file, n) }
+
+func sortedCopy(ns []id.NodeID) []id.NodeID {
+	out := append([]id.NodeID(nil), ns...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

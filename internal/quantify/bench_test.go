@@ -1,0 +1,31 @@
+package quantify
+
+import (
+	"testing"
+
+	"idea/internal/vv"
+)
+
+func BenchmarkLevel(b *testing.B) {
+	q := Default()
+	t := vv.Triple{Numerical: 3, Order: 5, Staleness: 12}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Level(t)
+	}
+}
+
+func BenchmarkScore(b *testing.B) {
+	q := Default()
+	u := vv.New()
+	ref := vv.New()
+	for i := 0; i < 50; i++ {
+		u.Tick(1, vv.Stamp(i)*1e9, float64(i))
+		ref.Tick(2, vv.Stamp(i)*1e9, float64(i*2))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Score(u, ref)
+	}
+}

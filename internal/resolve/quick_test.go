@@ -1,0 +1,98 @@
+package resolve
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"idea/internal/env"
+	"idea/internal/id"
+	"idea/internal/vv"
+)
+
+// TestQuickResolutionConverges is a randomized protocol-level property
+// test: for arbitrary interleavings of writes across a random-size top
+// layer, one active resolution (plus one cleanup round for writes that
+// land mid-resolution) always leaves every member's vector identical, for
+// every policy.
+func TestQuickResolutionConverges(t *testing.T) {
+	policies := []Policy{InvalidateBoth, HighestID, PriorityBased, MergeAll}
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 25; iter++ {
+		n := 2 + rng.Intn(5) // 2..6 members
+		policy := policies[rng.Intn(len(policies))]
+		seed := rng.Int63()
+		f := build(t, n, Config{
+			Policy:     policy,
+			Priorities: map[id.NodeID]id.Priority{1: id.PrioritySupervisor},
+		}, seed)
+
+		// Random write schedule over 30 s.
+		writes := 1 + rng.Intn(20)
+		for w := 0; w < writes; w++ {
+			nid := f.ids[rng.Intn(n)]
+			at := time.Duration(1+rng.Intn(30)) * time.Second
+			f.c.CallAt(at, nid, func(e env.Env) {
+				f.nodes[nid].st.Open(board).WriteLocal(e.Stamp(), "w", nil, float64(w))
+			})
+		}
+		// Resolution from a random initiator after all writes.
+		init := f.ids[rng.Intn(n)]
+		f.c.CallAt(35*time.Second, init, func(e env.Env) {
+			f.nodes[init].res.RequestActive(e, board)
+		})
+		f.c.RunFor(50 * time.Second)
+
+		var ref *vv.Vector
+		diverged := false
+		for _, nid := range f.ids {
+			v := f.nodes[nid].st.Open(board).Vector()
+			if ref == nil {
+				ref = v
+				continue
+			}
+			if vv.Compare(ref, v) != vv.Equal {
+				diverged = true
+			}
+		}
+		if diverged {
+			t.Fatalf("iter %d (n=%d policy=%v seed=%d): members diverged after resolution",
+				iter, n, policy, seed)
+		}
+		// Every member's vector must be valid.
+		for _, nid := range f.ids {
+			if err := f.nodes[nid].st.Open(board).Vector().Validate(); err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+		}
+	}
+}
+
+// TestQuickMergeAllLossless: under MergeAll no update is ever lost,
+// whatever the interleaving.
+func TestQuickMergeAllLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 15; iter++ {
+		n := 2 + rng.Intn(4)
+		f := build(t, n, Config{Policy: MergeAll}, rng.Int63())
+		writes := 1 + rng.Intn(15)
+		for w := 0; w < writes; w++ {
+			nid := f.ids[rng.Intn(n)]
+			at := time.Duration(1+rng.Intn(20)) * time.Second
+			f.c.CallAt(at, nid, func(e env.Env) {
+				f.nodes[nid].st.Open(board).WriteLocal(e.Stamp(), "w", nil, 0)
+			})
+		}
+		init := f.ids[rng.Intn(n)]
+		f.c.CallAt(25*time.Second, init, func(e env.Env) {
+			f.nodes[init].res.RequestActive(e, board)
+		})
+		f.c.RunFor(40 * time.Second)
+		for _, nid := range f.ids {
+			if got := f.nodes[nid].st.Open(board).Len(); got != writes {
+				t.Fatalf("iter %d: node %v holds %d/%d updates under merge-all",
+					iter, nid, got, writes)
+			}
+		}
+	}
+}

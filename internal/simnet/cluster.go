@@ -1,0 +1,297 @@
+// Package simnet is a deterministic discrete-event network emulator: the
+// repository's stand-in for the paper's PlanetLab deployment. Nodes run
+// event-driven protocol handlers under virtual time; message latencies are
+// drawn from pluggable WAN models; clock skew, loss, and partitions can be
+// injected; and every send is charged to byte-accurate overhead counters.
+//
+// A "200-second" experiment executes in milliseconds and replays
+// bit-for-bit from its seed, which is what lets the benchmark suite
+// regenerate every figure of the paper on a laptop.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"idea/internal/env"
+	"idea/internal/id"
+	"idea/internal/vv"
+	"idea/internal/wire"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Seed drives every random draw (latency, skew, node RNGs).
+	Seed int64
+	// Latency is the one-way delay model; nil means the WAN default.
+	Latency LatencyModel
+	// MaxSkew bounds per-node clock skew, drawn uniformly from
+	// [-MaxSkew, +MaxSkew]. The paper assumes NTP keeps skew within
+	// seconds; zero disables skew.
+	MaxSkew time.Duration
+	// Loss is the probability a message is silently dropped.
+	Loss float64
+	// Trace, when non-nil, receives node debug logs.
+	Trace io.Writer
+	// Base is the wall-clock origin of virtual time; zero means the
+	// paper's issue date (2007-01-04).
+	Base time.Time
+}
+
+// Cluster is a set of simulated nodes sharing one virtual clock and event
+// queue. It is not safe for concurrent use; experiments drive it from a
+// single goroutine.
+type Cluster struct {
+	cfg    Config
+	rng    *rand.Rand
+	base   time.Time
+	now    time.Duration
+	seq    uint64
+	nodes  map[id.NodeID]*node
+	order  []id.NodeID
+	queue  eventQueue
+	stats  *Stats
+	sizer  *wire.Sizer
+	cut    map[[2]id.NodeID]bool
+	events int
+}
+
+type node struct {
+	c    *Cluster
+	id   id.NodeID
+	h    env.Handler
+	skew time.Duration
+	rng  *rand.Rand
+}
+
+type event struct {
+	at   time.Duration
+	seq  uint64
+	node id.NodeID
+	// Exactly one of the following is set.
+	msg  env.Message // message delivery (with from)
+	from id.NodeID
+	key  string // timer (with data)
+	data any
+	tmr  bool
+	call func(env.Env) // injected call
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// New creates an empty cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Latency == nil {
+		cfg.Latency = WAN{}
+	}
+	base := cfg.Base
+	if base.IsZero() {
+		base = time.Date(2007, 1, 4, 0, 0, 0, 0, time.UTC)
+	}
+	return &Cluster{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		base:  base,
+		nodes: make(map[id.NodeID]*node),
+		stats: NewStats(),
+		sizer: wire.NewSizer(),
+		cut:   make(map[[2]id.NodeID]bool),
+	}
+}
+
+// Add registers a node with its protocol handler. Nodes must be added
+// before Start.
+func (c *Cluster) Add(n id.NodeID, h env.Handler) {
+	if _, dup := c.nodes[n]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %v", n))
+	}
+	var skew time.Duration
+	if c.cfg.MaxSkew > 0 {
+		skew = time.Duration(c.rng.Int63n(int64(2*c.cfg.MaxSkew))) - c.cfg.MaxSkew
+	}
+	c.nodes[n] = &node{
+		c:    c,
+		id:   n,
+		h:    h,
+		skew: skew,
+		rng:  rand.New(rand.NewSource(c.cfg.Seed ^ (int64(n)*0x9e3779b97f4a7c + 1))),
+	}
+	c.order = append(c.order, n)
+	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+}
+
+// Nodes returns the node IDs in ascending order.
+func (c *Cluster) Nodes() []id.NodeID { return append([]id.NodeID(nil), c.order...) }
+
+// Stats returns the overhead counters.
+func (c *Cluster) Stats() *Stats { return c.stats }
+
+// Elapsed returns virtual time since the cluster epoch.
+func (c *Cluster) Elapsed() time.Duration { return c.now }
+
+// VirtualNow returns the cluster-global wall clock (no skew).
+func (c *Cluster) VirtualNow() time.Time { return c.base.Add(c.now) }
+
+// Events returns how many events have been processed.
+func (c *Cluster) Events() int { return c.events }
+
+// Start invokes every handler's Start callback in node-ID order.
+func (c *Cluster) Start() {
+	for _, nid := range c.order {
+		n := c.nodes[nid]
+		n.h.Start(n)
+	}
+}
+
+// Partition cuts both directions between a and b.
+func (c *Cluster) Partition(a, b id.NodeID) {
+	c.cut[[2]id.NodeID{a, b}] = true
+	c.cut[[2]id.NodeID{b, a}] = true
+}
+
+// Heal restores both directions between a and b.
+func (c *Cluster) Heal(a, b id.NodeID) {
+	delete(c.cut, [2]id.NodeID{a, b})
+	delete(c.cut, [2]id.NodeID{b, a})
+}
+
+// CallAt schedules fn to run in node nid's context at virtual time at
+// (measured from the epoch). Experiment workloads use it to inject writes
+// and user actions with the same serialization guarantee handlers enjoy.
+func (c *Cluster) CallAt(at time.Duration, nid id.NodeID, fn func(env.Env)) {
+	if at < c.now {
+		at = c.now
+	}
+	c.push(&event{at: at, node: nid, call: fn})
+}
+
+// Env returns the env of node nid for direct synchronous use by test
+// drivers between Run calls. Protocol code must not retain it.
+func (c *Cluster) Env(nid id.NodeID) env.Env { return c.nodes[nid] }
+
+func (c *Cluster) push(e *event) {
+	c.seq++
+	e.seq = c.seq
+	heap.Push(&c.queue, e)
+}
+
+// Step processes the next event; it reports false when the queue is empty.
+func (c *Cluster) Step() bool {
+	if c.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&c.queue).(*event)
+	if e.at > c.now {
+		c.now = e.at
+	}
+	n, ok := c.nodes[e.node]
+	if !ok {
+		return true // node removed; drop silently
+	}
+	c.events++
+	switch {
+	case e.call != nil:
+		e.call(n)
+	case e.tmr:
+		n.h.Timer(n, e.key, e.data)
+	default:
+		n.h.Recv(n, e.from, e.msg)
+	}
+	return true
+}
+
+// RunFor advances virtual time by d, processing every event due in the
+// window, then sets the clock to exactly the window end.
+func (c *Cluster) RunFor(d time.Duration) { c.RunUntil(c.now + d) }
+
+// RunUntil advances virtual time to t (from the epoch).
+func (c *Cluster) RunUntil(t time.Duration) {
+	for c.queue.Len() > 0 && c.queue[0].at <= t {
+		c.Step()
+	}
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// RunUntilIdle drains the event queue completely (useful after the last
+// workload injection; beware of self-rearming periodic timers).
+func (c *Cluster) RunUntilIdle(maxEvents int) {
+	for i := 0; i < maxEvents && c.Step(); i++ {
+	}
+}
+
+// ---- env.Env implementation ----
+
+// ID implements env.Env.
+func (n *node) ID() id.NodeID { return n.id }
+
+// Now implements env.Env: virtual wall time plus this node's skew.
+func (n *node) Now() time.Time { return n.c.base.Add(n.c.now + n.skew) }
+
+// Stamp implements env.Env.
+func (n *node) Stamp() vv.Stamp { return vv.Stamp(n.Now().UnixNano()) }
+
+// Rand implements env.Env.
+func (n *node) Rand() *rand.Rand { return n.rng }
+
+// Send implements env.Env.
+func (n *node) Send(to id.NodeID, msg env.Message) {
+	c := n.c
+	if _, ok := c.nodes[to]; !ok {
+		return // unknown destination: blackhole, like the real network
+	}
+	c.stats.record(msg.Kind(), c.sizer.Size(wire.Envelope{From: n.id, To: to, Msg: msg}))
+	if c.cut[[2]id.NodeID{n.id, to}] {
+		c.stats.drop()
+		return
+	}
+	if c.cfg.Loss > 0 && c.rng.Float64() < c.cfg.Loss {
+		c.stats.drop()
+		return
+	}
+	lat := c.cfg.Latency.Latency(c.rng, n.id, to)
+	if to == n.id {
+		lat = 10 * time.Microsecond // loopback
+	}
+	c.push(&event{at: c.now + lat, node: to, from: n.id, msg: msg})
+}
+
+// After implements env.Env.
+func (n *node) After(d time.Duration, key string, data any) {
+	if d < 0 {
+		d = 0
+	}
+	n.c.push(&event{at: n.c.now + d, node: n.id, key: key, data: data, tmr: true})
+}
+
+// Logf implements env.Env.
+func (n *node) Logf(format string, args ...any) {
+	if n.c.cfg.Trace == nil {
+		return
+	}
+	fmt.Fprintf(n.c.cfg.Trace, "%12s %v | %s\n",
+		n.c.now.Truncate(time.Microsecond), n.id, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,154 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"idea/internal/env"
+	"idea/internal/id"
+)
+
+func TestStampsReflectSkew(t *testing.T) {
+	c := New(Config{Seed: 3, MaxSkew: time.Second})
+	h := &echoHandler{}
+	c.Add(1, h)
+	c.Add(2, &echoHandler{})
+	c.Start()
+	s1 := c.Env(1).Stamp()
+	s2 := c.Env(2).Stamp()
+	if s1 == s2 {
+		t.Fatal("distinct skews should give distinct stamps at the same instant")
+	}
+	d := time.Duration(s1 - s2)
+	if d < -2*time.Second || d > 2*time.Second {
+		t.Fatalf("stamp gap %v exceeds 2×MaxSkew", d)
+	}
+}
+
+func TestVirtualNowAdvancesWithRun(t *testing.T) {
+	c := New(Config{Seed: 1})
+	c.Add(1, &echoHandler{})
+	c.Start()
+	before := c.VirtualNow()
+	c.RunFor(42 * time.Second)
+	if got := c.VirtualNow().Sub(before); got != 42*time.Second {
+		t.Fatalf("advanced %v, want 42s", got)
+	}
+}
+
+func TestWANPercentiles(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	m := WAN{}
+	const n = 5000
+	ds := make([]time.Duration, n)
+	for i := range ds {
+		ds[i] = m.Latency(r, 1, 2)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	p50 := ds[n/2]
+	p99 := ds[n*99/100]
+	if p50 < 45*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Fatalf("median %v outside the calibrated band", p50)
+	}
+	if p99 <= p50 {
+		t.Fatal("no tail at all")
+	}
+	if p99 > 4*p50 {
+		t.Fatalf("tail too heavy: p99=%v p50=%v", p99, p50)
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	u := Uniform{Min: 10 * time.Millisecond, Max: 20 * time.Millisecond}
+	for i := 0; i < 500; i++ {
+		d := u.Latency(r, 1, 2)
+		if d < u.Min || d >= u.Max {
+			t.Fatalf("latency %v outside [10ms, 20ms)", d)
+		}
+	}
+	degenerate := Uniform{Min: 5 * time.Millisecond, Max: 5 * time.Millisecond}
+	if got := degenerate.Latency(r, 1, 2); got != 5*time.Millisecond {
+		t.Fatalf("degenerate uniform = %v", got)
+	}
+}
+
+func TestSelfSendIsLoopbackFast(t *testing.T) {
+	c := New(Config{Seed: 1, Latency: Constant(100 * time.Millisecond)})
+	h := &echoHandler{}
+	c.Add(1, h)
+	c.Start()
+	c.Env(1).Send(1, ping{N: 0})
+	c.RunFor(time.Millisecond)
+	if len(h.got) != 1 {
+		t.Fatal("loopback send should not pay WAN latency")
+	}
+}
+
+func TestStatsDiffAndPrefix(t *testing.T) {
+	c := New(Config{Seed: 1, Latency: Constant(time.Millisecond)})
+	c.Add(1, &echoHandler{})
+	c.Add(2, &echoHandler{})
+	c.Start()
+	c.Env(1).Send(2, ping{N: 0})
+	c.RunFor(time.Second)
+	snap := c.Stats().Snapshot()
+	c.Env(1).Send(2, ping{N: 0})
+	c.RunFor(time.Second)
+	diff := c.Stats().Diff(snap)
+	if diff["test.ping"] != 1 {
+		t.Fatalf("diff = %v", diff)
+	}
+	if c.Stats().TotalMatching("test.") != 2 {
+		t.Fatalf("prefix total = %d", c.Stats().TotalMatching("test."))
+	}
+	if c.Stats().BytesMatching("test.") <= 0 {
+		t.Fatal("prefix bytes empty")
+	}
+	if c.Stats().String() == "" {
+		t.Fatal("empty Stats.String")
+	}
+}
+
+func TestCallAtInPastRunsImmediately(t *testing.T) {
+	c := New(Config{Seed: 1})
+	c.Add(1, &echoHandler{})
+	c.Start()
+	c.RunFor(10 * time.Second)
+	ran := false
+	c.CallAt(time.Second /* already past */, 1, func(env.Env) { ran = true })
+	c.RunFor(time.Millisecond)
+	if !ran {
+		t.Fatal("past-dated call never ran")
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	c := New(Config{Seed: 1})
+	c.Add(1, &echoHandler{})
+	c.Add(1, &echoHandler{})
+}
+
+func TestPerNodeRandStreamsDiffer(t *testing.T) {
+	c := New(Config{Seed: 1})
+	c.Add(1, &echoHandler{})
+	c.Add(2, &echoHandler{})
+	c.Start()
+	same := 0
+	for i := 0; i < 10; i++ {
+		if c.Env(1).Rand().Int63() == c.Env(2).Rand().Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("node RNG streams correlated (%d/10 equal)", same)
+	}
+	_ = id.Nil
+}

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"testing"
+
+	"idea/internal/vv"
+)
+
+func BenchmarkWriteLocal(b *testing.B) {
+	r := NewReplica(fBoard, nA)
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.WriteLocal(vv.Stamp(i)*1e6, "draw", payload, float64(i))
+	}
+}
+
+func BenchmarkApplyRemote(b *testing.B) {
+	src := NewReplica(fBoard, nB)
+	dst := NewReplica(fBoard, nA)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		u := src.WriteLocal(vv.Stamp(i)*1e6, "draw", nil, 0)
+		b.StartTimer()
+		dst.Apply(u)
+	}
+}
+
+func BenchmarkMissingFrom(b *testing.B) {
+	r := NewReplica(fBoard, nA)
+	for i := 0; i < 500; i++ {
+		r.WriteLocal(vv.Stamp(i)*1e6, "draw", nil, 0)
+	}
+	behind := NewReplica(fBoard, nB)
+	behind.ApplyAll(r.Log()[:250])
+	remote := behind.Vector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.MissingFrom(remote)
+	}
+}
+
+func BenchmarkCheckpointRollback(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := NewReplica(fBoard, nA)
+		for j := 0; j < 50; j++ {
+			r.WriteLocal(vv.Stamp(j)*1e6, "draw", nil, 0)
+		}
+		b.StartTimer()
+		r.Checkpoint(1)
+		for j := 0; j < 10; j++ {
+			r.WriteLocal(vv.Stamp(100+j)*1e6, "draw", nil, 0)
+		}
+		if _, err := r.Rollback(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

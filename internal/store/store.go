@@ -1,0 +1,247 @@
+// Package store is the "general distributed file system" substrate IDEA
+// assumes underneath it (§2): a per-node replica store that handles
+// ordinary read/write operations, keeps the full update log per shared
+// file, and supports the snapshots and rollback the IDEA protocol needs
+// (§4.4.2). IDEA provides consistency control *to* this store; the store
+// itself only guarantees read/write correctness on the local replica.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"idea/internal/id"
+	"idea/internal/vv"
+	"idea/internal/wire"
+)
+
+// Replica is one node's copy of one shared file: the applied update log
+// and the extended version vector describing it.
+type Replica struct {
+	File    id.FileID
+	Owner   id.NodeID
+	log     []wire.Update
+	seen    map[string]bool
+	vec     *vv.Vector
+	nextSeq int
+
+	// checkpoint support (§4.4.2 rollback)
+	checkpoints []checkpoint
+}
+
+type checkpoint struct {
+	token  int64
+	logLen int
+	vec    *vv.Vector
+}
+
+// NewReplica returns an empty replica of file owned by node owner.
+func NewReplica(file id.FileID, owner id.NodeID) *Replica {
+	return &Replica{
+		File:  file,
+		Owner: owner,
+		seen:  make(map[string]bool),
+		vec:   vv.New(),
+	}
+}
+
+// Vector returns a snapshot (deep copy) of the replica's extended version
+// vector; callers may ship it over the wire freely.
+func (r *Replica) Vector() *vv.Vector { return r.vec.Clone() }
+
+// Meta returns the current critical-metadata value.
+func (r *Replica) Meta() float64 { return r.vec.Meta }
+
+// Len returns the number of applied updates.
+func (r *Replica) Len() int { return len(r.log) }
+
+// Log returns a copy of the applied update log in application order.
+func (r *Replica) Log() []wire.Update { return append([]wire.Update(nil), r.log...) }
+
+// WriteLocal appends a local write by the owner: it assigns the next
+// per-writer sequence number, stamps it, ticks the version vector, and
+// returns the update for dissemination/detection.
+func (r *Replica) WriteLocal(at vv.Stamp, op string, data []byte, meta float64) wire.Update {
+	r.nextSeq++
+	u := wire.Update{
+		File:   r.File,
+		Writer: r.Owner,
+		Seq:    r.nextSeq,
+		At:     at,
+		Meta:   meta,
+		Op:     op,
+		Data:   data,
+	}
+	r.apply(u)
+	return u
+}
+
+// Apply integrates a remote update. Duplicates (by writer+seq) are
+// ignored; it returns true when the update was new.
+func (r *Replica) Apply(u wire.Update) bool {
+	if u.File != r.File {
+		return false
+	}
+	if r.seen[u.Key()] {
+		return false
+	}
+	r.apply(u)
+	return true
+}
+
+func (r *Replica) apply(u wire.Update) {
+	r.log = append(r.log, u)
+	r.seen[u.Key()] = true
+	r.vec.Tick(u.Writer, u.At, u.Meta)
+}
+
+// ApplyAll integrates a batch, returning how many were new.
+func (r *Replica) ApplyAll(us []wire.Update) int {
+	n := 0
+	for _, u := range us {
+		if r.Apply(u) {
+			n++
+		}
+	}
+	return n
+}
+
+// MissingFrom returns the updates in r's log that the holder of the remote
+// vector has not seen, ordered by (writer, seq) — the payload a resolution
+// Inform or anti-entropy reply ships.
+func (r *Replica) MissingFrom(remote *vv.Vector) []wire.Update {
+	var out []wire.Update
+	for _, u := range r.log {
+		if u.Seq > remote.Count(u.Writer) {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Writer != out[j].Writer {
+			return out[i].Writer < out[j].Writer
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Checkpoint records a named snapshot the replica can later roll back to.
+// IDEA takes one before letting a user continue on a top-layer-only
+// consistency verdict; if the bottom-layer sweep later disagrees, the
+// operations since the checkpoint are rolled back (§4.4.2).
+func (r *Replica) Checkpoint(token int64) {
+	r.checkpoints = append(r.checkpoints, checkpoint{
+		token:  token,
+		logLen: len(r.log),
+		vec:    r.vec.Clone(),
+	})
+}
+
+// Rollback reverts the replica to the checkpoint with the given token and
+// discards it and any later checkpoints. It returns the updates that were
+// undone, newest first, or an error when the token is unknown.
+func (r *Replica) Rollback(token int64) ([]wire.Update, error) {
+	for i := len(r.checkpoints) - 1; i >= 0; i-- {
+		cp := r.checkpoints[i]
+		if cp.token != token {
+			continue
+		}
+		undone := make([]wire.Update, 0, len(r.log)-cp.logLen)
+		for j := len(r.log) - 1; j >= cp.logLen; j-- {
+			undone = append(undone, r.log[j])
+			delete(r.seen, r.log[j].Key())
+		}
+		r.log = r.log[:cp.logLen]
+		r.vec = cp.vec.Clone()
+		// A rolled-back local write must not leave a gap in the
+		// writer's own sequence numbers.
+		r.nextSeq = r.vec.Count(r.Owner)
+		r.checkpoints = r.checkpoints[:i]
+		return undone, nil
+	}
+	return nil, fmt.Errorf("store: unknown checkpoint %d for %v", token, r.File)
+}
+
+// DropCheckpoint discards a checkpoint without rolling back (the
+// bottom-layer sweep confirmed the top-layer verdict).
+func (r *Replica) DropCheckpoint(token int64) {
+	for i, cp := range r.checkpoints {
+		if cp.token == token {
+			r.checkpoints = append(r.checkpoints[:i], r.checkpoints[i+1:]...)
+			return
+		}
+	}
+}
+
+// Checkpoints returns the number of live checkpoints.
+func (r *Replica) Checkpoints() int { return len(r.checkpoints) }
+
+// AdoptImage replaces the replica's content with the consistent image
+// decided by a resolution: the winner's missing updates are applied and,
+// when the local replica holds invalidated extra updates (the
+// invalidate-both policy), those are dropped first. adoptVec is the
+// winning vector; updates are the ones this replica is missing.
+// It returns how many updates were applied and how many local updates
+// were invalidated.
+func (r *Replica) AdoptImage(adoptVec *vv.Vector, updates []wire.Update, invalidateExtras bool) (applied, invalidated int) {
+	if invalidateExtras {
+		kept := r.log[:0]
+		for _, u := range r.log {
+			if u.Seq <= adoptVec.Count(u.Writer) {
+				kept = append(kept, u)
+			} else {
+				delete(r.seen, u.Key())
+				invalidated++
+			}
+		}
+		r.log = kept
+		if invalidated > 0 {
+			// Rebuild the vector from the surviving log.
+			nv := vv.New()
+			for _, u := range r.log {
+				nv.Tick(u.Writer, u.At, u.Meta)
+			}
+			r.vec = nv
+			r.nextSeq = r.vec.Count(r.Owner)
+		}
+	}
+	applied = r.ApplyAll(updates)
+	return applied, invalidated
+}
+
+// Store is a node's collection of replicas, one per shared file.
+type Store struct {
+	owner    id.NodeID
+	replicas map[id.FileID]*Replica
+}
+
+// New returns an empty store for node owner.
+func New(owner id.NodeID) *Store {
+	return &Store{owner: owner, replicas: make(map[id.FileID]*Replica)}
+}
+
+// Open returns the replica of file, creating it on first access — the
+// paper's "IDEA retrieves a copy of the file from the underlying
+// replication-based system".
+func (s *Store) Open(file id.FileID) *Replica {
+	r, ok := s.replicas[file]
+	if !ok {
+		r = NewReplica(file, s.owner)
+		s.replicas[file] = r
+	}
+	return r
+}
+
+// Peek returns the replica of file without creating one; nil when the
+// node holds no replica.
+func (s *Store) Peek(file id.FileID) *Replica { return s.replicas[file] }
+
+// Files returns the open file IDs in sorted order.
+func (s *Store) Files() []id.FileID {
+	out := make([]id.FileID, 0, len(s.replicas))
+	for f := range s.replicas {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

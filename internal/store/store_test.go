@@ -1,0 +1,266 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"idea/internal/id"
+	"idea/internal/vv"
+	"idea/internal/wire"
+)
+
+const (
+	fBoard = id.FileID("board")
+	nA     = id.NodeID(1)
+	nB     = id.NodeID(2)
+)
+
+func sec(s float64) vv.Stamp { return vv.Stamp(s * 1e9) }
+
+func TestWriteLocalAssignsSequenceAndTicks(t *testing.T) {
+	r := NewReplica(fBoard, nA)
+	u1 := r.WriteLocal(sec(1), "draw", []byte("x"), 5)
+	u2 := r.WriteLocal(sec(2), "draw", []byte("y"), 9)
+	if u1.Seq != 1 || u2.Seq != 2 {
+		t.Fatalf("seqs = %d, %d", u1.Seq, u2.Seq)
+	}
+	if r.Vector().Count(nA) != 2 || r.Meta() != 9 || r.Len() != 2 {
+		t.Fatalf("replica state: count=%d meta=%g len=%d", r.Vector().Count(nA), r.Meta(), r.Len())
+	}
+}
+
+func TestApplyDeduplicates(t *testing.T) {
+	a := NewReplica(fBoard, nA)
+	b := NewReplica(fBoard, nB)
+	u := a.WriteLocal(sec(1), "draw", nil, 1)
+	if !b.Apply(u) {
+		t.Fatal("first apply rejected")
+	}
+	if b.Apply(u) {
+		t.Fatal("duplicate apply accepted")
+	}
+	if b.Len() != 1 || b.Vector().Count(nA) != 1 {
+		t.Fatal("duplicate changed state")
+	}
+}
+
+func TestApplyRejectsWrongFile(t *testing.T) {
+	r := NewReplica(fBoard, nA)
+	if r.Apply(wire.Update{File: "other", Writer: nB, Seq: 1}) {
+		t.Fatal("accepted update for another file")
+	}
+}
+
+func TestMissingFrom(t *testing.T) {
+	a := NewReplica(fBoard, nA)
+	b := NewReplica(fBoard, nB)
+	u1 := a.WriteLocal(sec(1), "draw", nil, 1)
+	a.WriteLocal(sec(2), "draw", nil, 2)
+	b.Apply(u1)
+	missing := a.MissingFrom(b.Vector())
+	if len(missing) != 1 || missing[0].Seq != 2 {
+		t.Fatalf("missing = %v", missing)
+	}
+	if got := b.MissingFrom(a.Vector()); len(got) != 0 {
+		t.Fatalf("b should have nothing a lacks, got %v", got)
+	}
+}
+
+func TestMissingFromOrdered(t *testing.T) {
+	a := NewReplica(fBoard, nA)
+	b := NewReplica(fBoard, nB)
+	bu1 := b.WriteLocal(sec(1), "w", nil, 0)
+	bu2 := b.WriteLocal(sec(2), "w", nil, 0)
+	a.Apply(bu2) // out of order arrival is fine for the log
+	a.Apply(bu1)
+	a.WriteLocal(sec(3), "w", nil, 0)
+	missing := a.MissingFrom(vv.New())
+	if len(missing) != 3 {
+		t.Fatalf("missing = %d", len(missing))
+	}
+	for i := 1; i < len(missing); i++ {
+		p, q := missing[i-1], missing[i]
+		if p.Writer > q.Writer || (p.Writer == q.Writer && p.Seq > q.Seq) {
+			t.Fatalf("not ordered: %v then %v", p, q)
+		}
+	}
+}
+
+func TestCheckpointRollback(t *testing.T) {
+	r := NewReplica(fBoard, nA)
+	r.WriteLocal(sec(1), "draw", nil, 1)
+	r.Checkpoint(42)
+	r.WriteLocal(sec(2), "draw", nil, 2)
+	remote := wire.Update{File: fBoard, Writer: nB, Seq: 1, At: sec(3), Meta: 7}
+	r.Apply(remote)
+
+	undone, err := r.Rollback(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undone) != 2 {
+		t.Fatalf("undone = %d updates, want 2", len(undone))
+	}
+	if r.Len() != 1 || r.Vector().Count(nA) != 1 || r.Vector().Count(nB) != 0 {
+		t.Fatalf("rollback state wrong: len=%d", r.Len())
+	}
+	// The writer must be able to write again without seq gaps.
+	u := r.WriteLocal(sec(4), "draw", nil, 3)
+	if u.Seq != 2 {
+		t.Fatalf("post-rollback seq = %d, want 2", u.Seq)
+	}
+	// Undone updates can be re-applied (they are no longer "seen").
+	if !r.Apply(remote) {
+		t.Fatal("rolled-back remote update could not be re-applied")
+	}
+}
+
+func TestRollbackUnknownToken(t *testing.T) {
+	r := NewReplica(fBoard, nA)
+	if _, err := r.Rollback(9); err == nil {
+		t.Fatal("rollback of unknown checkpoint succeeded")
+	}
+}
+
+func TestRollbackDiscardsLaterCheckpoints(t *testing.T) {
+	r := NewReplica(fBoard, nA)
+	r.Checkpoint(1)
+	r.WriteLocal(sec(1), "w", nil, 0)
+	r.Checkpoint(2)
+	if _, err := r.Rollback(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Checkpoints() != 0 {
+		t.Fatalf("checkpoints = %d, want 0", r.Checkpoints())
+	}
+}
+
+func TestDropCheckpoint(t *testing.T) {
+	r := NewReplica(fBoard, nA)
+	r.Checkpoint(1)
+	r.DropCheckpoint(1)
+	if r.Checkpoints() != 0 {
+		t.Fatal("checkpoint not dropped")
+	}
+	if _, err := r.Rollback(1); err == nil {
+		t.Fatal("dropped checkpoint still rollback-able")
+	}
+}
+
+func TestAdoptImageAppliesMissing(t *testing.T) {
+	winner := NewReplica(fBoard, nB)
+	wu := winner.WriteLocal(sec(1), "w", nil, 5)
+	loser := NewReplica(fBoard, nA)
+	applied, invalidated := loser.AdoptImage(winner.Vector(), []wire.Update{wu}, false)
+	if applied != 1 || invalidated != 0 {
+		t.Fatalf("applied=%d invalidated=%d", applied, invalidated)
+	}
+	if loser.Vector().Count(nB) != 1 {
+		t.Fatal("winner update not applied")
+	}
+}
+
+func TestAdoptImageInvalidateBoth(t *testing.T) {
+	// The invalidate-both policy rolls conflicting extras back to the
+	// adopted image (§4.5.1 "two simultaneous updates ... both cleared").
+	winner := NewReplica(fBoard, nB)
+	wu := winner.WriteLocal(sec(1), "w", nil, 5)
+	loser := NewReplica(fBoard, nA)
+	loser.WriteLocal(sec(1), "w", nil, 3) // the conflicting extra
+	applied, invalidated := loser.AdoptImage(winner.Vector(), []wire.Update{wu}, true)
+	if applied != 1 || invalidated != 1 {
+		t.Fatalf("applied=%d invalidated=%d", applied, invalidated)
+	}
+	if loser.Vector().Count(nA) != 0 || loser.Vector().Count(nB) != 1 {
+		t.Fatalf("post-adopt vector %v", loser.Vector())
+	}
+	// Invalidated local write frees its sequence number.
+	if u := loser.WriteLocal(sec(2), "w", nil, 1); u.Seq != 1 {
+		t.Fatalf("seq after invalidation = %d, want 1", u.Seq)
+	}
+}
+
+func TestStoreOpenIsIdempotent(t *testing.T) {
+	s := New(nA)
+	r1 := s.Open(fBoard)
+	r1.WriteLocal(sec(1), "w", nil, 0)
+	r2 := s.Open(fBoard)
+	if r1 != r2 || r2.Len() != 1 {
+		t.Fatal("Open returned a different replica")
+	}
+	s.Open("tickets")
+	files := s.Files()
+	if len(files) != 2 || files[0] != fBoard {
+		t.Fatalf("files = %v", files)
+	}
+}
+
+// ---- property tests ----
+
+type script struct {
+	Writes []uint8 // interleaved: even → node A writes, odd → B writes
+}
+
+func (script) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(20)
+	w := make([]uint8, n)
+	for i := range w {
+		w[i] = uint8(r.Intn(2))
+	}
+	return reflect.ValueOf(script{Writes: w})
+}
+
+// TestQuickExchangeConverges: after exchanging MissingFrom both ways, both
+// replicas have identical vectors — the anti-entropy invariant resolution
+// relies on.
+func TestQuickExchangeConverges(t *testing.T) {
+	f := func(s script) bool {
+		a := NewReplica(fBoard, nA)
+		b := NewReplica(fBoard, nB)
+		at := vv.Stamp(0)
+		for _, w := range s.Writes {
+			at += 1e9
+			if w == 0 {
+				a.WriteLocal(at, "w", nil, float64(at))
+			} else {
+				b.WriteLocal(at, "w", nil, float64(at))
+			}
+		}
+		b.ApplyAll(a.MissingFrom(b.Vector()))
+		a.ApplyAll(b.MissingFrom(a.Vector()))
+		return vv.Compare(a.Vector(), b.Vector()) == vv.Equal &&
+			a.Len() == b.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRollbackRestoresVector: rollback restores the exact checkpoint
+// vector regardless of what happened after.
+func TestQuickRollbackRestoresVector(t *testing.T) {
+	f := func(s script) bool {
+		r := NewReplica(fBoard, nA)
+		at := vv.Stamp(1e9)
+		r.WriteLocal(at, "w", nil, 0)
+		want := r.Vector()
+		r.Checkpoint(7)
+		for i, w := range s.Writes {
+			at += 1e9
+			if w == 0 {
+				r.WriteLocal(at, "w", nil, float64(i))
+			} else {
+				r.Apply(wire.Update{File: fBoard, Writer: nB, Seq: i + 1, At: at})
+			}
+		}
+		if _, err := r.Rollback(7); err != nil {
+			return false
+		}
+		return vv.Compare(r.Vector(), want) == vv.Equal && r.Vector().Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package store
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"idea/internal/id"
+	"idea/internal/vv"
+	"idea/internal/wire"
+)
+
+// WAL persists a replica's update log as an append-only file of gob
+// records, giving the "general distributed file system" substrate crash
+// durability: on restart a node replays its logs and rejoins with the
+// state it had, letting IDEA's detection/resolution reconcile whatever it
+// missed while down.
+//
+// Records are framed by gob's own stream format; a truncated tail (torn
+// write at crash) is detected and discarded on recovery.
+type WAL struct {
+	dir string
+	// open appenders per file
+	files map[id.FileID]*walFile
+}
+
+type walFile struct {
+	f   *os.File
+	enc *gob.Encoder
+}
+
+// walRecord is one persisted entry. Kind distinguishes appends from
+// rollback markers so recovery replays exactly the surviving state.
+type walRecord struct {
+	Kind   byte // 'u' update, 'r' rollback-to-length
+	Update wire.Update
+	Keep   int // for 'r': surviving log length
+}
+
+// OpenWAL opens (creating if needed) a write-ahead log directory.
+func OpenWAL(dir string) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: wal dir: %w", err)
+	}
+	return &WAL{dir: dir, files: make(map[id.FileID]*walFile)}, nil
+}
+
+// path maps a file ID to a filesystem-safe log name.
+func (w *WAL) path(file id.FileID) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, string(file))
+	return filepath.Join(w.dir, safe+".wal")
+}
+
+func (w *WAL) appender(file id.FileID) (*walFile, error) {
+	if wf, ok := w.files[file]; ok {
+		return wf, nil
+	}
+	f, err := os.OpenFile(w.path(file), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: wal open: %w", err)
+	}
+	wf := &walFile{f: f, enc: gob.NewEncoder(f)}
+	w.files[file] = wf
+	return wf, nil
+}
+
+// AppendUpdate durably records one applied update.
+func (w *WAL) AppendUpdate(u wire.Update) error {
+	wf, err := w.appender(u.File)
+	if err != nil {
+		return err
+	}
+	if err := wf.enc.Encode(walRecord{Kind: 'u', Update: u}); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	return nil
+}
+
+// AppendRollback records that the replica rolled back to keep updates.
+func (w *WAL) AppendRollback(file id.FileID, keep int) error {
+	wf, err := w.appender(file)
+	if err != nil {
+		return err
+	}
+	if err := wf.enc.Encode(walRecord{Kind: 'r', Keep: keep}); err != nil {
+		return fmt.Errorf("store: wal rollback: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes a file's log to stable storage.
+func (w *WAL) Sync(file id.FileID) error {
+	if wf, ok := w.files[file]; ok {
+		return wf.f.Sync()
+	}
+	return nil
+}
+
+// Close closes every open log.
+func (w *WAL) Close() error {
+	var first error
+	for _, wf := range w.files {
+		if err := wf.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	w.files = make(map[id.FileID]*walFile)
+	return first
+}
+
+// Recover replays a file's log, returning the surviving updates in
+// application order. A torn tail record is silently discarded; any
+// earlier corruption is an error.
+func (w *WAL) Recover(file id.FileID) ([]wire.Update, error) {
+	f, err := os.Open(w.path(file))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: wal recover: %w", err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var log []wire.Update
+	for {
+		var rec walRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return log, nil // clean end or torn tail
+			}
+			// gob reports torn frames as various decode errors once
+			// the stream is mid-record; treat anything after at
+			// least one good record as a torn tail.
+			if len(log) > 0 {
+				return log, nil
+			}
+			return nil, fmt.Errorf("store: wal corrupt: %w", err)
+		}
+		switch rec.Kind {
+		case 'u':
+			log = append(log, rec.Update)
+		case 'r':
+			if rec.Keep >= 0 && rec.Keep <= len(log) {
+				log = log[:rec.Keep]
+			}
+		default:
+			return nil, fmt.Errorf("store: wal unknown record kind %q", rec.Kind)
+		}
+	}
+}
+
+// Files lists the file IDs with logs present on disk (by log name).
+func (w *WAL) Files() ([]string, error) {
+	ents, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if name := e.Name(); strings.HasSuffix(name, ".wal") {
+			out = append(out, strings.TrimSuffix(name, ".wal"))
+		}
+	}
+	return out, nil
+}
+
+// ---- Store integration ----
+
+// PersistentStore wraps a Store with a WAL: every applied update and
+// rollback is journaled, and NewPersistentStore replays existing logs.
+type PersistentStore struct {
+	*Store
+	wal *WAL
+}
+
+// NewPersistentStore opens (or recovers) a durable store rooted at dir.
+func NewPersistentStore(owner id.NodeID, dir string) (*PersistentStore, error) {
+	wal, err := OpenWAL(dir)
+	if err != nil {
+		return nil, err
+	}
+	ps := &PersistentStore{Store: New(owner), wal: wal}
+	names, err := wal.Files()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		log, err := wal.Recover(id.FileID(n))
+		if err != nil {
+			return nil, err
+		}
+		if len(log) == 0 {
+			continue
+		}
+		rep := ps.Store.Open(log[0].File)
+		rep.ApplyAll(log)
+		// Restore the owner's write cursor.
+		rep.nextSeq = rep.vec.Count(owner)
+	}
+	return ps, nil
+}
+
+// WriteLocal journals and applies a local write.
+func (ps *PersistentStore) WriteLocal(file id.FileID, at vv.Stamp, op string, data []byte, meta float64) (wire.Update, error) {
+	u := ps.Store.Open(file).WriteLocal(at, op, data, meta)
+	if err := ps.wal.AppendUpdate(u); err != nil {
+		return u, err
+	}
+	return u, nil
+}
+
+// Apply journals and applies a remote update; duplicates are not
+// re-journaled.
+func (ps *PersistentStore) Apply(u wire.Update) (bool, error) {
+	if !ps.Store.Open(u.File).Apply(u) {
+		return false, nil
+	}
+	return true, ps.wal.AppendUpdate(u)
+}
+
+// RollbackTo journals a rollback marker after a checkpoint rollback.
+func (ps *PersistentStore) RollbackTo(file id.FileID, keep int) error {
+	return ps.wal.AppendRollback(file, keep)
+}
+
+// Sync flushes one file's journal.
+func (ps *PersistentStore) Sync(file id.FileID) error { return ps.wal.Sync(file) }
+
+// Close closes the journal.
+func (ps *PersistentStore) Close() error { return ps.wal.Close() }

@@ -1,0 +1,204 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"idea/internal/vv"
+	"idea/internal/wire"
+)
+
+func TestWALAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		u := wire.Update{File: fBoard, Writer: nA, Seq: i, At: vv.Stamp(i) * 1e9, Op: "w"}
+		if err := w.AppendUpdate(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(fBoard); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := w2.Recover(fBoard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 3 || log[2].Seq != 3 {
+		t.Fatalf("recovered %d updates", len(log))
+	}
+}
+
+func TestWALRollbackMarker(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := OpenWAL(dir)
+	for i := 1; i <= 4; i++ {
+		w.AppendUpdate(wire.Update{File: fBoard, Writer: nA, Seq: i, Op: "w"})
+	}
+	if err := w.AppendRollback(fBoard, 2); err != nil {
+		t.Fatal(err)
+	}
+	w.AppendUpdate(wire.Update{File: fBoard, Writer: nB, Seq: 1, Op: "w"})
+	w.Close()
+
+	w2, _ := OpenWAL(dir)
+	log, err := w2.Recover(fBoard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 3 {
+		t.Fatalf("recovered %d, want 3 (2 kept + 1 after rollback)", len(log))
+	}
+	if log[2].Writer != nB {
+		t.Fatalf("post-rollback update lost: %v", log)
+	}
+}
+
+func TestWALRecoverMissingFile(t *testing.T) {
+	w, _ := OpenWAL(t.TempDir())
+	log, err := w.Recover("nothing")
+	if err != nil || log != nil {
+		t.Fatalf("missing log: %v, %v", log, err)
+	}
+}
+
+func TestWALTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := OpenWAL(dir)
+	for i := 1; i <= 3; i++ {
+		w.AppendUpdate(wire.Update{File: fBoard, Writer: nA, Seq: i, Op: "w"})
+	}
+	w.Close()
+	// Simulate a crash mid-write: truncate a few bytes off the tail.
+	path := w.path(fBoard)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := OpenWAL(dir)
+	log, err := w2.Recover(fBoard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 2 {
+		t.Fatalf("recovered %d updates from torn log, want 2", len(log))
+	}
+}
+
+func TestWALPathSanitized(t *testing.T) {
+	w, _ := OpenWAL(t.TempDir())
+	p := w.path("a/b:c board")
+	base := filepath.Base(p)
+	if base != "a_b_c_board.wal" {
+		t.Fatalf("sanitized name = %q", base)
+	}
+}
+
+func TestPersistentStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ps, err := NewPersistentStore(nA, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, err := ps.WriteLocal(fBoard, sec(1), "w", []byte("x"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.WriteLocal(fBoard, sec(2), "w", []byte("y"), 2); err != nil {
+		t.Fatal(err)
+	}
+	remote := wire.Update{File: fBoard, Writer: nB, Seq: 1, At: sec(3), Op: "w"}
+	if applied, err := ps.Apply(remote); err != nil || !applied {
+		t.Fatalf("apply: %v %v", applied, err)
+	}
+	// Duplicate apply is not re-journaled.
+	if applied, _ := ps.Apply(remote); applied {
+		t.Fatal("duplicate applied")
+	}
+	ps.Close()
+
+	// Restart: state fully recovered.
+	ps2, err := NewPersistentStore(nA, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps2.Close()
+	rep := ps2.Open(fBoard)
+	if rep.Len() != 3 {
+		t.Fatalf("recovered %d updates", rep.Len())
+	}
+	if rep.Vector().Count(nA) != 2 || rep.Vector().Count(nB) != 1 {
+		t.Fatalf("recovered vector %v", rep.Vector())
+	}
+	// The write cursor continues without seq collisions.
+	u4, err := ps2.WriteLocal(fBoard, sec(4), "w", nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u4.Seq != 3 {
+		t.Fatalf("post-recovery seq = %d, want 3", u4.Seq)
+	}
+	if u4.Key() == u1.Key() {
+		t.Fatal("seq collision after recovery")
+	}
+}
+
+func TestPersistentStoreMultipleFiles(t *testing.T) {
+	dir := t.TempDir()
+	ps, _ := NewPersistentStore(nA, dir)
+	ps.WriteLocal("alpha", sec(1), "w", nil, 0)
+	ps.WriteLocal("beta", sec(1), "w", nil, 0)
+	ps.WriteLocal("beta", sec(2), "w", nil, 0)
+	ps.Close()
+
+	ps2, err := NewPersistentStore(nA, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps2.Close()
+	if got := ps2.Open("alpha").Len(); got != 1 {
+		t.Fatalf("alpha = %d", got)
+	}
+	if got := ps2.Open("beta").Len(); got != 2 {
+		t.Fatalf("beta = %d", got)
+	}
+}
+
+func TestPersistentStoreRollbackJournal(t *testing.T) {
+	dir := t.TempDir()
+	ps, _ := NewPersistentStore(nA, dir)
+	ps.WriteLocal(fBoard, sec(1), "w", nil, 0)
+	ps.WriteLocal(fBoard, sec(2), "w", nil, 0)
+	// In-memory rollback via the replica plus a WAL marker.
+	rep := ps.Open(fBoard)
+	rep.Checkpoint(1)
+	ps.WriteLocal(fBoard, sec(3), "w", nil, 0)
+	if _, err := rep.Rollback(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.RollbackTo(fBoard, rep.Len()); err != nil {
+		t.Fatal(err)
+	}
+	ps.Close()
+
+	ps2, _ := NewPersistentStore(nA, dir)
+	defer ps2.Close()
+	if got := ps2.Open(fBoard).Len(); got != 2 {
+		t.Fatalf("recovered %d updates after journaled rollback, want 2", got)
+	}
+}

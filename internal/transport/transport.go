@@ -1,0 +1,345 @@
+// Package transport is the live-network runtime for IDEA nodes: the same
+// env.Handler protocol code that runs under the simulator runs here over
+// real TCP connections. Frames are length-prefixed gob envelopes; each
+// node serializes all handler callbacks through one event loop, preserving
+// the single-threaded execution model protocol code relies on.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"idea/internal/env"
+	"idea/internal/id"
+	"idea/internal/vv"
+	"idea/internal/wire"
+)
+
+// MaxFrame bounds a single message frame (16 MiB).
+const MaxFrame = 16 << 20
+
+type eventKind int
+
+const (
+	evStart eventKind = iota
+	evRecv
+	evTimer
+	evCall
+)
+
+type event struct {
+	kind eventKind
+	from id.NodeID
+	msg  env.Message
+	key  string
+	data any
+	call func(env.Env)
+}
+
+// Node is one live IDEA process. Create it with Listen, register peers
+// with AddPeer, then call Start.
+type Node struct {
+	id     id.NodeID
+	h      env.Handler
+	ln     net.Listener
+	rng    *rand.Rand
+	logger *log.Logger
+
+	events chan event
+	done   chan struct{}
+	closed sync.Once
+
+	mu    sync.Mutex
+	peers map[id.NodeID]string
+	conns map[id.NodeID]*peerConn
+	// inbound tracks accepted connections so Close can unblock their
+	// read loops; without this, Close deadlocks waiting for readLoops
+	// whose remote end is still open.
+	inbound map[net.Conn]struct{}
+
+	wg sync.WaitGroup
+}
+
+type peerConn struct {
+	c  net.Conn
+	mu sync.Mutex // serializes frame writes
+}
+
+// Listen binds addr and returns a Node ready to Start. Pass logger nil to
+// disable debug logging.
+func Listen(nid id.NodeID, addr string, h env.Handler, logger *log.Logger) (*Node, error) {
+	wire.Register()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Node{
+		id:      nid,
+		h:       h,
+		ln:      ln,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(nid))),
+		logger:  logger,
+		events:  make(chan event, 1024),
+		done:    make(chan struct{}),
+		peers:   make(map[id.NodeID]string),
+		conns:   make(map[id.NodeID]*peerConn),
+		inbound: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// AddPeer records where a peer can be dialed.
+func (n *Node) AddPeer(nid id.NodeID, addr string) {
+	n.mu.Lock()
+	n.peers[nid] = addr
+	n.mu.Unlock()
+}
+
+// Start launches the accept and event loops and delivers Handler.Start.
+func (n *Node) Start() {
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.eventLoop()
+	n.events <- event{kind: evStart}
+}
+
+// Inject schedules fn inside the node's event loop — the live-network
+// analogue of simnet.CallAt, used by drivers to issue writes and user
+// actions with handler-equivalent serialization.
+func (n *Node) Inject(fn func(env.Env)) {
+	select {
+	case n.events <- event{kind: evCall, call: fn}:
+	case <-n.done:
+	}
+}
+
+// Close shuts the node down and waits for its loops to finish.
+func (n *Node) Close() error {
+	n.closed.Do(func() {
+		close(n.done)
+		n.ln.Close()
+		n.mu.Lock()
+		for _, pc := range n.conns {
+			pc.c.Close()
+		}
+		for c := range n.inbound {
+			c.Close()
+		}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+func (n *Node) eventLoop() {
+	defer n.wg.Done()
+	e := &liveEnv{n: n}
+	for {
+		select {
+		case <-n.done:
+			return
+		case ev := <-n.events:
+			switch ev.kind {
+			case evStart:
+				n.h.Start(e)
+			case evRecv:
+				n.h.Recv(e, ev.from, ev.msg)
+			case evTimer:
+				n.h.Timer(e, ev.key, ev.data)
+			case evCall:
+				ev.call(e)
+			}
+		}
+	}
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			n.logf("accept: %v", err)
+			return
+		}
+		n.mu.Lock()
+		n.inbound[c] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(c)
+	}
+}
+
+func (n *Node) readLoop(c net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.inbound, c)
+		n.mu.Unlock()
+		c.Close()
+	}()
+	for {
+		frame, err := readFrame(c)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !isClosed(err) {
+				n.logf("read: %v", err)
+			}
+			return
+		}
+		envl, err := wire.Decode(frame)
+		if err != nil {
+			n.logf("decode: %v", err)
+			return
+		}
+		select {
+		case n.events <- event{kind: evRecv, from: envl.From, msg: envl.Msg}:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) send(to id.NodeID, msg env.Message) {
+	wm, ok := msg.(wire.Message)
+	if !ok {
+		n.logf("send: message %T is not a wire.Message", msg)
+		return
+	}
+	frame, err := wire.Encode(wire.Envelope{From: n.id, To: to, Msg: wm})
+	if err != nil {
+		n.logf("send: %v", err)
+		return
+	}
+	pc, err := n.conn(to)
+	if err != nil {
+		n.logf("dial %v: %v", to, err)
+		return
+	}
+	pc.mu.Lock()
+	err = writeFrame(pc.c, frame)
+	pc.mu.Unlock()
+	if err != nil {
+		n.logf("write %v: %v", to, err)
+		n.dropConn(to, pc)
+	}
+}
+
+func (n *Node) conn(to id.NodeID) (*peerConn, error) {
+	n.mu.Lock()
+	if pc, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := n.peers[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %v", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	pc := &peerConn{c: c}
+	n.mu.Lock()
+	if existing, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	n.conns[to] = pc
+	n.mu.Unlock()
+	return pc, nil
+}
+
+func (n *Node) dropConn(to id.NodeID, pc *peerConn) {
+	n.mu.Lock()
+	if n.conns[to] == pc {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	pc.c.Close()
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.logger != nil {
+		n.logger.Printf("%v: %s", n.id, fmt.Sprintf(format, args...))
+	}
+}
+
+func isClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > MaxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, frame []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// liveEnv implements env.Env on top of a Node. It is only used inside the
+// event loop, so no locking is needed for handler state.
+type liveEnv struct{ n *Node }
+
+// ID implements env.Env.
+func (e *liveEnv) ID() id.NodeID { return e.n.id }
+
+// Now implements env.Env.
+func (e *liveEnv) Now() time.Time { return time.Now() }
+
+// Stamp implements env.Env.
+func (e *liveEnv) Stamp() vv.Stamp { return vv.Stamp(time.Now().UnixNano()) }
+
+// Rand implements env.Env.
+func (e *liveEnv) Rand() *rand.Rand { return e.n.rng }
+
+// Send implements env.Env; the write happens on the caller's goroutine but
+// only frames the socket, never re-enters the handler.
+func (e *liveEnv) Send(to id.NodeID, msg env.Message) { e.n.send(to, msg) }
+
+// After implements env.Env using a real timer that re-enters the event
+// loop.
+func (e *liveEnv) After(d time.Duration, key string, data any) {
+	n := e.n
+	time.AfterFunc(d, func() {
+		select {
+		case n.events <- event{kind: evTimer, key: key, data: data}:
+		case <-n.done:
+		}
+	})
+}
+
+// Logf implements env.Env.
+func (e *liveEnv) Logf(format string, args ...any) { e.n.logf(format, args...) }

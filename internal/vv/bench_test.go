@@ -1,0 +1,67 @@
+package vv
+
+import (
+	"testing"
+
+	"idea/internal/id"
+)
+
+func benchVector(writers, updates int) *Vector {
+	v := New()
+	at := Stamp(0)
+	for i := 0; i < updates; i++ {
+		at += 1e9
+		v.Tick(id.NodeID(i%writers+1), at, float64(i))
+	}
+	return v
+}
+
+func BenchmarkTick(b *testing.B) {
+	v := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Tick(id.NodeID(i%8+1), Stamp(i)*1e6, float64(i))
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	u := benchVector(8, 200)
+	v := u.Clone()
+	v.Tick(9, 1e15, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Compare(u, v) != Less {
+			b.Fatal("unexpected ordering")
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	u := benchVector(8, 200)
+	v := benchVector(8, 150)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge(u, v)
+	}
+}
+
+func BenchmarkTripleAgainst(b *testing.B) {
+	u := benchVector(8, 100)
+	ref := benchVector(8, 150)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TripleAgainst(u, ref)
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	v := benchVector(8, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Clone()
+	}
+}

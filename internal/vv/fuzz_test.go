@@ -1,0 +1,52 @@
+package vv
+
+import (
+	"testing"
+
+	"idea/internal/id"
+)
+
+// FuzzVectorOps drives a pair of vectors through an operation script
+// encoded in bytes and checks the core invariants hold for any script:
+// validity, compare antisymmetry, merge domination.
+func FuzzVectorOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{9, 9, 9})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		u, v := New(), New()
+		at := Stamp(0)
+		for _, b := range script {
+			at += Stamp(b%7+1) * 1e8
+			writer := id.NodeID(b%5 + 1)
+			switch b % 4 {
+			case 0:
+				u.Tick(writer, at, float64(b))
+			case 1:
+				v.Tick(writer, at, float64(b))
+			case 2:
+				u = Merge(u, v)
+			case 3:
+				v = v.Clone()
+			}
+		}
+		if err := u.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		flip := map[Ordering]Ordering{Equal: Equal, Less: Greater, Greater: Less, Concurrent: Concurrent}
+		if Compare(v, u) != flip[Compare(u, v)] {
+			t.Fatal("compare not antisymmetric")
+		}
+		m := Merge(u, v)
+		if !Dominates(m, u) || !Dominates(m, v) {
+			t.Fatal("merge does not dominate")
+		}
+		tr := TripleAgainst(u, v)
+		if tr.Order < 0 || tr.Staleness < 0 || tr.Numerical < 0 {
+			t.Fatalf("negative triple %v", tr)
+		}
+	})
+}

@@ -1,0 +1,362 @@
+// Package vv implements the extended version vectors IDEA uses to detect
+// and quantify inconsistency between replicas (paper §4.3–§4.4, Fig. 5).
+//
+// A classic version vector (Parker et al. [19]) maps each writer to the
+// number of times it has updated the file. IDEA extends every entry with
+// the timestamp of each update, attaches a critical-metadata value (the
+// "[5]" column of Fig. 5 — e.g. the ASCII sum of recent white-board
+// updates, or the total sale price of a booking server), and carries the
+// <numerical error, order error, staleness> triple computed against a
+// reference consistent state.
+package vv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"idea/internal/id"
+)
+
+// Stamp is a node-local update timestamp in nanoseconds. The paper assumes
+// participating clocks agree within seconds (NTP); the simulator injects
+// bounded skew to honour exactly that assumption.
+type Stamp int64
+
+// Seconds converts a stamp difference to seconds.
+func (s Stamp) Seconds() float64 { return float64(s) / 1e9 }
+
+// Ordering is the result of comparing two version vectors. As defined in
+// [19], two vectors are comparable iff u<v, u=v or u>v; otherwise they are
+// Concurrent, which is exactly the conflict condition IDEA detects.
+type Ordering int
+
+// The four possible outcomes of Compare.
+const (
+	Equal Ordering = iota
+	Less
+	Greater
+	Concurrent
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Less:
+		return "less"
+	case Greater:
+		return "greater"
+	case Concurrent:
+		return "concurrent"
+	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
+}
+
+// Entry records one writer's activity: how many updates it has issued and
+// when each happened. Count always equals len(Stamps); Stamps is
+// non-decreasing.
+type Entry struct {
+	Count  int
+	Stamps []Stamp
+}
+
+func (e Entry) clone() Entry {
+	out := Entry{Count: e.Count}
+	if len(e.Stamps) > 0 {
+		out.Stamps = append([]Stamp(nil), e.Stamps...)
+	}
+	return out
+}
+
+// Triple is TACT's <numerical error, order error, staleness> inconsistency
+// metric [26], adopted by IDEA (§4.4). Staleness is in seconds.
+type Triple struct {
+	Numerical float64
+	Order     float64
+	Staleness float64
+}
+
+// Add returns the component-wise sum of two triples.
+func (t Triple) Add(o Triple) Triple {
+	return Triple{t.Numerical + o.Numerical, t.Order + o.Order, t.Staleness + o.Staleness}
+}
+
+// Zero reports whether all components are zero (a fully consistent replica,
+// as in Fig. 4(b)).
+func (t Triple) Zero() bool { return t.Numerical == 0 && t.Order == 0 && t.Staleness == 0 }
+
+// String implements fmt.Stringer.
+func (t Triple) String() string {
+	return fmt.Sprintf("<num=%.3g ord=%.3g stale=%.3gs>", t.Numerical, t.Order, t.Staleness)
+}
+
+// Vector is IDEA's extended version vector (Fig. 5): per-writer counts with
+// timestamps, the critical-metadata value, and the attached triple.
+type Vector struct {
+	Entries map[id.NodeID]Entry
+	// Meta is the application-defined critical metadata value used to
+	// derive numerical error (§4.4.1): ASCII sums for a white board,
+	// total sale price for a booking server.
+	Meta float64
+	// Err is the triple attached "at the end to conclude the extended
+	// version vector". It is zero until a conflict is quantified.
+	Err Triple
+}
+
+// New returns an empty extended version vector (a fresh, consistent
+// replica).
+func New() *Vector {
+	return &Vector{Entries: make(map[id.NodeID]Entry)}
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	out := &Vector{
+		Entries: make(map[id.NodeID]Entry, len(v.Entries)),
+		Meta:    v.Meta,
+		Err:     v.Err,
+	}
+	for n, e := range v.Entries {
+		out.Entries[n] = e.clone()
+	}
+	return out
+}
+
+// Count returns the number of updates recorded for writer w.
+func (v *Vector) Count(w id.NodeID) int { return v.Entries[w].Count }
+
+// TotalCount returns the total number of updates recorded across writers.
+func (v *Vector) TotalCount() int {
+	t := 0
+	for _, e := range v.Entries {
+		t += e.Count
+	}
+	return t
+}
+
+// Tick records one update by writer w at time at with resulting metadata
+// value meta. It is the only mutation a write performs on the vector.
+func (v *Vector) Tick(w id.NodeID, at Stamp, meta float64) {
+	e := v.Entries[w]
+	if n := len(e.Stamps); n > 0 && e.Stamps[n-1] > at {
+		// Clamp: a writer's own updates are totally ordered even if
+		// its clock steps backwards (skew correction).
+		at = e.Stamps[n-1]
+	}
+	e.Count++
+	e.Stamps = append(e.Stamps, at)
+	v.Entries[w] = e
+	v.Meta = meta
+}
+
+// Compare returns the ordering between u and v per [19]: u is Less when
+// every entry of u is <= the corresponding entry of v (and at least one is
+// smaller); Concurrent when each has updates the other lacks — the conflict
+// IDEA's detection module reports as "fail".
+func Compare(u, v *Vector) Ordering {
+	uAhead, vAhead := false, false
+	for n, e := range u.Entries {
+		switch c := v.Entries[n].Count; {
+		case e.Count > c:
+			uAhead = true
+		case e.Count < c:
+			vAhead = true
+		}
+	}
+	for n, e := range v.Entries {
+		if _, ok := u.Entries[n]; !ok && e.Count > 0 {
+			vAhead = true
+		}
+	}
+	switch {
+	case uAhead && vAhead:
+		return Concurrent
+	case uAhead:
+		return Greater
+	case vAhead:
+		return Less
+	default:
+		return Equal
+	}
+}
+
+// Dominates reports whether u has seen every update v has (u >= v).
+func Dominates(u, v *Vector) bool {
+	o := Compare(u, v)
+	return o == Greater || o == Equal
+}
+
+// Merge returns a new vector that has seen every update either input has
+// (element-wise maximum, keeping the longer stamp list). The metadata of
+// the merged vector is taken from the dominant input when one dominates,
+// and must otherwise be recomputed by the application after resolution;
+// Merge picks the input with more total updates as a placeholder.
+func Merge(u, v *Vector) *Vector {
+	out := New()
+	for n, e := range u.Entries {
+		out.Entries[n] = e.clone()
+	}
+	for n, e := range v.Entries {
+		if cur, ok := out.Entries[n]; !ok || e.Count > cur.Count {
+			out.Entries[n] = e.clone()
+		}
+	}
+	switch Compare(u, v) {
+	case Greater, Equal:
+		out.Meta = u.Meta
+	case Less:
+		out.Meta = v.Meta
+	default:
+		if u.TotalCount() >= v.TotalCount() {
+			out.Meta = u.Meta
+		} else {
+			out.Meta = v.Meta
+		}
+	}
+	return out
+}
+
+// CountDiff returns how many updates of ref are missing from u and how many
+// extra updates u has beyond ref. The paper's example (§4.4.1): "replica a
+// misses one update and has two extra ones, so the order error is 3" —
+// order error is missing+extra.
+func CountDiff(u, ref *Vector) (missing, extra int) {
+	for n, e := range ref.Entries {
+		if d := e.Count - u.Entries[n].Count; d > 0 {
+			missing += d
+		}
+	}
+	for n, e := range u.Entries {
+		if d := e.Count - ref.Entries[n].Count; d > 0 {
+			extra += d
+		}
+	}
+	return missing, extra
+}
+
+// LatestStamp returns the time of the most recent update recorded in v, or
+// zero when v is empty.
+func LatestStamp(v *Vector) Stamp {
+	var max Stamp
+	for _, e := range v.Entries {
+		if n := len(e.Stamps); n > 0 && e.Stamps[n-1] > max {
+			max = e.Stamps[n-1]
+		}
+	}
+	return max
+}
+
+// LastConsistentStamp returns the latest time point at which u and ref were
+// consistent: the newest stamp in their common prefix of updates that is
+// not later than the first point of divergence. In the paper's walkthrough
+// the last consistent point is time 1 while ref's latest update is time 3,
+// giving staleness 2.
+func LastConsistentStamp(u, ref *Vector) Stamp {
+	// First divergence: for each writer, the stamp of the first update
+	// beyond the shared prefix in whichever vector has more.
+	firstDiv := Stamp(-1)
+	consider := func(longer Entry, shared int) {
+		if longer.Count > shared && shared < len(longer.Stamps) {
+			s := longer.Stamps[shared]
+			if firstDiv < 0 || s < firstDiv {
+				firstDiv = s
+			}
+		}
+	}
+	writers := make(map[id.NodeID]struct{}, len(u.Entries)+len(ref.Entries))
+	for n := range u.Entries {
+		writers[n] = struct{}{}
+	}
+	for n := range ref.Entries {
+		writers[n] = struct{}{}
+	}
+	var common Stamp
+	for n := range writers {
+		ue, re := u.Entries[n], ref.Entries[n]
+		shared := ue.Count
+		if re.Count < shared {
+			shared = re.Count
+		}
+		for i := 0; i < shared && i < len(ue.Stamps); i++ {
+			if ue.Stamps[i] > common {
+				common = ue.Stamps[i]
+			}
+		}
+		consider(ue, shared)
+		consider(re, shared)
+	}
+	if firstDiv >= 0 && common > firstDiv {
+		common = firstDiv
+	}
+	return common
+}
+
+// TripleAgainst quantifies u's inconsistency against the reference
+// consistent state ref, exactly as in the §4.4.1 walkthrough:
+//
+//   - numerical error: gap between the critical metadata values;
+//   - order error: missing + extra updates relative to ref;
+//   - staleness: time between ref's most recent update and the last point
+//     at which u was consistent with ref.
+func TripleAgainst(u, ref *Vector) Triple {
+	missing, extra := CountDiff(u, ref)
+	num := u.Meta - ref.Meta
+	if num < 0 {
+		num = -num
+	}
+	stale := (LatestStamp(ref) - LastConsistentStamp(u, ref)).Seconds()
+	if stale < 0 {
+		stale = 0
+	}
+	if missing == 0 && extra == 0 {
+		// Fully consistent with the reference: no error at all.
+		return Triple{}
+	}
+	return Triple{Numerical: num, Order: float64(missing + extra), Staleness: stale}
+}
+
+// Validate checks internal invariants: Count == len(Stamps) and stamps are
+// non-decreasing. It returns nil when the vector is well-formed.
+func (v *Vector) Validate() error {
+	for n, e := range v.Entries {
+		if e.Count != len(e.Stamps) {
+			return fmt.Errorf("vv: writer %v count %d != %d stamps", n, e.Count, len(e.Stamps))
+		}
+		for i := 1; i < len(e.Stamps); i++ {
+			if e.Stamps[i] < e.Stamps[i-1] {
+				return fmt.Errorf("vv: writer %v stamps not monotone at %d", n, i)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the vector in the paper's notation, e.g.
+// "(n1:2(1,2) n2:1(3)) [5] <num=3 ord=3 stale=2s>".
+func (v *Vector) String() string {
+	ids := make([]id.NodeID, 0, len(v.Entries))
+	for n := range v.Entries {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, n := range ids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		e := v.Entries[n]
+		fmt.Fprintf(&b, "%v:%d(", n, e.Count)
+		for j, s := range e.Stamps {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", s.Seconds())
+		}
+		b.WriteByte(')')
+	}
+	fmt.Fprintf(&b, ") [%g] %v", v.Meta, v.Err)
+	return b.String()
+}

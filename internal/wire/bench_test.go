@@ -1,0 +1,36 @@
+package wire
+
+import "testing"
+
+func BenchmarkEncodeDetectRequest(b *testing.B) {
+	e := Envelope{From: 1, To: 2, Msg: DetectRequest{File: "f", Token: 1, VV: sampleVector()}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeDetectRequest(b *testing.B) {
+	frame, err := Encode(Envelope{From: 1, To: 2, Msg: DetectRequest{File: "f", Token: 1, VV: sampleVector()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSizer(b *testing.B) {
+	s := NewSizer()
+	e := Envelope{From: 1, To: 2, Msg: CFAAck{File: "f", Token: 1, OK: true}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Size(e)
+	}
+}

@@ -1,0 +1,29 @@
+package wire
+
+import "testing"
+
+// FuzzDecode feeds arbitrary bytes to the frame decoder: it must reject
+// garbage with an error, never panic. Run with `go test -fuzz FuzzDecode`;
+// the seed corpus (valid frames plus mutations) runs on every `go test`.
+func FuzzDecode(f *testing.F) {
+	for _, m := range allMessages() {
+		frame, err := Encode(Envelope{From: 1, To: 2, Msg: m})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must yield a usable message.
+		if e.Msg == nil {
+			t.Fatal("nil message decoded without error")
+		}
+		_ = e.Msg.Kind()
+	})
+}

@@ -1,0 +1,416 @@
+// Package wire defines every message exchanged by IDEA nodes, the update
+// record they carry, and a gob-based codec used both by the TCP transport
+// and by the simulator's byte-accurate overhead accounting (the paper's
+// communication-cost metric counts protocol messages and their sizes,
+// §6.3).
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"idea/internal/id"
+	"idea/internal/vv"
+)
+
+// Message is implemented by every protocol message. Kind returns a stable
+// short name used for per-kind overhead accounting.
+type Message interface {
+	Kind() string
+}
+
+// Update is one write operation on a shared file: the unit the "general
+// distributed file system" substrate replicates and IDEA reasons about.
+type Update struct {
+	File   id.FileID
+	Writer id.NodeID
+	Seq    int      // per-writer sequence number, 1-based
+	At     vv.Stamp // writer-local timestamp
+	Meta   float64  // application critical-metadata value after this update
+	Op     string   // application operation name (e.g. "draw", "book")
+	Data   []byte   // opaque application payload
+}
+
+// Key uniquely identifies an update.
+func (u Update) Key() string { return fmt.Sprintf("%v/%v#%d", u.File, u.Writer, u.Seq) }
+
+// ---- Detection (§4.3) ----
+
+// DetectRequest carries the writer's extended version vector to a top-layer
+// peer; the peer compares it with its own replica's vector.
+type DetectRequest struct {
+	File  id.FileID
+	Token int64 // correlates replies with one detect(update) call
+	VV    *vv.Vector
+}
+
+// Kind implements Message.
+func (DetectRequest) Kind() string { return "detect.req" }
+
+// DetectReply reports the peer's verdict: Conflict is the "fail" return of
+// the detect(update) API; Level and Triple quantify the inconsistency per
+// Formula 1 against the chosen reference state.
+type DetectReply struct {
+	File     id.FileID
+	Token    int64
+	Conflict bool
+	Level    float64
+	Triple   vv.Triple
+	Ref      id.NodeID // node whose replica was used as reference state
+	VV       *vv.Vector
+}
+
+// Kind implements Message.
+func (DetectReply) Kind() string { return "detect.rep" }
+
+// ---- Bottom-layer gossip (§4.3, §4.4.2) ----
+
+// GossipDigest is the TTL-bounded digest of a replica's vector that sweeps
+// the bottom layer in the background to catch conflicts the top layer
+// missed.
+type GossipDigest struct {
+	File   id.FileID
+	Origin id.NodeID
+	Round  int
+	TTL    int
+	VV     *vv.Vector
+}
+
+// Kind implements Message.
+func (GossipDigest) Kind() string { return "gossip.digest" }
+
+// GossipReport flows back to the origin when a bottom-layer node found a
+// conflict the top layer did not know about.
+type GossipReport struct {
+	File     id.FileID
+	Origin   id.NodeID
+	Reporter id.NodeID
+	Level    float64
+	Triple   vv.Triple
+	VV       *vv.Vector
+}
+
+// Kind implements Message.
+func (GossipReport) Kind() string { return "gossip.report" }
+
+// ---- RanSub temperature overlay (§4.1) ----
+
+// Candidate pairs a node with its updating temperature for a file. Epoch
+// is the *origin's* epoch when it advertised this temperature; relays
+// preserve it, so receivers can prefer fresher origin advertisements and
+// expire candidates whose origin went quiet (a relayed copy must not keep
+// a cooled writer alive).
+type Candidate struct {
+	Node  id.NodeID
+	Temp  float64
+	Epoch int
+}
+
+// RansubCollect flows up the dissemination tree carrying a uniform random
+// sample of candidates seen in the subtree.
+type RansubCollect struct {
+	File   id.FileID
+	Epoch  int
+	Sample []Candidate
+}
+
+// Kind implements Message.
+func (RansubCollect) Kind() string { return "ransub.collect" }
+
+// RansubDistribute flows down the tree delivering the epoch's random
+// subset; nodes use it to learn hot candidates and elect the top layer.
+type RansubDistribute struct {
+	File   id.FileID
+	Epoch  int
+	Sample []Candidate
+}
+
+// Kind implements Message.
+func (RansubDistribute) Kind() string { return "ransub.dist" }
+
+// ---- Resolution (§4.5) ----
+
+// CallForAttention is phase one of active resolution: the initiator asks
+// every top-layer member, in parallel, to stand by for resolution.
+type CallForAttention struct {
+	File      id.FileID
+	Initiator id.NodeID
+	Token     int64
+}
+
+// Kind implements Message.
+func (CallForAttention) Kind() string { return "resolve.cfa" }
+
+// CFAAck acknowledges a CallForAttention. OK is false when the receiver
+// has already initiated (or acked) a competing resolution, which sends the
+// loser into randomized back-off (§4.5.2).
+type CFAAck struct {
+	File  id.FileID
+	Token int64
+	OK    bool
+}
+
+// Kind implements Message.
+func (CFAAck) Kind() string { return "resolve.cfa_ack" }
+
+// CFACancel tells members a backed-off initiator abandoned its attempt.
+type CFACancel struct {
+	File  id.FileID
+	Token int64
+}
+
+// Kind implements Message.
+func (CFACancel) Kind() string { return "resolve.cfa_cancel" }
+
+// CollectRequest is phase two: the initiator sequentially visits each
+// member to collect its version information and updates. It carries the
+// initiator's vector so the member only ships updates the initiator lacks.
+type CollectRequest struct {
+	File  id.FileID
+	Token int64
+	VV    *vv.Vector
+}
+
+// Kind implements Message.
+func (CollectRequest) Kind() string { return "resolve.collect" }
+
+// CollectReply returns a member's vector and the updates it holds.
+type CollectReply struct {
+	File    id.FileID
+	Token   int64
+	VV      *vv.Vector
+	Updates []Update
+}
+
+// Kind implements Message.
+func (CollectReply) Kind() string { return "resolve.collect_rep" }
+
+// Inform announces the new consistent replica image: the winning vector
+// and any updates a member may be missing; members apply them and clear
+// their inconsistency state.
+type Inform struct {
+	File    id.FileID
+	Token   int64
+	Winner  id.NodeID
+	VV      *vv.Vector
+	Updates []Update
+}
+
+// Kind implements Message.
+func (Inform) Kind() string { return "resolve.inform" }
+
+// InformAck confirms a member applied the consistent image.
+type InformAck struct {
+	File  id.FileID
+	Token int64
+}
+
+// Kind implements Message.
+func (InformAck) Kind() string { return "resolve.inform_ack" }
+
+// ---- Baselines (§2, Fig. 2) ----
+
+// AntiEntropyRequest asks a random peer for its state (optimistic
+// consistency, Bayou-style).
+type AntiEntropyRequest struct {
+	File id.FileID
+	VV   *vv.Vector
+}
+
+// Kind implements Message.
+func (AntiEntropyRequest) Kind() string { return "base.ae_req" }
+
+// AntiEntropyReply ships back the peer's vector and updates.
+type AntiEntropyReply struct {
+	File    id.FileID
+	VV      *vv.Vector
+	Updates []Update
+}
+
+// Kind implements Message.
+func (AntiEntropyReply) Kind() string { return "base.ae_rep" }
+
+// StrongWrite forwards a write to the primary (strong consistency).
+type StrongWrite struct {
+	File   id.FileID
+	Update Update
+}
+
+// Kind implements Message.
+func (StrongWrite) Kind() string { return "base.sc_write" }
+
+// StrongReplicate pushes a committed write synchronously to every replica.
+type StrongReplicate struct {
+	File   id.FileID
+	Update Update
+	Commit int // primary commit index
+}
+
+// Kind implements Message.
+func (StrongReplicate) Kind() string { return "base.sc_repl" }
+
+// StrongAck acknowledges replication; the primary acks the writer only
+// after all replicas acked.
+type StrongAck struct {
+	File   id.FileID
+	Commit int
+}
+
+// Kind implements Message.
+func (StrongAck) Kind() string { return "base.sc_ack" }
+
+// StrongCommitted notifies the issuing writer that its write is fully
+// replicated.
+type StrongCommitted struct {
+	File   id.FileID
+	Update Update
+}
+
+// Kind implements Message.
+func (StrongCommitted) Kind() string { return "base.sc_commit" }
+
+// ---- P2P file-system frontend (§7.3 integration) ----
+
+// FSWrite routes a client write to a replica of the file's replica set.
+type FSWrite struct {
+	File  id.FileID
+	Token int64
+	Op    string
+	Data  []byte
+	Meta  float64
+}
+
+// Kind implements Message.
+func (FSWrite) Kind() string { return "fs.write" }
+
+// FSWriteAck confirms a routed write and names the update created.
+type FSWriteAck struct {
+	File  id.FileID
+	Token int64
+	Key   string
+}
+
+// Kind implements Message.
+func (FSWriteAck) Kind() string { return "fs.write_ack" }
+
+// FSRead asks a replica for the file's current log.
+type FSRead struct {
+	File  id.FileID
+	Token int64
+}
+
+// Kind implements Message.
+func (FSRead) Kind() string { return "fs.read" }
+
+// FSReadReply returns the replica's log and its consistency level.
+type FSReadReply struct {
+	File    id.FileID
+	Token   int64
+	Updates []Update
+	Level   float64
+}
+
+// Kind implements Message.
+func (FSReadReply) Kind() string { return "fs.read_reply" }
+
+// ---- Codec ----
+
+var registerOnce sync.Once
+
+// Register registers every message type with gob. It is idempotent and is
+// called automatically by Encode/Decode; the TCP transport also calls it
+// at start-up.
+func Register() {
+	registerOnce.Do(func() {
+		gob.Register(DetectRequest{})
+		gob.Register(DetectReply{})
+		gob.Register(GossipDigest{})
+		gob.Register(GossipReport{})
+		gob.Register(RansubCollect{})
+		gob.Register(RansubDistribute{})
+		gob.Register(CallForAttention{})
+		gob.Register(CFAAck{})
+		gob.Register(CFACancel{})
+		gob.Register(CollectRequest{})
+		gob.Register(CollectReply{})
+		gob.Register(Inform{})
+		gob.Register(InformAck{})
+		gob.Register(AntiEntropyRequest{})
+		gob.Register(AntiEntropyReply{})
+		gob.Register(StrongWrite{})
+		gob.Register(StrongReplicate{})
+		gob.Register(StrongAck{})
+		gob.Register(StrongCommitted{})
+		gob.Register(FSWrite{})
+		gob.Register(FSWriteAck{})
+		gob.Register(FSRead{})
+		gob.Register(FSReadReply{})
+	})
+}
+
+// Envelope frames a message with its routing information for the codec.
+type Envelope struct {
+	From, To id.NodeID
+	Msg      Message
+}
+
+// Encode gob-encodes an envelope. A fresh encoder is used per frame, which
+// matches the transport's length-prefixed framing.
+func Encode(e Envelope) ([]byte, error) {
+	Register()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+		return nil, fmt.Errorf("wire: encode %s: %w", e.Msg.Kind(), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode decodes a frame produced by Encode.
+func Decode(b []byte) (Envelope, error) {
+	Register()
+	var e Envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
+		return Envelope{}, fmt.Errorf("wire: decode: %w", err)
+	}
+	return e, nil
+}
+
+// Sizer measures message sizes on a persistent gob stream, the way a
+// long-lived TCP connection would: type descriptors are charged once, and
+// every subsequent message of the same type costs only its payload. It is
+// used by the simulator for byte-accurate overhead accounting.
+type Sizer struct {
+	mu  sync.Mutex
+	buf countingWriter
+	enc *gob.Encoder
+}
+
+// NewSizer returns a ready-to-use Sizer.
+func NewSizer() *Sizer {
+	Register()
+	s := &Sizer{}
+	s.enc = gob.NewEncoder(&s.buf)
+	return s
+}
+
+// Size returns the encoded size in bytes of msg on the persistent stream.
+func (s *Sizer) Size(e Envelope) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.buf.n
+	if err := s.enc.Encode(&e); err != nil {
+		// Unregistered or unencodable payloads are a programming
+		// error; charge a nominal size rather than failing a send.
+		return 64
+	}
+	return s.buf.n - before
+}
+
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

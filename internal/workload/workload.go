@@ -1,0 +1,130 @@
+// Package workload generates the synthetic write schedules the evaluation
+// uses ("due to the lack of available traces, we use a synthetic workload
+// that assumes uniform distribution of the updating frequency", §6), plus
+// Poisson and Zipf extensions for ablation benches, and the scripted user
+// models that stand in for the interactive participants of the
+// white-board experiments.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"idea/internal/id"
+)
+
+// UniformTimes returns write instants every interval in (start, end] —
+// the paper's schedule: "the four nodes start to update the same file
+// every 5 seconds during a 100-second period, which amounts to a total of
+// 20 updates".
+func UniformTimes(start, end, interval time.Duration) []time.Duration {
+	var out []time.Duration
+	for t := start + interval; t <= end; t += interval {
+		out = append(out, t)
+	}
+	return out
+}
+
+// PoissonTimes returns write instants from a Poisson process with the
+// given mean rate (events/second) in (start, end].
+func PoissonTimes(r *rand.Rand, rate float64, start, end time.Duration) []time.Duration {
+	if rate <= 0 {
+		return nil
+	}
+	var out []time.Duration
+	t := start
+	for {
+		gap := time.Duration(-math.Log(1-r.Float64()) / rate * float64(time.Second))
+		if gap <= 0 {
+			gap = time.Millisecond
+		}
+		t += gap
+		if t > end {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Burst returns n instants clustered at the start of each period — a
+// bursty schedule that stresses detection.
+func Burst(start, end, period time.Duration, n int) []time.Duration {
+	var out []time.Duration
+	for t := start; t < end; t += period {
+		for i := 0; i < n; i++ {
+			out = append(out, t+time.Duration(i)*10*time.Millisecond)
+		}
+	}
+	return out
+}
+
+// ZipfFiles assigns each of n writers a file drawn from a Zipf
+// distribution over files — hot files attract many writers, reproducing
+// the "not all nodes are interested in the same file" premise of the
+// two-layer design.
+func ZipfFiles(r *rand.Rand, files []id.FileID, n int, skew float64) []id.FileID {
+	if skew <= 1 {
+		skew = 1.07
+	}
+	z := rand.NewZipf(r, skew, 1, uint64(len(files)-1))
+	out := make([]id.FileID, n)
+	for i := range out {
+		out[i] = files[z.Uint64()]
+	}
+	return out
+}
+
+// User is a scripted stand-in for an interactive participant: it watches
+// consistency levels and complains (demands active resolution) when its
+// private tolerance is violated — the behaviour the on-demand experiments
+// emulate.
+type User struct {
+	// Tolerance is the user's true acceptable level; below it the user
+	// is annoyed.
+	Tolerance float64
+	// Patience is how many consecutive annoying samples the user
+	// absorbs before complaining.
+	Patience int
+
+	annoyed int
+	// Complaints counts complaints issued.
+	Complaints int
+}
+
+// Observe feeds one sampled level; it returns true when the user complains
+// now.
+func (u *User) Observe(level float64) bool {
+	if level >= u.Tolerance {
+		u.annoyed = 0
+		return false
+	}
+	u.annoyed++
+	if u.annoyed > u.Patience {
+		u.annoyed = 0
+		u.Complaints++
+		return true
+	}
+	return false
+}
+
+// BookingDemand models ticket-purchase arrivals at a booking server:
+// Poisson arrivals with a given seats-per-request distribution.
+type BookingDemand struct {
+	Rate     float64 // requests per second
+	MaxSeats int     // uniform 1..MaxSeats per request
+}
+
+// Requests returns (time, seats) pairs in (start, end].
+func (b BookingDemand) Requests(r *rand.Rand, start, end time.Duration) ([]time.Duration, []int) {
+	times := PoissonTimes(r, b.Rate, start, end)
+	seats := make([]int, len(times))
+	max := b.MaxSeats
+	if max <= 0 {
+		max = 3
+	}
+	for i := range seats {
+		seats[i] = 1 + r.Intn(max)
+	}
+	return times, seats
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"idea/internal/id"
+)
+
+func TestUniformTimesPaperSchedule(t *testing.T) {
+	// "update the same file every 5 seconds during a 100-second period,
+	// which amounts to a total of 20 updates".
+	ts := UniformTimes(0, 100*time.Second, 5*time.Second)
+	if len(ts) != 20 {
+		t.Fatalf("updates = %d, want 20", len(ts))
+	}
+	if ts[0] != 5*time.Second || ts[19] != 100*time.Second {
+		t.Fatalf("range = [%v, %v]", ts[0], ts[19])
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i]-ts[i-1] != 5*time.Second {
+			t.Fatal("non-uniform gap")
+		}
+	}
+}
+
+func TestUniformTimesEmpty(t *testing.T) {
+	if got := UniformTimes(0, time.Second, 2*time.Second); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPoissonTimesRate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ts := PoissonTimes(r, 2.0, 0, 100*time.Second) // expect ~200
+	if len(ts) < 150 || len(ts) > 260 {
+		t.Fatalf("events = %d, want ≈200", len(ts))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			t.Fatal("times not monotone")
+		}
+	}
+	if ts[len(ts)-1] > 100*time.Second {
+		t.Fatal("event beyond the window")
+	}
+}
+
+func TestPoissonTimesZeroRate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if got := PoissonTimes(r, 0, 0, time.Minute); got != nil {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBurst(t *testing.T) {
+	ts := Burst(0, 20*time.Second, 10*time.Second, 3)
+	if len(ts) != 6 {
+		t.Fatalf("events = %d, want 6", len(ts))
+	}
+	if ts[0] != 0 || ts[3] != 10*time.Second {
+		t.Fatalf("burst starts = %v, %v", ts[0], ts[3])
+	}
+}
+
+func TestZipfFilesSkewsToHot(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	files := []id.FileID{"hot", "warm", "cold", "frozen"}
+	got := ZipfFiles(r, files, 1000, 1.5)
+	counts := map[id.FileID]int{}
+	for _, f := range got {
+		counts[f]++
+	}
+	if counts["hot"] <= counts["frozen"] {
+		t.Fatalf("zipf not skewed: %v", counts)
+	}
+	if counts["hot"] < 400 {
+		t.Fatalf("hot file only %d/1000", counts["hot"])
+	}
+}
+
+func TestUserComplainsAfterPatience(t *testing.T) {
+	u := &User{Tolerance: 0.9, Patience: 2}
+	for i, want := range []bool{false, false, true, false} {
+		if got := u.Observe(0.8); got != want {
+			t.Fatalf("observation %d: complain = %v, want %v", i, got, want)
+		}
+	}
+	if u.Complaints != 1 {
+		t.Fatalf("complaints = %d", u.Complaints)
+	}
+	// A good sample resets the annoyance counter.
+	u.Observe(0.8)
+	u.Observe(0.95)
+	if u.Observe(0.8) {
+		t.Fatal("complained without renewed patience exhaustion")
+	}
+}
+
+func TestBookingDemand(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	d := BookingDemand{Rate: 1, MaxSeats: 3}
+	times, seats := d.Requests(r, 0, time.Minute)
+	if len(times) != len(seats) {
+		t.Fatal("times/seats mismatch")
+	}
+	if len(times) < 30 || len(times) > 100 {
+		t.Fatalf("requests = %d, want ≈60", len(times))
+	}
+	for _, s := range seats {
+		if s < 1 || s > 3 {
+			t.Fatalf("seats = %d out of range", s)
+		}
+	}
+}
+
+func TestBookingDemandDefaultSeats(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	d := BookingDemand{Rate: 1}
+	_, seats := d.Requests(r, 0, 30*time.Second)
+	for _, s := range seats {
+		if s < 1 || s > 3 {
+			t.Fatalf("default seats = %d out of range", s)
+		}
+	}
+}
