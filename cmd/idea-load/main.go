@@ -1,0 +1,131 @@
+// Command idea-load drives a live IDEA cluster at scale: it joins the
+// deployment as one more node (any node may write), issues a configurable
+// mix of write/read/hint/resolve operations against the shared files, and
+// reports ops/sec plus p50/p95/p99 latency per operation. Write latency
+// is the full detection round trip as the writer observes it; resolve
+// latency is the initiator-side session duration.
+//
+// Against the 3-node cluster of the README quickstart:
+//
+//	idea-load -id 100 -listen 127.0.0.1:0 \
+//	          -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003 \
+//	          -all 1,2,3,100 -top f=1,2,3 -files f \
+//	          -duration 30s -rate 50 -ramp 5s -mix write=8,read=2
+//
+// Closed-loop mode (no -rate) runs -workers concurrent issuers that each
+// wait for their write's detection verdict. With -admin the driver also
+// serves its own /metrics + /healthz, exposing the run's histograms live.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"idea"
+	"idea/internal/cliutil"
+	"idea/internal/loadgen"
+)
+
+func main() {
+	idFlag := flag.Int64("id", 100, "node ID the driver joins the cluster as")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	peers := flag.String("peers", "", "comma-separated id=addr peer list")
+	allFlag := flag.String("all", "", "comma-separated node IDs of the full deployment")
+	top := flag.String("top", "", "comma-separated file=ids top-layer pins, e.g. f=1,2;g=2,3")
+	files := flag.String("files", "f", "comma-separated shared files to target")
+	duration := flag.Duration("duration", 30*time.Second, "how long to issue operations")
+	rate := flag.Float64("rate", 0, "open-loop target ops/sec (0 = closed loop)")
+	ramp := flag.Duration("ramp", 0, "open-loop ramp-up window")
+	workers := flag.Int("workers", 4, "closed-loop concurrency")
+	mix := flag.String("mix", "write=1", "op mix, e.g. write=8,read=2,hint=1,resolve=1")
+	zipf := flag.Float64("zipf", 0, "zipf skew over -files (>1 skews; 0 = uniform)")
+	payload := flag.Int("payload", 64, "write payload bytes")
+	seed := flag.Int64("seed", 1, "deterministic op/file draws")
+	admin := flag.String("admin", "", "serve /metrics + /healthz on this address")
+	jsonOut := flag.Bool("json", false, "print the report as JSON")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "settle time before driving load")
+	verbose := flag.Bool("v", false, "verbose transport logging")
+	flag.Parse()
+
+	peerMap, err := cliutil.ParsePeers(*peers)
+	if err != nil {
+		fatalf("-peers: %v", err)
+	}
+	allIDs, err := cliutil.ParseIDs(*allFlag)
+	if err != nil {
+		fatalf("-all: %v", err)
+	}
+	tops, err := cliutil.ParseTops(*top)
+	if err != nil {
+		fatalf("-top: %v", err)
+	}
+	w, r, h, res, err := cliutil.ParseMix(*mix)
+	if err != nil {
+		fatalf("-mix: %v", err)
+	}
+	fileIDs := cliutil.ParseFiles(*files)
+	if len(fileIDs) == 0 {
+		fatalf("-files must name at least one file")
+	}
+
+	cfg := idea.LiveNodeConfig{
+		Self:      idea.NodeID(*idFlag),
+		Listen:    *listen,
+		Peers:     peerMap,
+		All:       allIDs,
+		TopLayers: tops,
+	}
+	if len(cfg.All) == 0 {
+		cfg.All = cliutil.DefaultAll(cfg.Self, cfg.Peers)
+	}
+	if *verbose {
+		cfg.Logger = log.New(os.Stderr, "idea-load ", log.LstdFlags|log.Lmicroseconds)
+	}
+	node, err := idea.NewLiveNode(cfg)
+	if err != nil {
+		fatalf("start: %v", err)
+	}
+	defer node.Close()
+	fmt.Fprintf(os.Stderr, "idea-load: node %v on %s driving %d peer(s)\n", cfg.Self, node.Addr(), len(peerMap))
+
+	if *admin != "" {
+		srv, err := idea.ServeMetrics(*admin, node.Metrics())
+		if err != nil {
+			fatalf("admin: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "idea-load: admin on http://%s/metrics\n", srv.Addr())
+	}
+	time.Sleep(*warmup)
+
+	rep := loadgen.RunLive(loadgen.Config{
+		Seed:         *seed,
+		Duration:     *duration,
+		Rate:         *rate,
+		RampUp:       *ramp,
+		Workers:      *workers,
+		Mix:          loadgen.Mix{Write: w, Read: r, Hint: h, Resolve: res},
+		Files:        fileIDs,
+		ZipfSkew:     *zipf,
+		PayloadBytes: *payload,
+	}, node.N, node, node.Metrics())
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatalf("encode: %v", err)
+		}
+		return
+	}
+	fmt.Print(rep)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "idea-load: "+format+"\n", args...)
+	os.Exit(1)
+}

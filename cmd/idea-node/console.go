@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"idea"
+)
+
+// console executes the line-oriented operator commands against a live
+// node. It is extracted from the stdin loop so every command is unit-
+// testable; output ordering for asynchronous commands (write) follows
+// the event loop, so tests poll the writer.
+type console struct {
+	node *idea.LiveNode
+	out  io.Writer
+}
+
+// usage maps each command to its usage line.
+var usage = map[string]string{
+	"write":   "usage: write <file> <text>",
+	"read":    "usage: read <file>",
+	"hint":    "usage: hint <file> <level>",
+	"resolve": "usage: resolve <file>",
+	"bg":      "usage: bg <file> <seconds>",
+	"level":   "usage: level <file>",
+	"metrics": "usage: metrics",
+}
+
+// exec runs one console line and returns true when the session should
+// end. Unknown or malformed commands print help/usage and keep going.
+func (c *console) exec(line string) (quit bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false
+	}
+	switch cmd := fields[0]; cmd {
+	case "quit", "exit":
+		return true
+	case "write":
+		if len(fields) < 3 {
+			fmt.Fprintln(c.out, usage[cmd])
+			return false
+		}
+		file := idea.FileID(fields[1])
+		text := strings.Join(fields[2:], " ")
+		c.node.Inject(func(e idea.Env) {
+			u := c.node.N.Write(e, file, "text", []byte(text), float64(len(text)))
+			fmt.Fprintf(c.out, "wrote %s\n", u.Key())
+		})
+	case "read":
+		if len(fields) != 2 {
+			fmt.Fprintln(c.out, usage[cmd])
+			return false
+		}
+		file := idea.FileID(fields[1])
+		done := make(chan []idea.Update, 1)
+		c.node.Inject(func(e idea.Env) { done <- c.node.N.Read(file) })
+		for _, u := range <-done {
+			fmt.Fprintf(c.out, "  %-14s %q\n", u.Key(), string(u.Data))
+		}
+	case "hint":
+		if len(fields) != 3 {
+			fmt.Fprintln(c.out, usage[cmd])
+			return false
+		}
+		level, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			fmt.Fprintln(c.out, "bad level:", err)
+			return false
+		}
+		file := idea.FileID(fields[1])
+		done := make(chan error, 1)
+		c.node.Inject(func(e idea.Env) { done <- c.node.N.SetHint(file, level) })
+		if err := <-done; err != nil {
+			fmt.Fprintln(c.out, err)
+		}
+	case "resolve":
+		if len(fields) != 2 {
+			fmt.Fprintln(c.out, usage[cmd])
+			return false
+		}
+		file := idea.FileID(fields[1])
+		c.node.Inject(func(e idea.Env) { c.node.N.DemandActiveResolution(e, file) })
+	case "bg":
+		if len(fields) != 3 {
+			fmt.Fprintln(c.out, usage[cmd])
+			return false
+		}
+		secs, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			fmt.Fprintln(c.out, "bad seconds:", err)
+			return false
+		}
+		file := idea.FileID(fields[1])
+		c.node.Inject(func(e idea.Env) {
+			c.node.N.SetBackgroundFreq(e, file, time.Duration(secs*float64(time.Second)))
+		})
+	case "level":
+		if len(fields) != 2 {
+			fmt.Fprintln(c.out, usage[cmd])
+			return false
+		}
+		file := idea.FileID(fields[1])
+		done := make(chan float64, 1)
+		c.node.Inject(func(e idea.Env) { done <- c.node.N.Level(file) })
+		fmt.Fprintf(c.out, "consistency level: %.4f\n", <-done)
+	case "metrics":
+		snap := c.node.Metrics().Snapshot()
+		counters := make([]string, 0, len(snap.Counters))
+		for name, v := range snap.Counters {
+			if v != 0 {
+				counters = append(counters, name)
+			}
+		}
+		sort.Strings(counters)
+		for _, name := range counters {
+			fmt.Fprintf(c.out, "  %-40s %d\n", name, snap.Counters[name])
+		}
+		hists := make([]string, 0, len(snap.Histograms))
+		for name, h := range snap.Histograms {
+			if h.Count != 0 {
+				hists = append(hists, name)
+			}
+		}
+		sort.Strings(hists)
+		for _, name := range hists {
+			h := snap.Histograms[name]
+			fmt.Fprintf(c.out, "  %-40s n=%d p50=%.4gs p99=%.4gs\n", name, h.Count, h.P50, h.P99)
+		}
+	default:
+		fmt.Fprintln(c.out, "commands: write read hint resolve bg level metrics quit")
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"idea"
+)
+
+// syncBuffer is an io.Writer the event loop and the test can share.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func (s *syncBuffer) waitFor(t *testing.T, sub string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(s.String(), sub) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("output never contained %q; got:\n%s", sub, s.String())
+}
+
+func testConsole(t *testing.T) (*console, *syncBuffer) {
+	t.Helper()
+	node, err := idea.NewLiveNode(idea.LiveNodeConfig{
+		Self:   1,
+		Listen: "127.0.0.1:0",
+		All:    []idea.NodeID{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	out := &syncBuffer{}
+	return &console{node: node, out: out}, out
+}
+
+func TestConsoleWriteAndRead(t *testing.T) {
+	con, out := testConsole(t)
+	if con.exec("write board hello world") {
+		t.Fatal("write must not quit")
+	}
+	out.waitFor(t, "wrote board/n1#1")
+	con.exec("read board")
+	out.waitFor(t, `"hello world"`)
+}
+
+func TestConsoleHint(t *testing.T) {
+	con, out := testConsole(t)
+	con.exec("hint board 0.95")
+	// An invalid level reports the facade's range error.
+	con.exec("hint board 1.5")
+	out.waitFor(t, "outside [0, 1]")
+	// A non-numeric level reports a parse error without injecting.
+	con.exec("hint board abc")
+	out.waitFor(t, "bad level:")
+}
+
+func TestConsoleLevel(t *testing.T) {
+	con, out := testConsole(t)
+	con.exec("level board")
+	out.waitFor(t, "consistency level: 1.0000")
+}
+
+func TestConsoleResolveAndBg(t *testing.T) {
+	con, out := testConsole(t)
+	if con.exec("resolve board") {
+		t.Fatal("resolve must not quit")
+	}
+	con.exec("bg board 2.5")
+	con.exec("bg board x")
+	out.waitFor(t, "bad seconds:")
+	// A lone node resolves against an empty top layer immediately; the
+	// write path must still work afterwards.
+	con.exec("write board after-resolve")
+	out.waitFor(t, "wrote board/n1#")
+}
+
+func TestConsoleMalformedAndUsage(t *testing.T) {
+	con, out := testConsole(t)
+	con.exec("write board")
+	out.waitFor(t, "usage: write <file> <text>")
+	con.exec("read")
+	out.waitFor(t, "usage: read <file>")
+	con.exec("hint board")
+	out.waitFor(t, "usage: hint <file> <level>")
+	con.exec("level")
+	out.waitFor(t, "usage: level <file>")
+	con.exec("frobnicate")
+	out.waitFor(t, "commands: write read hint resolve bg level metrics quit")
+	if con.exec("") {
+		t.Fatal("empty line must not quit")
+	}
+}
+
+func TestConsoleQuit(t *testing.T) {
+	con, _ := testConsole(t)
+	if !con.exec("quit") {
+		t.Fatal("quit must end the session")
+	}
+	if !con.exec("exit") {
+		t.Fatal("exit must end the session")
+	}
+}
+
+func TestConsoleMetrics(t *testing.T) {
+	con, out := testConsole(t)
+	con.exec("write board x")
+	out.waitFor(t, "wrote")
+	con.exec("metrics")
+	out.waitFor(t, "core.writes_total")
+}

@@ -2,13 +2,15 @@
 // code the emulator drives, behind real sockets. A small line-oriented
 // console on stdin drives writes, hints, and resolutions, so a handful of
 // terminals (or examples/tcpcluster programmatically) form a working
-// deployment.
+// deployment. With -admin the node also serves an HTTP endpoint exposing
+// its telemetry registry (/metrics, JSON) and a liveness probe
+// (/healthz) — the surface cmd/idea-load reads while driving the cluster.
 //
 // Usage:
 //
 //	idea-node -id 1 -listen 127.0.0.1:7001 \
 //	          -peers 2=127.0.0.1:7002,3=127.0.0.1:7003 -all 1,2,3 \
-//	          -top board=1,2,3
+//	          -top board=1,2,3 -admin 127.0.0.1:9001
 //
 // Console commands:
 //
@@ -18,6 +20,7 @@
 //	resolve <file>          demand active resolution
 //	bg <file> <seconds>     set background resolution frequency
 //	level <file>            print the last detected consistency level
+//	metrics                 print the non-zero telemetry counters
 //	quit
 package main
 
@@ -27,11 +30,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
-	"time"
 
 	"idea"
+	"idea/internal/cliutil"
 )
 
 func main() {
@@ -40,58 +41,29 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated id=addr peer list")
 	allFlag := flag.String("all", "", "comma-separated node IDs of the full deployment")
 	top := flag.String("top", "", "comma-separated file=ids top-layer pins, e.g. board=1,2;log=2,3")
+	admin := flag.String("admin", "", "serve /metrics + /healthz on this address")
 	verbose := flag.Bool("v", false, "verbose transport logging")
 	flag.Parse()
 
 	cfg := idea.LiveNodeConfig{
 		Self:   idea.NodeID(*idFlag),
 		Listen: *listen,
-		Peers:  map[idea.NodeID]string{},
 	}
 	if *verbose {
 		cfg.Logger = log.New(os.Stderr, "idea-node ", log.LstdFlags|log.Lmicroseconds)
 	}
-	for _, p := range splitNonEmpty(*peers, ",") {
-		idStr, addr, ok := strings.Cut(p, "=")
-		if !ok {
-			fatalf("bad -peers entry %q", p)
-		}
-		nid, err := strconv.ParseInt(idStr, 10, 64)
-		if err != nil {
-			fatalf("bad peer id %q: %v", idStr, err)
-		}
-		cfg.Peers[idea.NodeID(nid)] = addr
+	var err error
+	if cfg.Peers, err = cliutil.ParsePeers(*peers); err != nil {
+		fatalf("-peers: %v", err)
 	}
-	for _, s := range splitNonEmpty(*allFlag, ",") {
-		nid, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			fatalf("bad -all id %q: %v", s, err)
-		}
-		cfg.All = append(cfg.All, idea.NodeID(nid))
+	if cfg.All, err = cliutil.ParseIDs(*allFlag); err != nil {
+		fatalf("-all: %v", err)
 	}
 	if len(cfg.All) == 0 {
-		cfg.All = []idea.NodeID{cfg.Self}
-		for nid := range cfg.Peers {
-			cfg.All = append(cfg.All, nid)
-		}
+		cfg.All = cliutil.DefaultAll(cfg.Self, cfg.Peers)
 	}
-	if *top != "" {
-		cfg.TopLayers = map[idea.FileID][]idea.NodeID{}
-		for _, ent := range splitNonEmpty(*top, ";") {
-			file, idList, ok := strings.Cut(ent, "=")
-			if !ok {
-				fatalf("bad -top entry %q", ent)
-			}
-			var ids []idea.NodeID
-			for _, s := range splitNonEmpty(idList, ",") {
-				nid, err := strconv.ParseInt(s, 10, 64)
-				if err != nil {
-					fatalf("bad -top id %q: %v", s, err)
-				}
-				ids = append(ids, idea.NodeID(nid))
-			}
-			cfg.TopLayers[idea.FileID(file)] = ids
-		}
+	if cfg.TopLayers, err = cliutil.ParseTops(*top); err != nil {
+		fatalf("-top: %v", err)
 	}
 
 	node, err := idea.NewLiveNode(cfg)
@@ -101,101 +73,26 @@ func main() {
 	defer node.Close()
 	fmt.Printf("node %v listening on %s\n", cfg.Self, node.Addr())
 
+	if *admin != "" {
+		srv, err := idea.ServeMetrics(*admin, node.Metrics())
+		if err != nil {
+			fatalf("admin: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("admin on http://%s/metrics\n", srv.Addr())
+	}
+
+	con := &console{node: node, out: os.Stdout}
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
 		if !sc.Scan() {
 			return
 		}
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 {
-			continue
-		}
-		switch cmd := fields[0]; cmd {
-		case "quit", "exit":
+		if con.exec(sc.Text()) {
 			return
-		case "write":
-			if len(fields) < 3 {
-				fmt.Println("usage: write <file> <text>")
-				continue
-			}
-			file := idea.FileID(fields[1])
-			text := strings.Join(fields[2:], " ")
-			node.Inject(func(e idea.Env) {
-				u := node.N.Write(e, file, "text", []byte(text), float64(len(text)))
-				fmt.Printf("wrote %s\n", u.Key())
-			})
-		case "read":
-			if len(fields) != 2 {
-				fmt.Println("usage: read <file>")
-				continue
-			}
-			file := idea.FileID(fields[1])
-			done := make(chan []idea.Update, 1)
-			node.Inject(func(e idea.Env) { done <- node.N.Read(file) })
-			for _, u := range <-done {
-				fmt.Printf("  %-14s %q\n", u.Key(), string(u.Data))
-			}
-		case "hint":
-			if len(fields) != 3 {
-				fmt.Println("usage: hint <file> <level>")
-				continue
-			}
-			level, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				fmt.Println("bad level:", err)
-				continue
-			}
-			file := idea.FileID(fields[1])
-			node.Inject(func(e idea.Env) {
-				if err := node.N.SetHint(file, level); err != nil {
-					fmt.Println(err)
-				}
-			})
-		case "resolve":
-			if len(fields) != 2 {
-				fmt.Println("usage: resolve <file>")
-				continue
-			}
-			file := idea.FileID(fields[1])
-			node.Inject(func(e idea.Env) { node.N.DemandActiveResolution(e, file) })
-		case "bg":
-			if len(fields) != 3 {
-				fmt.Println("usage: bg <file> <seconds>")
-				continue
-			}
-			secs, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				fmt.Println("bad seconds:", err)
-				continue
-			}
-			file := idea.FileID(fields[1])
-			node.Inject(func(e idea.Env) {
-				node.N.SetBackgroundFreq(e, file, time.Duration(secs*float64(time.Second)))
-			})
-		case "level":
-			if len(fields) != 2 {
-				fmt.Println("usage: level <file>")
-				continue
-			}
-			file := idea.FileID(fields[1])
-			done := make(chan float64, 1)
-			node.Inject(func(e idea.Env) { done <- node.N.Level(file) })
-			fmt.Printf("consistency level: %.4f\n", <-done)
-		default:
-			fmt.Println("commands: write read hint resolve bg level quit")
 		}
 	}
-}
-
-func splitNonEmpty(s, sep string) []string {
-	var out []string
-	for _, part := range strings.Split(s, sep) {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
 }
 
 func fatalf(format string, args ...any) {

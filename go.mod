@@ -1,0 +1,3 @@
+module idea
+
+go 1.21

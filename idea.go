@@ -39,6 +39,7 @@ import (
 	"idea/internal/ransub"
 	"idea/internal/resolve"
 	"idea/internal/simnet"
+	"idea/internal/telemetry"
 	"idea/internal/transport"
 	"idea/internal/vv"
 	"idea/internal/wire"
@@ -104,6 +105,24 @@ type DetectResult = detect.Result
 // Env is the runtime handle protocol callbacks receive; application
 // drivers obtain one via EmulatedCluster.Call or LiveNode.Inject.
 type Env = env.Env
+
+// ---- Telemetry ----
+
+// MetricsRegistry is a node's named metrics collection; every node owns
+// one (Node.Metrics) and all subsystems — detection, resolution, gossip,
+// replica store, live transport — record into it.
+type MetricsRegistry = telemetry.Registry
+
+// MetricsSnapshot is the JSON-friendly export of a registry, as served
+// on /metrics by the admin endpoint.
+type MetricsSnapshot = telemetry.Snapshot
+
+// ServeMetrics starts an admin HTTP listener on addr serving the
+// registry's snapshot on /metrics and a liveness probe on /healthz.
+// Close the returned server to stop it.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*telemetry.AdminServer, error) {
+	return telemetry.ServeAdmin(addr, reg)
+}
 
 // NewNode constructs a bare IDEA node; most callers use
 // NewEmulatedCluster or NewLiveNode instead.
@@ -244,6 +263,7 @@ func NewLiveNode(cfg LiveNodeConfig) (*LiveNode, error) {
 	if err != nil {
 		return nil, err
 	}
+	tn.AttachMetrics(n.Metrics())
 	for nid, addr := range cfg.Peers {
 		tn.AddPeer(nid, addr)
 	}
@@ -253,6 +273,9 @@ func NewLiveNode(cfg LiveNodeConfig) (*LiveNode, error) {
 
 // Addr returns the bound listen address.
 func (ln *LiveNode) Addr() string { return ln.tn.Addr() }
+
+// Metrics returns the node's telemetry registry (transport included).
+func (ln *LiveNode) Metrics() *MetricsRegistry { return ln.N.Metrics() }
 
 // AddPeer registers a peer address.
 func (ln *LiveNode) AddPeer(nid NodeID, addr string) { ln.tn.AddPeer(nid, addr) }

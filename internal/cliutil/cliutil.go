@@ -1,0 +1,123 @@
+// Package cliutil holds the flag-value parsers shared by the idea-node
+// and idea-load commands: peer lists, node-ID lists, top-layer pins, and
+// workload mixes.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"idea/internal/id"
+)
+
+// SplitNonEmpty splits s by sep, trims whitespace, and drops empties.
+func SplitNonEmpty(s, sep string) []string {
+	var out []string
+	for _, part := range strings.Split(s, sep) {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// ParsePeers parses "1=127.0.0.1:7001,2=127.0.0.1:7002" into a peer
+// address map.
+func ParsePeers(s string) (map[id.NodeID]string, error) {
+	out := map[id.NodeID]string{}
+	for _, p := range SplitNonEmpty(s, ",") {
+		idStr, addr, ok := strings.Cut(p, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer entry %q (want id=addr)", p)
+		}
+		nid, err := strconv.ParseInt(strings.TrimSpace(idStr), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", idStr, err)
+		}
+		out[id.NodeID(nid)] = strings.TrimSpace(addr)
+	}
+	return out, nil
+}
+
+// ParseIDs parses "1,2,3" into a node-ID list.
+func ParseIDs(s string) ([]id.NodeID, error) {
+	var out []id.NodeID
+	for _, part := range SplitNonEmpty(s, ",") {
+		nid, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q: %v", part, err)
+		}
+		out = append(out, id.NodeID(nid))
+	}
+	return out, nil
+}
+
+// ParseTops parses "board=1,2,3;log=2,3" into per-file top-layer pins.
+// An empty string returns nil (dynamic overlay).
+func ParseTops(s string) (map[id.FileID][]id.NodeID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[id.FileID][]id.NodeID{}
+	for _, ent := range SplitNonEmpty(s, ";") {
+		file, idList, ok := strings.Cut(ent, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad top entry %q (want file=ids)", ent)
+		}
+		ids, err := ParseIDs(idList)
+		if err != nil {
+			return nil, err
+		}
+		out[id.FileID(strings.TrimSpace(file))] = ids
+	}
+	return out, nil
+}
+
+// ParseMix parses "write=8,read=2,hint=1,resolve=1" into weights. Order
+// and omissions are free; an empty string returns all-zero weights (the
+// loadgen default: pure writes).
+func ParseMix(s string) (write, read, hint, resolve int, err error) {
+	for _, ent := range SplitNonEmpty(s, ",") {
+		name, val, ok := strings.Cut(ent, "=")
+		if !ok {
+			return 0, 0, 0, 0, fmt.Errorf("bad mix entry %q (want op=weight)", ent)
+		}
+		w, perr := strconv.Atoi(strings.TrimSpace(val))
+		if perr != nil || w < 0 {
+			return 0, 0, 0, 0, fmt.Errorf("bad mix weight %q", ent)
+		}
+		switch strings.TrimSpace(name) {
+		case "write":
+			write = w
+		case "read":
+			read = w
+		case "hint":
+			hint = w
+		case "resolve":
+			resolve = w
+		default:
+			return 0, 0, 0, 0, fmt.Errorf("unknown mix op %q", name)
+		}
+	}
+	return write, read, hint, resolve, nil
+}
+
+// DefaultAll returns the deployment membership to use when -all was
+// left empty: self plus every configured peer.
+func DefaultAll(self id.NodeID, peers map[id.NodeID]string) []id.NodeID {
+	all := []id.NodeID{self}
+	for nid := range peers {
+		all = append(all, nid)
+	}
+	return all
+}
+
+// ParseFiles parses "a,b,c" into file IDs.
+func ParseFiles(s string) []id.FileID {
+	var out []id.FileID
+	for _, part := range SplitNonEmpty(s, ",") {
+		out = append(out, id.FileID(part))
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package cliutil
+
+import "testing"
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("1=127.0.0.1:7001, 2=127.0.0.1:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[1] != "127.0.0.1:7001" || peers[2] != "127.0.0.1:7002" {
+		t.Fatalf("got %v", peers)
+	}
+	if _, err := ParsePeers("nope"); err == nil {
+		t.Error("missing '=' must error")
+	}
+	if _, err := ParsePeers("x=addr"); err == nil {
+		t.Error("non-numeric id must error")
+	}
+}
+
+func TestParseTops(t *testing.T) {
+	tops, err := ParseTops("board=1,2,3;log=2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tops["board"]) != 3 || len(tops["log"]) != 2 {
+		t.Fatalf("got %v", tops)
+	}
+	if got, _ := ParseTops(""); got != nil {
+		t.Error("empty string must return nil")
+	}
+	if _, err := ParseTops("board"); err == nil {
+		t.Error("missing '=' must error")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	w, r, h, res, err := ParseMix("write=8,read=2,hint=1,resolve=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 8 || r != 2 || h != 1 || res != 1 {
+		t.Fatalf("got %d %d %d %d", w, r, h, res)
+	}
+	if _, _, _, _, err := ParseMix("write=x"); err == nil {
+		t.Error("bad weight must error")
+	}
+	if _, _, _, _, err := ParseMix("fly=1"); err == nil {
+		t.Error("unknown op must error")
+	}
+	if w, r, h, res, err = ParseMix(""); err != nil || w+r+h+res != 0 {
+		t.Error("empty mix must be all-zero, nil error")
+	}
+}
+
+func TestParseIDsAndFiles(t *testing.T) {
+	ids, err := ParseIDs("1, 2,3")
+	if err != nil || len(ids) != 3 || ids[2] != 3 {
+		t.Fatalf("ids = %v, err = %v", ids, err)
+	}
+	if _, err := ParseIDs("1,x"); err == nil {
+		t.Error("bad id must error")
+	}
+	files := ParseFiles("a, b")
+	if len(files) != 2 || files[1] != "b" {
+		t.Fatalf("files = %v", files)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"idea/internal/ransub"
 	"idea/internal/resolve"
 	"idea/internal/store"
+	"idea/internal/telemetry"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -83,6 +84,10 @@ type Options struct {
 	// DisableRollback turns off the §4.4.2 rollback reaction to
 	// bottom-layer discrepancies (alerts still fire).
 	DisableRollback bool
+	// Metrics is the telemetry registry every subsystem records into;
+	// nil creates a fresh per-node registry (always available via
+	// Node.Metrics).
+	Metrics *telemetry.Registry
 }
 
 // fileState is the controller state IDEA keeps per shared file.
@@ -120,6 +125,8 @@ type Node struct {
 	res   *resolve.Resolver
 	gos   *gossip.Agent
 	ran   *ransub.Agent
+	reg   *telemetry.Registry
+	met   coreMetrics
 
 	files map[id.FileID]*fileState
 
@@ -138,17 +145,40 @@ type Node struct {
 	Rollbacks int
 }
 
+// coreMetrics are the node-level telemetry handles.
+type coreMetrics struct {
+	writes     *telemetry.Counter // local writes issued
+	reads      *telemetry.Counter // local reads served
+	alerts     *telemetry.Counter // bottom-layer discrepancy alerts
+	rollbacks  *telemetry.Counter // §4.4.2 rollbacks executed
+	complaints *telemetry.Counter // end-user complaints
+	resolved   *telemetry.Counter // consistent-image adoptions observed
+}
+
 // NewNode builds an IDEA node.
 func NewNode(self id.NodeID, opts Options) *Node {
 	n := &Node{
 		self:  self,
 		opts:  opts,
 		st:    store.New(self),
+		reg:   opts.Metrics,
 		files: make(map[id.FileID]*fileState),
+	}
+	if n.reg == nil {
+		n.reg = telemetry.NewRegistry()
 	}
 	if opts.HintDelta == 0 {
 		n.opts.HintDelta = 0.02
 	}
+	n.met = coreMetrics{
+		writes:     n.reg.Counter("core.writes_total"),
+		reads:      n.reg.Counter("core.reads_total"),
+		alerts:     n.reg.Counter("core.alerts_total"),
+		rollbacks:  n.reg.Counter("core.rollbacks_total"),
+		complaints: n.reg.Counter("core.complaints_total"),
+		resolved:   n.reg.Counter("core.resolved_total"),
+	}
+	n.st.AttachMetrics(n.reg)
 	n.quant = opts.Quant
 	if n.quant == nil {
 		n.quant = quantify.Default()
@@ -168,9 +198,11 @@ func NewNode(self id.NodeID, opts Options) *Node {
 		n.mem = overlay.NewDynamic(opts.All, n.ran)
 	}
 	n.det = detect.New(opts.Detect, self, n.mem, n.st, n.quant)
+	n.det.AttachMetrics(n.reg)
 	n.det.OnResult(n.handleDetectResult)
 	n.det.OnDiscrepancy(n.handleDiscrepancy)
 	n.res = resolve.New(opts.Resolve, self, n.mem, n.st)
+	n.res.AttachMetrics(n.reg)
 	n.res.OnApplied(n.handleApplied)
 	n.res.OnOutcome(func(e env.Env, o resolve.Outcome) {
 		if n.OnOutcome != nil {
@@ -182,6 +214,7 @@ func NewNode(self id.NodeID, opts Options) *Node {
 		n.gos = gossip.New(opts.Gossip, self, peers, gossipState{n}, n.quant, func(e env.Env, rep wire.GossipReport) {
 			n.det.HandleGossipReport(e, rep)
 		})
+		n.gos.AttachMetrics(n.reg)
 	}
 	return n
 }
@@ -216,6 +249,11 @@ func (n *Node) Membership() overlay.Membership { return n.mem }
 
 // Quantifier exposes the Formula 1 scorer.
 func (n *Node) Quantifier() *quantify.Quantifier { return n.quant }
+
+// Metrics exposes the node's telemetry registry (never nil): every
+// subsystem — detection, resolution, gossip, the replica store, and the
+// live transport when one is attached — records into it.
+func (n *Node) Metrics() *telemetry.Registry { return n.reg }
 
 func (n *Node) file(f id.FileID) *fileState {
 	fs, ok := n.files[f]
@@ -283,17 +321,27 @@ func (n *Node) Timer(e env.Env, key string, data any) {
 // bumps the file's temperature and detection runs against the top layer.
 // It returns the update.
 func (n *Node) Write(e env.Env, file id.FileID, op string, data []byte, meta float64) wire.Update {
+	u, _ := n.WriteTracked(e, file, op, data, meta)
+	return u
+}
+
+// WriteTracked is Write plus the detection probe token, letting drivers
+// (e.g. the load generator) correlate the asynchronous verdict delivered
+// via OnLevel with this specific write.
+func (n *Node) WriteTracked(e env.Env, file id.FileID, op string, data []byte, meta float64) (wire.Update, int64) {
 	u := n.st.Open(file).WriteLocal(e.Stamp(), op, data, meta)
+	n.met.writes.Inc()
 	if n.ran != nil {
 		n.ran.RecordUpdate(file)
 	}
-	n.det.Detect(e, file)
-	return u
+	token := n.det.Detect(e, file)
+	return u, token
 }
 
 // Read returns the local replica's log without triggering IDEA — the
 // "file is locally updated frequently" fast path of Fig. 3.
 func (n *Node) Read(file id.FileID) []wire.Update {
+	n.met.reads.Inc()
 	return n.st.Open(file).Log()
 }
 
@@ -301,6 +349,7 @@ func (n *Node) Read(file id.FileID) []wire.Update {
 // the "retrieve a new file / file may be stale" path of Fig. 3. The
 // consistency verdict arrives via OnLevel.
 func (n *Node) ReadChecked(e env.Env, file id.FileID) []wire.Update {
+	n.met.reads.Inc()
 	log := n.st.Open(file).Log()
 	n.det.Detect(e, file)
 	return log
@@ -384,6 +433,7 @@ func (n *Node) handleDiscrepancy(e env.Env, file id.FileID, top, bottom float64,
 	fs := n.file(file)
 	a := Alert{File: file, Top: top, Bottom: bottom, Reporter: rep.Reporter}
 	n.Alerts++
+	n.met.alerts.Inc()
 	// Roll back only when the corrected level is unacceptable for the
 	// user's (learned) preference.
 	if !n.opts.DisableRollback && fs.hasCP && bottom < n.DesiredLevel(file) {
@@ -392,6 +442,7 @@ func (n *Node) handleDiscrepancy(e env.Env, file id.FileID, top, bottom float64,
 			a.RolledBack = true
 			a.Undone = len(undone)
 			n.Rollbacks++
+			n.met.rollbacks.Inc()
 			// Re-resolve to catch up with the true state.
 			n.res.RequestActive(e, file)
 		}
@@ -404,6 +455,7 @@ func (n *Node) handleDiscrepancy(e env.Env, file id.FileID, top, bottom float64,
 func (n *Node) handleApplied(e env.Env, file id.FileID, winner id.NodeID) {
 	fs := n.file(file)
 	fs.last = 1
+	n.met.resolved.Inc()
 	n.det.NoteResolved(file)
 	rep := n.st.Open(file)
 	if fs.hasCP {
@@ -422,6 +474,7 @@ func (n *Node) handleApplied(e env.Env, file id.FileID, winner id.NodeID) {
 // blame to a specific metric at the same time.
 func (n *Node) Complain(e env.Env, file id.FileID, newWeights *quantify.Weights) {
 	fs := n.file(file)
+	n.met.complaints.Inc()
 	if newWeights != nil {
 		n.quant.SetWeights(*newWeights)
 	}

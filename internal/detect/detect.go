@@ -25,6 +25,7 @@ import (
 	"idea/internal/overlay"
 	"idea/internal/quantify"
 	"idea/internal/store"
+	"idea/internal/telemetry"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -113,6 +114,33 @@ type Detector struct {
 	// ones that returned "fail".
 	Detections int
 	Conflicts  int
+
+	met detectMetrics
+}
+
+// detectMetrics are the telemetry handles for the detection hot path;
+// zero-value (nil) handles are no-ops.
+type detectMetrics struct {
+	roundTrip    *telemetry.Histogram // writer-observed detect() delay
+	level        *telemetry.Histogram // detected consistency levels
+	probes       *telemetry.Counter   // detect() calls started
+	conflicts    *telemetry.Counter   // "fail" verdicts
+	timeouts     *telemetry.Counter   // probes finalized by timeout
+	peerRequests *telemetry.Counter   // peer-side vector comparisons
+	discrepancy  *telemetry.Counter   // §4.4.2 top-vs-bottom disagreements
+}
+
+// AttachMetrics wires the detector to a registry; call before Start.
+func (d *Detector) AttachMetrics(reg *telemetry.Registry) {
+	d.met = detectMetrics{
+		roundTrip:    reg.Histogram("detect.roundtrip_seconds"),
+		level:        reg.HistogramWith("detect.level", telemetry.LevelBounds()),
+		probes:       reg.Counter("detect.probes_total"),
+		conflicts:    reg.Counter("detect.conflicts_total"),
+		timeouts:     reg.Counter("detect.timeouts_total"),
+		peerRequests: reg.Counter("detect.peer_requests_total"),
+		discrepancy:  reg.Counter("detect.discrepancies_total"),
+	}
 }
 
 // New creates a Detector.
@@ -156,6 +184,7 @@ func (d *Detector) TopVerdict(file id.FileID) float64 {
 func (d *Detector) Detect(e env.Env, file id.FileID) int64 {
 	d.nextToken++
 	token := d.nextToken
+	d.met.probes.Inc()
 	peers := overlay.TopPeers(d.mem, file, d.self)
 	p := &probe{
 		file:    file,
@@ -182,6 +211,7 @@ func (d *Detector) Detect(e env.Env, file id.FileID) int64 {
 // are different"); the reply carries the requester's level against the
 // reference consistent state.
 func (d *Detector) HandleRequest(e env.Env, from id.NodeID, m wire.DetectRequest) {
+	d.met.peerRequests.Inc()
 	local := d.st.Open(m.File)
 	lv := local.Vector()
 	cmp := vv.Compare(lv, m.VV)
@@ -227,6 +257,7 @@ func (d *Detector) Timer(e env.Env, key string, data any) bool {
 	}
 	if token, ok := data.(int64); ok {
 		if p, live := d.inflight[token]; live && !p.done {
+			d.met.timeouts.Inc()
 			d.finalize(e, token)
 		}
 	}
@@ -248,8 +279,11 @@ func (d *Detector) finalize(e env.Env, token int64) {
 		Elapsed: e.Now().Sub(p.started),
 	}
 	d.Detections++
+	d.met.roundTrip.ObserveDuration(res.Elapsed)
+	d.met.level.Observe(res.Level)
 	if !res.OK {
 		d.Conflicts++
+		d.met.conflicts.Inc()
 	}
 	d.topVerdict[p.file] = res.Level
 	if d.onResult != nil {
@@ -270,6 +304,7 @@ func (d *Detector) HandleGossipReport(e env.Env, rep wire.GossipReport) {
 	if rep.Level >= top-d.cfg.DiscrepancyEps {
 		return // sufficiently close (e.g. 78% vs 80%): keep silent
 	}
+	d.met.discrepancy.Inc()
 	if d.onDiscrepancy != nil {
 		d.onDiscrepancy(e, rep.File, top, rep.Level, rep)
 	}

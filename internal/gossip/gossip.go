@@ -16,6 +16,7 @@ import (
 	"idea/internal/env"
 	"idea/internal/id"
 	"idea/internal/quantify"
+	"idea/internal/telemetry"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -77,6 +78,29 @@ type Agent struct {
 	// statistics
 	ConflictsFound int // conflicts this node detected against digests
 	ReportsHeard   int // reports received as origin
+
+	met gossipMetrics
+}
+
+// gossipMetrics are the telemetry handles for the gossip fan-out;
+// zero-value (nil) handles are no-ops.
+type gossipMetrics struct {
+	rounds    *telemetry.Counter // sweep rounds started
+	emitted   *telemetry.Counter // digests sent (origin + forwards)
+	forwarded *telemetry.Counter // TTL-decremented relays
+	conflicts *telemetry.Counter // conflicts found against digests
+	reports   *telemetry.Counter // reports received as origin
+}
+
+// AttachMetrics wires the agent to a registry; call before Start.
+func (a *Agent) AttachMetrics(reg *telemetry.Registry) {
+	a.met = gossipMetrics{
+		rounds:    reg.Counter("gossip.rounds_total"),
+		emitted:   reg.Counter("gossip.digests_sent_total"),
+		forwarded: reg.Counter("gossip.digests_forwarded_total"),
+		conflicts: reg.Counter("gossip.conflicts_found_total"),
+		reports:   reg.Counter("gossip.reports_heard_total"),
+	}
 }
 
 // New creates a gossip agent. peers must exclude self.
@@ -108,6 +132,7 @@ func (a *Agent) Timer(e env.Env, key string, _ any) bool {
 		return false
 	}
 	a.round++
+	a.met.rounds.Inc()
 	for _, f := range a.state.ActiveFiles() {
 		if v := a.state.LocalVector(f); v != nil {
 			a.emit(e, wire.GossipDigest{
@@ -138,6 +163,7 @@ func (a *Agent) emit(e env.Env, d wire.GossipDigest) {
 		if a.peers[i] == d.Origin {
 			continue
 		}
+		a.met.emitted.Inc()
 		e.Send(a.peers[i], d)
 	}
 }
@@ -158,6 +184,7 @@ func (a *Agent) HandleDigest(e env.Env, d wire.GossipDigest) {
 	if local := a.state.LocalVector(d.File); local != nil && d.Origin != a.self {
 		if vv.Compare(local, d.VV) == vv.Concurrent {
 			a.ConflictsFound++
+			a.met.conflicts.Inc()
 			_, ref := a.quant.RefSel(map[id.NodeID]*vv.Vector{a.self: local, d.Origin: d.VV})
 			triple, level := a.quant.Score(d.VV, ref)
 			e.Send(d.Origin, wire.GossipReport{
@@ -173,6 +200,7 @@ func (a *Agent) HandleDigest(e env.Env, d wire.GossipDigest) {
 	if d.TTL > 1 {
 		fwd := d
 		fwd.TTL--
+		a.met.forwarded.Inc()
 		a.emit(e, fwd)
 	}
 }
@@ -181,6 +209,7 @@ func (a *Agent) HandleDigest(e env.Env, d wire.GossipDigest) {
 // origin).
 func (a *Agent) HandleReport(e env.Env, rep wire.GossipReport) {
 	a.ReportsHeard++
+	a.met.reports.Inc()
 	if a.sink != nil {
 		a.sink(e, rep)
 	}

@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"idea/internal/core"
+	"idea/internal/detect"
+	"idea/internal/env"
+	"idea/internal/id"
+	"idea/internal/resolve"
+	"idea/internal/simnet"
+	"idea/internal/telemetry"
+)
+
+// RunEmulated drives the workload against an emulated cluster under
+// virtual time: the full op schedule is derived up front from the
+// config (open-loop only — Rate must be set; zero means 20 ops/sec),
+// scheduled via simnet.CallAt across all nodes, and the simulator is run
+// for Duration plus a drain window. Write latency is the writer-observed
+// detection delay in virtual time; resolve latency is the initiator-side
+// session duration. The cluster must already be built and Started.
+func RunEmulated(cfg Config, sim *simnet.Cluster, nodes map[id.NodeID]*core.Node, reg *telemetry.Registry) *Report {
+	cfg = cfg.withDefaults()
+	if cfg.Rate <= 0 {
+		cfg.Rate = 20
+	}
+	rec := newRecorder(reg)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fp := newFilePicker(rng, cfg.Files, cfg.ZipfSkew)
+
+	ids := make([]id.NodeID, 0, len(nodes))
+	for nid := range nodes {
+		ids = append(ids, nid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Track which detect tokens belong to workload writes, per node; the
+	// simulator is single-threaded, so plain maps suffice. A probe with
+	// no top-layer peers finalizes synchronously inside WriteTracked —
+	// before the issuing closure can mark its token — so early verdicts
+	// are parked by token until the issuer claims them.
+	issued := make(map[id.NodeID]map[int64]bool, len(nodes))
+	early := make(map[id.NodeID]map[int64]time.Duration, len(nodes))
+	// Restore every node's original hooks when the run ends so an
+	// embedder reusing the cluster does not keep feeding this run's
+	// maps and recorder (the live driver's uninstallHooks equivalent).
+	type hooks struct {
+		level   func(env.Env, id.FileID, detect.Result)
+		outcome func(env.Env, resolve.Outcome)
+	}
+	prev := make(map[id.NodeID]hooks, len(nodes))
+	defer func() {
+		for _, nid := range ids {
+			nodes[nid].OnLevel = prev[nid].level
+			nodes[nid].OnOutcome = prev[nid].outcome
+		}
+	}()
+	for _, nid := range ids {
+		nid := nid
+		n := nodes[nid]
+		issued[nid] = make(map[int64]bool)
+		early[nid] = make(map[int64]time.Duration)
+		prevLevel := n.OnLevel
+		prev[nid] = hooks{level: n.OnLevel, outcome: n.OnOutcome}
+		n.OnLevel = func(e env.Env, f id.FileID, res detect.Result) {
+			if prevLevel != nil {
+				prevLevel(e, f, res)
+			}
+			if issued[nid][res.Token] {
+				delete(issued[nid], res.Token)
+				rec.observe(OpWrite, res.Elapsed)
+			} else {
+				early[nid][res.Token] = res.Elapsed
+			}
+		}
+		prevOutcome := n.OnOutcome
+		n.OnOutcome = func(e env.Env, o resolve.Outcome) {
+			if prevOutcome != nil {
+				prevOutcome(e, o)
+			}
+			if o.Active && !o.Aborted {
+				rec.observe(OpResolve, o.Phase1+o.Phase2)
+			}
+		}
+	}
+
+	// Build the open-loop schedule: instants paced at Rate, linearly
+	// ramped over RampUp, each assigned a random node, op, and file.
+	base := sim.Elapsed()
+	payload := make([]byte, cfg.PayloadBytes)
+	for t := time.Duration(0); t < cfg.Duration; {
+		rate := cfg.Rate
+		if cfg.RampUp > 0 && t < cfg.RampUp {
+			frac := float64(t) / float64(cfg.RampUp)
+			if frac < 0.05 {
+				frac = 0.05
+			}
+			rate = cfg.Rate * frac
+		}
+		nid := ids[rng.Intn(len(ids))]
+		n := nodes[nid]
+		op := cfg.Mix.Pick(rng)
+		file := fp.pick()
+		switch op {
+		case OpWrite:
+			sim.CallAt(base+t, nid, func(e env.Env) {
+				_, token := n.WriteTracked(e, file, "load", payload, float64(len(payload)))
+				if el, ok := early[nid][token]; ok {
+					delete(early[nid], token)
+					rec.observe(OpWrite, el)
+					return
+				}
+				issued[nid][token] = true
+			})
+		case OpRead:
+			sim.CallAt(base+t, nid, func(e env.Env) {
+				n.Read(file)
+				rec.observe(OpRead, 0) // local, free under virtual time
+			})
+		case OpHint:
+			sim.CallAt(base+t, nid, func(e env.Env) {
+				n.SetHint(file, cfg.HintLevel)
+				rec.observe(OpHint, 0)
+			})
+		case OpResolve:
+			sim.CallAt(base+t, nid, func(e env.Env) {
+				n.DemandActiveResolution(e, file)
+			})
+		}
+		t += time.Duration(float64(time.Second) / rate)
+	}
+
+	// Run the schedule plus a drain window for in-flight verdicts.
+	sim.RunFor(cfg.Duration + 10*time.Second)
+	for _, nid := range ids {
+		if len(issued[nid]) > 0 {
+			rec.timeouts.Add(int64(len(issued[nid])))
+		}
+	}
+	return rec.report(cfg.Duration)
+}

@@ -1,0 +1,310 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idea/internal/core"
+	"idea/internal/detect"
+	"idea/internal/env"
+	"idea/internal/id"
+	"idea/internal/resolve"
+	"idea/internal/telemetry"
+)
+
+// Injector runs a function inside a node's event loop, serialized with
+// message handling — transport.Node and idea.LiveNode both satisfy it.
+type Injector interface {
+	Inject(fn func(env.Env))
+}
+
+// liveRun is the shared state of one RunLive invocation. Write latencies
+// are measured wall-clock from issue to the asynchronous detection
+// verdict, correlated by probe token through the node's OnLevel hook.
+type liveRun struct {
+	cfg     Config
+	n       *core.Node
+	inj     Injector
+	rec     *recorder
+	stopped atomic.Bool
+
+	mu      sync.Mutex
+	waiters map[int64]writeWait
+	// early holds verdicts that arrived before the issuing closure
+	// could register its waiter (a lone writer's probe finalizes
+	// synchronously inside WriteTracked).
+	early map[int64]struct{}
+
+	// prevLevel/prevOutcome are the node's original hooks, restored
+	// when the run ends so a long-lived embedder does not keep feeding
+	// the run's maps forever.
+	prevLevel   func(env.Env, id.FileID, detect.Result)
+	prevOutcome func(env.Env, resolve.Outcome)
+}
+
+type writeWait struct {
+	start time.Time
+	done  chan time.Duration // nil for open-loop writes
+}
+
+// RunLive drives the workload against a live node: ops are injected into
+// the node's event loop, so the driver coexists with real protocol
+// traffic. Closed-loop mode (Rate == 0) runs Workers issuers that each
+// wait for their write's detection verdict before continuing; open-loop
+// mode paces at Rate ops/sec (ramping over RampUp) without waiting.
+// Passing the node's own registry as reg exposes the run's latency
+// histograms on the node's /metrics surface; nil keeps them private.
+func RunLive(cfg Config, n *core.Node, inj Injector, reg *telemetry.Registry) *Report {
+	cfg = cfg.withDefaults()
+	lr := &liveRun{
+		cfg:     cfg,
+		n:       n,
+		inj:     inj,
+		rec:     newRecorder(reg),
+		waiters: make(map[int64]writeWait),
+		early:   make(map[int64]struct{}),
+	}
+	lr.installHooks()
+
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	if cfg.Rate > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lr.openLoop(deadline)
+		}()
+	} else {
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lr.closedWorker(w, deadline)
+			}(w)
+		}
+	}
+	wg.Wait()
+	lr.drain()
+	lr.stopped.Store(true)
+	lr.uninstallHooks()
+	return lr.rec.report(cfg.Duration)
+}
+
+// installHooks chains onto the node's OnLevel/OnOutcome callbacks from
+// inside the event loop (callback fields are event-loop state).
+func (lr *liveRun) installHooks() {
+	installed := make(chan struct{})
+	lr.inj.Inject(func(e env.Env) {
+		lr.prevLevel = lr.n.OnLevel
+		lr.n.OnLevel = func(e env.Env, f id.FileID, res detect.Result) {
+			if lr.prevLevel != nil {
+				lr.prevLevel(e, f, res)
+			}
+			lr.completeWrite(res.Token)
+		}
+		lr.prevOutcome = lr.n.OnOutcome
+		lr.n.OnOutcome = func(e env.Env, o resolve.Outcome) {
+			if lr.prevOutcome != nil {
+				lr.prevOutcome(e, o)
+			}
+			// Resolve latency is the initiator-side session duration.
+			if o.Active && !o.Aborted && !lr.stopped.Load() {
+				lr.rec.observe(OpResolve, o.Phase1+o.Phase2)
+			}
+		}
+		close(installed)
+	})
+	<-installed
+}
+
+// uninstallHooks restores the node's original callbacks so the run's
+// correlation maps stop accumulating once the report is cut. It waits
+// for the event loop to confirm, tolerating a node that shut down.
+func (lr *liveRun) uninstallHooks() {
+	restored := make(chan struct{})
+	lr.inj.Inject(func(e env.Env) {
+		lr.n.OnLevel = lr.prevLevel
+		lr.n.OnOutcome = lr.prevOutcome
+		close(restored)
+	})
+	select {
+	case <-restored:
+	case <-time.After(lr.cfg.OpTimeout):
+	}
+}
+
+func (lr *liveRun) completeWrite(token int64) {
+	lr.mu.Lock()
+	w, ok := lr.waiters[token]
+	if !ok {
+		// Verdict beat the registration (synchronous finalize); leave a
+		// marker so registerWrite completes immediately. Skip once the
+		// run is over so foreign detections cannot grow the map.
+		if !lr.stopped.Load() {
+			lr.early[token] = struct{}{}
+		}
+		lr.mu.Unlock()
+		return
+	}
+	delete(lr.waiters, token)
+	lr.mu.Unlock()
+	el := time.Since(w.start)
+	if !lr.stopped.Load() {
+		lr.rec.observe(OpWrite, el)
+	}
+	if w.done != nil {
+		w.done <- el
+	}
+}
+
+func (lr *liveRun) registerWrite(token int64, start time.Time, done chan time.Duration) {
+	lr.mu.Lock()
+	if _, ok := lr.early[token]; ok {
+		delete(lr.early, token)
+		lr.mu.Unlock()
+		el := time.Since(start)
+		if !lr.stopped.Load() {
+			lr.rec.observe(OpWrite, el)
+		}
+		if done != nil {
+			done <- el
+		}
+		return
+	}
+	lr.waiters[token] = writeWait{start: start, done: done}
+	lr.mu.Unlock()
+}
+
+// issueWrite injects one write; done non-nil makes it a closed-loop op.
+func (lr *liveRun) issueWrite(file id.FileID, done chan time.Duration) {
+	payload := make([]byte, lr.cfg.PayloadBytes)
+	start := time.Now()
+	lr.inj.Inject(func(e env.Env) {
+		_, token := lr.n.WriteTracked(e, file, "load", payload, float64(len(payload)))
+		lr.registerWrite(token, start, done)
+	})
+}
+
+// issueSync injects a local op (read/hint/resolve dispatch) and waits for
+// its event-loop execution, recording the issue-to-execution latency for
+// read and hint. Resolve latency is recorded separately via OnOutcome.
+func (lr *liveRun) issueSync(op Op, file id.FileID, wait bool) {
+	start := time.Now()
+	ran := make(chan struct{})
+	lr.inj.Inject(func(e env.Env) {
+		switch op {
+		case OpRead:
+			lr.n.Read(file)
+		case OpHint:
+			lr.n.SetHint(file, lr.cfg.HintLevel)
+		case OpResolve:
+			lr.n.DemandActiveResolution(e, file)
+		}
+		if op != OpResolve && !lr.stopped.Load() {
+			lr.rec.observe(op, time.Since(start))
+		}
+		close(ran)
+	})
+	if wait {
+		select {
+		case <-ran:
+		case <-time.After(lr.cfg.OpTimeout):
+		}
+	}
+}
+
+func (lr *liveRun) closedWorker(w int, deadline time.Time) {
+	if lr.cfg.RampUp > 0 && lr.cfg.Workers > 1 {
+		// Stagger worker starts across the ramp window.
+		time.Sleep(time.Duration(w) * lr.cfg.RampUp / time.Duration(lr.cfg.Workers))
+	}
+	rng := rand.New(rand.NewSource(lr.cfg.Seed + int64(w)*7919))
+	fp := newFilePicker(rng, lr.cfg.Files, lr.cfg.ZipfSkew)
+	for time.Now().Before(deadline) {
+		op := lr.cfg.Mix.Pick(rng)
+		file := fp.pick()
+		if op == OpWrite {
+			done := make(chan time.Duration, 1)
+			lr.issueWrite(file, done)
+			select {
+			case <-done:
+			case <-time.After(lr.cfg.OpTimeout):
+				lr.rec.timeouts.Inc()
+				lr.forgetWaiters()
+			}
+			continue
+		}
+		lr.issueSync(op, file, true)
+	}
+}
+
+// forgetWaiters drops timed-out write waiters so a late verdict does not
+// feed a stale channel.
+func (lr *liveRun) forgetWaiters() {
+	lr.mu.Lock()
+	for tok, w := range lr.waiters {
+		if time.Since(w.start) > lr.cfg.OpTimeout {
+			delete(lr.waiters, tok)
+		}
+	}
+	lr.mu.Unlock()
+}
+
+func (lr *liveRun) openLoop(deadline time.Time) {
+	rng := rand.New(rand.NewSource(lr.cfg.Seed))
+	fp := newFilePicker(rng, lr.cfg.Files, lr.cfg.ZipfSkew)
+	start := time.Now()
+	// Pace against an absolute schedule (next, not a fixed per-op
+	// sleep) so issue overhead does not make the achieved rate
+	// systematically undershoot the target.
+	next := start
+	for {
+		now := time.Now()
+		if !now.Before(deadline) {
+			return
+		}
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+			continue
+		}
+		rate := lr.cfg.Rate
+		if lr.cfg.RampUp > 0 && now.Sub(start) < lr.cfg.RampUp {
+			frac := float64(now.Sub(start)) / float64(lr.cfg.RampUp)
+			if frac < 0.05 {
+				frac = 0.05
+			}
+			rate = lr.cfg.Rate * frac
+		}
+		op := lr.cfg.Mix.Pick(rng)
+		file := fp.pick()
+		if op == OpWrite {
+			lr.issueWrite(file, nil)
+		} else {
+			lr.issueSync(op, file, false)
+		}
+		next = next.Add(time.Duration(float64(time.Second) / rate))
+		// Routine sleep overshoot self-corrects by issuing the backlog
+		// immediately; only a real stall (>1s behind) resets the
+		// schedule so it cannot turn into an unbounded burst.
+		if behind := time.Now(); next.Before(behind.Add(-time.Second)) {
+			next = behind
+		}
+	}
+}
+
+// drain waits (bounded by OpTimeout) for outstanding write verdicts so a
+// run's tail latencies are not silently discarded.
+func (lr *liveRun) drain() {
+	deadline := time.Now().Add(lr.cfg.OpTimeout)
+	for time.Now().Before(deadline) {
+		lr.mu.Lock()
+		n := len(lr.waiters)
+		lr.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

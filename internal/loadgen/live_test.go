@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"idea/internal/core"
+	"idea/internal/id"
+	"idea/internal/overlay"
+	"idea/internal/transport"
+)
+
+// liveCluster starts n real-TCP nodes on loopback with a pinned top
+// layer over file "f", mirroring idea.NewLiveNode's wiring.
+func liveCluster(t *testing.T, count int) ([]*core.Node, []*transport.Node) {
+	t.Helper()
+	all := make([]id.NodeID, count)
+	for i := range all {
+		all[i] = id.NodeID(i + 1)
+	}
+	mem := overlay.NewStatic(all, map[id.FileID][]id.NodeID{"f": all})
+	cores := make([]*core.Node, count)
+	tns := make([]*transport.Node, count)
+	for i, nid := range all {
+		n := core.NewNode(nid, core.Options{
+			Membership:    mem,
+			All:           all,
+			DisableRansub: true,
+			DisableGossip: true,
+		})
+		tn, err := transport.Listen(nid, "127.0.0.1:0", n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.AttachMetrics(n.Metrics())
+		cores[i] = n
+		tns[i] = tn
+	}
+	for i, tn := range tns {
+		for j, peer := range tns {
+			if i != j {
+				tn.AddPeer(all[j], peer.Addr())
+			}
+		}
+	}
+	for _, tn := range tns {
+		tn.Start()
+	}
+	t.Cleanup(func() {
+		for _, tn := range tns {
+			tn.Close()
+		}
+	})
+	return cores, tns
+}
+
+func TestRunLiveClosedLoop(t *testing.T) {
+	cores, tns := liveCluster(t, 3)
+	rep := RunLive(Config{
+		Seed:     1,
+		Duration: 1500 * time.Millisecond,
+		Workers:  2,
+		Mix:      Mix{Write: 8, Read: 2},
+		Files:    []id.FileID{"f"},
+	}, cores[0], tns[0], cores[0].Metrics())
+
+	w := rep.PerOp["write"]
+	if w.Count == 0 {
+		t.Fatalf("no writes completed: %+v", rep)
+	}
+	if w.P50 <= 0 || w.P99 < w.P50 {
+		t.Errorf("bad write percentiles: %+v", w)
+	}
+	if rep.OpsPerSec <= 0 {
+		t.Errorf("ops/sec = %v, want > 0", rep.OpsPerSec)
+	}
+	// The driver node's registry must now hold both the loadgen
+	// histograms and the detection round-trip the writes triggered.
+	snap := cores[0].Metrics().Snapshot()
+	if snap.Histograms["loadgen.write_seconds"].Count == 0 {
+		t.Error("loadgen.write_seconds missing from node registry")
+	}
+	if snap.Histograms["detect.roundtrip_seconds"].Count == 0 {
+		t.Error("detect.roundtrip_seconds never observed on driver node")
+	}
+	// Peer nodes answered detect requests over real TCP.
+	peerSnap := cores[1].Metrics().Snapshot()
+	if peerSnap.Counters["detect.peer_requests_total"] == 0 {
+		t.Error("peer never served a detect request")
+	}
+}
+
+func TestRunLiveOpenLoopWithRamp(t *testing.T) {
+	cores, tns := liveCluster(t, 2)
+	rep := RunLive(Config{
+		Seed:     2,
+		Duration: 1200 * time.Millisecond,
+		Rate:     200,
+		RampUp:   400 * time.Millisecond,
+		Files:    []id.FileID{"f"},
+	}, cores[0], tns[0], nil)
+	w := rep.PerOp["write"]
+	if w.Count == 0 {
+		t.Fatalf("no writes completed: %+v", rep)
+	}
+	// Ramp-up: the run must complete clearly fewer ops than the flat
+	// target (200/s * 1.2s = 240) yet a meaningful number of them.
+	if w.Count >= 240 {
+		t.Errorf("ramp had no effect: %d writes", w.Count)
+	}
+	if w.Count < 40 {
+		t.Errorf("too few writes for 200/s over 1.2s: %d", w.Count)
+	}
+}

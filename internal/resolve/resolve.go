@@ -28,6 +28,7 @@ import (
 	"idea/internal/id"
 	"idea/internal/overlay"
 	"idea/internal/store"
+	"idea/internal/telemetry"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -205,6 +206,37 @@ type Resolver struct {
 	Resolutions int
 	// Backoffs counts CFA-induced retreats.
 	Backoffs int
+
+	met resolveMetrics
+}
+
+// resolveMetrics are the telemetry handles for resolution sessions;
+// zero-value (nil) handles are no-ops.
+type resolveMetrics struct {
+	phase1     *telemetry.Histogram // call-for-attention duration
+	phase2     *telemetry.Histogram // collect/inform traversal duration
+	session    *telemetry.Histogram // end-to-end initiator-side duration
+	active     *telemetry.Counter   // user-demanded sessions completed
+	background *telemetry.Counter   // background sessions completed
+	backoffs   *telemetry.Counter   // CFA-induced retreats
+	aborted    *telemetry.Counter   // sessions abandoned to a competitor
+	skipped    *telemetry.Counter   // members skipped on visit timeout
+	informs    *telemetry.Counter   // member-side image adoptions
+}
+
+// AttachMetrics wires the resolver to a registry; call before Start.
+func (r *Resolver) AttachMetrics(reg *telemetry.Registry) {
+	r.met = resolveMetrics{
+		phase1:     reg.Histogram("resolve.phase1_seconds"),
+		phase2:     reg.Histogram("resolve.phase2_seconds"),
+		session:    reg.Histogram("resolve.session_seconds"),
+		active:     reg.Counter("resolve.active_total"),
+		background: reg.Counter("resolve.background_total"),
+		backoffs:   reg.Counter("resolve.backoffs_total"),
+		aborted:    reg.Counter("resolve.aborted_total"),
+		skipped:    reg.Counter("resolve.skipped_members_total"),
+		informs:    reg.Counter("resolve.informs_applied_total"),
+	}
 }
 
 // New creates a Resolver.
@@ -243,6 +275,7 @@ func (r *Resolver) Policy() Policy { return r.cfg.Policy }
 func (r *Resolver) RequestActive(e env.Env, file id.FileID) {
 	if _, busy := r.engaged[file]; busy {
 		r.Backoffs++
+		r.met.backoffs.Inc()
 		r.scheduleRetry(e, file)
 		return
 	}
@@ -438,6 +471,17 @@ func (r *Resolver) finish(e env.Env, s *session) {
 		delete(r.engaged, s.file)
 	}
 	r.Resolutions++
+	r.met.phase1.ObserveDuration(s.p1dur)
+	r.met.phase2.ObserveDuration(p2)
+	r.met.session.ObserveDuration(s.p1dur + p2)
+	if s.active {
+		r.met.active.Inc()
+	} else {
+		r.met.background.Inc()
+	}
+	if s.skipped > 0 {
+		r.met.skipped.Add(int64(s.skipped))
+	}
 	if r.onApplied != nil {
 		r.onApplied(e, s.file, winner)
 	}
@@ -616,6 +660,8 @@ func (r *Resolver) abort(e env.Env, s *session) {
 		delete(r.engaged, s.file)
 	}
 	r.Backoffs++
+	r.met.backoffs.Inc()
+	r.met.aborted.Inc()
 	if r.onOutcome != nil {
 		r.onOutcome(e, Outcome{Token: s.token, File: s.file, Active: s.active, Aborted: true})
 	}
@@ -644,6 +690,7 @@ func (r *Resolver) HandleCollectRequest(e env.Env, from id.NodeID, m wire.Collec
 
 // HandleInform adopts the consistent image and acknowledges.
 func (r *Resolver) HandleInform(e env.Env, from id.NodeID, m wire.Inform) {
+	r.met.informs.Inc()
 	rep := r.st.Open(m.File)
 	rep.AdoptImage(m.VV, m.Updates, r.invalidates())
 	if r.engaged[m.File] == m.Token {

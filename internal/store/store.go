@@ -11,9 +11,22 @@ import (
 	"sort"
 
 	"idea/internal/id"
+	"idea/internal/telemetry"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
+
+// storeMetrics are the telemetry handles shared by a store and its
+// replicas; zero-value (nil) handles are no-ops.
+type storeMetrics struct {
+	replicas    *telemetry.Gauge   // open replicas
+	logEntries  *telemetry.Gauge   // applied updates across replicas
+	checkpoints *telemetry.Gauge   // live checkpoints across replicas
+	applied     *telemetry.Counter // updates applied (local + remote)
+	invalidated *telemetry.Counter // updates dropped by invalidation
+	rollbacks   *telemetry.Counter // checkpoint rollbacks executed
+	undone      *telemetry.Counter // updates undone by rollbacks
+}
 
 // Replica is one node's copy of one shared file: the applied update log
 // and the extended version vector describing it.
@@ -27,6 +40,8 @@ type Replica struct {
 
 	// checkpoint support (§4.4.2 rollback)
 	checkpoints []checkpoint
+
+	met storeMetrics
 }
 
 type checkpoint struct {
@@ -93,6 +108,8 @@ func (r *Replica) apply(u wire.Update) {
 	r.log = append(r.log, u)
 	r.seen[u.Key()] = true
 	r.vec.Tick(u.Writer, u.At, u.Meta)
+	r.met.logEntries.Add(1)
+	r.met.applied.Inc()
 }
 
 // ApplyAll integrates a batch, returning how many were new.
@@ -135,6 +152,7 @@ func (r *Replica) Checkpoint(token int64) {
 		logLen: len(r.log),
 		vec:    r.vec.Clone(),
 	})
+	r.met.checkpoints.Add(1)
 }
 
 // Rollback reverts the replica to the checkpoint with the given token and
@@ -156,7 +174,11 @@ func (r *Replica) Rollback(token int64) ([]wire.Update, error) {
 		// A rolled-back local write must not leave a gap in the
 		// writer's own sequence numbers.
 		r.nextSeq = r.vec.Count(r.Owner)
+		r.met.checkpoints.Add(-int64(len(r.checkpoints) - i))
 		r.checkpoints = r.checkpoints[:i]
+		r.met.logEntries.Add(-int64(len(undone)))
+		r.met.rollbacks.Inc()
+		r.met.undone.Add(int64(len(undone)))
 		return undone, nil
 	}
 	return nil, fmt.Errorf("store: unknown checkpoint %d for %v", token, r.File)
@@ -168,6 +190,7 @@ func (r *Replica) DropCheckpoint(token int64) {
 	for i, cp := range r.checkpoints {
 		if cp.token == token {
 			r.checkpoints = append(r.checkpoints[:i], r.checkpoints[i+1:]...)
+			r.met.checkpoints.Add(-1)
 			return
 		}
 	}
@@ -195,6 +218,8 @@ func (r *Replica) AdoptImage(adoptVec *vv.Vector, updates []wire.Update, invalid
 			}
 		}
 		r.log = kept
+		r.met.logEntries.Add(-int64(invalidated))
+		r.met.invalidated.Add(int64(invalidated))
 		if invalidated > 0 {
 			// Rebuild the vector from the surviving log.
 			nv := vv.New()
@@ -213,11 +238,32 @@ func (r *Replica) AdoptImage(adoptVec *vv.Vector, updates []wire.Update, invalid
 type Store struct {
 	owner    id.NodeID
 	replicas map[id.FileID]*Replica
+	met      storeMetrics
 }
 
 // New returns an empty store for node owner.
 func New(owner id.NodeID) *Store {
 	return &Store{owner: owner, replicas: make(map[id.FileID]*Replica)}
+}
+
+// AttachMetrics wires the store (and every replica, current and future)
+// to a registry, exporting log/checkpoint sizes and update flow.
+func (s *Store) AttachMetrics(reg *telemetry.Registry) {
+	s.met = storeMetrics{
+		replicas:    reg.Gauge("store.replicas"),
+		logEntries:  reg.Gauge("store.log_entries"),
+		checkpoints: reg.Gauge("store.checkpoints"),
+		applied:     reg.Counter("store.updates_applied_total"),
+		invalidated: reg.Counter("store.updates_invalidated_total"),
+		rollbacks:   reg.Counter("store.rollbacks_total"),
+		undone:      reg.Counter("store.undone_updates_total"),
+	}
+	for _, r := range s.replicas {
+		r.met = s.met
+		s.met.replicas.Add(1)
+		s.met.logEntries.Add(int64(len(r.log)))
+		s.met.checkpoints.Add(int64(len(r.checkpoints)))
+	}
 }
 
 // Open returns the replica of file, creating it on first access — the
@@ -227,7 +273,9 @@ func (s *Store) Open(file id.FileID) *Replica {
 	r, ok := s.replicas[file]
 	if !ok {
 		r = NewReplica(file, s.owner)
+		r.met = s.met
 		s.replicas[file] = r
+		s.met.replicas.Add(1)
 	}
 	return r
 }

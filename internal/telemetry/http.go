@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Handler serves the admin surface for a registry:
+//
+//	GET /metrics  — full Snapshot as JSON
+//	GET /healthz  — "ok" (200) while the process is up
+//
+// It is mounted by cmd/idea-node's -admin flag and usable by any other
+// embedder.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// AdminServer is a running admin HTTP listener.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin binds addr and serves Handler(reg) on it until Close.
+func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return &AdminServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address.
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the listener.
+func (a *AdminServer) Close() error { return a.srv.Close() }

@@ -1,0 +1,360 @@
+// Package telemetry is a dependency-free metrics subsystem for IDEA
+// nodes: atomic counters, gauges, and fixed-bucket latency histograms
+// behind a named Registry with a cheap Snapshot() export. Protocol code
+// records into metric handles obtained once at wiring time; a nil handle
+// is a no-op, so subsystems instrument unconditionally and pay nothing
+// when no registry is attached. All operations are safe for concurrent
+// use — the live transport records from several goroutines while the
+// admin endpoint snapshots.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count; zero on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time level (queue depth, log length, …).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on a nil receiver (no-op).
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by n. Safe on a nil receiver (no-op).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current level; zero on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates observations into fixed exponential buckets.
+// Observations are float64s; for latencies the convention is seconds
+// (use ObserveDuration). Quantiles are estimated by linear interpolation
+// within the containing bucket, which is accurate to the bucket growth
+// factor (~1.3x here) — plenty for p50/p95/p99 reporting.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; len(buckets) == len(bounds)+1
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits accumulated via CAS
+	min    atomic.Uint64 // float64 bits
+	max    atomic.Uint64 // float64 bits
+}
+
+// DefaultLatencyBounds covers 50µs .. ~80s with ~1.3x growth — wide
+// enough for a local frame encode and a WAN resolution session alike.
+func DefaultLatencyBounds() []float64 {
+	var out []float64
+	for v := 50e-6; v < 80; v *= 1.3 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds;
+// nil bounds mean DefaultLatencyBounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds()
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.min.Load()
+		if v >= math.Float64frombits(old) || h.min.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records d in seconds. Safe on a nil receiver (no-op).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns total observations; zero on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the accumulated total; zero on a nil receiver.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns Sum/Count, or zero with no observations.
+func (h *Histogram) Mean() float64 {
+	if n := h.Count(); n > 0 {
+		return h.Sum() / float64(n)
+	}
+	return 0
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the buckets. With
+// no observations it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		lo, hi := h.bucketSpan(i)
+		// Clamp interpolation to the observed extremes so a single
+		// observation reports its own value, not a bucket edge.
+		frac := (rank - cum) / n
+		v := lo + frac*(hi-lo)
+		if min := math.Float64frombits(h.min.Load()); v < min {
+			v = min
+		}
+		if max := math.Float64frombits(h.max.Load()); v > max {
+			v = max
+		}
+		return v
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+func (h *Histogram) bucketSpan(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, h.bounds[0]
+	}
+	if i == len(h.bounds) {
+		hi = math.Float64frombits(h.max.Load())
+		return h.bounds[len(h.bounds)-1], hi
+	}
+	return h.bounds[i-1], h.bounds[i]
+}
+
+// ---- Registry ----
+
+// Registry is a named collection of metrics. Lookup-or-create is
+// mutex-guarded; the returned handles record lock-free, so subsystems
+// resolve their handles once at wiring time and stay on the fast path.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns nil (whose methods are no-ops).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the default
+// latency buckets on first use. A nil registry returns nil.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWith(name, nil)
+}
+
+// HistogramWith returns the named histogram, creating it with the given
+// bucket bounds on first use (nil bounds mean DefaultLatencyBounds; an
+// existing histogram keeps its original buckets). A nil registry returns
+// nil.
+func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// LevelBounds is a linear 0..1 bucket layout (step 0.02) for consistency
+// -level histograms.
+func LevelBounds() []float64 {
+	out := make([]float64, 0, 50)
+	for v := 0.02; v < 1.0; v += 0.02 {
+		out = append(out, v)
+	}
+	return append(out, 1)
+}
+
+// HistogramSnap is one histogram's exported summary.
+type HistogramSnap struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot is a consistent-enough copy of every metric, cheap to take
+// and JSON-friendly — the /metrics payload.
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]int64         `json:"gauges"`
+	Histograms map[string]HistogramSnap `json:"histograms"`
+}
+
+// Snapshot exports every metric. A nil registry exports empty maps.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnap{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.counts {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		hs := HistogramSnap{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+		if hs.Count > 0 {
+			hs.Max = math.Float64frombits(h.max.Load())
+		}
+		s.Histograms[n] = hs
+	}
+	return s
+}

@@ -3,9 +3,17 @@
 // real TCP connections. Frames are length-prefixed gob envelopes; each
 // node serializes all handler callbacks through one event loop, preserving
 // the single-threaded execution model protocol code relies on.
+//
+// Outbound traffic is decoupled from the event loop: every peer gets a
+// bounded frame queue drained by a dedicated writer goroutine that dials
+// lazily and redials with exponential backoff, so a peer that starts late
+// or restarts becomes reachable as soon as it is up, and a slow peer can
+// never stall the protocol (its queue fills and overflow frames are
+// dropped, which the protocol's timeouts already tolerate).
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -18,12 +26,23 @@ import (
 
 	"idea/internal/env"
 	"idea/internal/id"
+	"idea/internal/telemetry"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
 
 // MaxFrame bounds a single message frame (16 MiB).
 const MaxFrame = 16 << 20
+
+const (
+	// sendQueue bounds the per-peer outbound frame queue.
+	sendQueue = 4096
+	// dialTimeout bounds one dial attempt.
+	dialTimeout = 3 * time.Second
+	// backoffMin/backoffMax bound the exponential redial backoff.
+	backoffMin = 50 * time.Millisecond
+	backoffMax = 3 * time.Second
+)
 
 type eventKind int
 
@@ -43,6 +62,20 @@ type event struct {
 	call func(env.Env)
 }
 
+// transportMetrics are the telemetry handles for the frame hot path;
+// zero-value (nil) handles are no-ops.
+type transportMetrics struct {
+	encode    *telemetry.Histogram // envelope gob-encode duration
+	decode    *telemetry.Histogram // envelope gob-decode duration
+	framesOut *telemetry.Counter
+	bytesOut  *telemetry.Counter
+	framesIn  *telemetry.Counter
+	bytesIn   *telemetry.Counter
+	dropped   *telemetry.Counter // frames dropped on a full peer queue
+	connects  *telemetry.Counter // successful outbound dials
+	retries   *telemetry.Counter // failed dial attempts
+}
+
 // Node is one live IDEA process. Create it with Listen, register peers
 // with AddPeer, then call Start.
 type Node struct {
@@ -54,11 +87,16 @@ type Node struct {
 
 	events chan event
 	done   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
 	closed sync.Once
+
+	reg *telemetry.Registry
+	met transportMetrics
 
 	mu    sync.Mutex
 	peers map[id.NodeID]string
-	conns map[id.NodeID]*peerConn
+	links map[id.NodeID]*peerLink
 	// inbound tracks accepted connections so Close can unblock their
 	// read loops; without this, Close deadlocks waiting for readLoops
 	// whose remote end is still open.
@@ -67,9 +105,43 @@ type Node struct {
 	wg sync.WaitGroup
 }
 
-type peerConn struct {
-	c  net.Conn
-	mu sync.Mutex // serializes frame writes
+// peerLink is the outbound side of one peer: a bounded frame queue
+// drained by a writer goroutine that owns the connection and its redial
+// backoff. The current connection is also tracked under mu so Close can
+// sever a writer blocked mid-write on a stalled peer.
+type peerLink struct {
+	nid   id.NodeID
+	out   chan []byte
+	depth *telemetry.Gauge
+
+	mu     sync.Mutex
+	c      net.Conn
+	closed bool
+}
+
+// setConn records the writer's current connection; it reports false —
+// closing c — when the link was already severed by Close, so a dial
+// that raced past cancellation cannot outlive shutdown.
+func (l *peerLink) setConn(c net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		if c != nil {
+			c.Close()
+		}
+		return false
+	}
+	l.c = c
+	return true
+}
+
+func (l *peerLink) closeConn() {
+	l.mu.Lock()
+	l.closed = true
+	if l.c != nil {
+		l.c.Close()
+	}
+	l.mu.Unlock()
 }
 
 // Listen binds addr and returns a Node ready to Start. Pass logger nil to
@@ -80,6 +152,7 @@ func Listen(nid id.NodeID, addr string, h env.Handler, logger *log.Logger) (*Nod
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Node{
 		id:      nid,
 		h:       h,
@@ -88,20 +161,51 @@ func Listen(nid id.NodeID, addr string, h env.Handler, logger *log.Logger) (*Nod
 		logger:  logger,
 		events:  make(chan event, 1024),
 		done:    make(chan struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
 		peers:   make(map[id.NodeID]string),
-		conns:   make(map[id.NodeID]*peerConn),
+		links:   make(map[id.NodeID]*peerLink),
 		inbound: make(map[net.Conn]struct{}),
 	}, nil
+}
+
+// AttachMetrics wires the transport to a registry; call before Start.
+func (n *Node) AttachMetrics(reg *telemetry.Registry) {
+	n.reg = reg
+	n.met = transportMetrics{
+		encode:    reg.Histogram("transport.encode_seconds"),
+		decode:    reg.Histogram("transport.decode_seconds"),
+		framesOut: reg.Counter("transport.frames_sent_total"),
+		bytesOut:  reg.Counter("transport.bytes_sent_total"),
+		framesIn:  reg.Counter("transport.frames_received_total"),
+		bytesIn:   reg.Counter("transport.bytes_received_total"),
+		dropped:   reg.Counter("transport.dropped_frames_total"),
+		connects:  reg.Counter("transport.connects_total"),
+		retries:   reg.Counter("transport.dial_retries_total"),
+	}
 }
 
 // Addr returns the bound listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
-// AddPeer records where a peer can be dialed.
+// AddPeer records where a peer can be dialed. Re-adding a peer updates
+// the address used on the next (re)dial.
 func (n *Node) AddPeer(nid id.NodeID, addr string) {
 	n.mu.Lock()
 	n.peers[nid] = addr
 	n.mu.Unlock()
+}
+
+// QueueDepth returns the current outbound queue length for a peer (zero
+// when no link exists yet) — exposed for tests and diagnostics; the same
+// value feeds the transport.queue_depth.<id> gauge.
+func (n *Node) QueueDepth(nid id.NodeID) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.links[nid]; ok {
+		return len(l.out)
+	}
+	return 0
 }
 
 // Start launches the accept and event loops and delivers Handler.Start.
@@ -126,13 +230,17 @@ func (n *Node) Inject(fn func(env.Env)) {
 func (n *Node) Close() error {
 	n.closed.Do(func() {
 		close(n.done)
+		n.cancel()
 		n.ln.Close()
 		n.mu.Lock()
-		for _, pc := range n.conns {
-			pc.c.Close()
-		}
 		for c := range n.inbound {
 			c.Close()
+		}
+		// Sever outbound connections too: a writer blocked in
+		// writeFrame on a stalled peer must be unblocked or wg.Wait
+		// hangs forever.
+		for _, l := range n.links {
+			l.closeConn()
 		}
 		n.mu.Unlock()
 	})
@@ -199,11 +307,15 @@ func (n *Node) readLoop(c net.Conn) {
 			}
 			return
 		}
+		t0 := time.Now()
 		envl, err := wire.Decode(frame)
 		if err != nil {
 			n.logf("decode: %v", err)
 			return
 		}
+		n.met.decode.ObserveDuration(time.Since(t0))
+		n.met.framesIn.Inc()
+		n.met.bytesIn.Add(int64(len(frame)) + 4)
 		select {
 		case n.events <- event{kind: evRecv, from: envl.From, msg: envl.Msg}:
 		case <-n.done:
@@ -212,65 +324,149 @@ func (n *Node) readLoop(c net.Conn) {
 	}
 }
 
+// send encodes the message and enqueues the frame onto the peer's link.
+// It never blocks on the network: a full queue drops the frame (counted),
+// matching the lossy-delivery contract protocol code already handles.
 func (n *Node) send(to id.NodeID, msg env.Message) {
 	wm, ok := msg.(wire.Message)
 	if !ok {
 		n.logf("send: message %T is not a wire.Message", msg)
 		return
 	}
+	t0 := time.Now()
 	frame, err := wire.Encode(wire.Envelope{From: n.id, To: to, Msg: wm})
 	if err != nil {
 		n.logf("send: %v", err)
 		return
 	}
-	pc, err := n.conn(to)
+	n.met.encode.ObserveDuration(time.Since(t0))
+	l, err := n.link(to)
 	if err != nil {
-		n.logf("dial %v: %v", to, err)
+		n.logf("send %v: %v", to, err)
 		return
 	}
-	pc.mu.Lock()
-	err = writeFrame(pc.c, frame)
-	pc.mu.Unlock()
-	if err != nil {
-		n.logf("write %v: %v", to, err)
-		n.dropConn(to, pc)
+	select {
+	case l.out <- frame:
+		l.depth.Set(int64(len(l.out)))
+	default:
+		n.met.dropped.Inc()
+		n.logf("send %v: queue full, dropping %s", to, wm.Kind())
 	}
 }
 
-func (n *Node) conn(to id.NodeID) (*peerConn, error) {
+// link returns (creating on first use) the outbound link for a peer and
+// launches its writer goroutine.
+func (n *Node) link(to id.NodeID) (*peerLink, error) {
 	n.mu.Lock()
-	if pc, ok := n.conns[to]; ok {
-		n.mu.Unlock()
-		return pc, nil
+	defer n.mu.Unlock()
+	if l, ok := n.links[to]; ok {
+		return l, nil
 	}
-	addr, ok := n.peers[to]
-	n.mu.Unlock()
-	if !ok {
+	if _, ok := n.peers[to]; !ok {
 		return nil, fmt.Errorf("transport: unknown peer %v", to)
 	}
-	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, err
+	l := &peerLink{
+		nid:   to,
+		out:   make(chan []byte, sendQueue),
+		depth: n.reg.Gauge(fmt.Sprintf("transport.queue_depth.%v", to)),
 	}
-	pc := &peerConn{c: c}
-	n.mu.Lock()
-	if existing, ok := n.conns[to]; ok {
-		n.mu.Unlock()
-		c.Close()
-		return existing, nil
-	}
-	n.conns[to] = pc
-	n.mu.Unlock()
-	return pc, nil
+	n.links[to] = l
+	n.wg.Add(1)
+	go n.writerLoop(l)
+	return l, nil
 }
 
-func (n *Node) dropConn(to id.NodeID, pc *peerConn) {
+func (n *Node) peerAddr(nid id.NodeID) (string, bool) {
 	n.mu.Lock()
-	if n.conns[to] == pc {
-		delete(n.conns, to)
+	defer n.mu.Unlock()
+	addr, ok := n.peers[nid]
+	return addr, ok
+}
+
+// writerLoop owns one peer's connection: it dials on demand, redials
+// with exponential backoff (jittered, capped), and drains the frame
+// queue. A frame that fails mid-write is retried on the next connection
+// rather than lost.
+func (n *Node) writerLoop(l *peerLink) {
+	defer n.wg.Done()
+	var c net.Conn
+	var pending []byte
+	backoff := backoffMin
+	defer func() {
+		if c != nil {
+			c.Close()
+		}
+		l.setConn(nil)
+	}()
+	for {
+		if c == nil {
+			addr, ok := n.peerAddr(l.nid)
+			if !ok {
+				return // link without address cannot exist; defensive
+			}
+			dctx, dcancel := context.WithTimeout(n.ctx, dialTimeout)
+			var d net.Dialer
+			cc, err := d.DialContext(dctx, "tcp", addr)
+			dcancel()
+			if err != nil {
+				select {
+				case <-n.done:
+					return
+				default:
+				}
+				n.met.retries.Inc()
+				n.logf("dial %v: %v (retry in %v)", l.nid, err, backoff)
+				select {
+				case <-time.After(jitter(backoff)):
+				case <-n.done:
+					return
+				}
+				backoff *= 2
+				if backoff > backoffMax {
+					backoff = backoffMax
+				}
+				continue
+			}
+			if !l.setConn(cc) {
+				return // node closed while the dial was in flight
+			}
+			c = cc
+			backoff = backoffMin
+			n.met.connects.Inc()
+		}
+		if pending == nil {
+			select {
+			case pending = <-l.out:
+				l.depth.Set(int64(len(l.out)))
+			case <-n.done:
+				return
+			}
+		}
+		if err := writeFrame(c, pending); err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			n.logf("write %v: %v (reconnecting)", l.nid, err)
+			c.Close()
+			c = nil
+			l.setConn(nil)
+			continue // redial and retry the same frame
+		}
+		n.met.framesOut.Inc()
+		n.met.bytesOut.Add(int64(len(pending)) + 4)
+		pending = nil
 	}
-	n.mu.Unlock()
-	pc.c.Close()
+}
+
+// jitter spreads a backoff delay over [d/2, d) so peers restarting
+// together do not redial in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
 }
 
 func (n *Node) logf(format string, args ...any) {
@@ -325,8 +521,8 @@ func (e *liveEnv) Stamp() vv.Stamp { return vv.Stamp(time.Now().UnixNano()) }
 // Rand implements env.Env.
 func (e *liveEnv) Rand() *rand.Rand { return e.n.rng }
 
-// Send implements env.Env; the write happens on the caller's goroutine but
-// only frames the socket, never re-enters the handler.
+// Send implements env.Env; it encodes on the caller's goroutine and
+// enqueues onto the peer's writer, never blocking on the network.
 func (e *liveEnv) Send(to id.NodeID, msg env.Message) { e.n.send(to, msg) }
 
 // After implements env.Env using a real timer that re-enters the event

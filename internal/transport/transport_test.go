@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -208,4 +209,47 @@ func TestSendToUnknownPeerDoesNotPanic(t *testing.T) {
 	n1, _, _, _ := startPair(t)
 	n1.Inject(func(e env.Env) { e.Send(99, wire.CFACancel{Token: 1}) })
 	time.Sleep(20 * time.Millisecond)
+}
+
+// TestReconnectToLateStartingPeer is the regression test for the
+// single-dial-attempt bug: a peer whose address is known but who has not
+// started listening yet must become reachable once it comes up, via the
+// writer's backoff redial — not stay unreachable forever.
+func TestReconnectToLateStartingPeer(t *testing.T) {
+	// Reserve an address for the late peer, then free it.
+	rsv, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateAddr := rsv.Addr().String()
+	rsv.Close()
+
+	h1 := &collector{}
+	n1, err := Listen(1, "127.0.0.1:0", h1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1.AddPeer(2, lateAddr)
+	n1.Start()
+	t.Cleanup(func() { n1.Close() })
+
+	// Send while peer 2 is down: the frame queues and the writer
+	// starts its dial/backoff loop.
+	n1.Inject(func(e env.Env) { e.Send(2, wire.CollectRequest{File: "f", Token: 7}) })
+	time.Sleep(150 * time.Millisecond) // let at least one dial fail
+
+	h2 := &collector{}
+	n2, err := Listen(2, lateAddr, h2, nil)
+	if err != nil {
+		t.Fatalf("late peer could not bind reserved addr: %v", err)
+	}
+	n2.AddPeer(1, n1.Addr())
+	n2.Start()
+	t.Cleanup(func() { n2.Close() })
+
+	msgs := h2.waitMsgs(t, 1)
+	got, ok := msgs[0].(wire.CollectRequest)
+	if !ok || got.Token != 7 {
+		t.Fatalf("late peer got %#v, want the queued CollectRequest", msgs[0])
+	}
 }
