@@ -11,11 +11,115 @@ package idea_test
 // tables and series.
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
 	"testing"
 	"time"
 
 	"idea/internal/experiments"
+	"idea/internal/id"
+	"idea/internal/store"
+	"idea/internal/vv"
+	"idea/internal/wire"
 )
+
+// linearMissingFrom is the seed's O(total·log total) anti-entropy shape —
+// full log scan plus sort — kept only as the reference the indexed
+// implementation is measured against.
+func linearMissingFrom(log []wire.Update, remote *vv.Vector) []wire.Update {
+	var out []wire.Update
+	for _, u := range log {
+		if u.Seq > remote.Count(u.Writer) {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Writer != out[j].Writer {
+			return out[i].Writer < out[j].Writer
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// BenchmarkCoreBaseline measures the bounded-state headline numbers — the
+// gossip digest wire size and Replica.MissingFrom cost at 50k updates per
+// replica, plus the speedup over the seed's full-scan anti-entropy — and
+// writes them to BENCH_core.json so the perf trajectory is tracked in CI:
+//
+//	go test -run '^$' -bench CoreBaseline -benchtime 100x .
+func BenchmarkCoreBaseline(b *testing.B) {
+	const (
+		updates = 50_000
+		writers = 4
+		missing = 4 // per-writer suffix the remote lacks
+	)
+	rep := store.NewReplica("bench", 1)
+	seqs := make(map[id.NodeID]int, writers)
+	for i := 0; i < updates; i++ {
+		w := id.NodeID(i%writers + 2)
+		seqs[w]++
+		rep.Apply(wire.Update{File: "bench", Writer: w, Seq: seqs[w], At: vv.Stamp(i+1) * 1e6})
+	}
+	remote := rep.Vector()
+	for w, n := range seqs {
+		remote.TruncateWriter(w, n-missing)
+	}
+
+	// Digest wire size on a persistent gob stream: with bounded vector
+	// windows this is flat in total update count.
+	sizer := wire.NewSizer()
+	digest := wire.GossipDigest{File: "bench", Origin: 1, Round: 1, TTL: 3, VV: rep.Vector().Trimmed(8)}
+	digestBytes := sizer.Size(wire.Envelope{From: 1, To: 2, Msg: digest})
+
+	var got []wire.Update
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got = rep.MissingFrom(remote)
+	}
+	b.StopTimer()
+	if len(got) != writers*missing {
+		b.Fatalf("missing = %d, want %d", len(got), writers*missing)
+	}
+	indexedNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+
+	// Reference: the seed's full-scan shape on the same data, sampled for
+	// a fixed wall budget (it is orders of magnitude slower).
+	log := rep.Log()
+	legacyRounds := 0
+	legacyStart := time.Now()
+	for time.Since(legacyStart) < 50*time.Millisecond {
+		linearMissingFrom(log, remote)
+		legacyRounds++
+	}
+	legacyNs := float64(time.Since(legacyStart).Nanoseconds()) / float64(legacyRounds)
+
+	b.ReportMetric(float64(digestBytes), "digest-bytes")
+	b.ReportMetric(indexedNs, "missingfrom-ns")
+	b.ReportMetric(legacyNs/indexedNs, "speedup-x")
+
+	baseline := map[string]any{
+		"updates_per_replica":       updates,
+		"writers":                   writers,
+		"missing_per_writer":        missing,
+		"vv_window":                 vv.DefaultWindow,
+		"digest_stamps":             8,
+		"digest_encode_bytes":       digestBytes,
+		"missing_from_ns_indexed":   indexedNs,
+		"missing_from_ns_full_scan": legacyNs,
+		"missing_from_speedup_x":    legacyNs / indexedNs,
+		"go":                        runtime.Version(),
+	}
+	data, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_core.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
 
 // BenchmarkFig7aHint95 regenerates Fig. 7(a): 40 nodes, 4 writers,
 // updates every 5 s for 100 s, hint level 95 %.

@@ -42,12 +42,14 @@ func main() {
 	allFlag := flag.String("all", "", "comma-separated node IDs of the full deployment")
 	top := flag.String("top", "", "comma-separated file=ids top-layer pins, e.g. board=1,2;log=2,3")
 	admin := flag.String("admin", "", "serve /metrics + /healthz on this address")
+	compact := flag.Bool("compact-logs", false, "prune replica logs below the gossip-learned stability frontier (reads then serve only the live suffix)")
 	verbose := flag.Bool("v", false, "verbose transport logging")
 	flag.Parse()
 
 	cfg := idea.LiveNodeConfig{
-		Self:   idea.NodeID(*idFlag),
-		Listen: *listen,
+		Self:        idea.NodeID(*idFlag),
+		Listen:      *listen,
+		CompactLogs: *compact,
 	}
 	if *verbose {
 		cfg.Logger = log.New(os.Stderr, "idea-node ", log.LstdFlags|log.Lmicroseconds)

@@ -237,6 +237,11 @@ type LiveNodeConfig struct {
 	All []NodeID
 	// TopLayers optionally pins per-file top layers (nil → RanSub).
 	TopLayers map[FileID][]NodeID
+	// CompactLogs enables log compaction below the gossip-learned
+	// stability frontier (see core.Options.CompactStableLogs): bounded
+	// per-file memory, at the cost of reads only serving the live log
+	// suffix. Leave off for apps that replay the log as file content.
+	CompactLogs bool
 	// Logger receives transport diagnostics (nil = silent).
 	Logger *log.Logger
 }
@@ -255,9 +260,10 @@ func NewLiveNode(cfg LiveNodeConfig) (*LiveNode, error) {
 		mem = overlay.NewStatic(cfg.All, cfg.TopLayers)
 	}
 	n := core.NewNode(cfg.Self, Options{
-		Membership:    mem,
-		All:           cfg.All,
-		DisableRansub: cfg.TopLayers != nil,
+		Membership:        mem,
+		All:               cfg.All,
+		DisableRansub:     cfg.TopLayers != nil,
+		CompactStableLogs: cfg.CompactLogs,
 	})
 	tn, err := transport.Listen(cfg.Self, cfg.Listen, n, cfg.Logger)
 	if err != nil {

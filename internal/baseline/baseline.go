@@ -123,15 +123,26 @@ func (o *Optimistic) noteConflict(e env.Env, file id.FileID, peer id.NodeID, for
 	if o.OnConflict == nil {
 		return
 	}
-	// Age of the foreign updates we had not seen: detection delay.
+	// Age of the foreign updates we had not seen: detection delay. The
+	// whole compacted gap collapses to the foreign watermark — an upper
+	// bound, so the delay is never over-reported — and the loop walks
+	// only the bounded in-window suffix, never total history.
 	local := o.st.Open(file).Vector()
 	var oldest vv.Stamp
+	note := func(s vv.Stamp) {
+		if s > 0 && (oldest == 0 || s < oldest) {
+			oldest = s
+		}
+	}
 	for n, fe := range foreign.Entries {
-		lc := local.Count(n)
-		for i := lc; i < len(fe.Stamps); i++ {
-			if oldest == 0 || fe.Stamps[i] < oldest {
-				oldest = fe.Stamps[i]
-			}
+		start := local.Count(n)
+		if fe.Base > start {
+			note(fe.Watermark)
+			start = fe.Base
+		}
+		for i := start; i < fe.Count; i++ {
+			s, _ := fe.StampAt(i)
+			note(s)
 		}
 	}
 	since := time.Duration(0)

@@ -84,6 +84,15 @@ type Options struct {
 	// DisableRollback turns off the §4.4.2 rollback reaction to
 	// bottom-layer discrepancies (alerts still fire).
 	DisableRollback bool
+	// CompactStableLogs prunes replica logs below the gossip-learned
+	// stability frontier, bounding per-file memory by divergence instead
+	// of total history. Off by default: reads serve the live log, so
+	// applications that reconstruct file content by replaying it (the
+	// bundled white board, booking, and p2pfs apps do) would lose
+	// content to pruning. Enable it when the log is consumed as a
+	// change feed or content snapshots live with the application —
+	// e.g. sustained loadgen deployments.
+	CompactStableLogs bool
 	// Metrics is the telemetry registry every subsystem records into;
 	// nil creates a fresh per-node registry (always available via
 	// Node.Metrics).
@@ -215,6 +224,18 @@ func NewNode(self id.NodeID, opts Options) *Node {
 			n.det.HandleGossipReport(e, rep)
 		})
 		n.gos.AttachMetrics(n.reg)
+		if opts.CompactStableLogs {
+			// Bottom-layer digests double as a stability signal: once
+			// every peer is known to hold (and can no longer roll back
+			// below) a writer's prefix, the replica log below that
+			// frontier is compacted away — long-running nodes keep
+			// per-file state bounded by divergence, not total history.
+			n.gos.OnFrontier(func(_ env.Env, f id.FileID, stable map[id.NodeID]int) {
+				if r := n.st.Peek(f); r != nil {
+					r.CompactBelow(stable)
+				}
+			})
+		}
 	}
 	return n
 }
@@ -230,6 +251,16 @@ func (g gossipState) LocalVector(f id.FileID) *vv.Vector {
 }
 
 func (g gossipState) ActiveFiles() []id.FileID { return g.n.st.Files() }
+
+// StableCounts implements gossip.StableState: digests advertise the
+// replica's rollback floor, so no peer compacts an update this node could
+// still re-need after a §4.4.2 rollback.
+func (g gossipState) StableCounts(f id.FileID) map[id.NodeID]int {
+	if r := g.n.st.Peek(f); r != nil {
+		return r.StableCounts()
+	}
+	return nil
+}
 
 // ID returns the node's identifier.
 func (n *Node) ID() id.NodeID { return n.self }

@@ -31,6 +31,16 @@ type Config struct {
 	// more of the bottom layer per round at higher cost — the
 	// accuracy/responsiveness trade-off the paper calls out.
 	TTL int
+	// DigestStamps bounds the per-writer stamp window shipped in each
+	// digest; zero means 8, negative ships the replica's full (already
+	// window-bounded) vector. Counts — and thus conflict detection —
+	// are exact at any setting; only staleness resolution coarsens.
+	DigestStamps int
+	// SeenRounds is how many of the agent's own rounds a digest dedup
+	// entry is retained for; zero means 4. Relays arrive within TTL
+	// hops of the origin's round, so a few rounds suffice; eviction
+	// keeps the dedup map bounded on long-running nodes.
+	SeenRounds int
 }
 
 func (c Config) withDefaults() Config {
@@ -42,6 +52,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TTL == 0 {
 		c.TTL = 3
+	}
+	if c.DigestStamps == 0 {
+		c.DigestStamps = 8
+	}
+	if c.SeenRounds == 0 {
+		c.SeenRounds = 4
 	}
 	return c
 }
@@ -56,12 +72,39 @@ type State interface {
 	ActiveFiles() []id.FileID
 }
 
+// StableState is optionally implemented by a State whose replicas can
+// roll back (checkpoints): StableCounts returns the per-writer counts
+// the file's replica can never roll back below. Digests then advertise
+// these as the compaction signal instead of the raw vector counts.
+type StableState interface {
+	StableCounts(file id.FileID) map[id.NodeID]int
+}
+
 // ReportSink receives conflict reports that arrived at this node (it was
 // the digest origin). The IDEA protocol uses them for the §4.4.2
 // discrepancy check.
 type ReportSink func(e env.Env, rep wire.GossipReport)
 
+// FrontierFunc receives a newly learned stability frontier for a file:
+// per-writer update counts known to be held by every bottom-layer peer.
+// The store uses it to compact its logs (everything below the frontier is
+// replicated everywhere, so nobody will ever ask for it again).
+type FrontierFunc func(e env.Env, file id.FileID, stable map[id.NodeID]int)
+
 const timerRound = "gossip.round"
+
+// originView is the most recent per-writer count information heard from
+// one digest origin, tagged with the local round it arrived in so stale
+// origins can be expired.
+type originView struct {
+	counts map[id.NodeID]int
+	round  int
+}
+
+// frontierStaleRounds expires origin count information not refreshed for
+// this many local rounds; an expired origin suspends compaction (the
+// conservative direction) rather than holding the frontier down forever.
+const frontierStaleRounds = 20
 
 // Agent is the per-node gossip participant.
 type Agent struct {
@@ -73,7 +116,17 @@ type Agent struct {
 	sink  ReportSink
 
 	round int
-	seen  map[string]bool // digest dedup: origin/round/file
+	seen  map[string]int // digest dedup key (origin/round/file) → local round inserted
+
+	// heard collects, per file, the latest per-writer counts each origin
+	// advertised — the raw material of the stability frontier.
+	heard map[id.FileID]map[id.NodeID]*originView
+	// lastFrontier remembers the frontier last handed to the callback so
+	// an unchanged frontier does not re-trigger compaction every round.
+	lastFrontier map[id.FileID]map[id.NodeID]int
+	onFrontier   FrontierFunc
+
+	sizer *wire.Sizer // lazily created for the digest-bytes gauge
 
 	// statistics
 	ConflictsFound int // conflicts this node detected against digests
@@ -85,21 +138,27 @@ type Agent struct {
 // gossipMetrics are the telemetry handles for the gossip fan-out;
 // zero-value (nil) handles are no-ops.
 type gossipMetrics struct {
-	rounds    *telemetry.Counter // sweep rounds started
-	emitted   *telemetry.Counter // digests sent (origin + forwards)
-	forwarded *telemetry.Counter // TTL-decremented relays
-	conflicts *telemetry.Counter // conflicts found against digests
-	reports   *telemetry.Counter // reports received as origin
+	rounds      *telemetry.Counter // sweep rounds started
+	emitted     *telemetry.Counter // digests sent (origin + forwards)
+	forwarded   *telemetry.Counter // TTL-decremented relays
+	conflicts   *telemetry.Counter // conflicts found against digests
+	reports     *telemetry.Counter // reports received as origin
+	seenSize    *telemetry.Gauge   // dedup map occupancy after eviction
+	digestBytes *telemetry.Gauge   // wire size of the last origin digest
+	frontiers   *telemetry.Counter // stability frontiers learned
 }
 
 // AttachMetrics wires the agent to a registry; call before Start.
 func (a *Agent) AttachMetrics(reg *telemetry.Registry) {
 	a.met = gossipMetrics{
-		rounds:    reg.Counter("gossip.rounds_total"),
-		emitted:   reg.Counter("gossip.digests_sent_total"),
-		forwarded: reg.Counter("gossip.digests_forwarded_total"),
-		conflicts: reg.Counter("gossip.conflicts_found_total"),
-		reports:   reg.Counter("gossip.reports_heard_total"),
+		rounds:      reg.Counter("gossip.rounds_total"),
+		emitted:     reg.Counter("gossip.digests_sent_total"),
+		forwarded:   reg.Counter("gossip.digests_forwarded_total"),
+		conflicts:   reg.Counter("gossip.conflicts_found_total"),
+		reports:     reg.Counter("gossip.reports_heard_total"),
+		seenSize:    reg.Gauge("gossip.seen_entries"),
+		digestBytes: reg.Gauge("gossip.digest_bytes"),
+		frontiers:   reg.Counter("gossip.frontiers_learned_total"),
 	}
 }
 
@@ -115,9 +174,14 @@ func New(cfg Config, self id.NodeID, peers []id.NodeID, state State, q *quantify
 		state: state,
 		quant: q,
 		sink:  sink,
-		seen:  make(map[string]bool),
+		seen:         make(map[string]int),
+		heard:        make(map[id.FileID]map[id.NodeID]*originView),
+		lastFrontier: make(map[id.FileID]map[id.NodeID]int),
 	}
 }
+
+// OnFrontier installs the stability-frontier callback.
+func (a *Agent) OnFrontier(f FrontierFunc) { a.onFrontier = f }
 
 // Start arms the round timer.
 func (a *Agent) Start(e env.Env) {
@@ -135,21 +199,61 @@ func (a *Agent) Timer(e env.Env, key string, _ any) bool {
 	a.met.rounds.Inc()
 	for _, f := range a.state.ActiveFiles() {
 		if v := a.state.LocalVector(f); v != nil {
-			a.emit(e, wire.GossipDigest{
+			if k := a.cfg.DigestStamps; k > 0 {
+				// Bounded digest encoding: counts stay exact, only the
+				// stamp window is cut down. LocalVector hands us a
+				// private clone, so trimming in place avoids a second
+				// deep copy per file per round.
+				v.Compact(k)
+			}
+			d := wire.GossipDigest{
 				File:   f,
 				Origin: a.self,
 				Round:  a.round,
 				TTL:    a.cfg.TTL,
 				VV:     v,
-			})
+			}
+			if ss, ok := a.state.(StableState); ok {
+				d.Stable = ss.StableCounts(f)
+			}
+			a.measureDigest(d)
+			a.emit(e, d)
 		}
 	}
+	a.evictSeen()
+	a.learnFrontiers(e)
 	e.After(a.cfg.Interval, timerRound, nil)
 	return true
 }
 
-// emit sends the digest to Fanout random peers.
-func (a *Agent) emit(e env.Env, d wire.GossipDigest) {
+// measureDigest records the wire size of an origin digest — the gauge
+// that proves digests stay flat as history grows.
+func (a *Agent) measureDigest(d wire.GossipDigest) {
+	if a.met.digestBytes == nil {
+		return
+	}
+	if a.sizer == nil {
+		a.sizer = wire.NewSizer()
+	}
+	a.met.digestBytes.Set(int64(a.sizer.Size(wire.Envelope{From: a.self, Msg: d})))
+}
+
+// evictSeen drops dedup entries older than SeenRounds local rounds; any
+// late relay of such a digest is deep in TTL decay anyway.
+func (a *Agent) evictSeen() {
+	cutoff := a.round - a.cfg.SeenRounds
+	for k, r := range a.seen {
+		if r < cutoff {
+			delete(a.seen, k)
+		}
+	}
+	a.met.seenSize.Set(int64(len(a.seen)))
+}
+
+// emit sends the digest to Fanout random peers, never back to the
+// digest's origin or to the explicitly excluded nodes (the sender a
+// forward came from — echoing a digest straight back wastes the slot).
+func (a *Agent) emit(e env.Env, d wire.GossipDigest, exclude ...id.NodeID) {
 	if len(a.peers) == 0 {
 		return
 	}
@@ -157,12 +261,28 @@ func (a *Agent) emit(e env.Env, d wire.GossipDigest) {
 	if n > len(a.peers) {
 		n = len(a.peers)
 	}
-	// Partial shuffle for a uniform random subset.
-	idxs := e.Rand().Perm(len(a.peers))[:n]
-	for _, i := range idxs {
-		if a.peers[i] == d.Origin {
+	skip := func(p id.NodeID) bool {
+		if p == d.Origin {
+			return true
+		}
+		for _, x := range exclude {
+			if p == x {
+				return true
+			}
+		}
+		return false
+	}
+	// Walk a full random permutation, taking the first n eligible peers,
+	// so exclusions do not shrink the effective fanout.
+	sent := 0
+	for _, i := range e.Rand().Perm(len(a.peers)) {
+		if sent >= n {
+			break
+		}
+		if skip(a.peers[i]) {
 			continue
 		}
+		sent++
 		a.met.emitted.Inc()
 		e.Send(a.peers[i], d)
 	}
@@ -173,14 +293,18 @@ func digestKey(d wire.GossipDigest) string {
 }
 
 // HandleDigest compares the digest with the local replica, reports a
-// conflict to the origin, and forwards the digest while TTL remains.
-func (a *Agent) HandleDigest(e env.Env, d wire.GossipDigest) {
+// conflict to the origin, and forwards the digest while TTL remains —
+// excluding the node it came from.
+func (a *Agent) HandleDigest(e env.Env, from id.NodeID, d wire.GossipDigest) {
 	k := digestKey(d)
-	if a.seen[k] {
+	if _, dup := a.seen[k]; dup {
 		return
 	}
-	a.seen[k] = true
+	a.seen[k] = a.round
 
+	if d.Origin != a.self && d.VV != nil {
+		a.noteCounts(d.File, d.Origin, d)
+	}
 	if local := a.state.LocalVector(d.File); local != nil && d.Origin != a.self {
 		if vv.Compare(local, d.VV) == vv.Concurrent {
 			a.ConflictsFound++
@@ -201,7 +325,94 @@ func (a *Agent) HandleDigest(e env.Env, d wire.GossipDigest) {
 		fwd := d
 		fwd.TTL--
 		a.met.forwarded.Inc()
-		a.emit(e, fwd)
+		a.emit(e, fwd, from)
+	}
+}
+
+// noteCounts records the per-writer stable counts an origin's digest
+// advertised — its rollback floor when present, its raw counts otherwise.
+func (a *Agent) noteCounts(file id.FileID, origin id.NodeID, d wire.GossipDigest) {
+	byOrigin := a.heard[file]
+	if byOrigin == nil {
+		byOrigin = make(map[id.NodeID]*originView)
+		a.heard[file] = byOrigin
+	}
+	counts := d.Stable
+	if counts == nil {
+		counts = make(map[id.NodeID]int, len(d.VV.Entries))
+		for w, e := range d.VV.Entries {
+			counts[w] = e.Count
+		}
+	}
+	byOrigin[origin] = &originView{counts: counts, round: a.round}
+}
+
+// learnFrontiers derives, per file, the stability frontier — the
+// per-writer minimum count across the local replica and every peer's
+// latest digest — and hands it to the frontier callback. It only fires
+// once fresh count information from every peer is on hand; stale origins
+// (gone quiet for frontierStaleRounds) are dropped, which conservatively
+// suspends compaction instead of freezing the frontier.
+func (a *Agent) learnFrontiers(e env.Env) {
+	if a.onFrontier == nil || len(a.peers) == 0 {
+		return
+	}
+	for file, byOrigin := range a.heard {
+		for origin, view := range byOrigin {
+			if view.round < a.round-frontierStaleRounds {
+				delete(byOrigin, origin)
+			}
+		}
+		local := a.state.LocalVector(file)
+		if local == nil {
+			continue
+		}
+		covered := 0
+		for _, p := range a.peers {
+			if _, ok := byOrigin[p]; ok {
+				covered++
+			}
+		}
+		if covered < len(a.peers) {
+			continue // not yet heard from everyone: no safe frontier
+		}
+		// Seed with the local rollback floor (falling back to the raw
+		// counts), then take the per-writer minimum across every peer's
+		// advertised floor.
+		var stable map[id.NodeID]int
+		if ss, ok := a.state.(StableState); ok {
+			stable = ss.StableCounts(file)
+		}
+		if stable == nil {
+			stable = make(map[id.NodeID]int, len(local.Entries))
+			for w, le := range local.Entries {
+				stable[w] = le.Count
+			}
+		}
+		for _, p := range a.peers {
+			for w := range stable {
+				if c := byOrigin[p].counts[w]; c < stable[w] {
+					stable[w] = c
+				}
+			}
+		}
+		// Only surface a frontier that moved: the callback triggers log
+		// compaction, which should not churn when nothing advanced.
+		if last := a.lastFrontier[file]; last != nil {
+			moved := false
+			for w, c := range stable {
+				if c > last[w] {
+					moved = true
+					break
+				}
+			}
+			if !moved {
+				continue
+			}
+		}
+		a.lastFrontier[file] = stable
+		a.met.frontiers.Inc()
+		a.onFrontier(e, file, stable)
 	}
 }
 
@@ -216,10 +427,10 @@ func (a *Agent) HandleReport(e env.Env, rep wire.GossipReport) {
 }
 
 // Recv dispatches gossip messages; it returns false for other kinds.
-func (a *Agent) Recv(e env.Env, _ id.NodeID, msg env.Message) bool {
+func (a *Agent) Recv(e env.Env, from id.NodeID, msg env.Message) bool {
 	switch m := msg.(type) {
 	case wire.GossipDigest:
-		a.HandleDigest(e, m)
+		a.HandleDigest(e, from, m)
 	case wire.GossipReport:
 		a.HandleReport(e, m)
 	default:

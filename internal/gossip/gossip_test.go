@@ -117,8 +117,8 @@ func TestDigestDeduplication(t *testing.T) {
 	other := vv.New()
 	other.Tick(7, 2e9, 9)
 	d := wire.GossipDigest{File: board, Origin: 7, Round: 1, TTL: 1, VV: other}
-	c.CallAt(time.Second, 5, func(e env.Env) { gn.a.HandleDigest(e, d) })
-	c.CallAt(2*time.Second, 5, func(e env.Env) { gn.a.HandleDigest(e, d) })
+	c.CallAt(time.Second, 5, func(e env.Env) { gn.a.HandleDigest(e, 6, d) })
+	c.CallAt(2*time.Second, 5, func(e env.Env) { gn.a.HandleDigest(e, 6, d) })
 	c.RunFor(5 * time.Second)
 	if gn.a.ConflictsFound != 1 {
 		t.Fatalf("conflicts = %d, want 1 (dedup)", gn.a.ConflictsFound)

@@ -566,7 +566,9 @@ func maximalCandidates(vecs map[id.NodeID]*vv.Vector) map[id.NodeID]*vv.Vector {
 }
 
 // commonPrefix returns the per-writer minimum vector across candidates:
-// the most recent state every replica agrees on.
+// the most recent state every replica agrees on. Entries are cut with
+// Entry.Prefix so the bounded-window bookkeeping (compacted base and
+// watermark) stays intact.
 func commonPrefix(vecs map[id.NodeID]*vv.Vector) *vv.Vector {
 	out := vv.New()
 	first := true
@@ -577,18 +579,10 @@ func commonPrefix(vecs map[id.NodeID]*vv.Vector) *vv.Vector {
 			continue
 		}
 		for w, e := range out.Entries {
-			oc := v.Count(w)
-			if oc < e.Count {
-				e.Count = oc
-				e.Stamps = e.Stamps[:oc]
-				out.Entries[w] = e
+			if oc := v.Count(w); oc < e.Count {
+				out.Entries[w] = e.Prefix(oc)
 			}
-			if e.Count == 0 {
-				delete(out.Entries, w)
-			}
-		}
-		for w := range out.Entries {
-			if v.Count(w) == 0 {
+			if out.Entries[w].Count == 0 {
 				delete(out.Entries, w)
 			}
 		}

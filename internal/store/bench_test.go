@@ -3,7 +3,9 @@ package store
 import (
 	"testing"
 
+	"idea/internal/id"
 	"idea/internal/vv"
+	"idea/internal/wire"
 )
 
 func BenchmarkWriteLocal(b *testing.B) {
@@ -40,6 +42,62 @@ func BenchmarkMissingFrom(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.MissingFrom(remote)
+	}
+}
+
+// bigReplica builds a replica holding n updates from several writers and
+// a remote vector missing the newest `missing` per writer — the
+// steady-state anti-entropy shape at scale.
+func bigReplica(n, writers, missing int) (*Replica, *vv.Vector) {
+	r := NewReplica(fBoard, nA)
+	seqs := make(map[int]int, writers)
+	for i := 0; i < n; i++ {
+		w := i%writers + 1
+		seqs[w]++
+		r.Apply(wire.Update{File: fBoard, Writer: nA + id.NodeID(w), Seq: seqs[w], At: vv.Stamp(i+1) * 1e6})
+	}
+	remote := r.Vector()
+	for w := 1; w <= writers; w++ {
+		remote.TruncateWriter(nA+id.NodeID(w), seqs[w]-missing)
+	}
+	return r, remote
+}
+
+// BenchmarkMissingFrom50k is the headline indexed-anti-entropy benchmark:
+// 50k applied updates, remote missing a small per-writer suffix. With the
+// per-writer index this costs O(missing); the old full-log scan + sort
+// cost O(total·log total) per exchange.
+func BenchmarkMissingFrom50k(b *testing.B) {
+	r, remote := bigReplica(50_000, 4, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.MissingFrom(remote); len(got) != 16 {
+			b.Fatalf("missing = %d, want 16", len(got))
+		}
+	}
+}
+
+func BenchmarkApplyOutOfOrder(b *testing.B) {
+	// Worst-case reordering: each writer's pair arrives inverted, so every
+	// other update is buffered and drained.
+	dst := NewReplica(fBoard, nA)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += 2 {
+		seq := i/2 + 1
+		dst.Apply(wire.Update{File: fBoard, Writer: nB, Seq: seq + 1, At: vv.Stamp(i) * 1e6})
+		dst.Apply(wire.Update{File: fBoard, Writer: nB, Seq: seq, At: vv.Stamp(i) * 1e6})
+	}
+}
+
+func BenchmarkCompactBelow(b *testing.B) {
+	frontier := map[id.NodeID]int{nA + 1: 10_000, nA + 2: 10_000, nA + 3: 10_000, nA + 4: 10_000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r, _ := bigReplica(40_000, 4, 0)
+		b.StartTimer()
+		r.CompactBelow(frontier)
 	}
 }
 

@@ -1,9 +1,13 @@
 // Package store is the "general distributed file system" substrate IDEA
 // assumes underneath it (§2): a per-node replica store that handles
-// ordinary read/write operations, keeps the full update log per shared
-// file, and supports the snapshots and rollback the IDEA protocol needs
-// (§4.4.2). IDEA provides consistency control *to* this store; the store
-// itself only guarantees read/write correctness on the local replica.
+// ordinary read/write operations, keeps a per-writer-indexed update log
+// per shared file, and supports the snapshots and rollback the IDEA
+// protocol needs (§4.4.2). IDEA provides consistency control *to* this
+// store; the store itself only guarantees read/write correctness on the
+// local replica. Long-running nodes stay bounded: remote updates are
+// integrated strictly in per-writer sequence order (gapped arrivals are
+// buffered), the log prefix below a gossip-learned stability frontier is
+// compacted away, and checkpoints are pruned beyond a cap.
 package store
 
 import (
@@ -19,44 +23,84 @@ import (
 // storeMetrics are the telemetry handles shared by a store and its
 // replicas; zero-value (nil) handles are no-ops.
 type storeMetrics struct {
-	replicas    *telemetry.Gauge   // open replicas
-	logEntries  *telemetry.Gauge   // applied updates across replicas
-	checkpoints *telemetry.Gauge   // live checkpoints across replicas
-	applied     *telemetry.Counter // updates applied (local + remote)
-	invalidated *telemetry.Counter // updates dropped by invalidation
-	rollbacks   *telemetry.Counter // checkpoint rollbacks executed
-	undone      *telemetry.Counter // updates undone by rollbacks
+	replicas     *telemetry.Gauge   // open replicas
+	logEntries   *telemetry.Gauge   // live (uncompacted) updates across replicas
+	checkpoints  *telemetry.Gauge   // live checkpoints across replicas
+	pending      *telemetry.Gauge   // buffered out-of-order updates
+	windowStamps *telemetry.Gauge   // vector window occupancy across replicas
+	applied      *telemetry.Counter // updates applied (local + remote)
+	compacted    *telemetry.Counter // log entries pruned below the stability frontier
+	invalidated  *telemetry.Counter // updates dropped by invalidation
+	rollbacks    *telemetry.Counter // checkpoint rollbacks executed
+	undone       *telemetry.Counter // updates undone by rollbacks
 }
 
-// Replica is one node's copy of one shared file: the applied update log
-// and the extended version vector describing it.
+const (
+	// DefaultMaxCheckpoints bounds the live checkpoints per replica; the
+	// oldest is pruned when a new one would exceed it.
+	DefaultMaxCheckpoints = 8
+	// maxPendingPerWriter bounds the out-of-order buffer per writer.
+	// Overflowing updates are shed — anti-entropy re-ships them once the
+	// gap closes, so shedding costs latency, never correctness.
+	maxPendingPerWriter = 256
+)
+
+// Replica is one node's copy of one shared file: the applied update log,
+// a per-writer index over it, and the extended version vector describing
+// it. Remote updates are integrated strictly in per-writer sequence
+// order; out-of-order arrivals are buffered until the gap closes, so the
+// vector's counts always describe a gapless prefix of every writer's
+// updates.
 type Replica struct {
 	File    id.FileID
 	Owner   id.NodeID
-	log     []wire.Update
-	seen    map[string]bool
+	log     []wire.Update // live arrival-order log (suffix after compaction)
+	logBase int           // arrival-log entries compacted away
+	// byWriter indexes the live log per writer in ascending sequence
+	// order; byWriter[w][i] holds the update with Seq == wBase[w]+i+1.
+	byWriter map[id.NodeID][]wire.Update
+	wBase    map[id.NodeID]int // per-writer updates compacted away
+	// pending buffers gapped arrivals (by writer, by seq) until the
+	// writer's prefix is contiguous again.
+	pending map[id.NodeID]map[int]wire.Update
 	vec     *vv.Vector
 	nextSeq int
 
+	// logWaste/wWaste count prefix entries resliced (not yet copied) off
+	// the arrival log and per-writer index by compaction; backing arrays
+	// are reallocated once waste exceeds the live length, so compaction
+	// is amortized O(pruned) instead of O(live log) per call.
+	logWaste int
+	wWaste   map[id.NodeID]int
+	// compactedMeta remembers the critical-metadata value as of the
+	// newest compacted update, so invalidation that empties the live log
+	// can still restore a meaningful Meta.
+	compactedMeta float64
+
 	// checkpoint support (§4.4.2 rollback)
-	checkpoints []checkpoint
+	checkpoints    []checkpoint
+	maxCheckpoints int
 
 	met storeMetrics
 }
 
 type checkpoint struct {
 	token  int64
-	logLen int
+	logLen int // absolute applied-log length (logBase + live length)
 	vec    *vv.Vector
 }
 
 // NewReplica returns an empty replica of file owned by node owner.
 func NewReplica(file id.FileID, owner id.NodeID) *Replica {
 	return &Replica{
-		File:  file,
-		Owner: owner,
-		seen:  make(map[string]bool),
-		vec:   vv.New(),
+		File:           file,
+		Owner:          owner,
+		byWriter:       make(map[id.NodeID][]wire.Update),
+		wBase:          make(map[id.NodeID]int),
+		wWaste:         make(map[id.NodeID]int),
+		pending:        make(map[id.NodeID]map[int]wire.Update),
+		vec:            vv.New(),
+		maxCheckpoints: DefaultMaxCheckpoints,
 	}
 }
 
@@ -67,16 +111,38 @@ func (r *Replica) Vector() *vv.Vector { return r.vec.Clone() }
 // Meta returns the current critical-metadata value.
 func (r *Replica) Meta() float64 { return r.vec.Meta }
 
-// Len returns the number of applied updates.
-func (r *Replica) Len() int { return len(r.log) }
+// Len returns the number of applied updates, including any compacted
+// below the stability frontier (buffered out-of-order updates excluded).
+func (r *Replica) Len() int { return r.logBase + len(r.log) }
 
-// Log returns a copy of the applied update log in application order.
+// Pending returns the number of buffered out-of-order updates.
+func (r *Replica) Pending() int {
+	n := 0
+	for _, p := range r.pending {
+		n += len(p)
+	}
+	return n
+}
+
+// Compacted returns how many applied updates have been pruned from the
+// live log by CompactBelow.
+func (r *Replica) Compacted() int { return r.logBase }
+
+// Log returns a copy of the live applied update log in application
+// order (entries compacted below the stability frontier are gone).
 func (r *Replica) Log() []wire.Update { return append([]wire.Update(nil), r.log...) }
 
 // WriteLocal appends a local write by the owner: it assigns the next
 // per-writer sequence number, stamps it, ticks the version vector, and
 // returns the update for dissemination/detection.
 func (r *Replica) WriteLocal(at vv.Stamp, op string, data []byte, meta float64) wire.Update {
+	// Resync with the vector: the owner's own undone-then-re-shipped
+	// updates may have been applied through Apply/drain since the last
+	// local write, and reissuing one of those sequence numbers would
+	// permanently corrupt the log.
+	if c := r.vec.Count(r.Owner); c > r.nextSeq {
+		r.nextSeq = c
+	}
 	r.nextSeq++
 	u := wire.Update{
 		File:   r.File,
@@ -88,26 +154,67 @@ func (r *Replica) WriteLocal(at vv.Stamp, op string, data []byte, meta float64) 
 		Data:   data,
 	}
 	r.apply(u)
+	r.drain(r.Owner)
 	return u
 }
 
 // Apply integrates a remote update. Duplicates (by writer+seq) are
-// ignored; it returns true when the update was new.
+// ignored. A gapped arrival — the writer's next expected sequence number
+// has not been applied yet — is buffered and applied once the gap closes,
+// so the version vector is never ticked out of order. It returns true
+// when the update was new (applied or buffered).
 func (r *Replica) Apply(u wire.Update) bool {
 	if u.File != r.File {
 		return false
 	}
-	if r.seen[u.Key()] {
+	c := r.vec.Count(u.Writer)
+	if u.Seq <= c {
+		return false // duplicate (or already compacted)
+	}
+	if u.Seq == c+1 {
+		r.apply(u)
+		r.drain(u.Writer)
+		return true
+	}
+	p := r.pending[u.Writer]
+	if p == nil {
+		p = make(map[int]wire.Update)
+		r.pending[u.Writer] = p
+	}
+	if _, dup := p[u.Seq]; dup {
 		return false
 	}
-	r.apply(u)
+	if len(p) >= maxPendingPerWriter {
+		return false // shed; anti-entropy re-ships once the gap closes
+	}
+	p[u.Seq] = u
+	r.met.pending.Add(1)
 	return true
+}
+
+// drain applies buffered updates of writer w that have become contiguous.
+func (r *Replica) drain(w id.NodeID) {
+	p := r.pending[w]
+	for len(p) > 0 {
+		u, ok := p[r.vec.Count(w)+1]
+		if !ok {
+			return
+		}
+		delete(p, u.Seq)
+		r.met.pending.Add(-1)
+		r.apply(u)
+	}
+	delete(r.pending, w)
 }
 
 func (r *Replica) apply(u wire.Update) {
 	r.log = append(r.log, u)
-	r.seen[u.Key()] = true
+	r.byWriter[u.Writer] = append(r.byWriter[u.Writer], u)
+	// Only the ticked writer's window can change, so the gauge delta is
+	// O(1) — apply is the hottest path in the store.
+	before := len(r.vec.Entries[u.Writer].Stamps)
 	r.vec.Tick(u.Writer, u.At, u.Meta)
+	r.met.windowStamps.Add(int64(len(r.vec.Entries[u.Writer].Stamps) - before))
 	r.met.logEntries.Add(1)
 	r.met.applied.Inc()
 }
@@ -125,52 +232,108 @@ func (r *Replica) ApplyAll(us []wire.Update) int {
 
 // MissingFrom returns the updates in r's log that the holder of the remote
 // vector has not seen, ordered by (writer, seq) — the payload a resolution
-// Inform or anti-entropy reply ships.
+// Inform or anti-entropy reply ships. The per-writer index makes this
+// O(missing + writers·log writers): only the missing suffix of each
+// writer's log is walked, independent of total update history.
 func (r *Replica) MissingFrom(remote *vv.Vector) []wire.Update {
-	var out []wire.Update
-	for _, u := range r.log {
-		if u.Seq > remote.Count(u.Writer) {
-			out = append(out, u)
+	var writers []id.NodeID
+	total := 0
+	for w, us := range r.byWriter {
+		rc := remote.Count(w)
+		if rc < r.wBase[w] {
+			// The remote is missing part of our compacted prefix: our
+			// live suffix would only sit in its pending buffer forever
+			// (the gap is un-closable from here), so ship nothing. By
+			// the frontier's construction no current member is ever in
+			// this state; only a node added after pruning is, and it
+			// needs a peer that still holds the prefix.
+			continue
+		}
+		if have := r.wBase[w] + len(us); have > rc {
+			writers = append(writers, w)
+			total += have - rc
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Writer != out[j].Writer {
-			return out[i].Writer < out[j].Writer
-		}
-		return out[i].Seq < out[j].Seq
-	})
+	if writers == nil {
+		return nil
+	}
+	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
+	out := make([]wire.Update, 0, total)
+	for _, w := range writers {
+		out = append(out, r.byWriter[w][remote.Count(w)-r.wBase[w]:]...)
+	}
 	return out
 }
 
 // Checkpoint records a named snapshot the replica can later roll back to.
 // IDEA takes one before letting a user continue on a top-layer-only
 // consistency verdict; if the bottom-layer sweep later disagrees, the
-// operations since the checkpoint are rolled back (§4.4.2).
+// operations since the checkpoint are rolled back (§4.4.2). The oldest
+// checkpoint is pruned when more than the configured maximum would be
+// live — pruning only forfeits the ability to roll that far back.
 func (r *Replica) Checkpoint(token int64) {
 	r.checkpoints = append(r.checkpoints, checkpoint{
 		token:  token,
-		logLen: len(r.log),
+		logLen: r.logBase + len(r.log),
 		vec:    r.vec.Clone(),
 	})
 	r.met.checkpoints.Add(1)
+	if max := r.maxCheckpoints; max > 0 && len(r.checkpoints) > max {
+		drop := len(r.checkpoints) - max
+		r.checkpoints = append(r.checkpoints[:0], r.checkpoints[drop:]...)
+		r.met.checkpoints.Add(-int64(drop))
+	}
 }
+
+// SetMaxCheckpoints bounds the live checkpoints (0 disables pruning).
+func (r *Replica) SetMaxCheckpoints(n int) { r.maxCheckpoints = n }
 
 // Rollback reverts the replica to the checkpoint with the given token and
 // discards it and any later checkpoints. It returns the updates that were
-// undone, newest first, or an error when the token is unknown.
+// undone, newest first, or an error when the token is unknown. The undo
+// boundary is per-writer — every update beyond the checkpoint's count for
+// its writer goes — not an arrival-length cut, which would miscount when
+// an invalidation since the checkpoint removed mid-log entries.
 func (r *Replica) Rollback(token int64) ([]wire.Update, error) {
 	for i := len(r.checkpoints) - 1; i >= 0; i-- {
 		cp := r.checkpoints[i]
 		if cp.token != token {
 			continue
 		}
-		undone := make([]wire.Update, 0, len(r.log)-cp.logLen)
-		for j := len(r.log) - 1; j >= cp.logLen; j-- {
-			undone = append(undone, r.log[j])
-			delete(r.seen, r.log[j].Key())
+		kept := r.log[:0]
+		var undone []wire.Update
+		for _, u := range r.log {
+			if u.Seq > cp.vec.Count(u.Writer) {
+				undone = append(undone, u)
+			} else {
+				kept = append(kept, u)
+			}
 		}
-		r.log = r.log[:cp.logLen]
+		r.log = kept
+		// Newest first, per the contract.
+		for a, b := 0, len(undone)-1; a < b; a, b = a+1, b-1 {
+			undone[a], undone[b] = undone[b], undone[a]
+		}
+		for w, us := range r.byWriter {
+			keepN := cp.vec.Count(w) - r.wBase[w]
+			if keepN < 0 {
+				keepN = 0
+			}
+			if keepN < len(us) {
+				r.byWriter[w] = us[:keepN]
+			}
+		}
+		gaugeBefore := r.vec.WindowStamps()
 		r.vec = cp.vec.Clone()
+		// An invalidation since the checkpoint may have removed entries
+		// the checkpoint still counts; the restored vector must never
+		// advertise updates the surviving index cannot ship.
+		for w := range r.vec.Entries {
+			if have := r.wBase[w] + len(r.byWriter[w]); r.vec.Count(w) > have {
+				r.vec.TruncateWriter(w, have)
+			}
+		}
+		r.met.windowStamps.Add(int64(r.vec.WindowStamps() - gaugeBefore))
 		// A rolled-back local write must not leave a gap in the
 		// writer's own sequence numbers.
 		r.nextSeq = r.vec.Count(r.Owner)
@@ -208,12 +371,36 @@ func (r *Replica) Checkpoints() int { return len(r.checkpoints) }
 // were invalidated.
 func (r *Replica) AdoptImage(adoptVec *vv.Vector, updates []wire.Update, invalidateExtras bool) (applied, invalidated int) {
 	if invalidateExtras {
+		// The compacted prefix is frontier-stable (every peer holds it),
+		// so an adopted image can never invalidate below it; clamping
+		// keeps the wBase/byWriter invariant intact even against a
+		// pathological image that claims fewer updates than the frontier.
+		adoptCount := func(w id.NodeID) int {
+			c := adoptVec.Count(w)
+			if b := r.wBase[w]; c < b {
+				c = b
+			}
+			return c
+		}
+		// Invalidated sequence numbers will be reissued by their
+		// writers, so buffered out-of-order updates beyond the adopted
+		// image are stale and must go too.
+		for w, p := range r.pending {
+			for s := range p {
+				if s > adoptCount(w) {
+					delete(p, s)
+					r.met.pending.Add(-1)
+				}
+			}
+			if len(p) == 0 {
+				delete(r.pending, w)
+			}
+		}
 		kept := r.log[:0]
 		for _, u := range r.log {
-			if u.Seq <= adoptVec.Count(u.Writer) {
+			if u.Seq <= adoptCount(u.Writer) {
 				kept = append(kept, u)
 			} else {
-				delete(r.seen, u.Key())
 				invalidated++
 			}
 		}
@@ -221,17 +408,123 @@ func (r *Replica) AdoptImage(adoptVec *vv.Vector, updates []wire.Update, invalid
 		r.met.logEntries.Add(-int64(invalidated))
 		r.met.invalidated.Add(int64(invalidated))
 		if invalidated > 0 {
-			// Rebuild the vector from the surviving log.
-			nv := vv.New()
-			for _, u := range r.log {
-				nv.Tick(u.Writer, u.At, u.Meta)
+			// Truncate the per-writer index and vector entries to the
+			// adopted image; the compacted prefix (and its window
+			// bookkeeping) stays intact.
+			before := r.vec.WindowStamps()
+			for w, us := range r.byWriter {
+				keepN := adoptCount(w) - r.wBase[w]
+				if keepN < 0 {
+					keepN = 0
+				}
+				if keepN < len(us) {
+					r.byWriter[w] = us[:keepN]
+					r.vec.TruncateWriter(w, adoptCount(w))
+				}
 			}
-			r.vec = nv
+			r.met.windowStamps.Add(int64(r.vec.WindowStamps() - before))
+			// Checkpoint vectors must shrink with the image too: their
+			// counts feed StableCounts (the gossiped rollback floor),
+			// and a stale floor above the real replica state would let
+			// the frontier — and therefore compaction — outrun what
+			// lagging peers have actually received.
+			for ci := range r.checkpoints {
+				cp := &r.checkpoints[ci]
+				for w := range cp.vec.Entries {
+					if c := adoptCount(w); cp.vec.Count(w) > c {
+						cp.vec.TruncateWriter(w, c)
+					}
+				}
+				if abs := r.logBase + len(r.log); cp.logLen > abs {
+					cp.logLen = abs
+				}
+			}
+			// The metadata value now reflects the newest surviving
+			// update (matching a replay of the surviving log), falling
+			// back to the compacted prefix's value when the whole live
+			// log was invalidated.
+			r.vec.Meta = r.compactedMeta
+			if n := len(r.log); n > 0 {
+				r.vec.Meta = r.log[n-1].Meta
+			}
 			r.nextSeq = r.vec.Count(r.Owner)
 		}
 	}
 	applied = r.ApplyAll(updates)
 	return applied, invalidated
+}
+
+// CompactBelow prunes the live log below a stability frontier: per-writer
+// counts known (from gossiped digests) to be replicated everywhere. Only
+// the arrival-order prefix is considered, so checkpoint arithmetic stays
+// exact, and pruning never passes the oldest live checkpoint. It returns
+// how many entries were pruned. The pruned updates can no longer be
+// shipped by MissingFrom — by the frontier's construction no correct peer
+// still needs them.
+//
+// Compaction is in-memory only: a PersistentStore's WAL keeps the full
+// journal (and restart replays it in full, with logBase reset to 0), so
+// do not enable frontier compaction on WAL-backed replicas until the
+// journal learns compaction markers.
+func (r *Replica) CompactBelow(stable map[id.NodeID]int) int {
+	limit := len(r.log)
+	for _, cp := range r.checkpoints {
+		if rel := cp.logLen - r.logBase; rel < limit {
+			limit = rel
+		}
+	}
+	k := 0
+	for k < limit && r.log[k].Seq <= stable[r.log[k].Writer] {
+		k++
+	}
+	if k == 0 {
+		return 0
+	}
+	popped := make(map[id.NodeID]int)
+	for _, u := range r.log[:k] {
+		popped[u.Writer]++
+		r.wBase[u.Writer]++
+	}
+	// Reslice the pruned prefixes away; reallocate a backing array only
+	// once its dead prefix outgrows the live remainder, so repeated
+	// small prunes cost O(pruned) amortized, not O(live) each.
+	for w, n := range popped {
+		r.byWriter[w] = r.byWriter[w][n:]
+		if r.wWaste[w] += n; r.wWaste[w] > len(r.byWriter[w]) {
+			r.byWriter[w] = append([]wire.Update(nil), r.byWriter[w]...)
+			r.wWaste[w] = 0
+		}
+	}
+	r.compactedMeta = r.log[k-1].Meta
+	r.log = r.log[k:]
+	if r.logWaste += k; r.logWaste > len(r.log) {
+		r.log = append([]wire.Update(nil), r.log...)
+		r.logWaste = 0
+	}
+	r.logBase += k
+	before := r.vec.WindowStamps()
+	r.vec.Compact(0)
+	r.met.windowStamps.Add(int64(r.vec.WindowStamps() - before))
+	r.met.logEntries.Add(-int64(k))
+	r.met.compacted.Add(int64(k))
+	return k
+}
+
+// StableCounts returns the per-writer update counts this replica can
+// never roll back below: the counts at its oldest live checkpoint, or
+// the current counts when no checkpoint is live. Gossip advertises these
+// (rather than the raw counts) as the compaction signal, so a peer's
+// later rollback can never re-need an update another node has pruned.
+func (r *Replica) StableCounts() map[id.NodeID]int {
+	v := r.vec
+	if len(r.checkpoints) > 0 {
+		v = r.checkpoints[0].vec
+	}
+	out := make(map[id.NodeID]int, len(v.Entries))
+	for w, e := range v.Entries {
+		out[w] = e.Count
+	}
+	return out
 }
 
 // Store is a node's collection of replicas, one per shared file.
@@ -250,19 +543,24 @@ func New(owner id.NodeID) *Store {
 // to a registry, exporting log/checkpoint sizes and update flow.
 func (s *Store) AttachMetrics(reg *telemetry.Registry) {
 	s.met = storeMetrics{
-		replicas:    reg.Gauge("store.replicas"),
-		logEntries:  reg.Gauge("store.log_entries"),
-		checkpoints: reg.Gauge("store.checkpoints"),
-		applied:     reg.Counter("store.updates_applied_total"),
-		invalidated: reg.Counter("store.updates_invalidated_total"),
-		rollbacks:   reg.Counter("store.rollbacks_total"),
-		undone:      reg.Counter("store.undone_updates_total"),
+		replicas:     reg.Gauge("store.replicas"),
+		logEntries:   reg.Gauge("store.log_entries"),
+		checkpoints:  reg.Gauge("store.checkpoints"),
+		pending:      reg.Gauge("store.pending_updates"),
+		windowStamps: reg.Gauge("store.vv_window_stamps"),
+		applied:      reg.Counter("store.updates_applied_total"),
+		compacted:    reg.Counter("store.log_compacted_total"),
+		invalidated:  reg.Counter("store.updates_invalidated_total"),
+		rollbacks:    reg.Counter("store.rollbacks_total"),
+		undone:       reg.Counter("store.undone_updates_total"),
 	}
 	for _, r := range s.replicas {
 		r.met = s.met
 		s.met.replicas.Add(1)
 		s.met.logEntries.Add(int64(len(r.log)))
 		s.met.checkpoints.Add(int64(len(r.checkpoints)))
+		s.met.pending.Add(int64(r.Pending()))
+		s.met.windowStamps.Add(int64(r.vec.WindowStamps()))
 	}
 }
 

@@ -211,22 +211,40 @@ func NewPersistentStore(owner id.NodeID, dir string) (*PersistentStore, error) {
 	return ps, nil
 }
 
-// WriteLocal journals and applies a local write.
+// WriteLocal journals and applies a local write. Like Apply, it journals
+// whatever the replica actually applied in applied order — a local write
+// can also drain buffered updates of the owner (e.g. re-shipped own
+// writes that arrived gapped after a rollback).
 func (ps *PersistentStore) WriteLocal(file id.FileID, at vv.Stamp, op string, data []byte, meta float64) (wire.Update, error) {
-	u := ps.Store.Open(file).WriteLocal(at, op, data, meta)
-	if err := ps.wal.AppendUpdate(u); err != nil {
-		return u, err
+	rep := ps.Store.Open(file)
+	before := len(rep.log)
+	u := rep.WriteLocal(at, op, data, meta)
+	for _, au := range rep.log[before:] {
+		if err := ps.wal.AppendUpdate(au); err != nil {
+			return u, err
+		}
 	}
 	return u, nil
 }
 
 // Apply journals and applies a remote update; duplicates are not
-// re-journaled.
+// re-journaled. The journal records exactly what the replica *applied*,
+// in applied order — a gapped arrival that was merely buffered is not yet
+// durable (anti-entropy re-ships it), and closing a gap journals the
+// whole drained run, so recovery replay and rollback markers always line
+// up with the applied log.
 func (ps *PersistentStore) Apply(u wire.Update) (bool, error) {
-	if !ps.Store.Open(u.File).Apply(u) {
+	rep := ps.Store.Open(u.File)
+	before := len(rep.log)
+	if !rep.Apply(u) {
 		return false, nil
 	}
-	return true, ps.wal.AppendUpdate(u)
+	for _, au := range rep.log[before:] {
+		if err := ps.wal.AppendUpdate(au); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
 }
 
 // RollbackTo journals a rollback marker after a checkpoint rollback.

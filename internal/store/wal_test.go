@@ -158,6 +158,87 @@ func TestPersistentStoreRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPersistentStoreGappedArrivalDurability(t *testing.T) {
+	// A gapped arrival is buffered, not applied — it must not reach the
+	// journal until the gap closes, and then in applied (seq) order, so
+	// recovery replay matches the applied log exactly.
+	dir := t.TempDir()
+	ps, err := NewPersistentStore(nA, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := wire.Update{File: fBoard, Writer: nB, Seq: 1, At: sec(1), Op: "w"}
+	u2 := wire.Update{File: fBoard, Writer: nB, Seq: 2, At: sec(2), Op: "w"}
+	u3 := wire.Update{File: fBoard, Writer: nB, Seq: 3, At: sec(3), Op: "w"}
+	for _, u := range []wire.Update{u3, u2} { // gapped: buffered only
+		if applied, err := ps.Apply(u); err != nil || !applied {
+			t.Fatalf("apply %d: %v %v", u.Seq, applied, err)
+		}
+	}
+	if applied, err := ps.Apply(u1); err != nil || !applied {
+		t.Fatalf("apply 1: %v %v", applied, err)
+	}
+	ps.Close()
+	log, err := OpenWALMust(t, dir).Recover(fBoard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 3 || log[0].Seq != 1 || log[1].Seq != 2 || log[2].Seq != 3 {
+		t.Fatalf("journal not in applied order: %v", log)
+	}
+}
+
+// OpenWALMust opens a WAL or fails the test.
+func OpenWALMust(t *testing.T, dir string) *WAL {
+	t.Helper()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPersistentStoreRollbackMarkerAfterReorder(t *testing.T) {
+	// Regression: with arrival-order journaling, a rollback marker's
+	// "keep" length cut the journal at the wrong entries when frames had
+	// arrived out of order. Applied-order journaling makes the marker
+	// exact.
+	dir := t.TempDir()
+	ps, err := NewPersistentStore(nA, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := wire.Update{File: fBoard, Writer: nB, Seq: 1, At: sec(1), Op: "w"}
+	u2 := wire.Update{File: fBoard, Writer: nB, Seq: 2, At: sec(2), Op: "w"}
+	ps.Apply(u2) // buffered
+	ps.Apply(u1) // drains: applied order 1,2
+	rep := ps.Open(fBoard)
+	rep.Checkpoint(7) // applied length 2
+	if _, err := ps.WriteLocal(fBoard, sec(3), "w", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.Rollback(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.RollbackTo(fBoard, rep.Len()); err != nil {
+		t.Fatal(err)
+	}
+	ps.Close()
+
+	ps2, err := NewPersistentStore(nA, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps2.Close()
+	rec := ps2.Open(fBoard)
+	if rec.Len() != 2 || rec.Pending() != 0 {
+		t.Fatalf("recovered len=%d pending=%d, want 2/0", rec.Len(), rec.Pending())
+	}
+	if rec.Vector().Count(nB) != 2 {
+		t.Fatalf("recovered count = %d, want 2", rec.Vector().Count(nB))
+	}
+}
+
 func TestPersistentStoreMultipleFiles(t *testing.T) {
 	dir := t.TempDir()
 	ps, _ := NewPersistentStore(nA, dir)

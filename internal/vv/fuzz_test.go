@@ -50,3 +50,96 @@ func FuzzVectorOps(f *testing.F) {
 		}
 	})
 }
+
+// divergenceWithinWindow reports whether every stamp the staleness
+// derivation needs — the end of each writer's shared prefix and the first
+// divergent update on either side — is still inside both vectors' windows.
+func divergenceWithinWindow(u, ref *Vector) bool {
+	writers := map[id.NodeID]struct{}{}
+	for n := range u.Entries {
+		writers[n] = struct{}{}
+	}
+	for n := range ref.Entries {
+		writers[n] = struct{}{}
+	}
+	for n := range writers {
+		ue, re := u.Entries[n], ref.Entries[n]
+		shared := ue.Count
+		if re.Count < shared {
+			shared = re.Count
+		}
+		if shared > 0 {
+			if _, ok := ue.StampAt(shared - 1); !ok {
+				return false
+			}
+		}
+		for _, e := range []Entry{ue, re} {
+			if e.Count > shared {
+				if _, ok := e.StampAt(shared); !ok {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// FuzzCompactedEquivalence drives a full-history vector pair and a
+// window-compacted twin through the same update script and asserts the
+// tentpole contract: Compare and the numerical/order error components are
+// identical at any window; staleness (and therefore Score) is identical
+// whenever the divergence lies within the window, and conservatively
+// pessimistic — never optimistic — beyond it.
+func FuzzCompactedEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1}, uint8(2))
+	f.Add([]byte{9, 9, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(1))
+	f.Add([]byte{}, uint8(4))
+	f.Fuzz(func(t *testing.T, script []byte, window uint8) {
+		win := int(window%6) + 1
+		fu, fv := NewWindowed(-1), NewWindowed(-1) // full history
+		cu, cv := NewWindowed(win), NewWindowed(win)
+		at := Stamp(0)
+		for _, b := range script {
+			at += Stamp(b%7+1) * 1e8
+			writer := id.NodeID(b%5 + 1)
+			meta := float64(b)
+			if b%2 == 0 {
+				fu.Tick(writer, at, meta)
+				cu.Tick(writer, at, meta)
+			} else {
+				fv.Tick(writer, at, meta)
+				cv.Tick(writer, at, meta)
+			}
+			if b%8 == 7 {
+				cu.Compact(win)
+				cv.Compact(win)
+			}
+		}
+		if err := cu.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cv.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := Compare(cu, cv), Compare(fu, fv); got != want {
+			t.Fatalf("Compare diverged: compacted %v, full %v", got, want)
+		}
+		fm, fe := CountDiff(fu, fv)
+		cm, ce := CountDiff(cu, cv)
+		if fm != cm || fe != ce {
+			t.Fatalf("CountDiff diverged: full (%d,%d), compacted (%d,%d)", fm, fe, cm, ce)
+		}
+		ft := TripleAgainst(fu, fv)
+		ct := TripleAgainst(cu, cv)
+		if ft.Numerical != ct.Numerical || ft.Order != ct.Order {
+			t.Fatalf("numerical/order diverged: full %v, compacted %v", ft, ct)
+		}
+		if divergenceWithinWindow(cu, cv) {
+			if ft != ct {
+				t.Fatalf("within-window triple diverged: full %v, compacted %v", ft, ct)
+			}
+		} else if ct.Staleness < ft.Staleness {
+			t.Fatalf("conservative fallback under-reports: compacted %v < full %v", ct, ft)
+		}
+	})
+}

@@ -54,20 +54,94 @@ func (o Ordering) String() string {
 	return fmt.Sprintf("Ordering(%d)", int(o))
 }
 
-// Entry records one writer's activity: how many updates it has issued and
-// when each happened. Count always equals len(Stamps); Stamps is
-// non-decreasing.
+// DefaultWindow is the default per-writer stamp window: how many recent
+// stamps an Entry retains before compaction. Compare (which only reads
+// counts) is exact at any window; staleness derivation is exact whenever
+// two replicas diverge within the window and conservatively pessimistic
+// beyond it — the same accuracy-vs-cost dial as the paper's gossip TTL.
+const DefaultWindow = 64
+
+// Entry records one writer's activity: how many updates it has issued
+// (Count) and when the recent ones happened. Stamps is a bounded,
+// non-decreasing suffix window: it holds the stamps of updates
+// Base+1..Count (1-based); the Base older stamps have been compacted away
+// behind Watermark, the stamp of update #Base (the newest compacted one,
+// zero while Base is 0). Count == Base + len(Stamps) always holds.
 type Entry struct {
-	Count  int
-	Stamps []Stamp
+	Count     int
+	Base      int
+	Watermark Stamp
+	Stamps    []Stamp
 }
 
 func (e Entry) clone() Entry {
-	out := Entry{Count: e.Count}
+	out := Entry{Count: e.Count, Base: e.Base, Watermark: e.Watermark}
 	if len(e.Stamps) > 0 {
 		out.Stamps = append([]Stamp(nil), e.Stamps...)
 	}
 	return out
+}
+
+// Last returns the stamp of the writer's most recent update (zero when the
+// entry is empty).
+func (e Entry) Last() Stamp {
+	if n := len(e.Stamps); n > 0 {
+		return e.Stamps[n-1]
+	}
+	return e.Watermark
+}
+
+// StampAt returns the stamp of the writer's i-th update (0-based) and
+// whether that stamp is still inside the window. For a compacted index it
+// returns the watermark — an upper bound on the true stamp — and false;
+// for an index beyond Count it returns (0, false).
+func (e Entry) StampAt(i int) (Stamp, bool) {
+	switch {
+	case i < 0 || i >= e.Count:
+		return 0, false
+	case i < e.Base:
+		return e.Watermark, false
+	default:
+		return e.Stamps[i-e.Base], true
+	}
+}
+
+// Prefix returns the entry reduced to the writer's first n updates. When
+// the cut falls inside the compacted region the watermark is kept as a
+// conservative (upper-bound) stand-in for the true cut stamp.
+func (e Entry) Prefix(n int) Entry {
+	if n >= e.Count {
+		return e.clone()
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := Entry{Count: n, Base: e.Base, Watermark: e.Watermark}
+	if n <= e.Base {
+		out.Base = n
+		if n == 0 {
+			out.Watermark = 0
+		}
+		return out
+	}
+	out.Stamps = append([]Stamp(nil), e.Stamps[:n-e.Base]...)
+	return out
+}
+
+// compact drops all but the newest window stamps, advancing the
+// watermark. A non-positive window keeps a single stamp.
+func (e Entry) compact(window int) Entry {
+	if window < 1 {
+		window = 1
+	}
+	drop := len(e.Stamps) - window
+	if drop <= 0 {
+		return e
+	}
+	e.Watermark = e.Stamps[drop-1]
+	e.Base += drop
+	e.Stamps = append([]Stamp(nil), e.Stamps[drop:]...)
+	return e
 }
 
 // Triple is TACT's <numerical error, order error, staleness> inconsistency
@@ -93,7 +167,10 @@ func (t Triple) String() string {
 }
 
 // Vector is IDEA's extended version vector (Fig. 5): per-writer counts with
-// timestamps, the critical-metadata value, and the attached triple.
+// timestamps, the critical-metadata value, and the attached triple. Per
+// entry only a bounded window of recent stamps is retained (see Entry), so
+// a vector's size — and therefore the size of every message that carries
+// one — is bounded by writers × window, not by total update history.
 type Vector struct {
 	Entries map[id.NodeID]Entry
 	// Meta is the application-defined critical metadata value used to
@@ -103,12 +180,34 @@ type Vector struct {
 	// Err is the triple attached "at the end to conclude the extended
 	// version vector". It is zero until a conflict is quantified.
 	Err Triple
+
+	// window is the per-writer stamp window; 0 means DefaultWindow. It is
+	// node-local tuning state, deliberately not shipped on the wire.
+	window int
 }
 
 // New returns an empty extended version vector (a fresh, consistent
-// replica).
+// replica) with the default stamp window.
 func New() *Vector {
 	return &Vector{Entries: make(map[id.NodeID]Entry)}
+}
+
+// NewWindowed returns an empty vector whose entries keep at most window
+// recent stamps per writer (0 means DefaultWindow; negative disables
+// compaction entirely — full history, test/ablation use only).
+func NewWindowed(window int) *Vector {
+	return &Vector{Entries: make(map[id.NodeID]Entry), window: window}
+}
+
+// Window returns the effective per-writer stamp window (0 = unbounded).
+func (v *Vector) Window() int {
+	if v.window == 0 {
+		return DefaultWindow
+	}
+	if v.window < 0 {
+		return 0
+	}
+	return v.window
 }
 
 // Clone returns a deep copy.
@@ -117,6 +216,7 @@ func (v *Vector) Clone() *Vector {
 		Entries: make(map[id.NodeID]Entry, len(v.Entries)),
 		Meta:    v.Meta,
 		Err:     v.Err,
+		window:  v.window,
 	}
 	for n, e := range v.Entries {
 		out.Entries[n] = e.clone()
@@ -138,17 +238,62 @@ func (v *Vector) TotalCount() int {
 
 // Tick records one update by writer w at time at with resulting metadata
 // value meta. It is the only mutation a write performs on the vector.
+// Once the writer's stamp window overflows to twice the configured size
+// it is compacted back down, keeping Tick amortized O(1).
 func (v *Vector) Tick(w id.NodeID, at Stamp, meta float64) {
 	e := v.Entries[w]
-	if n := len(e.Stamps); n > 0 && e.Stamps[n-1] > at {
+	if last := e.Last(); e.Count > 0 && last > at {
 		// Clamp: a writer's own updates are totally ordered even if
 		// its clock steps backwards (skew correction).
-		at = e.Stamps[n-1]
+		at = last
 	}
 	e.Count++
 	e.Stamps = append(e.Stamps, at)
+	if win := v.Window(); win > 0 && len(e.Stamps) >= 2*win {
+		e = e.compact(win)
+	}
 	v.Entries[w] = e
 	v.Meta = meta
+}
+
+// Compact shrinks every entry to at most window recent stamps (0 means
+// DefaultWindow), advancing the per-writer watermarks.
+func (v *Vector) Compact(window int) {
+	if window == 0 {
+		window = DefaultWindow
+	}
+	for n, e := range v.Entries {
+		v.Entries[n] = e.compact(window)
+	}
+}
+
+// Trimmed returns a deep copy with each entry's window cut to at most k
+// stamps — the bounded digest encoding gossip ships. Counts (and thus
+// Compare) are untouched; only staleness resolution is coarsened.
+func (v *Vector) Trimmed(k int) *Vector {
+	out := v.Clone()
+	out.Compact(k)
+	return out
+}
+
+// WindowStamps returns the total number of stamps currently held across
+// all entries — the window-occupancy telemetry gauge.
+func (v *Vector) WindowStamps() int {
+	t := 0
+	for _, e := range v.Entries {
+		t += len(e.Stamps)
+	}
+	return t
+}
+
+// CompactedCount returns the total number of stamps compacted away across
+// all entries.
+func (v *Vector) CompactedCount() int {
+	t := 0
+	for _, e := range v.Entries {
+		t += e.Base
+	}
+	return t
 }
 
 // Compare returns the ordering between u and v per [19]: u is Less when
@@ -195,6 +340,10 @@ func Dominates(u, v *Vector) bool {
 // Merge picks the input with more total updates as a placeholder.
 func Merge(u, v *Vector) *Vector {
 	out := New()
+	out.window = u.window
+	if out.window == 0 {
+		out.window = v.window
+	}
 	for n, e := range u.Entries {
 		out.Entries[n] = e.clone()
 	}
@@ -241,11 +390,26 @@ func CountDiff(u, ref *Vector) (missing, extra int) {
 func LatestStamp(v *Vector) Stamp {
 	var max Stamp
 	for _, e := range v.Entries {
-		if n := len(e.Stamps); n > 0 && e.Stamps[n-1] > max {
-			max = e.Stamps[n-1]
+		if s := e.Last(); e.Count > 0 && s > max {
+			max = s
 		}
 	}
 	return max
+}
+
+// TruncateWriter reduces writer w's entry to its first count updates
+// (no-op when the entry already has count or fewer). Used when adopted
+// resolution images invalidate a writer's extra updates.
+func (v *Vector) TruncateWriter(w id.NodeID, count int) {
+	e, ok := v.Entries[w]
+	if !ok || e.Count <= count {
+		return
+	}
+	if count <= 0 {
+		delete(v.Entries, w)
+		return
+	}
+	v.Entries[w] = e.Prefix(count)
 }
 
 // LastConsistentStamp returns the latest time point at which u and ref were
@@ -253,16 +417,30 @@ func LatestStamp(v *Vector) Stamp {
 // not later than the first point of divergence. In the paper's walkthrough
 // the last consistent point is time 1 while ref's latest update is time 3,
 // giving staleness 2.
+//
+// Only the end of the common prefix and the first-divergent stamps are
+// consulted, so the result is exact whenever the vectors diverge within
+// their stamp windows. When a needed stamp has been compacted away the
+// function falls back conservatively: a compacted common-prefix stamp
+// contributes nothing (the true common point can only be later) and a
+// compacted divergence stamp pins the result to zero — staleness is then
+// over-reported, never under-reported.
 func LastConsistentStamp(u, ref *Vector) Stamp {
 	// First divergence: for each writer, the stamp of the first update
 	// beyond the shared prefix in whichever vector has more.
 	firstDiv := Stamp(-1)
+	divCompacted := false
 	consider := func(longer Entry, shared int) {
-		if longer.Count > shared && shared < len(longer.Stamps) {
-			s := longer.Stamps[shared]
-			if firstDiv < 0 || s < firstDiv {
-				firstDiv = s
-			}
+		if longer.Count <= shared {
+			return
+		}
+		s, ok := longer.StampAt(shared)
+		if !ok {
+			divCompacted = true
+			return
+		}
+		if firstDiv < 0 || s < firstDiv {
+			firstDiv = s
 		}
 	}
 	writers := make(map[id.NodeID]struct{}, len(u.Entries)+len(ref.Entries))
@@ -279,13 +457,18 @@ func LastConsistentStamp(u, ref *Vector) Stamp {
 		if re.Count < shared {
 			shared = re.Count
 		}
-		for i := 0; i < shared && i < len(ue.Stamps); i++ {
-			if ue.Stamps[i] > common {
-				common = ue.Stamps[i]
+		// Stamps are non-decreasing, so the newest common-prefix stamp
+		// is the one at the end of the shared prefix.
+		if shared > 0 {
+			if s, ok := ue.StampAt(shared - 1); ok && s > common {
+				common = s
 			}
 		}
 		consider(ue, shared)
 		consider(re, shared)
+	}
+	if divCompacted {
+		return 0
 	}
 	if firstDiv >= 0 && common > firstDiv {
 		common = firstDiv
@@ -317,12 +500,19 @@ func TripleAgainst(u, ref *Vector) Triple {
 	return Triple{Numerical: num, Order: float64(missing + extra), Staleness: stale}
 }
 
-// Validate checks internal invariants: Count == len(Stamps) and stamps are
-// non-decreasing. It returns nil when the vector is well-formed.
+// Validate checks internal invariants: Count == Base + len(Stamps), the
+// compacted prefix is well-formed, and stamps are non-decreasing. It
+// returns nil when the vector is well-formed.
 func (v *Vector) Validate() error {
 	for n, e := range v.Entries {
-		if e.Count != len(e.Stamps) {
-			return fmt.Errorf("vv: writer %v count %d != %d stamps", n, e.Count, len(e.Stamps))
+		if e.Base < 0 {
+			return fmt.Errorf("vv: writer %v negative base %d", n, e.Base)
+		}
+		if e.Count != e.Base+len(e.Stamps) {
+			return fmt.Errorf("vv: writer %v count %d != base %d + %d stamps", n, e.Count, e.Base, len(e.Stamps))
+		}
+		if e.Base > 0 && len(e.Stamps) > 0 && e.Stamps[0] < e.Watermark {
+			return fmt.Errorf("vv: writer %v window head %v before watermark %v", n, e.Stamps[0], e.Watermark)
 		}
 		for i := 1; i < len(e.Stamps); i++ {
 			if e.Stamps[i] < e.Stamps[i-1] {
@@ -349,8 +539,11 @@ func (v *Vector) String() string {
 		}
 		e := v.Entries[n]
 		fmt.Fprintf(&b, "%v:%d(", n, e.Count)
+		if e.Base > 0 {
+			fmt.Fprintf(&b, "…%d@%g", e.Base, e.Watermark.Seconds())
+		}
 		for j, s := range e.Stamps {
-			if j > 0 {
+			if j > 0 || e.Base > 0 {
 				b.WriteByte(',')
 			}
 			fmt.Fprintf(&b, "%g", s.Seconds())

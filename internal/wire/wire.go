@@ -39,7 +39,9 @@ func (u Update) Key() string { return fmt.Sprintf("%v/%v#%d", u.File, u.Writer, 
 // ---- Detection (§4.3) ----
 
 // DetectRequest carries the writer's extended version vector to a top-layer
-// peer; the peer compares it with its own replica's vector.
+// peer; the peer compares it with its own replica's vector. Vectors are
+// window-bounded (see internal/vv), so detect probes — like every other
+// vector-carrying message — have wire cost independent of update history.
 type DetectRequest struct {
 	File  id.FileID
 	Token int64 // correlates replies with one detect(update) call
@@ -69,13 +71,23 @@ func (DetectReply) Kind() string { return "detect.rep" }
 
 // GossipDigest is the TTL-bounded digest of a replica's vector that sweeps
 // the bottom layer in the background to catch conflicts the top layer
-// missed.
+// missed. The vector it carries is bounded twice over: vv entries keep
+// only a recent stamp window, and the gossip agent additionally trims the
+// window to Config.DigestStamps before emitting — so digest wire size is
+// O(writers × digest window), flat in total update history.
 type GossipDigest struct {
 	File   id.FileID
 	Origin id.NodeID
 	Round  int
 	TTL    int
 	VV     *vv.Vector
+	// Stable carries the origin's rollback floor: per-writer counts it
+	// can never roll back below (its oldest live checkpoint). Receivers
+	// learn the log-compaction stability frontier from these, never from
+	// the raw VV counts, so a later §4.4.2 rollback can never re-need an
+	// update some peer already pruned. Nil on digests from old nodes;
+	// receivers then fall back to the VV counts.
+	Stable map[id.NodeID]int
 }
 
 // Kind implements Message.
