@@ -12,15 +12,21 @@ package idea_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
+	"idea/internal/core"
+	"idea/internal/env"
 	"idea/internal/experiments"
 	"idea/internal/id"
+	"idea/internal/overlay"
 	"idea/internal/store"
+	"idea/internal/transport"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -44,10 +50,60 @@ func linearMissingFrom(log []wire.Update, remote *vv.Vector) []wire.Update {
 	return out
 }
 
+// parallelWriteOps drives the multi-file parallel-writer scenario through
+// the real sharded runtime: one live transport node with the given shard
+// count, `files` shared files, and `writers` concurrent issuers pushing
+// writes (each triggering the full store-apply + detect path) through
+// InjectFile. It returns steady ops/sec. With shards == 1 this is exactly
+// the historical single-event-loop node — the baseline the sharded
+// executor is measured against.
+func parallelWriteOps(b *testing.B, shards, files, writers, opsPerWriter int) float64 {
+	n := core.NewNode(1, core.Options{
+		Membership:    overlay.NewStatic([]id.NodeID{1}, nil),
+		Shards:        shards,
+		DisableGossip: true,
+		DisableRansub: true,
+	})
+	tn, err := transport.Listen(1, "127.0.0.1:0", n, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tn.AttachMetrics(n.Metrics())
+	tn.Start()
+	defer tn.Close()
+
+	fileIDs := make([]id.FileID, files)
+	for i := range fileIDs {
+		fileIDs[i] = id.FileID(fmt.Sprintf("bench-%03d", i))
+	}
+	payload := []byte("parallel-writer-payload")
+	var issuers, ops sync.WaitGroup
+	ops.Add(writers * opsPerWriter)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		issuers.Add(1)
+		go func(w int) {
+			defer issuers.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				f := fileIDs[(i*writers+w)%len(fileIDs)]
+				tn.InjectFile(f, func(e env.Env) {
+					n.Write(e, f, "bench", payload, 0)
+					ops.Done()
+				})
+			}
+		}(w)
+	}
+	issuers.Wait()
+	ops.Wait()
+	return float64(writers*opsPerWriter) / time.Since(start).Seconds()
+}
+
 // BenchmarkCoreBaseline measures the bounded-state headline numbers — the
 // gossip digest wire size and Replica.MissingFrom cost at 50k updates per
-// replica, plus the speedup over the seed's full-scan anti-entropy — and
-// writes them to BENCH_core.json so the perf trajectory is tracked in CI:
+// replica, the speedup over the seed's full-scan anti-entropy, and the
+// sharded runtime's multi-file write throughput vs the single-loop
+// baseline (64 files × 4 writers) — and writes them to BENCH_core.json so
+// the perf trajectory is tracked in CI:
 //
 //	go test -run '^$' -bench CoreBaseline -benchtime 100x .
 func BenchmarkCoreBaseline(b *testing.B) {
@@ -96,21 +152,43 @@ func BenchmarkCoreBaseline(b *testing.B) {
 	}
 	legacyNs := float64(time.Since(legacyStart).Nanoseconds()) / float64(legacyRounds)
 
+	// Sharded-runtime headline: multi-file write/detect throughput on one
+	// live node, single event loop vs one shard per CPU. Both numbers go
+	// into BENCH_core.json; the ratio is the refactor's win.
+	const (
+		benchFiles   = 64
+		benchWriters = 4
+		opsPerWriter = 30_000
+	)
+	benchShards := runtime.GOMAXPROCS(0)
+	opsSingle := parallelWriteOps(b, 1, benchFiles, benchWriters, opsPerWriter)
+	opsSharded := parallelWriteOps(b, benchShards, benchFiles, benchWriters, opsPerWriter)
+
 	b.ReportMetric(float64(digestBytes), "digest-bytes")
 	b.ReportMetric(indexedNs, "missingfrom-ns")
 	b.ReportMetric(legacyNs/indexedNs, "speedup-x")
+	b.ReportMetric(opsSingle, "par-write-ops/s-1shard")
+	b.ReportMetric(opsSharded, "par-write-ops/s-sharded")
+	b.ReportMetric(opsSharded/opsSingle, "shard-speedup-x")
 
 	baseline := map[string]any{
-		"updates_per_replica":       updates,
-		"writers":                   writers,
-		"missing_per_writer":        missing,
-		"vv_window":                 vv.DefaultWindow,
-		"digest_stamps":             8,
-		"digest_encode_bytes":       digestBytes,
-		"missing_from_ns_indexed":   indexedNs,
-		"missing_from_ns_full_scan": legacyNs,
-		"missing_from_speedup_x":    legacyNs / indexedNs,
-		"go":                        runtime.Version(),
+		"updates_per_replica":                 updates,
+		"writers":                             writers,
+		"missing_per_writer":                  missing,
+		"vv_window":                           vv.DefaultWindow,
+		"digest_stamps":                       8,
+		"digest_encode_bytes":                 digestBytes,
+		"missing_from_ns_indexed":             indexedNs,
+		"missing_from_ns_full_scan":           legacyNs,
+		"missing_from_speedup_x":              legacyNs / indexedNs,
+		"parallel_write_files":                benchFiles,
+		"parallel_write_writers":              benchWriters,
+		"parallel_write_shards":               benchShards,
+		"parallel_write_ops_per_sec_shards_1": opsSingle,
+		"parallel_write_ops_per_sec_sharded":  opsSharded,
+		"parallel_write_speedup_x":            opsSharded / opsSingle,
+		"gomaxprocs":                          runtime.GOMAXPROCS(0),
+		"go":                                  runtime.Version(),
 	}
 	data, err := json.MarshalIndent(baseline, "", "  ")
 	if err != nil {

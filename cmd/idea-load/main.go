@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"idea"
@@ -45,6 +46,7 @@ func main() {
 	zipf := flag.Float64("zipf", 0, "zipf skew over -files (>1 skews; 0 = uniform)")
 	payload := flag.Int("payload", 64, "write payload bytes")
 	seed := flag.Int64("seed", 1, "deterministic op/file draws")
+	shards := flag.Int("shards", 0, "driver node's per-file serialization domains (0 = one per CPU, 1 = classic single loop)")
 	admin := flag.String("admin", "", "serve /metrics + /healthz on this address")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "settle time before driving load")
@@ -78,6 +80,7 @@ func main() {
 		Peers:     peerMap,
 		All:       allIDs,
 		TopLayers: tops,
+		Shards:    *shards,
 	}
 	if len(cfg.All) == 0 {
 		cfg.All = cliutil.DefaultAll(cfg.Self, cfg.Peers)
@@ -90,7 +93,8 @@ func main() {
 		fatalf("start: %v", err)
 	}
 	defer node.Close()
-	fmt.Fprintf(os.Stderr, "idea-load: node %v on %s driving %d peer(s)\n", cfg.Self, node.Addr(), len(peerMap))
+	fmt.Fprintf(os.Stderr, "idea-load: node %v on %s (%d shard(s)) driving %d peer(s)\n",
+		cfg.Self, node.Addr(), node.NumShards(), len(peerMap))
 
 	if *admin != "" {
 		srv, err := idea.ServeMetrics(*admin, node.Metrics())
@@ -123,6 +127,36 @@ func main() {
 		return
 	}
 	fmt.Print(rep)
+	fmt.Print(shardSplit(rep, node))
+}
+
+// shardSplit renders the per-shard throughput split: measured ops grouped
+// by the driver shard owning each target file. It shows at a glance
+// whether the workload actually spreads across the sharded runtime or
+// piles onto one domain (e.g. under a heavy zipf skew).
+func shardSplit(rep *loadgen.Report, node *idea.LiveNode) string {
+	n := node.NumShards()
+	if n <= 1 || len(rep.FileOps) == 0 || rep.Elapsed <= 0 {
+		return ""
+	}
+	ops := make([]int64, n)
+	files := make([]int, n)
+	for f, c := range rep.FileOps {
+		s := node.N.ShardOfFile(f)
+		ops[s] += c
+		files[s]++
+	}
+	var b strings.Builder
+	b.WriteString("per-shard split: ")
+	secs := rep.Elapsed.Seconds()
+	for s := 0; s < n; s++ {
+		if s > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "s%d %.1f ops/s (%d files)", s, float64(ops[s])/secs, files[s])
+	}
+	b.WriteString("\n")
+	return b.String()
 }
 
 func fatalf(format string, args ...any) {

@@ -48,7 +48,7 @@ func (c *console) exec(line string) (quit bool) {
 		}
 		file := idea.FileID(fields[1])
 		text := strings.Join(fields[2:], " ")
-		c.node.Inject(func(e idea.Env) {
+		c.node.InjectFile(file, func(e idea.Env) {
 			u := c.node.N.Write(e, file, "text", []byte(text), float64(len(text)))
 			fmt.Fprintf(c.out, "wrote %s\n", u.Key())
 		})
@@ -59,7 +59,7 @@ func (c *console) exec(line string) (quit bool) {
 		}
 		file := idea.FileID(fields[1])
 		done := make(chan []idea.Update, 1)
-		c.node.Inject(func(e idea.Env) { done <- c.node.N.Read(file) })
+		c.node.InjectFile(file, func(e idea.Env) { done <- c.node.N.Read(file) })
 		for _, u := range <-done {
 			fmt.Fprintf(c.out, "  %-14s %q\n", u.Key(), string(u.Data))
 		}
@@ -75,7 +75,7 @@ func (c *console) exec(line string) (quit bool) {
 		}
 		file := idea.FileID(fields[1])
 		done := make(chan error, 1)
-		c.node.Inject(func(e idea.Env) { done <- c.node.N.SetHint(file, level) })
+		c.node.InjectFile(file, func(e idea.Env) { done <- c.node.N.SetHint(file, level) })
 		if err := <-done; err != nil {
 			fmt.Fprintln(c.out, err)
 		}
@@ -85,7 +85,7 @@ func (c *console) exec(line string) (quit bool) {
 			return false
 		}
 		file := idea.FileID(fields[1])
-		c.node.Inject(func(e idea.Env) { c.node.N.DemandActiveResolution(e, file) })
+		c.node.InjectFile(file, func(e idea.Env) { c.node.N.DemandActiveResolution(e, file) })
 	case "bg":
 		if len(fields) != 3 {
 			fmt.Fprintln(c.out, usage[cmd])
@@ -97,7 +97,7 @@ func (c *console) exec(line string) (quit bool) {
 			return false
 		}
 		file := idea.FileID(fields[1])
-		c.node.Inject(func(e idea.Env) {
+		c.node.InjectFile(file, func(e idea.Env) {
 			c.node.N.SetBackgroundFreq(e, file, time.Duration(secs*float64(time.Second)))
 		})
 	case "level":
@@ -107,7 +107,7 @@ func (c *console) exec(line string) (quit bool) {
 		}
 		file := idea.FileID(fields[1])
 		done := make(chan float64, 1)
-		c.node.Inject(func(e idea.Env) { done <- c.node.N.Level(file) })
+		c.node.InjectFile(file, func(e idea.Env) { done <- c.node.N.Level(file) })
 		fmt.Fprintf(c.out, "consistency level: %.4f\n", <-done)
 	case "metrics":
 		snap := c.node.Metrics().Snapshot()
@@ -120,6 +120,18 @@ func (c *console) exec(line string) (quit bool) {
 		sort.Strings(counters)
 		for _, name := range counters {
 			fmt.Fprintf(c.out, "  %-40s %d\n", name, snap.Counters[name])
+		}
+		// Gauges surface the sharded runtime's live queue state
+		// (core.shard_queue_depth.<i>) alongside store/gossip levels.
+		gauges := make([]string, 0, len(snap.Gauges))
+		for name, v := range snap.Gauges {
+			if v != 0 {
+				gauges = append(gauges, name)
+			}
+		}
+		sort.Strings(gauges)
+		for _, name := range gauges {
+			fmt.Fprintf(c.out, "  %-40s %d\n", name, snap.Gauges[name])
 		}
 		hists := make([]string, 0, len(snap.Histograms))
 		for name, h := range snap.Histograms {

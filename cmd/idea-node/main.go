@@ -42,6 +42,7 @@ func main() {
 	allFlag := flag.String("all", "", "comma-separated node IDs of the full deployment")
 	top := flag.String("top", "", "comma-separated file=ids top-layer pins, e.g. board=1,2;log=2,3")
 	admin := flag.String("admin", "", "serve /metrics + /healthz on this address")
+	shards := flag.Int("shards", 0, "per-file serialization domains / executor goroutines (0 = one per CPU, 1 = classic single loop)")
 	compact := flag.Bool("compact-logs", false, "prune replica logs below the gossip-learned stability frontier (reads then serve only the live suffix)")
 	verbose := flag.Bool("v", false, "verbose transport logging")
 	flag.Parse()
@@ -49,6 +50,7 @@ func main() {
 	cfg := idea.LiveNodeConfig{
 		Self:        idea.NodeID(*idFlag),
 		Listen:      *listen,
+		Shards:      *shards,
 		CompactLogs: *compact,
 	}
 	if *verbose {
@@ -73,7 +75,7 @@ func main() {
 		fatalf("start: %v", err)
 	}
 	defer node.Close()
-	fmt.Printf("node %v listening on %s\n", cfg.Self, node.Addr())
+	fmt.Printf("node %v listening on %s (%d shard(s))\n", cfg.Self, node.Addr(), node.NumShards())
 
 	if *admin != "" {
 		srv, err := idea.ServeMetrics(*admin, node.Metrics())

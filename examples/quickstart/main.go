@@ -34,13 +34,13 @@ func main() {
 	}
 
 	// Watch node 1's consistency verdicts.
-	cluster.Node(1).OnLevel = func(_ idea.Env, f idea.FileID, res idea.DetectResult) {
+	cluster.Node(1).SetOnLevel(func(_ idea.Env, f idea.FileID, res idea.DetectResult) {
 		fmt.Printf("   node 1 detect(%s): ok=%v level=%.4f triple=%v (%.0f ms)\n",
 			f, res.OK, res.Level, res.Triple, float64(res.Elapsed)/1e6)
-	}
-	cluster.Node(1).OnResolved = func(_ idea.Env, f idea.FileID, winner idea.NodeID) {
+	})
+	cluster.Node(1).SetOnResolved(func(_ idea.Env, f idea.FileID, winner idea.NodeID) {
 		fmt.Printf("   node 1: %s adopted a consistent image (winner %v)\n", f, winner)
-	}
+	})
 
 	fmt.Println("1) node 1 writes — detection finds everyone behind but no conflict:")
 	cluster.Call(0, 1, func(e idea.Env) {

@@ -48,24 +48,23 @@ func main() {
 		fmt.Printf("node %v on %s\n", nid, nodes[nid].Addr())
 	}
 
-	// Observe node 1's verdicts.
+	// Observe node 1's verdicts (hook slots are atomically swappable, so
+	// no event-loop round trip is needed).
 	var mu sync.Mutex
-	nodes[1].Inject(func(e idea.Env) {
-		nodes[1].N.OnLevel = func(_ idea.Env, f idea.FileID, res idea.DetectResult) {
-			mu.Lock()
-			fmt.Printf("  node 1 detect(%s): ok=%v level=%.4f\n", f, res.OK, res.Level)
-			mu.Unlock()
-		}
+	nodes[1].N.SetOnLevel(func(_ idea.Env, f idea.FileID, res idea.DetectResult) {
+		mu.Lock()
+		fmt.Printf("  node 1 detect(%s): ok=%v level=%.4f\n", f, res.OK, res.Level)
+		mu.Unlock()
 	})
 
 	fmt.Println("\nconcurrent conflicting writes at nodes 1 and 2:")
 	var wg sync.WaitGroup
 	wg.Add(2)
-	nodes[1].Inject(func(e idea.Env) {
+	nodes[1].InjectFile(file, func(e idea.Env) {
 		defer wg.Done()
 		nodes[1].N.Write(e, file, "text", []byte("alpha"), 1)
 	})
-	nodes[2].Inject(func(e idea.Env) {
+	nodes[2].InjectFile(file, func(e idea.Env) {
 		defer wg.Done()
 		nodes[2].N.Write(e, file, "text", []byte("bravo"), 2)
 	})
@@ -73,14 +72,14 @@ func main() {
 	time.Sleep(300 * time.Millisecond) // let detection round-trip
 
 	fmt.Println("\nnode 3 demands active resolution:")
-	nodes[3].Inject(func(e idea.Env) { nodes[3].N.DemandActiveResolution(e, file) })
+	nodes[3].InjectFile(file, func(e idea.Env) { nodes[3].N.DemandActiveResolution(e, file) })
 	time.Sleep(500 * time.Millisecond)
 
 	fmt.Println("\nfinal replicas:")
 	for _, nid := range all {
 		nid := nid
 		done := make(chan int, 1)
-		nodes[nid].Inject(func(e idea.Env) { done <- len(nodes[nid].N.Read(file)) })
+		nodes[nid].InjectFile(file, func(e idea.Env) { done <- len(nodes[nid].N.Read(file)) })
 		fmt.Printf("  node %v: %d updates\n", nid, <-done)
 	}
 }

@@ -136,6 +136,11 @@ type EmulatedClusterConfig struct {
 	Seed int64
 	// Nodes lists every participant.
 	Nodes []NodeID
+	// Shards partitions each node's state into per-file serialization
+	// domains (see core.Options.Shards). The emulator stays
+	// deterministic: shards are logical, scheduled by a seeded stable
+	// tie-break. Zero means 1 — the classic single-loop node.
+	Shards int
 	// TopLayers optionally pins the per-file top layers; when nil the
 	// RanSub temperature overlay elects them dynamically.
 	TopLayers map[FileID][]NodeID
@@ -174,6 +179,7 @@ func NewEmulatedCluster(cfg EmulatedClusterConfig) *EmulatedCluster {
 		opts := Options{
 			Membership:    mem,
 			All:           cfg.Nodes,
+			Shards:        cfg.Shards,
 			DisableGossip: cfg.DisableGossip,
 			DisableRansub: cfg.TopLayers != nil,
 			Gossip:        gossip.Config{Interval: cfg.GossipEvery},
@@ -199,10 +205,19 @@ func (ec *EmulatedCluster) Nodes() []*Node {
 	return out
 }
 
-// Call schedules fn inside node nid's event loop at the given virtual
-// offset from now — the way applications issue writes and user actions.
+// Call schedules fn inside node nid's shard-0 event loop at the given
+// virtual offset from now — the way applications issue node-global
+// actions. With Shards > 1, per-file operations must use CallFile so they
+// run in the file's serialization domain.
 func (ec *EmulatedCluster) Call(after time.Duration, nid NodeID, fn func(Env)) {
 	ec.sim.CallAt(ec.sim.Elapsed()+after, nid, func(e env.Env) { fn(e) })
+}
+
+// CallFile schedules fn inside the serialization domain owning file on
+// node nid — the injection point for writes and user actions against one
+// file.
+func (ec *EmulatedCluster) CallFile(after time.Duration, nid NodeID, file FileID, fn func(Env)) {
+	ec.sim.CallAtFile(ec.sim.Elapsed()+after, nid, file, func(e env.Env) { fn(e) })
 }
 
 // Run advances virtual time by d, delivering every due message and timer.
@@ -237,6 +252,11 @@ type LiveNodeConfig struct {
 	All []NodeID
 	// TopLayers optionally pins per-file top layers (nil → RanSub).
 	TopLayers map[FileID][]NodeID
+	// Shards is the number of per-file serialization domains — and live
+	// executor goroutines — the node runs (see core.Options.Shards).
+	// Zero means one per available CPU; set 1 to force the classic
+	// single event loop.
+	Shards int
 	// CompactLogs enables log compaction below the gossip-learned
 	// stability frontier (see core.Options.CompactStableLogs): bounded
 	// per-file memory, at the cost of reads only serving the live log
@@ -259,9 +279,14 @@ func NewLiveNode(cfg LiveNodeConfig) (*LiveNode, error) {
 	if cfg.TopLayers != nil {
 		mem = overlay.NewStatic(cfg.All, cfg.TopLayers)
 	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = core.NumShardsAuto
+	}
 	n := core.NewNode(cfg.Self, Options{
 		Membership:        mem,
 		All:               cfg.All,
+		Shards:            shards,
 		DisableRansub:     cfg.TopLayers != nil,
 		CompactStableLogs: cfg.CompactLogs,
 	})
@@ -286,9 +311,21 @@ func (ln *LiveNode) Metrics() *MetricsRegistry { return ln.N.Metrics() }
 // AddPeer registers a peer address.
 func (ln *LiveNode) AddPeer(nid NodeID, addr string) { ln.tn.AddPeer(nid, addr) }
 
-// Inject runs fn inside the node's event loop (serialized with message
-// handling) — use it for writes and user actions.
+// Inject runs fn inside the node's shard-0 event loop (serialized with
+// message handling) — use it for node-global actions. Per-file operations
+// (writes, hints, per-file reads) must use InjectFile so they execute in
+// the file's serialization domain.
 func (ln *LiveNode) Inject(fn func(Env)) { ln.tn.Inject(func(e env.Env) { fn(e) }) }
+
+// InjectFile runs fn inside the event loop of the shard owning file —
+// the injection point for writes and user actions against one file.
+func (ln *LiveNode) InjectFile(file FileID, fn func(Env)) {
+	ln.tn.InjectFile(file, func(e env.Env) { fn(e) })
+}
+
+// NumShards returns how many serialization domains (live executors) the
+// node runs.
+func (ln *LiveNode) NumShards() int { return ln.tn.NumShards() }
 
 // Close shuts the node down.
 func (ln *LiveNode) Close() error { return ln.tn.Close() }

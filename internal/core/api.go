@@ -23,10 +23,7 @@ func (n *Node) SetConsistencyMetric(maxNumerical, maxOrder, maxStaleness float64
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	n.quant.Max = m
-	if caster != nil {
-		n.quant.Cast = caster
-	}
+	n.quant.SetMetric(m, caster)
 	return nil
 }
 
@@ -44,12 +41,16 @@ func (n *Node) SetWeight(numerical, order, staleness float64) error {
 
 // SetResolution selects the inconsistency-resolution policy (paper:
 // set_resolution(r)); r follows §4.5.1's numbering: 1 invalidate-both,
-// 2 highest-ID, 3 priority-based, 4 merge-all.
+// 2 highest-ID, 3 priority-based, 4 merge-all. The policy is node-global:
+// it applies to every shard's resolver. Configure it before the node
+// starts handling traffic.
 func (n *Node) SetResolution(r int) error {
 	p := resolve.Policy(r)
 	switch p {
 	case resolve.InvalidateBoth, resolve.HighestID, resolve.PriorityBased, resolve.MergeAll:
-		n.res.SetPolicy(p)
+		for _, sh := range n.shards {
+			sh.res.SetPolicy(p)
+		}
 		return nil
 	}
 	return fmt.Errorf("core: unknown resolution policy %d", r)
@@ -97,16 +98,16 @@ func (n *Node) DemandActiveResolution(e env.Env, file id.FileID) {
 			fs.learned = bump
 		}
 	}
-	n.res.RequestActive(e, file)
+	n.shardOf(file).res.RequestActive(e, file)
 }
 
 // SetBackgroundFreq sets the period of background inconsistency
 // resolution for file (paper: set_background_freq(f)); zero disables it.
 func (n *Node) SetBackgroundFreq(e env.Env, file id.FileID, period time.Duration) {
-	n.res.SetBackgroundFreq(e, file, period)
+	n.shardOf(file).res.SetBackgroundFreq(e, file, period)
 }
 
 // BackgroundFreq returns the current background period (zero = disabled).
 func (n *Node) BackgroundFreq(file id.FileID) time.Duration {
-	return n.res.BackgroundFreq(file)
+	return n.shardOf(file).res.BackgroundFreq(file)
 }

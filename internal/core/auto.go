@@ -142,11 +142,12 @@ func (n *Node) autoTick(e env.Env, file id.FileID) {
 }
 
 func (n *Node) applyAuto(e env.Env, file id.FileID) {
-	fs := n.file(file)
+	sh := n.shardOf(file)
+	fs := sh.file(file)
 	p := fs.auto.OptimalPeriod()
 	fs.auto.Adjustments++
-	if n.res.BackgroundFreq(file) != p {
-		n.res.SetBackgroundFreq(e, file, p)
+	if sh.res.BackgroundFreq(file) != p {
+		sh.res.SetBackgroundFreq(e, file, p)
 	}
 }
 
@@ -157,7 +158,7 @@ func (n *Node) ReportOversell(e env.Env, file id.FileID) {
 	if fs.auto == nil {
 		return
 	}
-	fs.auto.NoteOversell(n.res.BackgroundFreq(file))
+	fs.auto.NoteOversell(n.shardOf(file).res.BackgroundFreq(file))
 	n.applyAuto(e, file)
 }
 
@@ -167,6 +168,6 @@ func (n *Node) ReportUndersell(e env.Env, file id.FileID) {
 	if fs.auto == nil {
 		return
 	}
-	fs.auto.NoteUndersell(n.res.BackgroundFreq(file))
+	fs.auto.NoteUndersell(n.shardOf(file).res.BackgroundFreq(file))
 	n.applyAuto(e, file)
 }

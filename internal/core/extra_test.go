@@ -152,10 +152,10 @@ func TestDisableRollbackKeepsAlertsOnly(t *testing.T) {
 		nodes[2].Store().Open(board).Apply(u)
 	})
 	c.RunFor(90 * time.Second)
-	if nodes[1].Alerts == 0 {
+	if nodes[1].AlertsTotal() == 0 {
 		t.Fatal("alerts suppressed along with rollback")
 	}
-	if nodes[1].Rollbacks != 0 {
+	if nodes[1].RollbacksTotal() != 0 {
 		t.Fatal("rollback executed despite DisableRollback")
 	}
 }

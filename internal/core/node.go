@@ -6,11 +6,28 @@
 // §4.6 (on-demand, hint-based, fully automatic). The developer-facing
 // APIs of Table 1 live in api.go; the end-user interaction surface
 // (complaints, demands, weight changes) is part of the same Node.
+//
+// # Execution model
+//
+// A Node implements env.Handler and additionally env.Sharded: its state
+// is partitioned into Options.Shards independent serialization domains
+// keyed by FileID hash. Each shard owns a full per-file protocol stack —
+// detector, resolver, gossip agent, and controller states — so protocol
+// code stays lock-free exactly as under the classic one-loop-per-node
+// model, while a sharded runtime (transport, or simnet's deterministic
+// logical shards) processes different files' work in parallel. Node-global
+// work — the RanSub overlay, membership, the replica-store map, telemetry
+// — is shared across shards behind its own synchronization; cross-file
+// reads (store.Files, metrics snapshots) merge shard-local state without
+// stopping the world. With Shards == 1 (the default) behaviour is
+// byte-identical to the historical single-loop node.
 package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"idea/internal/detect"
@@ -72,6 +89,12 @@ type Options struct {
 	Resolve resolve.Config
 	Gossip  gossip.Config
 	Ransub  ransub.Config
+	// Shards is the number of per-file serialization domains the node's
+	// state is partitioned into (see the package comment). Zero means 1
+	// — the classic single-loop node; NumShardsAuto means one per
+	// available CPU. Values above 1 only buy parallelism under a
+	// shard-aware runtime, but are always correct.
+	Shards int
 	// DisableGossip turns off the bottom-layer sweep (top-layer-only
 	// ablation; also how the paper ran its evaluation, §6).
 	DisableGossip bool
@@ -99,6 +122,9 @@ type Options struct {
 	Metrics *telemetry.Registry
 }
 
+// NumShardsAuto selects one shard per available CPU (GOMAXPROCS).
+const NumShardsAuto = -1
+
 // fileState is the controller state IDEA keeps per shared file.
 type fileState struct {
 	mode      Mode
@@ -122,36 +148,69 @@ type Alert struct {
 	Undone     int // updates undone by the rollback
 }
 
-// Node is one IDEA middleware instance. It implements env.Handler and is
-// runnable unchanged under simnet (emulation) or transport (live TCP).
-type Node struct {
-	self  id.NodeID
-	opts  Options
-	st    *store.Store
-	quant *quantify.Quantifier
-	mem   overlay.Membership
+// Callback signatures for the observation hooks (see SetOnLevel etc.).
+type (
+	// LevelFunc observes every completed detection (file, level).
+	LevelFunc func(e env.Env, file id.FileID, res detect.Result)
+	// AlertFunc observes bottom-layer discrepancy alerts.
+	AlertFunc func(e env.Env, a Alert)
+	// ResolvedFunc observes every adoption of a consistent image.
+	ResolvedFunc func(e env.Env, file id.FileID, winner id.NodeID)
+	// OutcomeFunc observes initiator-side resolution outcomes.
+	OutcomeFunc = resolve.OutcomeFunc
+)
+
+// hook is an atomically swappable callback slot: hooks are invoked from
+// every shard but may be (re)installed at any time — the load generator
+// chains onto a live node's hooks mid-run.
+type hook[T any] struct{ p atomic.Pointer[T] }
+
+func (h *hook[T]) swap(f T) (prev T) {
+	if old := h.p.Swap(&f); old != nil {
+		prev = *old
+	}
+	return prev
+}
+
+func (h *hook[T]) get() (f T) {
+	if p := h.p.Load(); p != nil {
+		f = *p
+	}
+	return f
+}
+
+// coreShard is one serialization domain of a Node: the per-file protocol
+// stack plus the controller states of the files hashing into it. All of
+// its fields are only ever touched by callbacks routed to this shard, so
+// none of them need locks.
+type coreShard struct {
+	n     *Node
+	idx   int
 	det   *detect.Detector
 	res   *resolve.Resolver
 	gos   *gossip.Agent
-	ran   *ransub.Agent
-	reg   *telemetry.Registry
-	met   coreMetrics
-
 	files map[id.FileID]*fileState
+}
 
-	// OnLevel observes every completed detection (file, level).
-	OnLevel func(e env.Env, file id.FileID, res detect.Result)
-	// OnAlert observes bottom-layer discrepancy alerts.
-	OnAlert func(e env.Env, a Alert)
-	// OnResolved observes every adoption of a consistent image.
-	OnResolved func(e env.Env, file id.FileID, winner id.NodeID)
-	// OnOutcome observes initiator-side resolution outcomes.
-	OnOutcome func(e env.Env, o resolve.Outcome)
+// Node is one IDEA middleware instance. It implements env.Handler (and
+// env.Sharded) and is runnable unchanged under simnet (emulation) or
+// transport (live TCP).
+type Node struct {
+	self    id.NodeID
+	opts    Options
+	st      *store.Store
+	quant   *quantify.Quantifier
+	mem     overlay.Membership
+	ran     *ransub.Agent
+	reg     *telemetry.Registry
+	met     coreMetrics
+	nshards int
+	shards  []*coreShard
 
-	// Alerts counts discrepancy alerts; Rollbacks counts executed
-	// rollbacks.
-	Alerts    int
-	Rollbacks int
+	onLevel    hook[LevelFunc]
+	onAlert    hook[AlertFunc]
+	onResolved hook[ResolvedFunc]
+	onOutcome  hook[OutcomeFunc]
 }
 
 // coreMetrics are the node-level telemetry handles.
@@ -164,14 +223,25 @@ type coreMetrics struct {
 	resolved   *telemetry.Counter // consistent-image adoptions observed
 }
 
+// keyShardStart fans per-shard boot work out of Handler.Start (which runs
+// on shard 0) into each shard's own domain via zero-delay timers.
+const keyShardStart = "core.shard.start"
+
 // NewNode builds an IDEA node.
 func NewNode(self id.NodeID, opts Options) *Node {
+	nsh := opts.Shards
+	if nsh == NumShardsAuto {
+		nsh = runtime.GOMAXPROCS(0)
+	}
+	if nsh < 1 {
+		nsh = 1
+	}
 	n := &Node{
-		self:  self,
-		opts:  opts,
-		st:    store.New(self),
-		reg:   opts.Metrics,
-		files: make(map[id.FileID]*fileState),
+		self:    self,
+		opts:    opts,
+		st:      store.New(self),
+		reg:     opts.Metrics,
+		nshards: nsh,
 	}
 	if n.reg == nil {
 		n.reg = telemetry.NewRegistry()
@@ -206,57 +276,79 @@ func NewNode(self id.NodeID, opts Options) *Node {
 		}
 		n.mem = overlay.NewDynamic(opts.All, n.ran)
 	}
-	n.det = detect.New(opts.Detect, self, n.mem, n.st, n.quant)
-	n.det.AttachMetrics(n.reg)
-	n.det.OnResult(n.handleDetectResult)
-	n.det.OnDiscrepancy(n.handleDiscrepancy)
-	n.res = resolve.New(opts.Resolve, self, n.mem, n.st)
-	n.res.AttachMetrics(n.reg)
-	n.res.OnApplied(n.handleApplied)
-	n.res.OnOutcome(func(e env.Env, o resolve.Outcome) {
-		if n.OnOutcome != nil {
-			n.OnOutcome(e, o)
-		}
-	})
-	if !opts.DisableGossip {
-		peers := overlay.BottomPeers(n.mem, self)
-		n.gos = gossip.New(opts.Gossip, self, peers, gossipState{n}, n.quant, func(e env.Env, rep wire.GossipReport) {
-			n.det.HandleGossipReport(e, rep)
+	// One full per-file protocol stack per shard. The stacks share the
+	// store, membership, quantifier, and metric handles (the registry
+	// dedupes by name, so per-shard subsystems aggregate into the same
+	// node-level metrics); everything keyed by file lives in exactly one
+	// stack, selected by ShardOfFile.
+	n.shards = make([]*coreShard, nsh)
+	for i := 0; i < nsh; i++ {
+		sh := &coreShard{n: n, idx: i, files: make(map[id.FileID]*fileState)}
+		sh.det = detect.New(opts.Detect, self, n.mem, n.st, n.quant)
+		sh.det.AttachMetrics(n.reg)
+		sh.det.OnResult(sh.handleDetectResult)
+		sh.det.OnDiscrepancy(sh.handleDiscrepancy)
+		sh.res = resolve.New(opts.Resolve, self, n.mem, n.st)
+		sh.res.AttachMetrics(n.reg)
+		sh.res.OnApplied(sh.handleApplied)
+		sh.res.OnOutcome(func(e env.Env, o resolve.Outcome) {
+			if f := n.onOutcome.get(); f != nil {
+				f(e, o)
+			}
 		})
-		n.gos.AttachMetrics(n.reg)
-		if opts.CompactStableLogs {
-			// Bottom-layer digests double as a stability signal: once
-			// every peer is known to hold (and can no longer roll back
-			// below) a writer's prefix, the replica log below that
-			// frontier is compacted away — long-running nodes keep
-			// per-file state bounded by divergence, not total history.
-			n.gos.OnFrontier(func(_ env.Env, f id.FileID, stable map[id.NodeID]int) {
-				if r := n.st.Peek(f); r != nil {
-					r.CompactBelow(stable)
-				}
+		if !opts.DisableGossip {
+			peers := overlay.BottomPeers(n.mem, self)
+			sh.gos = gossip.New(opts.Gossip, self, peers, gossipState{sh}, n.quant, func(e env.Env, rep wire.GossipReport) {
+				sh.det.HandleGossipReport(e, rep)
 			})
+			sh.gos.SetShard(i)
+			sh.gos.AttachMetrics(n.reg)
+			if opts.CompactStableLogs {
+				// Bottom-layer digests double as a stability signal: once
+				// every peer is known to hold (and can no longer roll back
+				// below) a writer's prefix, the replica log below that
+				// frontier is compacted away — long-running nodes keep
+				// per-file state bounded by divergence, not total history.
+				sh.gos.OnFrontier(func(_ env.Env, f id.FileID, stable map[id.NodeID]int) {
+					if r := n.st.Peek(f); r != nil {
+						r.CompactBelow(stable)
+					}
+				})
+			}
 		}
+		n.shards[i] = sh
 	}
 	return n
 }
 
 // gossipState adapts the store to gossip.State without creating replicas.
-type gossipState struct{ n *Node }
+// Each shard's agent sweeps only the files of its own domain, so digest
+// fan-out parallelizes across shards and frontier learning merges
+// per-file without coordination.
+type gossipState struct{ sh *coreShard }
 
 func (g gossipState) LocalVector(f id.FileID) *vv.Vector {
-	if r := g.n.st.Peek(f); r != nil {
+	if r := g.sh.n.st.Peek(f); r != nil {
 		return r.Vector()
 	}
 	return nil
 }
 
-func (g gossipState) ActiveFiles() []id.FileID { return g.n.st.Files() }
+func (g gossipState) ActiveFiles() []id.FileID {
+	n := g.sh.n
+	if n.nshards == 1 {
+		return n.st.Files()
+	}
+	return n.st.FilesFiltered(func(f id.FileID) bool {
+		return n.ShardOfFile(f) == g.sh.idx
+	})
+}
 
 // StableCounts implements gossip.StableState: digests advertise the
 // replica's rollback floor, so no peer compacts an update this node could
 // still re-need after a §4.4.2 rollback.
 func (g gossipState) StableCounts(f id.FileID) map[id.NodeID]int {
-	if r := g.n.st.Peek(f); r != nil {
+	if r := g.sh.n.st.Peek(f); r != nil {
 		return r.StableCounts()
 	}
 	return nil
@@ -269,11 +361,24 @@ func (n *Node) ID() id.NodeID { return n.self }
 // substrate).
 func (n *Node) Store() *store.Store { return n.st }
 
-// Detector exposes the detection framework.
-func (n *Node) Detector() *detect.Detector { return n.det }
+// Detector exposes shard 0's detection framework — with the default
+// single shard, the node's only one. Multi-shard callers use
+// ShardDetector or the aggregated telemetry registry instead.
+func (n *Node) Detector() *detect.Detector { return n.shards[0].det }
 
-// Resolver exposes the resolution machinery.
-func (n *Node) Resolver() *resolve.Resolver { return n.res }
+// ShardDetector exposes the detector of the shard owning file.
+func (n *Node) ShardDetector(file id.FileID) *detect.Detector {
+	return n.shardOf(file).det
+}
+
+// Resolver exposes shard 0's resolution machinery — with the default
+// single shard, the node's only one.
+func (n *Node) Resolver() *resolve.Resolver { return n.shards[0].res }
+
+// ShardResolver exposes the resolver of the shard owning file.
+func (n *Node) ShardResolver(file id.FileID) *resolve.Resolver {
+	return n.shardOf(file).res
+}
 
 // Membership exposes the two-layer view.
 func (n *Node) Membership() overlay.Membership { return n.mem }
@@ -286,36 +391,134 @@ func (n *Node) Quantifier() *quantify.Quantifier { return n.quant }
 // live transport when one is attached — records into it.
 func (n *Node) Metrics() *telemetry.Registry { return n.reg }
 
-func (n *Node) file(f id.FileID) *fileState {
-	fs, ok := n.files[f]
+// AlertsTotal returns how many bottom-layer discrepancy alerts fired.
+func (n *Node) AlertsTotal() int { return int(n.met.alerts.Value()) }
+
+// RollbacksTotal returns how many §4.4.2 rollbacks were executed.
+func (n *Node) RollbacksTotal() int { return int(n.met.rollbacks.Value()) }
+
+// SetOnLevel installs the detection observer, returning the previous one
+// (chain to it to observe without stealing). Safe to call on a live node.
+func (n *Node) SetOnLevel(f LevelFunc) LevelFunc { return n.onLevel.swap(f) }
+
+// SetOnAlert installs the discrepancy-alert observer, returning the
+// previous one.
+func (n *Node) SetOnAlert(f AlertFunc) AlertFunc { return n.onAlert.swap(f) }
+
+// SetOnResolved installs the image-adoption observer, returning the
+// previous one.
+func (n *Node) SetOnResolved(f ResolvedFunc) ResolvedFunc { return n.onResolved.swap(f) }
+
+// SetOnOutcome installs the initiator-side resolution observer, returning
+// the previous one.
+func (n *Node) SetOnOutcome(f OutcomeFunc) OutcomeFunc { return n.onOutcome.swap(f) }
+
+// ---- env.Sharded ----
+
+// Shards implements env.Sharded: the number of serialization domains the
+// node's state is partitioned into.
+func (n *Node) Shards() int { return n.nshards }
+
+// ShardOfFile implements env.Sharded.
+func (n *Node) ShardOfFile(f id.FileID) int { return env.ShardOf(f, n.nshards) }
+
+// ShardOfMessage implements env.Sharded: protocol messages route by the
+// file they concern; node-global traffic (RanSub waves) runs on shard 0.
+func (n *Node) ShardOfMessage(msg env.Message) int {
+	if n.nshards == 1 {
+		return 0
+	}
+	if f, ok := wire.RoutingFile(msg); ok {
+		return n.ShardOfFile(f)
+	}
+	return 0
+}
+
+// ShardOfTimer implements env.Sharded: timers route by the file (or shard
+// label) their key/data carries; unkeyed timers run on shard 0.
+func (n *Node) ShardOfTimer(key string, data any) int {
+	if n.nshards == 1 {
+		return 0
+	}
+	if f, ok := detect.TimerFile(key, data); ok {
+		return n.shardOfRouted(f)
+	}
+	if f, ok := resolve.TimerFile(key, data); ok {
+		return n.shardOfRouted(f)
+	}
+	if s, ok := gossip.TimerShard(key, data); ok {
+		return env.ClampShard(s, n.nshards)
+	}
+	if f, ok := strings.CutPrefix(key, "core.auto:"); ok {
+		return n.ShardOfFile(id.FileID(f))
+	}
+	if key == keyShardStart {
+		if i, ok := data.(int); ok && i >= 0 && i < n.nshards {
+			return i
+		}
+	}
+	return 0
+}
+
+func (n *Node) shardOf(f id.FileID) *coreShard { return n.shards[n.ShardOfFile(f)] }
+
+// shardOfRouted maps a TimerFile/RoutingFile result to a shard index; the
+// empty FileID is the helpers' "owned but unkeyed" sentinel and must land
+// on shard 0 (the node-global domain), not on hash("")'s shard.
+func (n *Node) shardOfRouted(f id.FileID) int {
+	if f == "" {
+		return 0
+	}
+	return n.ShardOfFile(f)
+}
+
+func (sh *coreShard) file(f id.FileID) *fileState {
+	fs, ok := sh.files[f]
 	if !ok {
 		fs = &fileState{mode: OnDemand, last: 1}
-		n.files[f] = fs
+		sh.files[f] = fs
 	}
 	return fs
 }
 
+// file returns the controller state of f in its owning shard. Callers
+// outside message handlers must already be executing in f's domain (see
+// the env package comment).
+func (n *Node) file(f id.FileID) *fileState { return n.shardOf(f).file(f) }
+
 // ---- env.Handler ----
 
-// Start implements env.Handler.
+// Start implements env.Handler; it runs on shard 0 and fans per-shard
+// boot work (gossip round timers) out to each shard's own domain.
 func (n *Node) Start(e env.Env) {
 	if n.ran != nil {
 		n.ran.Start(e)
 	}
-	if n.gos != nil {
-		n.gos.Start(e)
+	n.shards[0].start(e)
+	for i := 1; i < n.nshards; i++ {
+		e.After(0, keyShardStart, i)
 	}
 }
 
-// Recv implements env.Handler, dispatching to the subsystems.
+func (sh *coreShard) start(e env.Env) {
+	if sh.gos != nil {
+		sh.gos.Start(e)
+	}
+}
+
+// Recv implements env.Handler, dispatching to the owning shard's
+// subsystems. The runtime already routed the callback to the right
+// executor; recomputing the shard here is what keeps the node correct
+// under non-sharded runtimes too (everything then runs on one loop).
 func (n *Node) Recv(e env.Env, from id.NodeID, msg env.Message) {
-	if n.det.Recv(e, from, msg) {
+	sh := n.shards[n.ShardOfMessage(msg)]
+	if sh.det.Recv(e, from, msg) {
 		return
 	}
-	if n.res.Recv(e, from, msg) {
+	if sh.res.Recv(e, from, msg) {
 		return
 	}
-	if n.gos != nil && n.gos.Recv(e, from, msg) {
+	if sh.gos != nil && sh.gos.Recv(e, from, msg) {
 		return
 	}
 	if n.ran != nil && n.ran.Recv(e, from, msg) {
@@ -324,16 +527,21 @@ func (n *Node) Recv(e env.Env, from id.NodeID, msg env.Message) {
 	e.Logf("core: unhandled message %s from %v", msg.Kind(), from)
 }
 
-// Timer implements env.Handler, dispatching by key prefix.
+// Timer implements env.Handler, dispatching by key prefix to the owning
+// shard's subsystem.
 func (n *Node) Timer(e env.Env, key string, data any) {
 	switch {
+	case key == keyShardStart:
+		if i, ok := data.(int); ok && i >= 0 && i < n.nshards {
+			n.shards[i].start(e)
+		}
 	case strings.HasPrefix(key, "detect."):
-		n.det.Timer(e, key, data)
+		n.shards[n.ShardOfTimer(key, data)].det.Timer(e, key, data)
 	case strings.HasPrefix(key, "resolve."):
-		n.res.Timer(e, key, data)
+		n.shards[n.ShardOfTimer(key, data)].res.Timer(e, key, data)
 	case strings.HasPrefix(key, "gossip."):
-		if n.gos != nil {
-			n.gos.Timer(e, key, data)
+		if sh := n.shards[n.ShardOfTimer(key, data)]; sh.gos != nil {
+			sh.gos.Timer(e, key, data)
 		}
 	case strings.HasPrefix(key, "ransub."):
 		if n.ran != nil {
@@ -350,7 +558,9 @@ func (n *Node) Timer(e env.Env, key string, data any) {
 
 // Write applies a local write and triggers the IDEA protocol: the update
 // bumps the file's temperature and detection runs against the top layer.
-// It returns the update.
+// It returns the update. Like every per-file API it must execute in the
+// file's serialization domain — drivers on a sharded runtime use
+// InjectFile/CallAtFile rather than the shard-0 Inject.
 func (n *Node) Write(e env.Env, file id.FileID, op string, data []byte, meta float64) wire.Update {
 	u, _ := n.WriteTracked(e, file, op, data, meta)
 	return u
@@ -358,14 +568,15 @@ func (n *Node) Write(e env.Env, file id.FileID, op string, data []byte, meta flo
 
 // WriteTracked is Write plus the detection probe token, letting drivers
 // (e.g. the load generator) correlate the asynchronous verdict delivered
-// via OnLevel with this specific write.
+// via the OnLevel hook with this specific write. Tokens are unique per
+// (file's shard); correlate by (file, token) on multi-shard nodes.
 func (n *Node) WriteTracked(e env.Env, file id.FileID, op string, data []byte, meta float64) (wire.Update, int64) {
 	u := n.st.Open(file).WriteLocal(e.Stamp(), op, data, meta)
 	n.met.writes.Inc()
 	if n.ran != nil {
 		n.ran.RecordUpdate(file)
 	}
-	token := n.det.Detect(e, file)
+	token := n.shardOf(file).det.Detect(e, file)
 	return u, token
 }
 
@@ -378,11 +589,11 @@ func (n *Node) Read(file id.FileID) []wire.Update {
 
 // ReadChecked returns the local replica's log and triggers detection —
 // the "retrieve a new file / file may be stale" path of Fig. 3. The
-// consistency verdict arrives via OnLevel.
+// consistency verdict arrives via the OnLevel hook.
 func (n *Node) ReadChecked(e env.Env, file id.FileID) []wire.Update {
 	n.met.reads.Inc()
 	log := n.st.Open(file).Log()
-	n.det.Detect(e, file)
+	n.shardOf(file).det.Detect(e, file)
 	return log
 }
 
@@ -399,7 +610,7 @@ func (n *Node) ReadAuto(e env.Env, file id.FileID, staleAfter time.Duration) ([]
 	latest := vv.LatestStamp(rep.Vector())
 	age := time.Duration(e.Stamp() - latest)
 	if latest == 0 || age > staleAfter {
-		n.det.Detect(e, file)
+		n.shardOf(file).det.Detect(e, file)
 		return log, true
 	}
 	return log, false
@@ -421,11 +632,12 @@ func (n *Node) DesiredLevel(file id.FileID) float64 {
 
 // ---- Controller logic (Fig. 3 decision diamond + §4.6) ----
 
-func (n *Node) handleDetectResult(e env.Env, res detect.Result) {
-	fs := n.file(res.File)
+func (sh *coreShard) handleDetectResult(e env.Env, res detect.Result) {
+	n := sh.n
+	fs := sh.file(res.File)
 	fs.last = res.Level
-	if n.OnLevel != nil {
-		n.OnLevel(e, res.File, res)
+	if f := n.onLevel.get(); f != nil {
+		f(e, res.File, res)
 	}
 	desired := n.DesiredLevel(res.File)
 	switch fs.mode {
@@ -434,7 +646,7 @@ func (n *Node) handleDetectResult(e env.Env, res detect.Result) {
 		// (for OnDemand, "wants" is whatever IDEA has learned from
 		// complaints so far; initially zero → never auto-resolve).
 		if desired > 0 && res.Level < desired {
-			n.res.RequestActive(e, res.File)
+			sh.res.RequestActive(e, res.File)
 			return
 		}
 	case FullyAutomatic:
@@ -446,12 +658,12 @@ func (n *Node) handleDetectResult(e env.Env, res detect.Result) {
 	// roll these operations back if it contradicts the verdict
 	// (§4.4.2). This applies to "all clear" verdicts too — those are
 	// exactly the ones a bottom-layer-only conflict falsifies.
-	n.checkpoint(res.File, res.Token)
+	sh.checkpoint(res.File, res.Token)
 }
 
-func (n *Node) checkpoint(file id.FileID, token int64) {
-	fs := n.file(file)
-	rep := n.st.Open(file)
+func (sh *coreShard) checkpoint(file id.FileID, token int64) {
+	fs := sh.file(file)
+	rep := sh.n.st.Open(file)
 	if fs.hasCP {
 		rep.DropCheckpoint(fs.cpToken)
 	}
@@ -460,10 +672,10 @@ func (n *Node) checkpoint(file id.FileID, token int64) {
 	fs.hasCP = true
 }
 
-func (n *Node) handleDiscrepancy(e env.Env, file id.FileID, top, bottom float64, rep wire.GossipReport) {
-	fs := n.file(file)
+func (sh *coreShard) handleDiscrepancy(e env.Env, file id.FileID, top, bottom float64, rep wire.GossipReport) {
+	n := sh.n
+	fs := sh.file(file)
 	a := Alert{File: file, Top: top, Bottom: bottom, Reporter: rep.Reporter}
-	n.Alerts++
 	n.met.alerts.Inc()
 	// Roll back only when the corrected level is unacceptable for the
 	// user's (learned) preference.
@@ -472,29 +684,29 @@ func (n *Node) handleDiscrepancy(e env.Env, file id.FileID, top, bottom float64,
 			fs.hasCP = false
 			a.RolledBack = true
 			a.Undone = len(undone)
-			n.Rollbacks++
 			n.met.rollbacks.Inc()
 			// Re-resolve to catch up with the true state.
-			n.res.RequestActive(e, file)
+			sh.res.RequestActive(e, file)
 		}
 	}
-	if n.OnAlert != nil {
-		n.OnAlert(e, a)
+	if f := n.onAlert.get(); f != nil {
+		f(e, a)
 	}
 }
 
-func (n *Node) handleApplied(e env.Env, file id.FileID, winner id.NodeID) {
-	fs := n.file(file)
+func (sh *coreShard) handleApplied(e env.Env, file id.FileID, winner id.NodeID) {
+	n := sh.n
+	fs := sh.file(file)
 	fs.last = 1
 	n.met.resolved.Inc()
-	n.det.NoteResolved(file)
+	sh.det.NoteResolved(file)
 	rep := n.st.Open(file)
 	if fs.hasCP {
 		rep.DropCheckpoint(fs.cpToken)
 		fs.hasCP = false
 	}
-	if n.OnResolved != nil {
-		n.OnResolved(e, file, winner)
+	if f := n.onResolved.get(); f != nil {
+		f(e, file, winner)
 	}
 }
 
@@ -504,7 +716,8 @@ func (n *Node) handleApplied(e env.Env, file id.FileID, winner id.NodeID) {
 // user is not annoyed again. Optional newWeights lets the user shift
 // blame to a specific metric at the same time.
 func (n *Node) Complain(e env.Env, file id.FileID, newWeights *quantify.Weights) {
-	fs := n.file(file)
+	sh := n.shardOf(file)
+	fs := sh.file(file)
 	n.met.complaints.Inc()
 	if newWeights != nil {
 		n.quant.SetWeights(*newWeights)
@@ -519,7 +732,7 @@ func (n *Node) Complain(e env.Env, file id.FileID, newWeights *quantify.Weights)
 	if bump > fs.learned {
 		fs.learned = bump
 	}
-	n.res.RequestActive(e, file)
+	sh.res.RequestActive(e, file)
 }
 
 // SetMode selects the adaptive scheme for file.

@@ -314,7 +314,7 @@ func TestRollbackOnBottomLayerDiscrepancy(t *testing.T) {
 			// Gossip ON: bottom layer sweeps every 5 s.
 			Gossip: gossipCfg(),
 		})
-		nd.OnAlert = func(_ env.Env, a Alert) { alerts = append(alerts, a) }
+		nd.SetOnAlert(func(_ env.Env, a Alert) { alerts = append(alerts, a) })
 		nodes[nid] = nd
 		c.Add(nid, nd)
 	}
@@ -350,7 +350,7 @@ func TestRollbackOnBottomLayerDiscrepancy(t *testing.T) {
 	if len(alerts) == 0 {
 		t.Fatal("bottom-layer conflict never produced an alert")
 	}
-	if nodes[1].Alerts == 0 && nodes[3].Alerts == 0 {
+	if nodes[1].AlertsTotal() == 0 && nodes[3].AlertsTotal() == 0 {
 		t.Fatal("no node recorded an alert")
 	}
 	rolled := false
@@ -371,11 +371,11 @@ func gossipCfg() gossip.Config {
 func TestDetectionResultObservable(t *testing.T) {
 	cl := buildCluster(t, 2, 2, 79, nil)
 	var levels []float64
-	cl.nodes[1].OnLevel = func(_ env.Env, f id.FileID, res detect.Result) {
+	cl.nodes[1].SetOnLevel(func(_ env.Env, f id.FileID, res detect.Result) {
 		if f == board {
 			levels = append(levels, res.Level)
 		}
-	}
+	})
 	cl.c.CallAt(time.Second, 2, func(e env.Env) { cl.nodes[2].Write(e, board, "w", nil, 2) })
 	cl.c.CallAt(2*time.Second, 1, func(e env.Env) { cl.nodes[1].Write(e, board, "w", nil, 1) })
 	cl.c.RunFor(5 * time.Second)

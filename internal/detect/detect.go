@@ -81,6 +81,27 @@ type DiscrepancyFunc func(e env.Env, file id.FileID, top, bottom float64, rep wi
 
 const timerTimeout = "detect.timeout"
 
+// timeoutData is the payload of a probe-timeout timer. It carries the
+// probe's file so the runtime can route the callback to the shard that
+// owns the probe (env.Sharded.ShardOfTimer via TimerFile).
+type timeoutData struct {
+	file  id.FileID
+	token int64
+}
+
+// TimerFile maps a detect timer to the file whose serialization domain
+// must run it; ok is false for keys the detector does not own. Sharded
+// handlers use it to implement env.Sharded.ShardOfTimer.
+func TimerFile(key string, data any) (id.FileID, bool) {
+	if key != timerTimeout {
+		return "", false
+	}
+	if td, ok := data.(timeoutData); ok {
+		return td.file, true
+	}
+	return "", true // unkeyed legacy payload: shard 0
+}
+
 type probe struct {
 	file    id.FileID
 	expect  int
@@ -201,7 +222,7 @@ func (d *Detector) Detect(e env.Env, file id.FileID) int64 {
 	for _, peer := range peers {
 		e.Send(peer, wire.DetectRequest{File: file, Token: token, VV: v})
 	}
-	e.After(d.cfg.Timeout, timerTimeout, token)
+	e.After(d.cfg.Timeout, timerTimeout, timeoutData{file: file, token: token})
 	return token
 }
 
@@ -255,10 +276,10 @@ func (d *Detector) Timer(e env.Env, key string, data any) bool {
 	if key != timerTimeout {
 		return false
 	}
-	if token, ok := data.(int64); ok {
-		if p, live := d.inflight[token]; live && !p.done {
+	if td, ok := data.(timeoutData); ok {
+		if p, live := d.inflight[td.token]; live && !p.done {
 			d.met.timeouts.Inc()
-			d.finalize(e, token)
+			d.finalize(e, td.token)
 		}
 	}
 	return true

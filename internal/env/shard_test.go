@@ -1,0 +1,65 @@
+package env
+
+import (
+	"fmt"
+	"testing"
+
+	"idea/internal/id"
+)
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		for i := 0; i < 200; i++ {
+			f := id.FileID(fmt.Sprintf("file-%d", i))
+			s := ShardOf(f, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", f, n, s)
+			}
+			if again := ShardOf(f, n); again != s {
+				t.Fatalf("ShardOf(%q, %d) unstable: %d then %d", f, n, s, again)
+			}
+		}
+	}
+	if ShardOf("anything", 1) != 0 {
+		t.Fatal("single-domain ShardOf must be 0")
+	}
+	if ShardOf("anything", 0) != 0 {
+		t.Fatal("degenerate shard count must map to 0")
+	}
+}
+
+func TestShardOfSpreads(t *testing.T) {
+	const n = 8
+	seen := make(map[int]int)
+	for i := 0; i < 512; i++ {
+		seen[ShardOf(id.FileID(fmt.Sprintf("f%03d", i)), n)]++
+	}
+	if len(seen) != n {
+		t.Fatalf("512 files hit only %d of %d shards", len(seen), n)
+	}
+}
+
+type fakeSharded struct {
+	Handler
+	n int
+}
+
+func (f fakeSharded) Shards() int                      { return f.n }
+func (f fakeSharded) ShardOfFile(file id.FileID) int   { return ShardOf(file, f.n) }
+func (f fakeSharded) ShardOfMessage(msg Message) int   { return 0 }
+func (f fakeSharded) ShardOfTimer(k string, d any) int { return 0 }
+
+func TestShardCount(t *testing.T) {
+	plain := HandlerFuncs{}
+	if got := ShardCount(plain); got != 1 {
+		t.Fatalf("plain handler shard count = %d, want 1", got)
+	}
+	if got := ShardCount(fakeSharded{Handler: plain, n: 4}); got != 4 {
+		t.Fatalf("sharded handler shard count = %d, want 4", got)
+	}
+	// A Sharded handler declaring <= 1 shards degrades to the classic
+	// single-domain contract.
+	if got := ShardCount(fakeSharded{Handler: plain, n: 1}); got != 1 {
+		t.Fatalf("1-shard handler shard count = %d, want 1", got)
+	}
+}

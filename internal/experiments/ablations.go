@@ -68,7 +68,7 @@ func RunTTLTradeoff(seed int64) Report {
 			cl.C.RunUntil(t)
 			heard := 0
 			for _, w := range cl.Writers {
-				heard += cl.Nodes[w].Alerts
+				heard += cl.Nodes[w].AlertsTotal()
 			}
 			reports := cl.C.Stats().Count("gossip.report")
 			if (heard > 0 || reports > 0) && found == 0 {

@@ -58,7 +58,7 @@ func RunTopLayerCapture(seed int64, bottomShare float64) Report {
 	gossipReports := cl.C.Stats().Count("gossip.report")
 	alerts := 0
 	for _, nd := range cl.Nodes {
-		alerts += nd.Alerts
+		alerts += nd.AlertsTotal()
 	}
 
 	rec := trace.NewRecorder()
@@ -129,13 +129,13 @@ func RunRollback(seed int64) Report {
 
 	var alert *core.Alert
 	var alertAt time.Duration
-	cl.Nodes[w1].OnAlert = func(_ env.Env, a core.Alert) {
+	cl.Nodes[w1].SetOnAlert(func(_ env.Env, a core.Alert) {
 		if alert == nil && a.RolledBack {
 			ac := a
 			alert = &ac
 			alertAt = cl.C.Elapsed()
 		}
-	}
+	})
 	cl.C.RunFor(120 * time.Second)
 
 	rec := trace.NewRecorder()

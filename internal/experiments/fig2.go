@@ -78,11 +78,11 @@ func runIdeaArm(seed int64) TradeoffResult {
 	var delays []time.Duration
 	for _, w := range cl.Writers {
 		w := w
-		cl.Nodes[w].OnLevel = func(_ env.Env, f id.FileID, res detect.Result) {
+		cl.Nodes[w].SetOnLevel(func(_ env.Env, f id.FileID, res detect.Result) {
 			if f == SharedFile && !res.OK {
 				delays = append(delays, res.Elapsed)
 			}
-		}
+		})
 	}
 	cl.ScheduleUniformWrites(tradeoffInterval, tradeoffRounds*tradeoffInterval)
 	rec := trace.NewRecorder()

@@ -64,12 +64,12 @@ func RunPhaseBreakdown(cfg PhaseConfig) PhaseResult {
 		at += 2 * time.Second
 		initiator := initiator
 		var got *resolve.Outcome
-		cl.Nodes[initiator].OnOutcome = func(_ env.Env, o resolve.Outcome) {
+		cl.Nodes[initiator].SetOnOutcome(func(_ env.Env, o resolve.Outcome) {
 			if !o.Aborted {
 				oc := o
 				got = &oc
 			}
-		}
+		})
 		cl.C.CallAt(at, initiator, func(e env.Env) {
 			cl.Nodes[initiator].DemandActiveResolution(e, SharedFile)
 		})
@@ -80,7 +80,7 @@ func RunPhaseBreakdown(cfg PhaseConfig) PhaseResult {
 			p2sum += got.Phase2
 			runs++
 		}
-		cl.Nodes[initiator].OnOutcome = nil
+		cl.Nodes[initiator].SetOnOutcome(nil)
 		_ = i
 	}
 	if runs == 0 {

@@ -93,6 +93,19 @@ type FrontierFunc func(e env.Env, file id.FileID, stable map[id.NodeID]int)
 
 const timerRound = "gossip.round"
 
+// TimerShard maps a gossip timer to the shard label its agent was tagged
+// with; ok is false for keys the agent does not own. Sharded handlers use
+// it to implement env.Sharded.ShardOfTimer.
+func TimerShard(key string, data any) (int, bool) {
+	if key != timerRound {
+		return 0, false
+	}
+	if s, ok := data.(int); ok {
+		return s, true
+	}
+	return 0, true // untagged legacy payload: shard 0
+}
+
 // originView is the most recent per-writer count information heard from
 // one digest origin, tagged with the local round it arrived in so stale
 // origins can be expired.
@@ -115,6 +128,7 @@ type Agent struct {
 	quant *quantify.Quantifier
 	sink  ReportSink
 
+	shard int // serialization-domain label carried in round-timer data
 	round int
 	seen  map[string]int // digest dedup key (origin/round/file) → local round inserted
 
@@ -168,12 +182,12 @@ func New(cfg Config, self id.NodeID, peers []id.NodeID, state State, q *quantify
 		q = quantify.Default()
 	}
 	return &Agent{
-		cfg:   cfg.withDefaults(),
-		self:  self,
-		peers: append([]id.NodeID(nil), peers...),
-		state: state,
-		quant: q,
-		sink:  sink,
+		cfg:          cfg.withDefaults(),
+		self:         self,
+		peers:        append([]id.NodeID(nil), peers...),
+		state:        state,
+		quant:        q,
+		sink:         sink,
 		seen:         make(map[string]int),
 		heard:        make(map[id.FileID]map[id.NodeID]*originView),
 		lastFrontier: make(map[id.FileID]map[id.NodeID]int),
@@ -183,11 +197,17 @@ func New(cfg Config, self id.NodeID, peers []id.NodeID, state State, q *quantify
 // OnFrontier installs the stability-frontier callback.
 func (a *Agent) OnFrontier(f FrontierFunc) { a.onFrontier = f }
 
+// SetShard tags the agent with the serialization-domain label its round
+// timers carry (see TimerShard). A sharded owner runs one agent per shard,
+// each sweeping only the files of its domain; the default label 0 matches
+// the unsharded single-agent layout. Call before Start.
+func (a *Agent) SetShard(s int) { a.shard = s }
+
 // Start arms the round timer.
 func (a *Agent) Start(e env.Env) {
-	// Desynchronize rounds across nodes.
+	// Desynchronize rounds across nodes (and across a node's shards).
 	jitter := time.Duration(e.Rand().Int63n(int64(a.cfg.Interval)))
-	e.After(a.cfg.Interval+jitter, timerRound, nil)
+	e.After(a.cfg.Interval+jitter, timerRound, a.shard)
 }
 
 // Timer handles gossip timers; it returns false for keys it does not own.
@@ -222,7 +242,7 @@ func (a *Agent) Timer(e env.Env, key string, _ any) bool {
 	}
 	a.evictSeen()
 	a.learnFrontiers(e)
-	e.After(a.cfg.Interval, timerRound, nil)
+	e.After(a.cfg.Interval, timerRound, a.shard)
 	return true
 }
 

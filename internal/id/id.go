@@ -25,6 +25,24 @@ type FileID string
 // String implements fmt.Stringer.
 func (f FileID) String() string { return string(f) }
 
+// Hash returns a stable FNV-1a hash of the file name. It is the one hash
+// every layer derives file partitioning from — the runtime's shard
+// routing (env.ShardOf) and the store's lock striping both reduce to it —
+// so a file always lands in the same serialization domain no matter which
+// layer asks.
+func (f FileID) Hash() uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(f); i++ {
+		h ^= uint32(f[i])
+		h *= prime32
+	}
+	return h
+}
+
 // Priority ranks users for the priority-based resolution policy (§4.5.1).
 // Higher values win conflicts.
 type Priority int

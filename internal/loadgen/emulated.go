@@ -37,53 +37,56 @@ func RunEmulated(cfg Config, sim *simnet.Cluster, nodes map[id.NodeID]*core.Node
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
 	// Track which detect tokens belong to workload writes, per node; the
-	// simulator is single-threaded, so plain maps suffice. A probe with
-	// no top-layer peers finalizes synchronously inside WriteTracked —
-	// before the issuing closure can mark its token — so early verdicts
-	// are parked by token until the issuer claims them.
-	issued := make(map[id.NodeID]map[int64]bool, len(nodes))
-	early := make(map[id.NodeID]map[int64]time.Duration, len(nodes))
+	// simulator is single-threaded, so plain maps suffice. Tokens are
+	// only unique per (node, file shard), so correlation keys pair the
+	// file with the token. A probe with no top-layer peers finalizes
+	// synchronously inside WriteTracked — before the issuing closure can
+	// mark its token — so early verdicts are parked until the issuer
+	// claims them.
+	issued := make(map[id.NodeID]map[writeKey]bool, len(nodes))
+	early := make(map[id.NodeID]map[writeKey]time.Duration, len(nodes))
 	// Restore every node's original hooks when the run ends so an
 	// embedder reusing the cluster does not keep feeding this run's
 	// maps and recorder (the live driver's uninstallHooks equivalent).
 	type hooks struct {
-		level   func(env.Env, id.FileID, detect.Result)
-		outcome func(env.Env, resolve.Outcome)
+		level   core.LevelFunc
+		outcome core.OutcomeFunc
 	}
 	prev := make(map[id.NodeID]hooks, len(nodes))
 	defer func() {
 		for _, nid := range ids {
-			nodes[nid].OnLevel = prev[nid].level
-			nodes[nid].OnOutcome = prev[nid].outcome
+			nodes[nid].SetOnLevel(prev[nid].level)
+			nodes[nid].SetOnOutcome(prev[nid].outcome)
 		}
 	}()
 	for _, nid := range ids {
 		nid := nid
 		n := nodes[nid]
-		issued[nid] = make(map[int64]bool)
-		early[nid] = make(map[int64]time.Duration)
-		prevLevel := n.OnLevel
-		prev[nid] = hooks{level: n.OnLevel, outcome: n.OnOutcome}
-		n.OnLevel = func(e env.Env, f id.FileID, res detect.Result) {
+		issued[nid] = make(map[writeKey]bool)
+		early[nid] = make(map[writeKey]time.Duration)
+		var prevLevel core.LevelFunc
+		prevLevel = n.SetOnLevel(func(e env.Env, f id.FileID, res detect.Result) {
 			if prevLevel != nil {
 				prevLevel(e, f, res)
 			}
-			if issued[nid][res.Token] {
-				delete(issued[nid], res.Token)
+			k := writeKey{file: f, token: res.Token}
+			if issued[nid][k] {
+				delete(issued[nid], k)
 				rec.observe(OpWrite, res.Elapsed)
 			} else {
-				early[nid][res.Token] = res.Elapsed
+				early[nid][k] = res.Elapsed
 			}
-		}
-		prevOutcome := n.OnOutcome
-		n.OnOutcome = func(e env.Env, o resolve.Outcome) {
+		})
+		var prevOutcome core.OutcomeFunc
+		prevOutcome = n.SetOnOutcome(func(e env.Env, o resolve.Outcome) {
 			if prevOutcome != nil {
 				prevOutcome(e, o)
 			}
 			if o.Active && !o.Aborted {
 				rec.observe(OpResolve, o.Phase1+o.Phase2)
 			}
-		}
+		})
+		prev[nid] = hooks{level: prevLevel, outcome: prevOutcome}
 	}
 
 	// Build the open-loop schedule: instants paced at Rate, linearly
@@ -105,27 +108,28 @@ func RunEmulated(cfg Config, sim *simnet.Cluster, nodes map[id.NodeID]*core.Node
 		file := fp.pick()
 		switch op {
 		case OpWrite:
-			sim.CallAt(base+t, nid, func(e env.Env) {
+			sim.CallAtFile(base+t, nid, file, func(e env.Env) {
 				_, token := n.WriteTracked(e, file, "load", payload, float64(len(payload)))
-				if el, ok := early[nid][token]; ok {
-					delete(early[nid], token)
+				k := writeKey{file: file, token: token}
+				if el, ok := early[nid][k]; ok {
+					delete(early[nid], k)
 					rec.observe(OpWrite, el)
 					return
 				}
-				issued[nid][token] = true
+				issued[nid][k] = true
 			})
 		case OpRead:
-			sim.CallAt(base+t, nid, func(e env.Env) {
+			sim.CallAtFile(base+t, nid, file, func(e env.Env) {
 				n.Read(file)
 				rec.observe(OpRead, 0) // local, free under virtual time
 			})
 		case OpHint:
-			sim.CallAt(base+t, nid, func(e env.Env) {
+			sim.CallAtFile(base+t, nid, file, func(e env.Env) {
 				n.SetHint(file, cfg.HintLevel)
 				rec.observe(OpHint, 0)
 			})
 		case OpResolve:
-			sim.CallAt(base+t, nid, func(e env.Env) {
+			sim.CallAtFile(base+t, nid, file, func(e env.Env) {
 				n.DemandActiveResolution(e, file)
 			})
 		}

@@ -14,34 +14,62 @@ import (
 	"idea/internal/telemetry"
 )
 
-// Injector runs a function inside a node's event loop, serialized with
-// message handling — transport.Node and idea.LiveNode both satisfy it.
+// Injector runs a function inside a node's shard-0 event loop, serialized
+// with message handling — transport.Node and idea.LiveNode both satisfy
+// it.
 type Injector interface {
 	Inject(fn func(env.Env))
 }
 
+// FileInjector is optionally implemented by injectors whose node runs a
+// sharded execution model: InjectFile runs fn in the serialization domain
+// owning file, which is required for per-file operations on multi-shard
+// nodes (and equivalent to Inject on single-shard ones). transport.Node
+// and idea.LiveNode implement it.
+type FileInjector interface {
+	InjectFile(file id.FileID, fn func(env.Env))
+}
+
+// writeKey correlates a write with its asynchronous detection verdict.
+// Detect tokens are only unique per (node, file shard), so the key pairs
+// the file with the token.
+type writeKey struct {
+	file  id.FileID
+	token int64
+}
+
 // liveRun is the shared state of one RunLive invocation. Write latencies
 // are measured wall-clock from issue to the asynchronous detection
-// verdict, correlated by probe token through the node's OnLevel hook.
+// verdict, correlated by (file, token) through the node's OnLevel hook.
 type liveRun struct {
 	cfg     Config
 	n       *core.Node
 	inj     Injector
+	injFile func(id.FileID, func(env.Env))
 	rec     *recorder
 	stopped atomic.Bool
 
+	// measureFrom gates recording: operations issued before it (the
+	// ramp-up / worker-stagger warm-up window) are excluded from counts
+	// and percentiles, so the report reflects steady state rather than
+	// the deliberately underdriven warm-up.
+	measureFrom time.Time
+
 	mu      sync.Mutex
-	waiters map[int64]writeWait
+	waiters map[writeKey]writeWait
 	// early holds verdicts that arrived before the issuing closure
 	// could register its waiter (a lone writer's probe finalizes
 	// synchronously inside WriteTracked).
-	early map[int64]struct{}
+	early map[writeKey]struct{}
+	// fileOps counts measured completed ops per file, the raw material
+	// of idea-load's per-shard throughput split.
+	fileOps map[id.FileID]int64
 
 	// prevLevel/prevOutcome are the node's original hooks, restored
 	// when the run ends so a long-lived embedder does not keep feeding
 	// the run's maps forever.
-	prevLevel   func(env.Env, id.FileID, detect.Result)
-	prevOutcome func(env.Env, resolve.Outcome)
+	prevLevel   core.LevelFunc
+	prevOutcome core.OutcomeFunc
 }
 
 type writeWait struct {
@@ -50,12 +78,15 @@ type writeWait struct {
 }
 
 // RunLive drives the workload against a live node: ops are injected into
-// the node's event loop, so the driver coexists with real protocol
+// the node's event loops — per-file ops into the owning shard's loop when
+// the injector supports it — so the driver coexists with real protocol
 // traffic. Closed-loop mode (Rate == 0) runs Workers issuers that each
 // wait for their write's detection verdict before continuing; open-loop
 // mode paces at Rate ops/sec (ramping over RampUp) without waiting.
-// Passing the node's own registry as reg exposes the run's latency
-// histograms on the node's /metrics surface; nil keeps them private.
+// Operations issued during the RampUp window warm the system but are
+// excluded from the report's counts and percentiles. Passing the node's
+// own registry as reg exposes the run's latency histograms on the node's
+// /metrics surface; nil keeps them private.
 func RunLive(cfg Config, n *core.Node, inj Injector, reg *telemetry.Registry) *Report {
 	cfg = cfg.withDefaults()
 	lr := &liveRun{
@@ -63,18 +94,26 @@ func RunLive(cfg Config, n *core.Node, inj Injector, reg *telemetry.Registry) *R
 		n:       n,
 		inj:     inj,
 		rec:     newRecorder(reg),
-		waiters: make(map[int64]writeWait),
-		early:   make(map[int64]struct{}),
+		waiters: make(map[writeKey]writeWait),
+		early:   make(map[writeKey]struct{}),
+		fileOps: make(map[id.FileID]int64),
+	}
+	if fi, ok := inj.(FileInjector); ok {
+		lr.injFile = fi.InjectFile
+	} else {
+		lr.injFile = func(_ id.FileID, fn func(env.Env)) { inj.Inject(fn) }
 	}
 	lr.installHooks()
 
-	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	lr.measureFrom = start.Add(cfg.RampUp)
+	deadline := start.Add(cfg.Duration)
 	var wg sync.WaitGroup
 	if cfg.Rate > 0 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lr.openLoop(deadline)
+			lr.openLoop(start, deadline)
 		}()
 	} else {
 		for w := 0; w < cfg.Workers; w++ {
@@ -89,111 +128,123 @@ func RunLive(cfg Config, n *core.Node, inj Injector, reg *telemetry.Registry) *R
 	lr.drain()
 	lr.stopped.Store(true)
 	lr.uninstallHooks()
-	return lr.rec.report(cfg.Duration)
-}
-
-// installHooks chains onto the node's OnLevel/OnOutcome callbacks from
-// inside the event loop (callback fields are event-loop state).
-func (lr *liveRun) installHooks() {
-	installed := make(chan struct{})
-	lr.inj.Inject(func(e env.Env) {
-		lr.prevLevel = lr.n.OnLevel
-		lr.n.OnLevel = func(e env.Env, f id.FileID, res detect.Result) {
-			if lr.prevLevel != nil {
-				lr.prevLevel(e, f, res)
-			}
-			lr.completeWrite(res.Token)
-		}
-		lr.prevOutcome = lr.n.OnOutcome
-		lr.n.OnOutcome = func(e env.Env, o resolve.Outcome) {
-			if lr.prevOutcome != nil {
-				lr.prevOutcome(e, o)
-			}
-			// Resolve latency is the initiator-side session duration.
-			if o.Active && !o.Aborted && !lr.stopped.Load() {
-				lr.rec.observe(OpResolve, o.Phase1+o.Phase2)
-			}
-		}
-		close(installed)
-	})
-	<-installed
-}
-
-// uninstallHooks restores the node's original callbacks so the run's
-// correlation maps stop accumulating once the report is cut. It waits
-// for the event loop to confirm, tolerating a node that shut down.
-func (lr *liveRun) uninstallHooks() {
-	restored := make(chan struct{})
-	lr.inj.Inject(func(e env.Env) {
-		lr.n.OnLevel = lr.prevLevel
-		lr.n.OnOutcome = lr.prevOutcome
-		close(restored)
-	})
-	select {
-	case <-restored:
-	case <-time.After(lr.cfg.OpTimeout):
+	measured := cfg.Duration - cfg.RampUp
+	if measured <= 0 {
+		measured = cfg.Duration
 	}
+	rep := lr.rec.report(measured)
+	lr.mu.Lock()
+	rep.FileOps = make(map[id.FileID]int64, len(lr.fileOps))
+	for f, c := range lr.fileOps {
+		rep.FileOps[f] = c
+	}
+	lr.mu.Unlock()
+	return rep
 }
 
-func (lr *liveRun) completeWrite(token int64) {
+// measured reports whether an op issued at start falls inside the
+// measurement window (after ramp-up).
+func (lr *liveRun) measured(start time.Time) bool {
+	return !start.Before(lr.measureFrom) && !lr.stopped.Load()
+}
+
+// record observes one completed measured op and charges its file.
+func (lr *liveRun) record(op Op, file id.FileID, d time.Duration) {
+	lr.rec.observe(op, d)
 	lr.mu.Lock()
-	w, ok := lr.waiters[token]
+	lr.fileOps[file]++
+	lr.mu.Unlock()
+}
+
+// installHooks chains onto the node's OnLevel/OnOutcome hooks. The hook
+// slots are atomically swappable, so installation needs no event-loop
+// round trip.
+func (lr *liveRun) installHooks() {
+	lr.prevLevel = lr.n.SetOnLevel(func(e env.Env, f id.FileID, res detect.Result) {
+		if lr.prevLevel != nil {
+			lr.prevLevel(e, f, res)
+		}
+		lr.completeWrite(writeKey{file: f, token: res.Token})
+	})
+	lr.prevOutcome = lr.n.SetOnOutcome(func(e env.Env, o resolve.Outcome) {
+		if lr.prevOutcome != nil {
+			lr.prevOutcome(e, o)
+		}
+		// Resolve latency is the initiator-side session duration.
+		if o.Active && !o.Aborted && !lr.stopped.Load() {
+			lr.rec.observe(OpResolve, o.Phase1+o.Phase2)
+		}
+	})
+}
+
+// uninstallHooks restores the node's original hooks so the run's
+// correlation maps stop accumulating once the report is cut.
+func (lr *liveRun) uninstallHooks() {
+	lr.n.SetOnLevel(lr.prevLevel)
+	lr.n.SetOnOutcome(lr.prevOutcome)
+}
+
+func (lr *liveRun) completeWrite(k writeKey) {
+	lr.mu.Lock()
+	w, ok := lr.waiters[k]
 	if !ok {
 		// Verdict beat the registration (synchronous finalize); leave a
 		// marker so registerWrite completes immediately. Skip once the
 		// run is over so foreign detections cannot grow the map.
 		if !lr.stopped.Load() {
-			lr.early[token] = struct{}{}
+			lr.early[k] = struct{}{}
 		}
 		lr.mu.Unlock()
 		return
 	}
-	delete(lr.waiters, token)
+	delete(lr.waiters, k)
 	lr.mu.Unlock()
 	el := time.Since(w.start)
-	if !lr.stopped.Load() {
-		lr.rec.observe(OpWrite, el)
+	if lr.measured(w.start) {
+		lr.record(OpWrite, k.file, el)
 	}
 	if w.done != nil {
 		w.done <- el
 	}
 }
 
-func (lr *liveRun) registerWrite(token int64, start time.Time, done chan time.Duration) {
+func (lr *liveRun) registerWrite(k writeKey, start time.Time, done chan time.Duration) {
 	lr.mu.Lock()
-	if _, ok := lr.early[token]; ok {
-		delete(lr.early, token)
+	if _, ok := lr.early[k]; ok {
+		delete(lr.early, k)
 		lr.mu.Unlock()
 		el := time.Since(start)
-		if !lr.stopped.Load() {
-			lr.rec.observe(OpWrite, el)
+		if lr.measured(start) {
+			lr.record(OpWrite, k.file, el)
 		}
 		if done != nil {
 			done <- el
 		}
 		return
 	}
-	lr.waiters[token] = writeWait{start: start, done: done}
+	lr.waiters[k] = writeWait{start: start, done: done}
 	lr.mu.Unlock()
 }
 
-// issueWrite injects one write; done non-nil makes it a closed-loop op.
+// issueWrite injects one write into the file's serialization domain; done
+// non-nil makes it a closed-loop op.
 func (lr *liveRun) issueWrite(file id.FileID, done chan time.Duration) {
 	payload := make([]byte, lr.cfg.PayloadBytes)
 	start := time.Now()
-	lr.inj.Inject(func(e env.Env) {
+	lr.injFile(file, func(e env.Env) {
 		_, token := lr.n.WriteTracked(e, file, "load", payload, float64(len(payload)))
-		lr.registerWrite(token, start, done)
+		lr.registerWrite(writeKey{file: file, token: token}, start, done)
 	})
 }
 
-// issueSync injects a local op (read/hint/resolve dispatch) and waits for
-// its event-loop execution, recording the issue-to-execution latency for
-// read and hint. Resolve latency is recorded separately via OnOutcome.
+// issueSync injects a local op (read/hint/resolve dispatch) into the
+// file's domain and waits for its execution, recording the
+// issue-to-execution latency for read and hint. Resolve latency is
+// recorded separately via OnOutcome.
 func (lr *liveRun) issueSync(op Op, file id.FileID, wait bool) {
 	start := time.Now()
 	ran := make(chan struct{})
-	lr.inj.Inject(func(e env.Env) {
+	lr.injFile(file, func(e env.Env) {
 		switch op {
 		case OpRead:
 			lr.n.Read(file)
@@ -202,8 +253,8 @@ func (lr *liveRun) issueSync(op Op, file id.FileID, wait bool) {
 		case OpResolve:
 			lr.n.DemandActiveResolution(e, file)
 		}
-		if op != OpResolve && !lr.stopped.Load() {
-			lr.rec.observe(op, time.Since(start))
+		if op != OpResolve && lr.measured(start) {
+			lr.record(op, file, time.Since(start))
 		}
 		close(ran)
 	})
@@ -244,18 +295,17 @@ func (lr *liveRun) closedWorker(w int, deadline time.Time) {
 // feed a stale channel.
 func (lr *liveRun) forgetWaiters() {
 	lr.mu.Lock()
-	for tok, w := range lr.waiters {
+	for k, w := range lr.waiters {
 		if time.Since(w.start) > lr.cfg.OpTimeout {
-			delete(lr.waiters, tok)
+			delete(lr.waiters, k)
 		}
 	}
 	lr.mu.Unlock()
 }
 
-func (lr *liveRun) openLoop(deadline time.Time) {
+func (lr *liveRun) openLoop(start, deadline time.Time) {
 	rng := rand.New(rand.NewSource(lr.cfg.Seed))
 	fp := newFilePicker(rng, lr.cfg.Files, lr.cfg.ZipfSkew)
-	start := time.Now()
 	// Pace against an absolute schedule (next, not a fixed per-op
 	// sleep) so issue overhead does not make the achieved rate
 	// systematically undershoot the target.

@@ -204,7 +204,8 @@ type OpStats struct {
 // Report is the outcome of one workload run.
 type Report struct {
 	// Elapsed is the measured window (wall clock for live runs, virtual
-	// time for emulated ones).
+	// time for emulated ones). Live runs exclude the RampUp warm-up
+	// window from it — and from every count and percentile below.
 	Elapsed time.Duration
 	// Ops is the total operations completed; OpsPerSec is Ops/Elapsed.
 	Ops       int64
@@ -213,6 +214,9 @@ type Report struct {
 	Timeouts int64
 	// PerOp breaks the run down by operation type.
 	PerOp map[string]OpStats
+	// FileOps counts measured completed ops per file (live runs only) —
+	// the input to idea-load's per-shard throughput split.
+	FileOps map[id.FileID]int64 `json:",omitempty"`
 }
 
 func (rec *recorder) report(elapsed time.Duration) *Report {

@@ -12,6 +12,7 @@ package overlay
 
 import (
 	"sort"
+	"sync"
 
 	"idea/internal/id"
 	"idea/internal/ransub"
@@ -50,9 +51,12 @@ func BottomPeers(m Membership, self id.NodeID) []id.NodeID {
 	return out
 }
 
-// Static is a fixed membership view.
+// Static is a fixed membership view. Reads may come from any shard of a
+// sharded node while SetTop re-pins a layer, so the top map sits behind a
+// read/write lock.
 type Static struct {
 	all []id.NodeID
+	mu  sync.RWMutex
 	top map[id.FileID][]id.NodeID
 }
 
@@ -71,6 +75,8 @@ func NewStatic(all []id.NodeID, top map[id.FileID][]id.NodeID) *Static {
 
 // SetTop replaces file's top layer.
 func (s *Static) SetTop(file id.FileID, top []id.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.top[file] = sortedCopy(top)
 }
 
@@ -79,11 +85,15 @@ func (s *Static) All() []id.NodeID { return append([]id.NodeID(nil), s.all...) }
 
 // Top implements Membership.
 func (s *Static) Top(file id.FileID) []id.NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return append([]id.NodeID(nil), s.top[file]...)
 }
 
 // IsTop implements Membership.
 func (s *Static) IsTop(file id.FileID, n id.NodeID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, t := range s.top[file] {
 		if t == n {
 			return true

@@ -15,6 +15,7 @@ package quantify
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"idea/internal/id"
 	"idea/internal/vv"
@@ -90,8 +91,16 @@ type Caster func(replica, ref *vv.Vector) vv.Triple
 func DefaultCaster() Caster { return vv.TripleAgainst }
 
 // Quantifier bundles maxima, weights, and the application caster; it is
-// the object the detection module consults to score a conflict.
+// the object the detection module consults to score a conflict. One
+// Quantifier is shared by every shard of a node, so the parameters a user
+// can change at runtime — the weights (Complain ships new ones) and the
+// metric maxima/caster (SetConsistencyMetric) — are guarded by an
+// internal lock: mutate them through SetWeights/SetMetric, never by
+// writing the fields of a running node. Direct field access remains for
+// construction-time configuration and single-threaded tests; RefSel is
+// config-time only.
 type Quantifier struct {
+	mu     sync.RWMutex
 	Max    Maxima
 	W      Weights
 	Cast   Caster
@@ -108,11 +117,37 @@ func New(max Maxima, w Weights) *Quantifier {
 // weights.
 func Default() *Quantifier { return New(DefaultMaxima(), EqualWeights()) }
 
-// SetWeights replaces the weights (the set_weight API).
-func (q *Quantifier) SetWeights(w Weights) { q.W = w.Normalize() }
+// SetWeights replaces the weights (the set_weight API). Safe against
+// concurrent scoring on other shards.
+func (q *Quantifier) SetWeights(w Weights) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.W = w.Normalize()
+}
+
+// Weights returns the current weights.
+func (q *Quantifier) Weights() Weights {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.W
+}
+
+// SetMetric replaces the per-metric maxima and, when non-nil, the caster
+// (the set_consistency_metric API). Safe against concurrent scoring.
+func (q *Quantifier) SetMetric(m Maxima, c Caster) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.Max = m
+	if c != nil {
+		q.Cast = c
+	}
+}
 
 // Level applies Formula 1 to a triple. The result is clamped to [0,1].
 func (q *Quantifier) Level(t vv.Triple) float64 {
+	q.mu.RLock()
+	max, w := q.Max, q.W
+	q.mu.RUnlock()
 	term := func(err, max, weight float64) float64 {
 		if err < 0 {
 			err = 0
@@ -122,16 +157,19 @@ func (q *Quantifier) Level(t vv.Triple) float64 {
 		}
 		return (max - err) / max * weight
 	}
-	l := term(t.Numerical, q.Max.Numerical, q.W.Numerical) +
-		term(t.Order, q.Max.Order, q.W.Order) +
-		term(t.Staleness, q.Max.Staleness, q.W.Staleness)
+	l := term(t.Numerical, max.Numerical, w.Numerical) +
+		term(t.Order, max.Order, w.Order) +
+		term(t.Staleness, max.Staleness, w.Staleness)
 	return math.Min(1, math.Max(0, l))
 }
 
 // Score quantifies replica u against reference ref: it casts the conflict
 // to a triple and applies Formula 1.
 func (q *Quantifier) Score(u, ref *vv.Vector) (vv.Triple, float64) {
-	t := q.Cast(u, ref)
+	q.mu.RLock()
+	cast := q.Cast
+	q.mu.RUnlock()
+	t := cast(u, ref)
 	return t, q.Level(t)
 }
 

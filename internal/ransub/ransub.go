@@ -13,6 +13,7 @@ package ransub
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"idea/internal/env"
@@ -71,13 +72,18 @@ type learned struct {
 
 // Agent is the per-node RanSub participant. It is driven by the node's
 // event loop: the owner must forward Start, matching Recv messages, and
-// timers with the "ransub." prefix.
+// timers with the "ransub." prefix. RanSub itself is node-global work and
+// runs on shard 0 under a sharded runtime, but its temperature/candidate
+// state is read (Hot/HotSet, via the overlay) and bumped (RecordUpdate,
+// on every write) from per-file shards, so the state sits behind a
+// mutex; sections are tiny and uncontended at protocol rates.
 type Agent struct {
 	cfg   Config
 	self  id.NodeID
 	all   []id.NodeID // sorted static membership
 	index int         // self's position in all
 
+	mu    sync.Mutex
 	epoch int
 	temps map[id.FileID]float64 // own temperatures
 	// pending collect samples from children for the current epoch
@@ -136,15 +142,23 @@ func (a *Agent) Start(e env.Env) {
 // RecordUpdate bumps the local temperature for file: +1 per update, the
 // frequency/recency signal of §4.1.
 func (a *Agent) RecordUpdate(file id.FileID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.temps[file]++
 }
 
 // Temperature returns the node's own temperature for file.
-func (a *Agent) Temperature(file id.FileID) float64 { return a.temps[file] }
+func (a *Agent) Temperature(file id.FileID) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.temps[file]
+}
 
 // Hot reports whether node n is currently believed to be an active writer
 // of file (self included).
 func (a *Agent) Hot(file id.FileID, n id.NodeID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if n == a.self {
 		return a.temps[file] >= a.cfg.HotThreshold
 	}
@@ -156,6 +170,8 @@ func (a *Agent) Hot(file id.FileID, n id.NodeID) bool {
 // file's top layer (temperature overlay), always including itself when
 // hot.
 func (a *Agent) HotSet(file id.FileID) []id.NodeID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var out []id.NodeID
 	if a.temps[file] >= a.cfg.HotThreshold {
 		out = append(out, a.self)
@@ -172,6 +188,12 @@ func (a *Agent) HotSet(file id.FileID) []id.NodeID {
 // KnownFiles returns every file the agent has a temperature or candidate
 // for, sorted.
 func (a *Agent) KnownFiles() []id.FileID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.knownFiles()
+}
+
+func (a *Agent) knownFiles() []id.FileID {
 	set := make(map[id.FileID]struct{})
 	for f := range a.temps {
 		set[f] = struct{}{}
@@ -196,9 +218,11 @@ func (a *Agent) Timer(e env.Env, key string, _ any) bool {
 	if key != timerEpoch {
 		return false
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.epoch++
 	a.expire()
-	for _, f := range a.KnownFiles() {
+	for _, f := range a.knownFiles() {
 		a.sendCollect(e, f)
 	}
 	a.pending = make(map[id.FileID]map[id.NodeID][]wire.Candidate)
@@ -316,6 +340,8 @@ func (a *Agent) learn(file id.FileID, cands []wire.Candidate) {
 // HandleCollect buffers a child's collect sample; it is merged into this
 // node's own collect at the next epoch tick.
 func (a *Agent) HandleCollect(_ env.Env, from id.NodeID, m wire.RansubCollect) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	p, ok := a.pending[m.File]
 	if !ok {
 		p = make(map[id.NodeID][]wire.Candidate)
@@ -328,6 +354,8 @@ func (a *Agent) HandleCollect(_ env.Env, from id.NodeID, m wire.RansubCollect) {
 // HandleDistribute learns the epoch's global sample and forwards a random
 // subset to the children.
 func (a *Agent) HandleDistribute(e env.Env, _ id.NodeID, m wire.RansubDistribute) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if m.Epoch > a.epoch {
 		a.epoch = m.Epoch
 	}

@@ -377,7 +377,7 @@ func (r *Resolver) enterPhase2(e env.Env, s *session) {
 		for _, m := range s.members {
 			e.Send(m, wire.CollectRequest{File: s.file, Token: s.token, VV: s.vecs[r.self]})
 		}
-		e.After(r.cfg.VisitTimeout, timerVisit, visitKey{token: s.token, visit: -1})
+		e.After(r.cfg.VisitTimeout, timerVisit, visitKey{file: s.file, token: s.token, visit: -1})
 		return
 	}
 	r.visitNext(e, s)
@@ -390,12 +390,32 @@ func (r *Resolver) visitNext(e env.Env, s *session) {
 	}
 	m := s.members[s.next]
 	e.Send(m, wire.CollectRequest{File: s.file, Token: s.token, VV: s.vecs[r.self]})
-	e.After(r.cfg.VisitTimeout, timerVisit, visitKey{token: s.token, visit: s.next})
+	e.After(r.cfg.VisitTimeout, timerVisit, visitKey{file: s.file, token: s.token, visit: s.next})
 }
 
 type visitKey struct {
+	file  id.FileID
 	token int64
 	visit int
+}
+
+// TimerFile maps a resolve timer to the file whose serialization domain
+// must run it; ok is false for keys the resolver does not own. Sharded
+// handlers use it to implement env.Sharded.ShardOfTimer.
+func TimerFile(key string, data any) (id.FileID, bool) {
+	switch key {
+	case timerRetry, timerBack:
+		if f, ok := data.(id.FileID); ok {
+			return f, true
+		}
+		return "", true
+	case timerVisit:
+		if vk, ok := data.(visitKey); ok {
+			return vk.file, true
+		}
+		return "", true
+	}
+	return "", false
 }
 
 // HandleCollectReply advances the traversal: sequentially (next member)
@@ -433,30 +453,19 @@ func (r *Resolver) HandleCollectReply(e env.Env, from id.NodeID, m wire.CollectR
 func (r *Resolver) finish(e env.Env, s *session) {
 	winner, winVec := r.chooseWinner(s)
 	// Inform every member in parallel with exactly the updates it lacks.
-	for m, mv := range s.vecs {
-		if m == r.self {
-			continue
-		}
+	// The traversal follows the sorted member slice — not the vecs map —
+	// so the send order (and with it every seeded emulation schedule) is
+	// deterministic. Members that timed out during collect still get a
+	// best-effort inform; lacking their vector, ship the whole winning
+	// image.
+	for _, m := range s.members {
+		mv := s.vecs[m] // nil when the member timed out
 		e.Send(m, wire.Inform{
 			File:    s.file,
 			Token:   s.token,
 			Winner:  winner,
 			VV:      winVec,
 			Updates: r.imageUpdates(s, winVec, mv),
-		})
-	}
-	// Members that timed out during collect still get a best-effort
-	// inform; lacking their vector, ship the whole winning image.
-	for _, m := range s.members {
-		if _, collected := s.vecs[m]; collected {
-			continue
-		}
-		e.Send(m, wire.Inform{
-			File:    s.file,
-			Token:   s.token,
-			Winner:  winner,
-			VV:      winVec,
-			Updates: r.imageUpdates(s, winVec, nil),
 		})
 	}
 	// Adopt locally.

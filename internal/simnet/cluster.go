@@ -7,6 +7,15 @@
 // A "200-second" experiment executes in milliseconds and replays
 // bit-for-bit from its seed, which is what lets the benchmark suite
 // regenerate every figure of the paper on a laptop.
+//
+// Sharded handlers (env.Sharded) are emulated deterministically: the
+// cluster stays single-goroutine, but every event is tagged with the
+// serialization domain the handler's routing assigns it, and events due
+// at the same virtual instant are interleaved across shards by a seeded
+// stable tie-break (per-shard FIFO order is always preserved). Runs
+// therefore model the reordering a parallel sharded runtime exhibits
+// while replaying bit-for-bit from their seed — with single-shard
+// handlers the schedule is byte-identical to the historical one.
 package simnet
 
 import (
@@ -37,6 +46,10 @@ type Config struct {
 	Loss float64
 	// Trace, when non-nil, receives node debug logs.
 	Trace io.Writer
+	// EventTrace, when non-nil, receives one line per dispatched event
+	// (virtual time, node, shard, kind) — the byte-comparable schedule
+	// record the determinism regression tests diff across runs.
+	EventTrace io.Writer
 	// Base is the wall-clock origin of virtual time; zero means the
 	// paper's issue date (2007-01-04).
 	Base time.Time
@@ -58,20 +71,45 @@ type Cluster struct {
 	sizer  *wire.Sizer
 	cut    map[[2]id.NodeID]bool
 	events int
+	// shardRank is a seeded permutation of shard indices: the stable
+	// tie-break that interleaves same-instant events of different shards
+	// deterministically. Rank ties (same shard, or single-shard nodes)
+	// fall back to arrival order, so legacy schedules are unchanged.
+	shardRank [64]uint8
 }
 
 type node struct {
-	c    *Cluster
-	id   id.NodeID
-	h    env.Handler
-	skew time.Duration
-	rng  *rand.Rand
+	c      *Cluster
+	id     id.NodeID
+	h      env.Handler
+	sh     env.Sharded // nil for plain (single-domain) handlers
+	shards int
+	skew   time.Duration
+	rng    *rand.Rand
+}
+
+// shardOfMsg returns the serialization domain an inbound message runs in.
+func (n *node) shardOfMsg(msg env.Message) int {
+	if n.sh == nil {
+		return 0
+	}
+	return env.ClampShard(n.sh.ShardOfMessage(msg), n.shards)
+}
+
+// shardOfTimer returns the serialization domain a timer callback runs in.
+func (n *node) shardOfTimer(key string, data any) int {
+	if n.sh == nil {
+		return 0
+	}
+	return env.ClampShard(n.sh.ShardOfTimer(key, data), n.shards)
 }
 
 type event struct {
-	at   time.Duration
-	seq  uint64
-	node id.NodeID
+	at    time.Duration
+	seq   uint64
+	node  id.NodeID
+	shard int   // serialization domain at the destination node
+	rank  uint8 // seeded tie-break rank of the shard (set by push)
 	// Exactly one of the following is set.
 	msg  env.Message // message delivery (with from)
 	from id.NodeID
@@ -87,6 +125,9 @@ func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
+	}
+	if ri, rj := q[i].rank, q[j].rank; ri != rj {
+		return ri < rj
 	}
 	return q[i].seq < q[j].seq
 }
@@ -110,7 +151,7 @@ func New(cfg Config) *Cluster {
 	if base.IsZero() {
 		base = time.Date(2007, 1, 4, 0, 0, 0, 0, time.UTC)
 	}
-	return &Cluster{
+	c := &Cluster{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		base:  base,
@@ -119,6 +160,14 @@ func New(cfg Config) *Cluster {
 		sizer: wire.NewSizer(),
 		cut:   make(map[[2]id.NodeID]bool),
 	}
+	// Seeded shard interleaving: a fixed permutation of ranks drawn from
+	// the cluster seed. Same seed ⇒ same schedule, different seed ⇒
+	// different (but still per-shard-FIFO) interleaving.
+	perm := rand.New(rand.NewSource(cfg.Seed ^ 0x5bd1e995)).Perm(len(c.shardRank))
+	for i, p := range perm {
+		c.shardRank[i] = uint8(p)
+	}
+	return c
 }
 
 // Add registers a node with its protocol handler. Nodes must be added
@@ -131,13 +180,18 @@ func (c *Cluster) Add(n id.NodeID, h env.Handler) {
 	if c.cfg.MaxSkew > 0 {
 		skew = time.Duration(c.rng.Int63n(int64(2*c.cfg.MaxSkew))) - c.cfg.MaxSkew
 	}
-	c.nodes[n] = &node{
-		c:    c,
-		id:   n,
-		h:    h,
-		skew: skew,
-		rng:  rand.New(rand.NewSource(c.cfg.Seed ^ (int64(n)*0x9e3779b97f4a7c + 1))),
+	nd := &node{
+		c:      c,
+		id:     n,
+		h:      h,
+		shards: 1,
+		skew:   skew,
+		rng:    rand.New(rand.NewSource(c.cfg.Seed ^ (int64(n)*0x9e3779b97f4a7c + 1))),
 	}
+	if sh, ok := h.(env.Sharded); ok && sh.Shards() > 1 {
+		nd.sh, nd.shards = sh, sh.Shards()
+	}
+	c.nodes[n] = nd
 	c.order = append(c.order, n)
 	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
 }
@@ -180,11 +234,27 @@ func (c *Cluster) Heal(a, b id.NodeID) {
 // CallAt schedules fn to run in node nid's context at virtual time at
 // (measured from the epoch). Experiment workloads use it to inject writes
 // and user actions with the same serialization guarantee handlers enjoy.
+// The call runs in shard 0 — the node-global domain; use CallAtFile to
+// drive per-file operations on a sharded handler.
 func (c *Cluster) CallAt(at time.Duration, nid id.NodeID, fn func(env.Env)) {
 	if at < c.now {
 		at = c.now
 	}
 	c.push(&event{at: at, node: nid, call: fn})
+}
+
+// CallAtFile schedules fn in the serialization domain owning file on node
+// nid — the injection point for writes and user actions against one file
+// of a sharded handler (the emulated analogue of transport.InjectFile).
+func (c *Cluster) CallAtFile(at time.Duration, nid id.NodeID, file id.FileID, fn func(env.Env)) {
+	if at < c.now {
+		at = c.now
+	}
+	shard := 0
+	if n, ok := c.nodes[nid]; ok && n.sh != nil {
+		shard = env.ClampShard(n.sh.ShardOfFile(file), n.shards)
+	}
+	c.push(&event{at: at, node: nid, shard: shard, call: fn})
 }
 
 // Env returns the env of node nid for direct synchronous use by test
@@ -194,6 +264,7 @@ func (c *Cluster) Env(nid id.NodeID) env.Env { return c.nodes[nid] }
 func (c *Cluster) push(e *event) {
 	c.seq++
 	e.seq = c.seq
+	e.rank = c.shardRank[e.shard%len(c.shardRank)]
 	heap.Push(&c.queue, e)
 }
 
@@ -211,6 +282,16 @@ func (c *Cluster) Step() bool {
 		return true // node removed; drop silently
 	}
 	c.events++
+	if w := c.cfg.EventTrace; w != nil {
+		switch {
+		case e.call != nil:
+			fmt.Fprintf(w, "%d %v s%d call\n", e.at.Nanoseconds(), e.node, e.shard)
+		case e.tmr:
+			fmt.Fprintf(w, "%d %v s%d timer %s\n", e.at.Nanoseconds(), e.node, e.shard, e.key)
+		default:
+			fmt.Fprintf(w, "%d %v s%d recv %s from %v\n", e.at.Nanoseconds(), e.node, e.shard, e.msg.Kind(), e.from)
+		}
+	}
 	switch {
 	case e.call != nil:
 		e.call(n)
@@ -276,7 +357,7 @@ func (n *node) Send(to id.NodeID, msg env.Message) {
 	if to == n.id {
 		lat = 10 * time.Microsecond // loopback
 	}
-	c.push(&event{at: c.now + lat, node: to, from: n.id, msg: msg})
+	c.push(&event{at: c.now + lat, node: to, shard: c.nodes[to].shardOfMsg(msg), from: n.id, msg: msg})
 }
 
 // After implements env.Env.
@@ -284,7 +365,7 @@ func (n *node) After(d time.Duration, key string, data any) {
 	if d < 0 {
 		d = 0
 	}
-	n.c.push(&event{at: n.c.now + d, node: n.id, key: key, data: data, tmr: true})
+	n.c.push(&event{at: n.c.now + d, node: n.id, shard: n.shardOfTimer(key, data), key: key, data: data, tmr: true})
 }
 
 // Logf implements env.Env.

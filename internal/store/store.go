@@ -13,6 +13,7 @@ package store
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"idea/internal/id"
 	"idea/internal/telemetry"
@@ -527,20 +528,43 @@ func (r *Replica) StableCounts() map[id.NodeID]int {
 	return out
 }
 
-// Store is a node's collection of replicas, one per shared file.
-type Store struct {
-	owner    id.NodeID
+// storeStripes is the fixed lock-stripe count of the replica map. It is
+// independent of the runtime's shard count: striping only has to keep the
+// map itself safe under concurrent Open/Peek from different shards, while
+// each *Replica stays single-domain by the env routing contract.
+const storeStripes = 16
+
+type storeStripe struct {
+	mu       sync.RWMutex
 	replicas map[id.FileID]*Replica
-	met      storeMetrics
+}
+
+// Store is a node's collection of replicas, one per shared file. The
+// replica map is lock-striped by FileID hash so shard executors can open
+// and enumerate replicas concurrently; the replicas themselves carry no
+// locks — all operations on one file are serialized by its shard.
+type Store struct {
+	owner   id.NodeID
+	stripes [storeStripes]storeStripe
+	met     storeMetrics
 }
 
 // New returns an empty store for node owner.
 func New(owner id.NodeID) *Store {
-	return &Store{owner: owner, replicas: make(map[id.FileID]*Replica)}
+	s := &Store{owner: owner}
+	for i := range s.stripes {
+		s.stripes[i].replicas = make(map[id.FileID]*Replica)
+	}
+	return s
+}
+
+func (s *Store) stripe(file id.FileID) *storeStripe {
+	return &s.stripes[file.Hash()%storeStripes]
 }
 
 // AttachMetrics wires the store (and every replica, current and future)
-// to a registry, exporting log/checkpoint sizes and update flow.
+// to a registry, exporting log/checkpoint sizes and update flow. Call it
+// before the node starts handling traffic.
 func (s *Store) AttachMetrics(reg *telemetry.Registry) {
 	s.met = storeMetrics{
 		replicas:     reg.Gauge("store.replicas"),
@@ -554,13 +578,18 @@ func (s *Store) AttachMetrics(reg *telemetry.Registry) {
 		rollbacks:    reg.Counter("store.rollbacks_total"),
 		undone:       reg.Counter("store.undone_updates_total"),
 	}
-	for _, r := range s.replicas {
-		r.met = s.met
-		s.met.replicas.Add(1)
-		s.met.logEntries.Add(int64(len(r.log)))
-		s.met.checkpoints.Add(int64(len(r.checkpoints)))
-		s.met.pending.Add(int64(r.Pending()))
-		s.met.windowStamps.Add(int64(r.vec.WindowStamps()))
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for _, r := range st.replicas {
+			r.met = s.met
+			s.met.replicas.Add(1)
+			s.met.logEntries.Add(int64(len(r.log)))
+			s.met.checkpoints.Add(int64(len(r.checkpoints)))
+			s.met.pending.Add(int64(r.Pending()))
+			s.met.windowStamps.Add(int64(r.vec.WindowStamps()))
+		}
+		st.mu.Unlock()
 	}
 }
 
@@ -568,25 +597,56 @@ func (s *Store) AttachMetrics(reg *telemetry.Registry) {
 // paper's "IDEA retrieves a copy of the file from the underlying
 // replication-based system".
 func (s *Store) Open(file id.FileID) *Replica {
-	r, ok := s.replicas[file]
-	if !ok {
-		r = NewReplica(file, s.owner)
-		r.met = s.met
-		s.replicas[file] = r
-		s.met.replicas.Add(1)
+	st := s.stripe(file)
+	st.mu.RLock()
+	r, ok := st.replicas[file]
+	st.mu.RUnlock()
+	if ok {
+		return r
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if r, ok = st.replicas[file]; ok {
+		return r
+	}
+	r = NewReplica(file, s.owner)
+	r.met = s.met
+	st.replicas[file] = r
+	s.met.replicas.Add(1)
 	return r
 }
 
 // Peek returns the replica of file without creating one; nil when the
 // node holds no replica.
-func (s *Store) Peek(file id.FileID) *Replica { return s.replicas[file] }
+func (s *Store) Peek(file id.FileID) *Replica {
+	st := s.stripe(file)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.replicas[file]
+}
 
-// Files returns the open file IDs in sorted order.
+// Files returns the open file IDs in sorted order. The snapshot is
+// consistent per stripe, which is all cross-file operations (gossip
+// sweeps, metrics, ListFiles-style merges) need.
 func (s *Store) Files() []id.FileID {
-	out := make([]id.FileID, 0, len(s.replicas))
-	for f := range s.replicas {
-		out = append(out, f)
+	return s.FilesFiltered(nil)
+}
+
+// FilesFiltered returns the open file IDs matching keep (nil keeps all)
+// in sorted order. Filtering happens during the stripe scan, so a caller
+// owning 1/N of the files — a shard's gossip sweep — pays for sorting
+// only its own subset rather than the node's whole file census.
+func (s *Store) FilesFiltered(keep func(id.FileID) bool) []id.FileID {
+	var out []id.FileID
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for f := range st.replicas {
+			if keep == nil || keep(f) {
+				out = append(out, f)
+			}
+		}
+		st.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

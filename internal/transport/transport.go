@@ -1,10 +1,22 @@
 // Package transport is the live-network runtime for IDEA nodes: the same
 // env.Handler protocol code that runs under the simulator runs here over
-// real TCP connections. Frames are length-prefixed gob envelopes; each
-// node serializes all handler callbacks through one event loop, preserving
-// the single-threaded execution model protocol code relies on.
+// real TCP connections. Frames are length-prefixed gob envelopes.
 //
-// Outbound traffic is decoupled from the event loop: every peer gets a
+// Handler callbacks are serialized per *serialization domain*: a plain
+// handler gets the classic single event loop, while a handler
+// implementing env.Sharded gets one executor goroutine per shard, each
+// with its own bounded event queue and deterministic random source.
+// Inbound frames are decoded on the connection's read goroutine — off
+// every event loop — and dispatched to the owning shard's queue, so
+// decode work and different files' protocol work all run in parallel
+// while per-file ordering is preserved (one reader enqueues a peer's
+// frames for a given file in arrival order). Timers route back to the
+// shard their key/data names; Inject runs on shard 0 and InjectFile in
+// the file's domain. Queue pressure is observable: every dequeue feeds
+// the core.queue_wait histogram and per-shard core.shard_queue_depth.<i>
+// gauges.
+//
+// Outbound traffic is decoupled from the event loops: every peer gets a
 // bounded frame queue drained by a dedicated writer goroutine that dials
 // lazily and redials with exponential backoff, so a peer that starts late
 // or restarts becomes reachable as soon as it is up, and a slow peer can
@@ -37,6 +49,9 @@ const MaxFrame = 16 << 20
 const (
 	// sendQueue bounds the per-peer outbound frame queue.
 	sendQueue = 4096
+	// shardQueue bounds one shard's inbound event queue; enqueues block
+	// when it fills (backpressure onto the TCP readers and injectors).
+	shardQueue = 1024
 	// dialTimeout bounds one dial attempt.
 	dialTimeout = 3 * time.Second
 	// backoffMin/backoffMax bound the exponential redial backoff.
@@ -60,6 +75,7 @@ type event struct {
 	key  string
 	data any
 	call func(env.Env)
+	enq  time.Time // when the event entered its shard queue
 }
 
 // transportMetrics are the telemetry handles for the frame hot path;
@@ -71,9 +87,10 @@ type transportMetrics struct {
 	bytesOut  *telemetry.Counter
 	framesIn  *telemetry.Counter
 	bytesIn   *telemetry.Counter
-	dropped   *telemetry.Counter // frames dropped on a full peer queue
-	connects  *telemetry.Counter // successful outbound dials
-	retries   *telemetry.Counter // failed dial attempts
+	dropped   *telemetry.Counter   // frames dropped on a full peer queue
+	connects  *telemetry.Counter   // successful outbound dials
+	retries   *telemetry.Counter   // failed dial attempts
+	queueWait *telemetry.Histogram // enqueue→dispatch wait per event
 }
 
 // Node is one live IDEA process. Create it with Listen, register peers
@@ -81,11 +98,11 @@ type transportMetrics struct {
 type Node struct {
 	id     id.NodeID
 	h      env.Handler
+	sh     env.Sharded // nil for plain single-domain handlers
 	ln     net.Listener
-	rng    *rand.Rand
 	logger *log.Logger
 
-	events chan event
+	shards []*shardLoop
 	done   chan struct{}
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -103,6 +120,17 @@ type Node struct {
 	inbound map[net.Conn]struct{}
 
 	wg sync.WaitGroup
+}
+
+// shardLoop is one serialization domain's executor: a bounded event queue
+// drained by a dedicated goroutine holding the shard's Env (and its
+// deterministic random source — *rand.Rand is not safe to share across
+// shards).
+type shardLoop struct {
+	idx    int
+	events chan event
+	env    liveEnv
+	depth  *telemetry.Gauge
 }
 
 // peerLink is the outbound side of one peer: a bounded frame queue
@@ -153,20 +181,71 @@ func Listen(nid id.NodeID, addr string, h env.Handler, logger *log.Logger) (*Nod
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Node{
+	n := &Node{
 		id:      nid,
 		h:       h,
 		ln:      ln,
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(nid))),
 		logger:  logger,
-		events:  make(chan event, 1024),
 		done:    make(chan struct{}),
 		ctx:     ctx,
 		cancel:  cancel,
 		peers:   make(map[id.NodeID]string),
 		links:   make(map[id.NodeID]*peerLink),
 		inbound: make(map[net.Conn]struct{}),
-	}, nil
+	}
+	nsh := env.ShardCount(h)
+	if nsh > 1 {
+		n.sh = h.(env.Sharded)
+	}
+	seed := time.Now().UnixNano() ^ int64(nid)
+	n.shards = make([]*shardLoop, nsh)
+	for i := 0; i < nsh; i++ {
+		sl := &shardLoop{idx: i, events: make(chan event, shardQueue)}
+		sl.env = liveEnv{n: n, shard: i, rng: rand.New(rand.NewSource(seed ^ int64(i)*0x9e3779b97f4a7c))}
+		n.shards[i] = sl
+	}
+	return n, nil
+}
+
+// NumShards returns how many serialization domains the node runs.
+func (n *Node) NumShards() int { return len(n.shards) }
+
+// shardOfMsg returns the executor owning an inbound message.
+func (n *Node) shardOfMsg(msg env.Message) *shardLoop {
+	if n.sh == nil {
+		return n.shards[0]
+	}
+	return n.shards[env.ClampShard(n.sh.ShardOfMessage(msg), len(n.shards))]
+}
+
+// shardOfTimer returns the executor owning a timer callback.
+func (n *Node) shardOfTimer(key string, data any) *shardLoop {
+	if n.sh == nil {
+		return n.shards[0]
+	}
+	return n.shards[env.ClampShard(n.sh.ShardOfTimer(key, data), len(n.shards))]
+}
+
+// shardOfFile returns the executor owning a file's domain.
+func (n *Node) shardOfFile(f id.FileID) *shardLoop {
+	if n.sh == nil {
+		return n.shards[0]
+	}
+	return n.shards[env.ClampShard(n.sh.ShardOfFile(f), len(n.shards))]
+}
+
+// enqueue places ev on the shard's queue, blocking for backpressure, and
+// maintains the depth gauge. It reports false when the node is shutting
+// down.
+func (n *Node) enqueue(sl *shardLoop, ev event) bool {
+	ev.enq = time.Now()
+	select {
+	case sl.events <- ev:
+		sl.depth.Set(int64(len(sl.events)))
+		return true
+	case <-n.done:
+		return false
+	}
 }
 
 // AttachMetrics wires the transport to a registry; call before Start.
@@ -182,6 +261,10 @@ func (n *Node) AttachMetrics(reg *telemetry.Registry) {
 		dropped:   reg.Counter("transport.dropped_frames_total"),
 		connects:  reg.Counter("transport.connects_total"),
 		retries:   reg.Counter("transport.dial_retries_total"),
+		queueWait: reg.Histogram("core.queue_wait"),
+	}
+	for _, sl := range n.shards {
+		sl.depth = reg.Gauge(fmt.Sprintf("core.shard_queue_depth.%d", sl.idx))
 	}
 }
 
@@ -208,22 +291,30 @@ func (n *Node) QueueDepth(nid id.NodeID) int {
 	return 0
 }
 
-// Start launches the accept and event loops and delivers Handler.Start.
+// Start launches the accept loop and one executor per shard, then
+// delivers Handler.Start on shard 0.
 func (n *Node) Start() {
-	n.wg.Add(2)
+	n.wg.Add(1 + len(n.shards))
 	go n.acceptLoop()
-	go n.eventLoop()
-	n.events <- event{kind: evStart}
+	for _, sl := range n.shards {
+		go n.shardLoopRun(sl)
+	}
+	n.enqueue(n.shards[0], event{kind: evStart})
 }
 
-// Inject schedules fn inside the node's event loop — the live-network
-// analogue of simnet.CallAt, used by drivers to issue writes and user
-// actions with handler-equivalent serialization.
+// Inject schedules fn inside the node's shard-0 event loop — the
+// live-network analogue of simnet.CallAt, used by drivers for node-global
+// actions. Per-file operations (writes, hints, per-file reads) must use
+// InjectFile so they execute in the file's serialization domain.
 func (n *Node) Inject(fn func(env.Env)) {
-	select {
-	case n.events <- event{kind: evCall, call: fn}:
-	case <-n.done:
-	}
+	n.enqueue(n.shards[0], event{kind: evCall, call: fn})
+}
+
+// InjectFile schedules fn in the serialization domain owning file — the
+// live-network analogue of simnet.CallAtFile. It blocks for backpressure
+// when the shard's queue is full.
+func (n *Node) InjectFile(file id.FileID, fn func(env.Env)) {
+	n.enqueue(n.shardOfFile(file), event{kind: evCall, call: fn})
 }
 
 // Close shuts the node down and waits for its loops to finish.
@@ -248,14 +339,16 @@ func (n *Node) Close() error {
 	return nil
 }
 
-func (n *Node) eventLoop() {
+func (n *Node) shardLoopRun(sl *shardLoop) {
 	defer n.wg.Done()
-	e := &liveEnv{n: n}
+	e := &sl.env
 	for {
 		select {
 		case <-n.done:
 			return
-		case ev := <-n.events:
+		case ev := <-sl.events:
+			sl.depth.Set(int64(len(sl.events)))
+			n.met.queueWait.ObserveDuration(time.Since(ev.enq))
 			switch ev.kind {
 			case evStart:
 				n.h.Start(e)
@@ -316,9 +409,7 @@ func (n *Node) readLoop(c net.Conn) {
 		n.met.decode.ObserveDuration(time.Since(t0))
 		n.met.framesIn.Inc()
 		n.met.bytesIn.Add(int64(len(frame)) + 4)
-		select {
-		case n.events <- event{kind: evRecv, from: envl.From, msg: envl.Msg}:
-		case <-n.done:
+		if !n.enqueue(n.shardOfMsg(envl.Msg), event{kind: evRecv, from: envl.From, msg: envl.Msg}) {
 			return
 		}
 	}
@@ -505,9 +596,13 @@ func writeFrame(w io.Writer, frame []byte) error {
 	return err
 }
 
-// liveEnv implements env.Env on top of a Node. It is only used inside the
-// event loop, so no locking is needed for handler state.
-type liveEnv struct{ n *Node }
+// liveEnv implements env.Env on top of a Node. Each shard executor owns
+// one, so handler state and the Rand source need no locking.
+type liveEnv struct {
+	n     *Node
+	shard int
+	rng   *rand.Rand
+}
 
 // ID implements env.Env.
 func (e *liveEnv) ID() id.NodeID { return e.n.id }
@@ -519,21 +614,19 @@ func (e *liveEnv) Now() time.Time { return time.Now() }
 func (e *liveEnv) Stamp() vv.Stamp { return vv.Stamp(time.Now().UnixNano()) }
 
 // Rand implements env.Env.
-func (e *liveEnv) Rand() *rand.Rand { return e.n.rng }
+func (e *liveEnv) Rand() *rand.Rand { return e.rng }
 
 // Send implements env.Env; it encodes on the caller's goroutine and
 // enqueues onto the peer's writer, never blocking on the network.
 func (e *liveEnv) Send(to id.NodeID, msg env.Message) { e.n.send(to, msg) }
 
-// After implements env.Env using a real timer that re-enters the event
-// loop.
+// After implements env.Env using a real timer that re-enters the owning
+// shard's event loop (routed by the handler's timer routing, so a timer
+// armed from anywhere still fires in the right domain).
 func (e *liveEnv) After(d time.Duration, key string, data any) {
 	n := e.n
 	time.AfterFunc(d, func() {
-		select {
-		case n.events <- event{kind: evTimer, key: key, data: data}:
-		case <-n.done:
-		}
+		n.enqueue(n.shardOfTimer(key, data), event{kind: evTimer, key: key, data: data})
 	})
 }
 

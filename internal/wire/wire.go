@@ -362,6 +362,60 @@ func Register() {
 	})
 }
 
+// RoutingFile returns the per-file serialization key of a protocol
+// message: the file whose shard must process it under the env.Sharded
+// contract. Node-global protocol families return ok=false and run on
+// shard 0 — the RanSub waves do carry a FileID, but the temperature
+// overlay's tree state is node-global by design, so they are deliberately
+// not file-routed.
+func RoutingFile(msg Message) (id.FileID, bool) {
+	switch m := msg.(type) {
+	case DetectRequest:
+		return m.File, true
+	case DetectReply:
+		return m.File, true
+	case GossipDigest:
+		return m.File, true
+	case GossipReport:
+		return m.File, true
+	case CallForAttention:
+		return m.File, true
+	case CFAAck:
+		return m.File, true
+	case CFACancel:
+		return m.File, true
+	case CollectRequest:
+		return m.File, true
+	case CollectReply:
+		return m.File, true
+	case Inform:
+		return m.File, true
+	case InformAck:
+		return m.File, true
+	case AntiEntropyRequest:
+		return m.File, true
+	case AntiEntropyReply:
+		return m.File, true
+	case StrongWrite:
+		return m.File, true
+	case StrongReplicate:
+		return m.File, true
+	case StrongAck:
+		return m.File, true
+	case StrongCommitted:
+		return m.File, true
+	case FSWrite:
+		return m.File, true
+	case FSWriteAck:
+		return m.File, true
+	case FSRead:
+		return m.File, true
+	case FSReadReply:
+		return m.File, true
+	}
+	return "", false
+}
+
 // Envelope frames a message with its routing information for the codec.
 type Envelope struct {
 	From, To id.NodeID
