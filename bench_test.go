@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"idea"
 	"idea/internal/core"
 	"idea/internal/env"
 	"idea/internal/experiments"
@@ -98,12 +99,73 @@ func parallelWriteOps(b *testing.B, shards, files, writers, opsPerWriter int) fl
 	return float64(writers*opsPerWriter) / time.Since(start).Seconds()
 }
 
+// joinCatchupSeconds measures the dynamic-membership bootstrap: a seed
+// node holding a 50k-update replica, and a joiner started with nothing
+// but the seed's address. It returns the wall-clock seconds from the
+// joiner's start until its replica vector is equal to the seed's — the
+// join handshake plus the snapshot state transfer.
+func joinCatchupSeconds(b *testing.B, updates, writers int) float64 {
+	fast := &idea.MembershipConfig{
+		ProbeInterval:  200 * time.Millisecond,
+		ProbeTimeout:   100 * time.Millisecond,
+		SuspectTimeout: 600 * time.Millisecond,
+		JoinRetry:      250 * time.Millisecond,
+	}
+	seed, err := idea.NewLiveNode(idea.LiveNodeConfig{
+		Self: 1, Listen: "127.0.0.1:0", All: []idea.NodeID{1},
+		Swim: true, SwimConfig: fast, Shards: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer seed.Close()
+
+	// Fill the seed's replica inside the file's serialization domain.
+	filled := make(chan struct{})
+	seed.InjectFile("bench", func(e env.Env) {
+		rep := seed.N.Store().Open("bench")
+		seqs := make(map[id.NodeID]int, writers)
+		for i := 0; i < updates; i++ {
+			w := id.NodeID(i%writers + 2)
+			seqs[w]++
+			rep.Apply(wire.Update{File: "bench", Writer: w, Seq: seqs[w], At: vv.Stamp(i+1) * 1e6})
+		}
+		close(filled)
+	})
+	<-filled
+	seedVec := make(chan *vv.Vector, 1)
+	seed.InjectFile("bench", func(env.Env) { seedVec <- seed.N.Store().Open("bench").Vector() })
+	want := <-seedVec
+
+	start := time.Now()
+	joiner, err := idea.NewLiveNode(idea.LiveNodeConfig{
+		Self: 9, Listen: "127.0.0.1:0", Join: seed.Addr(), SwimConfig: fast, Shards: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer joiner.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got := make(chan *vv.Vector, 1)
+		joiner.InjectFile("bench", func(env.Env) { got <- joiner.N.Store().Open("bench").Vector() })
+		if vv.Compare(<-got, want) == vv.Equal {
+			return time.Since(start).Seconds()
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("joiner never converged to the seed's 50k-update replica")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // BenchmarkCoreBaseline measures the bounded-state headline numbers — the
 // gossip digest wire size and Replica.MissingFrom cost at 50k updates per
-// replica, the speedup over the seed's full-scan anti-entropy, and the
+// replica, the speedup over the seed's full-scan anti-entropy, the
 // sharded runtime's multi-file write throughput vs the single-loop
-// baseline (64 files × 4 writers) — and writes them to BENCH_core.json so
-// the perf trajectory is tracked in CI:
+// baseline (64 files × 4 writers), and the dynamic-membership snapshot
+// bootstrap time into a 50k-update cluster — and writes them to
+// BENCH_core.json so the perf trajectory is tracked in CI:
 //
 //	go test -run '^$' -bench CoreBaseline -benchtime 100x .
 func BenchmarkCoreBaseline(b *testing.B) {
@@ -164,6 +226,11 @@ func BenchmarkCoreBaseline(b *testing.B) {
 	opsSingle := parallelWriteOps(b, 1, benchFiles, benchWriters, opsPerWriter)
 	opsSharded := parallelWriteOps(b, benchShards, benchFiles, benchWriters, opsPerWriter)
 
+	// Dynamic-membership headline: seed-address-only join + snapshot
+	// bootstrap into the same 50k-update scenario.
+	joinSecs := joinCatchupSeconds(b, updates, writers)
+
+	b.ReportMetric(joinSecs, "join-catchup-s")
 	b.ReportMetric(float64(digestBytes), "digest-bytes")
 	b.ReportMetric(indexedNs, "missingfrom-ns")
 	b.ReportMetric(legacyNs/indexedNs, "speedup-x")
@@ -187,6 +254,7 @@ func BenchmarkCoreBaseline(b *testing.B) {
 		"parallel_write_ops_per_sec_shards_1": opsSingle,
 		"parallel_write_ops_per_sec_sharded":  opsSharded,
 		"parallel_write_speedup_x":            opsSharded / opsSingle,
+		"join_catchup_seconds":                joinSecs,
 		"gomaxprocs":                          runtime.GOMAXPROCS(0),
 		"go":                                  runtime.Version(),
 	}

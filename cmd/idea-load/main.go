@@ -15,6 +15,12 @@
 // Closed-loop mode (no -rate) runs -workers concurrent issuers that each
 // wait for their write's detection verdict. With -admin the driver also
 // serves its own /metrics + /healthz, exposing the run's histograms live.
+//
+// With -join <seed-addr> the driver needs no -peers/-all: it joins the
+// live cluster through the seed (dynamic membership) and bootstraps via
+// snapshot transfer before driving load. SIGINT/SIGTERM stops the driver
+// gracefully: outstanding verdicts drain, the final report prints, the
+// node announces leave and closes cleanly.
 package main
 
 import (
@@ -23,7 +29,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"idea"
@@ -47,6 +55,8 @@ func main() {
 	payload := flag.Int("payload", 64, "write payload bytes")
 	seed := flag.Int64("seed", 1, "deterministic op/file draws")
 	shards := flag.Int("shards", 0, "driver node's per-file serialization domains (0 = one per CPU, 1 = classic single loop)")
+	swim := flag.Bool("swim", false, "dynamic membership: SWIM failure detection + live join/leave")
+	join := flag.String("join", "", "seed address to join the cluster (implies -swim; -peers/-all not needed)")
 	admin := flag.String("admin", "", "serve /metrics + /healthz on this address")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "settle time before driving load")
@@ -81,6 +91,8 @@ func main() {
 		All:       allIDs,
 		TopLayers: tops,
 		Shards:    *shards,
+		Swim:      *swim,
+		Join:      *join,
 	}
 	if len(cfg.All) == 0 {
 		cfg.All = cliutil.DefaultAll(cfg.Self, cfg.Peers)
@@ -106,6 +118,19 @@ func main() {
 	}
 	time.Sleep(*warmup)
 
+	// Graceful shutdown: SIGINT/SIGTERM stops the driver, which drains
+	// outstanding verdicts and falls through to the final report; the
+	// deferred Close (after a leave announcement) flushes the node.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "idea-load: %v: stopping driver\n", s)
+		close(stop)
+	}()
+	defer node.Leave(2 * time.Second)
+
 	rep := loadgen.RunLive(loadgen.Config{
 		Seed:         *seed,
 		Duration:     *duration,
@@ -116,6 +141,7 @@ func main() {
 		Files:        fileIDs,
 		ZipfSkew:     *zipf,
 		PayloadBytes: *payload,
+		Stop:         stop,
 	}, node.N, node, node.Metrics())
 
 	if *jsonOut {

@@ -28,6 +28,7 @@ var usage = map[string]string{
 	"resolve": "usage: resolve <file>",
 	"bg":      "usage: bg <file> <seconds>",
 	"level":   "usage: level <file>",
+	"members": "usage: members",
 	"metrics": "usage: metrics",
 }
 
@@ -109,6 +110,19 @@ func (c *console) exec(line string) (quit bool) {
 		done := make(chan float64, 1)
 		c.node.InjectFile(file, func(e idea.Env) { done <- c.node.N.Level(file) })
 		fmt.Fprintf(c.out, "consistency level: %.4f\n", <-done)
+	case "members":
+		recs := c.node.Members()
+		if recs == nil {
+			fmt.Fprintln(c.out, "dynamic membership disabled (start with -swim or -join)")
+			return false
+		}
+		for _, r := range recs {
+			addr := r.Addr
+			if addr == "" {
+				addr = "-"
+			}
+			fmt.Fprintf(c.out, "  %-8v %-8s inc=%-4d %s\n", r.Node, r.Status, r.Incarnation, addr)
+		}
 	case "metrics":
 		snap := c.node.Metrics().Snapshot()
 		counters := make([]string, 0, len(snap.Counters))
@@ -145,7 +159,7 @@ func (c *console) exec(line string) (quit bool) {
 			fmt.Fprintf(c.out, "  %-40s n=%d p50=%.4gs p99=%.4gs\n", name, h.Count, h.P50, h.P99)
 		}
 	default:
-		fmt.Fprintln(c.out, "commands: write read hint resolve bg level metrics quit")
+		fmt.Fprintln(c.out, "commands: write read hint resolve bg level members metrics quit")
 	}
 	return false
 }

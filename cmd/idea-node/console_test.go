@@ -106,7 +106,7 @@ func TestConsoleMalformedAndUsage(t *testing.T) {
 	con.exec("level")
 	out.waitFor(t, "usage: level <file>")
 	con.exec("frobnicate")
-	out.waitFor(t, "commands: write read hint resolve bg level metrics quit")
+	out.waitFor(t, "commands: write read hint resolve bg level members metrics quit")
 	if con.exec("") {
 		t.Fatal("empty line must not quit")
 	}

@@ -12,6 +12,13 @@
 //	          -peers 2=127.0.0.1:7002,3=127.0.0.1:7003 -all 1,2,3 \
 //	          -top board=1,2,3 -admin 127.0.0.1:9001
 //
+// With -swim the node runs dynamic membership (SWIM failure detection:
+// dead peers are evicted, joiners admitted at runtime); with
+// -join <seed-addr> it needs no -peers/-all at all — it fetches the
+// member list from the seed, announces itself, and bootstraps its store
+// via snapshot transfer. SIGINT/SIGTERM shut down gracefully: the node
+// announces its departure before closing.
+//
 // Console commands:
 //
 //	write <file> <text>     append an update (triggers detection)
@@ -20,6 +27,7 @@
 //	resolve <file>          demand active resolution
 //	bg <file> <seconds>     set background resolution frequency
 //	level <file>            print the last detected consistency level
+//	members                 print the live membership view (-swim/-join)
 //	metrics                 print the non-zero telemetry counters
 //	quit
 package main
@@ -30,6 +38,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"idea"
 	"idea/internal/cliutil"
@@ -44,6 +55,8 @@ func main() {
 	admin := flag.String("admin", "", "serve /metrics + /healthz on this address")
 	shards := flag.Int("shards", 0, "per-file serialization domains / executor goroutines (0 = one per CPU, 1 = classic single loop)")
 	compact := flag.Bool("compact-logs", false, "prune replica logs below the gossip-learned stability frontier (reads then serve only the live suffix)")
+	swim := flag.Bool("swim", false, "dynamic membership: SWIM failure detection + live join/leave")
+	join := flag.String("join", "", "seed address to join a live cluster (implies -swim; -peers/-all not needed)")
 	verbose := flag.Bool("v", false, "verbose transport logging")
 	flag.Parse()
 
@@ -52,6 +65,8 @@ func main() {
 		Listen:      *listen,
 		Shards:      *shards,
 		CompactLogs: *compact,
+		Swim:        *swim,
+		Join:        *join,
 	}
 	if *verbose {
 		cfg.Logger = log.New(os.Stderr, "idea-node ", log.LstdFlags|log.Lmicroseconds)
@@ -68,6 +83,9 @@ func main() {
 	}
 	if cfg.TopLayers, err = cliutil.ParseTops(*top); err != nil {
 		fatalf("-top: %v", err)
+	}
+	if cfg.Join != "" && cfg.TopLayers != nil {
+		fatalf("-join and -top are mutually exclusive (a joiner has no static config)")
 	}
 
 	node, err := idea.NewLiveNode(cfg)
@@ -86,14 +104,29 @@ func main() {
 		fmt.Printf("admin on http://%s/metrics\n", srv.Addr())
 	}
 
+	// Graceful shutdown: announce leave (so peers evict us without a
+	// suspicion period), then flush and close the node.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "\nidea-node: %v: leaving cluster\n", s)
+		node.Leave(2 * time.Second)
+		node.Close()
+		os.Exit(0)
+	}()
+
 	con := &console{node: node, out: os.Stdout}
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
 		if !sc.Scan() {
+			// stdin EOF (scripted session): leave as gracefully as quit.
+			node.Leave(2 * time.Second)
 			return
 		}
 		if con.exec(sc.Text()) {
+			node.Leave(2 * time.Second)
 			return
 		}
 	}

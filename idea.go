@@ -34,6 +34,7 @@ import (
 	"idea/internal/env"
 	"idea/internal/gossip"
 	"idea/internal/id"
+	"idea/internal/membership"
 	"idea/internal/overlay"
 	"idea/internal/quantify"
 	"idea/internal/ransub"
@@ -101,6 +102,13 @@ const (
 
 // DetectResult is one completed detect(update) verdict.
 type DetectResult = detect.Result
+
+// MembershipConfig tunes the SWIM-style failure detector (probe interval,
+// suspect/confirm timeouts, indirect-probe fan-out).
+type MembershipConfig = membership.Config
+
+// MemberRecord is one entry of a node's live membership view.
+type MemberRecord = membership.Record
 
 // Env is the runtime handle protocol callbacks receive; application
 // drivers obtain one via EmulatedCluster.Call or LiveNode.Inject.
@@ -262,6 +270,19 @@ type LiveNodeConfig struct {
 	// per-file memory, at the cost of reads only serving the live log
 	// suffix. Leave off for apps that replay the log as file content.
 	CompactLogs bool
+	// Swim enables dynamic membership: SWIM-style failure detection
+	// evicts dead peers from every layer (and tears down their transport
+	// links), and joiners are admitted at runtime. Implied by Join.
+	Swim bool
+	// SwimConfig optionally tunes the failure detector (probe interval,
+	// suspect timeout, ...); nil uses defaults. Join/SelfAddr/Addrs are
+	// filled in by NewLiveNode.
+	SwimConfig *membership.Config
+	// Join is a seed node's address: the node starts knowing nobody,
+	// fetches the member list from the seed, announces itself, and
+	// bootstraps its store via snapshot transfer. All/Peers/TopLayers
+	// may be left empty.
+	Join string
 	// Logger receives transport diagnostics (nil = silent).
 	Logger *log.Logger
 }
@@ -283,13 +304,28 @@ func NewLiveNode(cfg LiveNodeConfig) (*LiveNode, error) {
 	if shards == 0 {
 		shards = core.NumShardsAuto
 	}
-	n := core.NewNode(cfg.Self, Options{
+	opts := Options{
 		Membership:        mem,
 		All:               cfg.All,
 		Shards:            shards,
 		DisableRansub:     cfg.TopLayers != nil,
 		CompactStableLogs: cfg.CompactLogs,
-	})
+	}
+	if cfg.Swim || cfg.Join != "" {
+		sc := membership.Config{}
+		if cfg.SwimConfig != nil {
+			sc = *cfg.SwimConfig
+		}
+		sc.Addrs = cfg.Peers
+		if cfg.Join != "" {
+			// The seed's ID is unknown until it answers; JoinRequests go
+			// to the reserved alias, which the transport resolves to the
+			// configured address.
+			sc.Join = membership.SeedAlias
+		}
+		opts.Swim = &sc
+	}
+	n := core.NewNode(cfg.Self, opts)
 	tn, err := transport.Listen(cfg.Self, cfg.Listen, n, cfg.Logger)
 	if err != nil {
 		return nil, err
@@ -297,6 +333,35 @@ func NewLiveNode(cfg LiveNodeConfig) (*LiveNode, error) {
 	tn.AttachMetrics(n.Metrics())
 	for nid, addr := range cfg.Peers {
 		tn.AddPeer(nid, addr)
+	}
+	if opts.Swim != nil {
+		// The listener is bound: the agent can now advertise a dialable
+		// address, and membership events drive the transport's peer
+		// table — a learned address becomes dialable before any reply
+		// flows, and a confirmed-dead peer's redial loop is torn down.
+		n.SetAdvertiseAddr(tn.Addr())
+		if cfg.Join != "" {
+			tn.AddPeer(membership.SeedAlias, cfg.Join)
+			// Once the seed's real identity is known the alias link has
+			// served its purpose; retiring it also stops it from
+			// redialing the seed's old address forever if the seed later
+			// dies.
+			n.SetOnJoined(func(Env, NodeID) { tn.RemovePeer(membership.SeedAlias) })
+		}
+		n.SetOnMember(func(_ Env, ev membership.Event) {
+			switch {
+			case ev.Status == membership.Dead:
+				tn.RemovePeer(ev.Node)
+			case ev.Addr != "" && ev.Node != cfg.Self:
+				tn.AddPeer(ev.Node, ev.Addr)
+			}
+		})
+		// A probe from a node this one declared dead (whose link was
+		// therefore torn down) re-registers its address so the reply —
+		// and the record it needs to refute — can be delivered.
+		n.SwimAgent().OnContact(func(_ Env, nid NodeID, addr string) {
+			tn.AddPeer(nid, addr)
+		})
 	}
 	tn.Start()
 	return &LiveNode{N: n, tn: tn}, nil
@@ -326,6 +391,38 @@ func (ln *LiveNode) InjectFile(file FileID, fn func(Env)) {
 // NumShards returns how many serialization domains (live executors) the
 // node runs.
 func (ln *LiveNode) NumShards() int { return ln.tn.NumShards() }
+
+// Members returns the node's live membership view (nil without Swim/Join):
+// every known node with its believed status and incarnation.
+func (ln *LiveNode) Members() []MemberRecord {
+	if a := ln.N.SwimAgent(); a != nil {
+		return a.Members()
+	}
+	return nil
+}
+
+// JoinCatchup reports how long the snapshot bootstrap took; ok is false
+// while it is still running or when the node did not join via a seed.
+func (ln *LiveNode) JoinCatchup() (time.Duration, bool) { return ln.N.JoinCatchup() }
+
+// Leave announces voluntary departure to the cluster (dynamic membership
+// only; a no-op otherwise) and waits — bounded by timeout — for the
+// announcement to be issued, leaving a short flush window for the frames.
+// Call it before Close for a graceful shutdown.
+func (ln *LiveNode) Leave(timeout time.Duration) {
+	done := make(chan struct{})
+	ln.tn.Inject(func(e env.Env) {
+		ln.N.Leave(e)
+		close(done)
+	})
+	select {
+	case <-done:
+		// The leave frames sit in per-peer queues; give the writers a
+		// moment before the caller tears the sockets down.
+		time.Sleep(50 * time.Millisecond)
+	case <-time.After(timeout):
+	}
+}
 
 // Close shuts the node down.
 func (ln *LiveNode) Close() error { return ln.tn.Close() }

@@ -34,6 +34,7 @@ import (
 	"idea/internal/env"
 	"idea/internal/gossip"
 	"idea/internal/id"
+	"idea/internal/membership"
 	"idea/internal/overlay"
 	"idea/internal/quantify"
 	"idea/internal/ransub"
@@ -116,6 +117,14 @@ type Options struct {
 	// change feed or content snapshots live with the application —
 	// e.g. sustained loadgen deployments.
 	CompactStableLogs bool
+	// Swim enables the SWIM-style dynamic-membership subsystem: the
+	// bottom layer becomes a live view fed by probe-based failure
+	// detection (dead nodes leave every layer, joiners enter at
+	// runtime), and a node whose Swim.Join names a seed bootstraps its
+	// member list and replica store from it with zero static
+	// configuration. Nil (the default) keeps the historical fixed
+	// membership.
+	Swim *membership.Config
 	// Metrics is the telemetry registry every subsystem records into;
 	// nil creates a fresh per-node registry (always available via
 	// Node.Metrics).
@@ -207,20 +216,30 @@ type Node struct {
 	nshards int
 	shards  []*coreShard
 
+	// Dynamic membership (nil/zero without Options.Swim).
+	swim      *membership.Agent
+	view      *overlay.View
+	join      joinState
+	snapSizer *wire.Sizer
+
 	onLevel    hook[LevelFunc]
 	onAlert    hook[AlertFunc]
 	onResolved hook[ResolvedFunc]
 	onOutcome  hook[OutcomeFunc]
+	onMember   hook[MemberFunc]
+	onJoined   hook[membership.JoinedFunc]
 }
 
 // coreMetrics are the node-level telemetry handles.
 type coreMetrics struct {
-	writes     *telemetry.Counter // local writes issued
-	reads      *telemetry.Counter // local reads served
-	alerts     *telemetry.Counter // bottom-layer discrepancy alerts
-	rollbacks  *telemetry.Counter // §4.4.2 rollbacks executed
-	complaints *telemetry.Counter // end-user complaints
-	resolved   *telemetry.Counter // consistent-image adoptions observed
+	writes        *telemetry.Counter // local writes issued
+	reads         *telemetry.Counter // local reads served
+	alerts        *telemetry.Counter // bottom-layer discrepancy alerts
+	rollbacks     *telemetry.Counter // §4.4.2 rollbacks executed
+	complaints    *telemetry.Counter // end-user complaints
+	resolved      *telemetry.Counter // consistent-image adoptions observed
+	joinCatchup   *telemetry.Gauge   // snapshot-bootstrap duration (ms)
+	snapshotBytes *telemetry.Counter // snapshot-transfer bytes served
 }
 
 // keyShardStart fans per-shard boot work out of Handler.Start (which runs
@@ -262,19 +281,39 @@ func NewNode(self id.NodeID, opts Options) *Node {
 	if n.quant == nil {
 		n.quant = quantify.Default()
 	}
+	// With dynamic membership the initial node list always contains self
+	// (a joiner starts knowing nobody else).
+	swimAll := opts.All
+	if opts.Swim != nil {
+		swimAll = append([]id.NodeID(nil), opts.All...)
+		if !contains(swimAll, self) {
+			swimAll = append(swimAll, self)
+		}
+	}
 	if !opts.DisableRansub {
-		all := opts.All
+		all := swimAll
 		if all == nil && opts.Membership != nil {
 			all = opts.Membership.All()
 		}
 		n.ran = ransub.New(opts.Ransub, self, all)
 	}
-	n.mem = opts.Membership
-	if n.mem == nil {
-		if n.ran == nil {
-			panic("core: need Membership or RanSub")
+	if opts.Swim != nil {
+		// The live View wraps the static pins (or the RanSub-derived
+		// overlay) for top-layer beliefs and owns the bottom layer.
+		var base overlay.Membership = opts.Membership
+		if base == nil && n.ran != nil {
+			base = overlay.NewDynamic(swimAll, n.ran)
 		}
-		n.mem = overlay.NewDynamic(opts.All, n.ran)
+		n.mem = n.setupMembership(opts, swimAll, base)
+		n.snapSizer = wire.NewSizer()
+	} else {
+		n.mem = opts.Membership
+		if n.mem == nil {
+			if n.ran == nil {
+				panic("core: need Membership or RanSub")
+			}
+			n.mem = overlay.NewDynamic(opts.All, n.ran)
+		}
 	}
 	// One full per-file protocol stack per shard. The stacks share the
 	// store, membership, quantifier, and metric handles (the registry
@@ -301,6 +340,13 @@ func NewNode(self id.NodeID, opts Options) *Node {
 			sh.gos = gossip.New(opts.Gossip, self, peers, gossipState{sh}, n.quant, func(e env.Env, rep wire.GossipReport) {
 				sh.det.HandleGossipReport(e, rep)
 			})
+			if opts.Swim != nil {
+				// The fan-out follows the live view: dead nodes drop out
+				// of every shard's sweep at once, joiners enter it.
+				sh.gos.SetPeerSource(func() []id.NodeID {
+					return overlay.BottomPeers(n.mem, self)
+				})
+			}
 			sh.gos.SetShard(i)
 			sh.gos.AttachMetrics(n.reg)
 			if opts.CompactStableLogs {
@@ -457,6 +503,11 @@ func (n *Node) ShardOfTimer(key string, data any) int {
 			return i
 		}
 	}
+	if key == keyMemberPrune {
+		if pd, ok := data.(pruneShard); ok {
+			return env.ClampShard(pd.shard, n.nshards)
+		}
+	}
 	return 0
 }
 
@@ -491,6 +542,9 @@ func (n *Node) file(f id.FileID) *fileState { return n.shardOf(f).file(f) }
 // Start implements env.Handler; it runs on shard 0 and fans per-shard
 // boot work (gossip round timers) out to each shard's own domain.
 func (n *Node) Start(e env.Env) {
+	if n.swim != nil {
+		n.swim.Start(e)
+	}
 	if n.ran != nil {
 		n.ran.Start(e)
 	}
@@ -524,6 +578,9 @@ func (n *Node) Recv(e env.Env, from id.NodeID, msg env.Message) {
 	if n.ran != nil && n.ran.Recv(e, from, msg) {
 		return
 	}
+	if n.recvMembership(e, from, msg) {
+		return
+	}
 	e.Logf("core: unhandled message %s from %v", msg.Kind(), from)
 }
 
@@ -547,6 +604,16 @@ func (n *Node) Timer(e env.Env, key string, data any) {
 		if n.ran != nil {
 			n.ran.Timer(e, key, data)
 		}
+	case strings.HasPrefix(key, "member."):
+		if n.swim != nil {
+			n.swim.Timer(e, key, data)
+		}
+	case key == keyMemberPrune:
+		if pd, ok := data.(pruneShard); ok {
+			n.pruneDeparted(pd.shard, pd.writer)
+		}
+	case key == keyJoinRetry:
+		n.joinRetry(e)
 	case strings.HasPrefix(key, "core.auto:"):
 		n.autoTick(e, id.FileID(strings.TrimPrefix(key, "core.auto:")))
 	default:

@@ -123,10 +123,15 @@ const frontierStaleRounds = 20
 type Agent struct {
 	cfg   Config
 	self  id.NodeID
-	peers []id.NodeID // all other nodes (the bottom layer spans everyone)
-	state State
-	quant *quantify.Quantifier
-	sink  ReportSink
+	peers []id.NodeID // static bottom layer (used when peerSource is nil)
+	// peerSource, when set, supplies the bottom layer live at every use —
+	// the dynamic-membership wiring: dead nodes drop out of the fan-out
+	// (and out of frontier coverage) the moment the view evicts them, and
+	// joiners enter it without any per-shard re-plumbing.
+	peerSource func() []id.NodeID
+	state      State
+	quant      *quantify.Quantifier
+	sink       ReportSink
 
 	shard int // serialization-domain label carried in round-timer data
 	round int
@@ -196,6 +201,20 @@ func New(cfg Config, self id.NodeID, peers []id.NodeID, state State, q *quantify
 
 // OnFrontier installs the stability-frontier callback.
 func (a *Agent) OnFrontier(f FrontierFunc) { a.onFrontier = f }
+
+// SetPeerSource makes the agent draw its peer set from f at every use
+// instead of the static list passed to New. f must be safe to call from
+// the agent's serialization domain (a membership View is). Call before
+// Start.
+func (a *Agent) SetPeerSource(f func() []id.NodeID) { a.peerSource = f }
+
+// peersNow returns the current bottom-layer peers.
+func (a *Agent) peersNow() []id.NodeID {
+	if a.peerSource != nil {
+		return a.peerSource()
+	}
+	return a.peers
+}
 
 // SetShard tags the agent with the serialization-domain label its round
 // timers carry (see TimerShard). A sharded owner runs one agent per shard,
@@ -274,12 +293,13 @@ func (a *Agent) evictSeen() {
 // digest's origin or to the explicitly excluded nodes (the sender a
 // forward came from — echoing a digest straight back wastes the slot).
 func (a *Agent) emit(e env.Env, d wire.GossipDigest, exclude ...id.NodeID) {
-	if len(a.peers) == 0 {
+	peers := a.peersNow()
+	if len(peers) == 0 {
 		return
 	}
 	n := a.cfg.Fanout
-	if n > len(a.peers) {
-		n = len(a.peers)
+	if n > len(peers) {
+		n = len(peers)
 	}
 	skip := func(p id.NodeID) bool {
 		if p == d.Origin {
@@ -295,16 +315,16 @@ func (a *Agent) emit(e env.Env, d wire.GossipDigest, exclude ...id.NodeID) {
 	// Walk a full random permutation, taking the first n eligible peers,
 	// so exclusions do not shrink the effective fanout.
 	sent := 0
-	for _, i := range e.Rand().Perm(len(a.peers)) {
+	for _, i := range e.Rand().Perm(len(peers)) {
 		if sent >= n {
 			break
 		}
-		if skip(a.peers[i]) {
+		if skip(peers[i]) {
 			continue
 		}
 		sent++
 		a.met.emitted.Inc()
-		e.Send(a.peers[i], d)
+		e.Send(peers[i], d)
 	}
 }
 
@@ -374,7 +394,8 @@ func (a *Agent) noteCounts(file id.FileID, origin id.NodeID, d wire.GossipDigest
 // (gone quiet for frontierStaleRounds) are dropped, which conservatively
 // suspends compaction instead of freezing the frontier.
 func (a *Agent) learnFrontiers(e env.Env) {
-	if a.onFrontier == nil || len(a.peers) == 0 {
+	peers := a.peersNow()
+	if a.onFrontier == nil || len(peers) == 0 {
 		return
 	}
 	for file, byOrigin := range a.heard {
@@ -388,17 +409,25 @@ func (a *Agent) learnFrontiers(e env.Env) {
 			continue
 		}
 		covered := 0
-		for _, p := range a.peers {
+		for _, p := range peers {
 			if _, ok := byOrigin[p]; ok {
 				covered++
 			}
 		}
-		if covered < len(a.peers) {
+		if covered < len(peers) {
 			continue // not yet heard from everyone: no safe frontier
 		}
 		// Seed with the local rollback floor (falling back to the raw
-		// counts), then take the per-writer minimum across every peer's
-		// advertised floor.
+		// counts), then take the per-writer minimum across every
+		// non-expired origin's advertised floor — not just the current
+		// peers. Under a dynamic view a falsely-declared-dead node drops
+		// out of peersNow, and taking the minimum over current peers
+		// alone would let the frontier (and compaction) pass the absent
+		// node's floor; if it then refutes and returns, no peer could
+		// ship it the pruned prefix. Its last digest lingers in heard
+		// for frontierStaleRounds, capping the frontier for that grace
+		// window; only an origin silent past the window stops holding
+		// compaction back.
 		var stable map[id.NodeID]int
 		if ss, ok := a.state.(StableState); ok {
 			stable = ss.StableCounts(file)
@@ -409,9 +438,9 @@ func (a *Agent) learnFrontiers(e env.Env) {
 				stable[w] = le.Count
 			}
 		}
-		for _, p := range a.peers {
+		for _, view := range byOrigin {
 			for w := range stable {
-				if c := byOrigin[p].counts[w]; c < stable[w] {
+				if c := view.counts[w]; c < stable[w] {
 					stable[w] = c
 				}
 			}

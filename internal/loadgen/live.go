@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,8 @@ type liveRun struct {
 	injFile func(id.FileID, func(env.Env))
 	rec     *recorder
 	stopped atomic.Bool
+	// halted is set when Config.Stop closes: issuers wind down early.
+	halted atomic.Bool
 
 	// measureFrom gates recording: operations issued before it (the
 	// ramp-up / worker-stagger warm-up window) are excluded from counts
@@ -64,6 +67,12 @@ type liveRun struct {
 	// fileOps counts measured completed ops per file, the raw material
 	// of idea-load's per-shard throughput split.
 	fileOps map[id.FileID]int64
+	// timeline buckets measured completed ops per second of the
+	// measurement window — the churn dip/recovery signal.
+	timeline []int64
+	// killOffsets records when (seconds into the measured window) each
+	// churn kill fired.
+	killOffsets []int
 
 	// prevLevel/prevOutcome are the node's original hooks, restored
 	// when the run ends so a long-lived embedder does not keep feeding
@@ -108,6 +117,16 @@ func RunLive(cfg Config, n *core.Node, inj Injector, reg *telemetry.Registry) *R
 	start := time.Now()
 	lr.measureFrom = start.Add(cfg.RampUp)
 	deadline := start.Add(cfg.Duration)
+	runDone := make(chan struct{})
+	if cfg.Stop != nil {
+		go func() {
+			select {
+			case <-cfg.Stop:
+				lr.halted.Store(true)
+			case <-runDone:
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	if cfg.Rate > 0 {
 		wg.Add(1)
@@ -124,7 +143,15 @@ func RunLive(cfg Config, n *core.Node, inj Injector, reg *telemetry.Registry) *R
 			}(w)
 		}
 	}
+	if cfg.Churn != nil && cfg.ChurnEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lr.churnLoop(deadline)
+		}()
+	}
 	wg.Wait()
+	close(runDone)
 	lr.drain()
 	lr.stopped.Store(true)
 	lr.uninstallHooks()
@@ -132,14 +159,123 @@ func RunLive(cfg Config, n *core.Node, inj Injector, reg *telemetry.Registry) *R
 	if measured <= 0 {
 		measured = cfg.Duration
 	}
+	if lr.halted.Load() {
+		// An early stop shortens the window the rates are computed over.
+		if actual := time.Since(lr.measureFrom); actual > 0 && actual < measured {
+			measured = actual
+		}
+	}
 	rep := lr.rec.report(measured)
 	lr.mu.Lock()
 	rep.FileOps = make(map[id.FileID]int64, len(lr.fileOps))
 	for f, c := range lr.fileOps {
 		rep.FileOps[f] = c
 	}
+	rep.Timeline = append([]int64(nil), lr.timeline...)
+	kills := append([]int(nil), lr.killOffsets...)
 	lr.mu.Unlock()
+	if len(kills) > 0 {
+		rep.Churn = churnSummary(rep.Timeline, kills)
+	}
 	return rep
+}
+
+// halt reports whether the run was stopped early.
+func (lr *liveRun) halt() bool { return lr.halted.Load() }
+
+// churnLoop kills a member every ChurnEvery inside the measured window
+// and restarts it half a period later.
+func (lr *liveRun) churnLoop(deadline time.Time) {
+	round := 0
+	next := lr.measureFrom.Add(lr.cfg.ChurnEvery)
+	for next.Add(lr.cfg.ChurnEvery / 2).Before(deadline) {
+		if !lr.sleepUntil(next, deadline) {
+			return
+		}
+		restart := lr.cfg.Churn(round)
+		lr.mu.Lock()
+		lr.killOffsets = append(lr.killOffsets, int(time.Since(lr.measureFrom)/time.Second))
+		lr.mu.Unlock()
+		round++
+		lr.sleepUntil(next.Add(lr.cfg.ChurnEvery/2), deadline)
+		if restart != nil {
+			restart()
+		}
+		next = next.Add(lr.cfg.ChurnEvery)
+	}
+}
+
+// sleepUntil waits for t, waking early on halt/deadline; it reports
+// whether t was reached before either.
+func (lr *liveRun) sleepUntil(t, deadline time.Time) bool {
+	for {
+		now := time.Now()
+		if !now.Before(t) {
+			return true
+		}
+		if lr.halt() || !now.Before(deadline) {
+			return false
+		}
+		d := t.Sub(now)
+		if d > 50*time.Millisecond {
+			d = 50 * time.Millisecond
+		}
+		time.Sleep(d)
+	}
+}
+
+// churnSummary derives steady/dip/recovery from the per-second ops
+// timeline and the kill instants.
+func churnSummary(timeline []int64, kills []int) *ChurnReport {
+	cr := &ChurnReport{Rounds: len(kills)}
+	if len(timeline) == 0 {
+		return cr
+	}
+	// Steady state: the median per-second rate over the full window (the
+	// dips pull the mean, the median shrugs them off).
+	sorted := append([]int64(nil), timeline...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	cr.SteadyOpsPerSec = float64(sorted[len(sorted)/2])
+	cr.DipOpsPerSec = cr.SteadyOpsPerSec
+	threshold := 0.9 * cr.SteadyOpsPerSec
+	for _, k := range kills {
+		if k >= len(timeline) {
+			continue
+		}
+		// The kill's blast radius ends at the next kill (or window end).
+		end := len(timeline)
+		for _, k2 := range kills {
+			if k2 > k && k2 < end {
+				end = k2
+			}
+		}
+		// Find the worst second, then the first at-threshold second
+		// after it. A kill the workload rode through without dipping
+		// below threshold counts as zero recovery time.
+		dipIdx := k
+		for i := k; i < end; i++ {
+			if timeline[i] < timeline[dipIdx] {
+				dipIdx = i
+			}
+		}
+		if float64(timeline[dipIdx]) < cr.DipOpsPerSec {
+			cr.DipOpsPerSec = float64(timeline[dipIdx])
+		}
+		if float64(timeline[dipIdx]) >= threshold {
+			continue
+		}
+		rec := float64(end - k) // pessimistic: never recovered in window
+		for i := dipIdx + 1; i < end; i++ {
+			if float64(timeline[i]) >= threshold {
+				rec = float64(i - k)
+				break
+			}
+		}
+		if rec > cr.RecoverySeconds {
+			cr.RecoverySeconds = rec
+		}
+	}
+	return cr
 }
 
 // measured reports whether an op issued at start falls inside the
@@ -148,11 +284,18 @@ func (lr *liveRun) measured(start time.Time) bool {
 	return !start.Before(lr.measureFrom) && !lr.stopped.Load()
 }
 
-// record observes one completed measured op and charges its file.
+// record observes one completed measured op, charges its file, and
+// buckets it on the per-second timeline.
 func (lr *liveRun) record(op Op, file id.FileID, d time.Duration) {
 	lr.rec.observe(op, d)
 	lr.mu.Lock()
 	lr.fileOps[file]++
+	if b := int(time.Since(lr.measureFrom) / time.Second); b >= 0 && b < 1<<20 {
+		for len(lr.timeline) <= b {
+			lr.timeline = append(lr.timeline, 0)
+		}
+		lr.timeline[b]++
+	}
 	lr.mu.Unlock()
 }
 
@@ -273,7 +416,7 @@ func (lr *liveRun) closedWorker(w int, deadline time.Time) {
 	}
 	rng := rand.New(rand.NewSource(lr.cfg.Seed + int64(w)*7919))
 	fp := newFilePicker(rng, lr.cfg.Files, lr.cfg.ZipfSkew)
-	for time.Now().Before(deadline) {
+	for time.Now().Before(deadline) && !lr.halt() {
 		op := lr.cfg.Mix.Pick(rng)
 		file := fp.pick()
 		if op == OpWrite {
@@ -312,7 +455,7 @@ func (lr *liveRun) openLoop(start, deadline time.Time) {
 	next := start
 	for {
 		now := time.Now()
-		if !now.Before(deadline) {
+		if !now.Before(deadline) || lr.halt() {
 			return
 		}
 		if now.Before(next) {

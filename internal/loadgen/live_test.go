@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"idea/internal/core"
+	"idea/internal/detect"
 	"idea/internal/id"
 	"idea/internal/overlay"
 	"idea/internal/transport"
@@ -110,5 +111,136 @@ func TestRunLiveOpenLoopWithRamp(t *testing.T) {
 	}
 	if w.Count < 40 {
 		t.Errorf("too few writes for 200/s over 1.2s: %d", w.Count)
+	}
+}
+
+// TestRunLiveChurnScenario exercises the churn knob: a 3-node cluster
+// under closed-loop load has its third member killed and restarted every
+// 2 s of the measured window; the report must carry the churn summary
+// (steady/dip/recovery) and the per-second timeline feeding it.
+func TestRunLiveChurnScenario(t *testing.T) {
+	all := []id.NodeID{1, 2, 3}
+	mem := overlay.NewStatic(all, map[id.FileID][]id.NodeID{"f": all})
+	cores := make([]*core.Node, len(all))
+	tns := make([]*transport.Node, len(all))
+	for i, nid := range all {
+		n := core.NewNode(nid, core.Options{
+			Membership:    mem,
+			All:           all,
+			DisableRansub: true,
+			DisableGossip: true,
+			Detect:        detect.Config{Timeout: 250 * time.Millisecond},
+		})
+		tn, err := transport.Listen(nid, "127.0.0.1:0", n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.AttachMetrics(n.Metrics())
+		cores[i] = n
+		tns[i] = tn
+	}
+	addrs := make([]string, len(all))
+	for i, tn := range tns {
+		addrs[i] = tn.Addr()
+	}
+	for i, tn := range tns {
+		for j := range tns {
+			if i != j {
+				tn.AddPeer(all[j], addrs[j])
+			}
+		}
+	}
+	for _, tn := range tns {
+		tn.Start()
+	}
+	t.Cleanup(func() {
+		for _, tn := range tns {
+			tn.Close()
+		}
+	})
+
+	// The churn victim is node 3: kill closes its transport, restart
+	// re-listens on the same address with a fresh protocol stack (the
+	// peers' writer loops redial it automatically).
+	churn := func(round int) (restart func()) {
+		victim := tns[2]
+		addr := victim.Addr()
+		victim.Close()
+		return func() {
+			n := core.NewNode(3, core.Options{
+				Membership:    mem,
+				All:           all,
+				DisableRansub: true,
+				DisableGossip: true,
+				Detect:        detect.Config{Timeout: 250 * time.Millisecond},
+			})
+			tn, err := transport.Listen(3, addr, n, nil)
+			if err != nil {
+				t.Logf("churn restart: %v", err)
+				return
+			}
+			tn.AttachMetrics(n.Metrics())
+			for j, peer := range all[:2] {
+				tn.AddPeer(peer, addrs[j])
+			}
+			tn.Start()
+			tns[2] = tn
+		}
+	}
+
+	rep := RunLive(Config{
+		Seed:       3,
+		Duration:   6 * time.Second,
+		Workers:    4,
+		OpTimeout:  time.Second,
+		Files:      []id.FileID{"f"},
+		ChurnEvery: 2 * time.Second,
+		Churn:      churn,
+	}, cores[0], tns[0], nil)
+
+	if rep.Churn == nil {
+		t.Fatal("churn run produced no churn report")
+	}
+	if rep.Churn.Rounds < 1 {
+		t.Fatalf("churn rounds = %d, want >= 1", rep.Churn.Rounds)
+	}
+	if len(rep.Timeline) == 0 {
+		t.Fatal("no per-second timeline recorded")
+	}
+	if rep.Churn.DipOpsPerSec > rep.Churn.SteadyOpsPerSec {
+		t.Errorf("dip %.1f > steady %.1f", rep.Churn.DipOpsPerSec, rep.Churn.SteadyOpsPerSec)
+	}
+	if rep.Churn.RecoverySeconds < 0 {
+		t.Errorf("negative recovery: %v", rep.Churn.RecoverySeconds)
+	}
+	if rep.PerOp["write"].Count == 0 {
+		t.Fatal("no writes completed under churn")
+	}
+	t.Logf("churn: %+v (timeline %v)", *rep.Churn, rep.Timeline)
+}
+
+// TestRunLiveStopEndsEarly covers the graceful-shutdown path: closing
+// Config.Stop ends the run well before its configured duration and the
+// report covers what completed.
+func TestRunLiveStopEndsEarly(t *testing.T) {
+	cores, tns := liveCluster(t, 2)
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		close(stop)
+	}()
+	start := time.Now()
+	rep := RunLive(Config{
+		Seed:     4,
+		Duration: 30 * time.Second,
+		Workers:  2,
+		Files:    []id.FileID{"f"},
+		Stop:     stop,
+	}, cores[0], tns[0], nil)
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("stop ignored: run took %v", el)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no ops before stop")
 	}
 }

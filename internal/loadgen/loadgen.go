@@ -117,7 +117,23 @@ type Config struct {
 	// OpTimeout bounds a closed-loop wait for a write's detection
 	// verdict; zero means 5 s.
 	OpTimeout time.Duration
+	// Stop, when non-nil, ends the run early when closed (e.g. on
+	// SIGINT): issuing stops, outstanding verdicts are drained, and the
+	// report covers what completed.
+	Stop <-chan struct{}
+	// ChurnEvery, with Churn, kills one cluster member every ChurnEvery
+	// during the measured window (restarting it half a period later) and
+	// extends the report with the ops/sec dip and recovery time. Live
+	// runs only.
+	ChurnEvery time.Duration
+	// Churn kills one member and returns a function that restarts it
+	// (nil if the kill is permanent). round counts from zero.
+	Churn ChurnFunc
 }
+
+// ChurnFunc kills one cluster member for the churn scenario and returns
+// the function that restarts it.
+type ChurnFunc func(round int) (restart func())
 
 func (c Config) withDefaults() Config {
 	if c.Duration == 0 {
@@ -201,6 +217,16 @@ type OpStats struct {
 	Max       time.Duration
 }
 
+// ChurnReport summarizes how the workload rode through scripted member
+// churn: the steady-state per-second rate, the worst dip after a kill,
+// and how long the rate took to regain 90% of steady state.
+type ChurnReport struct {
+	Rounds          int
+	SteadyOpsPerSec float64
+	DipOpsPerSec    float64
+	RecoverySeconds float64
+}
+
 // Report is the outcome of one workload run.
 type Report struct {
 	// Elapsed is the measured window (wall clock for live runs, virtual
@@ -217,6 +243,11 @@ type Report struct {
 	// FileOps counts measured completed ops per file (live runs only) —
 	// the input to idea-load's per-shard throughput split.
 	FileOps map[id.FileID]int64 `json:",omitempty"`
+	// Timeline is completed measured ops per second of the measured
+	// window (live runs only).
+	Timeline []int64 `json:",omitempty"`
+	// Churn is present when the run scripted member churn.
+	Churn *ChurnReport `json:",omitempty"`
 }
 
 func (rec *recorder) report(elapsed time.Duration) *Report {
@@ -273,6 +304,10 @@ func (r *Report) String() string {
 			n, st.Count, st.OpsPerSec,
 			st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond),
 			st.P99.Round(time.Microsecond), st.Max.Round(time.Microsecond))
+	}
+	if c := r.Churn; c != nil {
+		fmt.Fprintf(&b, "churn: %d round(s)   steady %.1f ops/s   dip %.1f ops/s   recovery %.1fs\n",
+			c.Rounds, c.SteadyOpsPerSec, c.DipOpsPerSec, c.RecoverySeconds)
 	}
 	return b.String()
 }

@@ -1,0 +1,181 @@
+package membership
+
+import (
+	"testing"
+	"time"
+
+	"idea/internal/env"
+	"idea/internal/id"
+	"idea/internal/simnet"
+)
+
+// swimNode wires a bare Agent into a simnet handler.
+type swimNode struct {
+	a      *Agent
+	events []Event
+	joined id.NodeID // seed that answered our join, if any
+}
+
+func (n *swimNode) Start(e env.Env) { n.a.Start(e) }
+func (n *swimNode) Recv(e env.Env, from id.NodeID, m env.Message) {
+	n.a.Recv(e, from, m)
+}
+func (n *swimNode) Timer(e env.Env, key string, data any) {
+	n.a.Timer(e, key, data)
+}
+
+func buildSwim(t *testing.T, n int, cfg Config, seed int64) (*simnet.Cluster, map[id.NodeID]*swimNode) {
+	t.Helper()
+	ids := make([]id.NodeID, n)
+	for i := range ids {
+		ids[i] = id.NodeID(i + 1)
+	}
+	c := simnet.New(simnet.Config{Seed: seed, Latency: simnet.Constant(20 * time.Millisecond)})
+	nodes := make(map[id.NodeID]*swimNode, n)
+	for _, nid := range ids {
+		sn := &swimNode{}
+		sn.a = New(cfg, nid, ids)
+		sn.a.OnEvent(func(_ env.Env, ev Event) { sn.events = append(sn.events, ev) })
+		nodes[nid] = sn
+		c.Add(nid, sn)
+	}
+	c.Start()
+	return c, nodes
+}
+
+func TestStableClusterStaysAlive(t *testing.T) {
+	c, nodes := buildSwim(t, 4, Config{}, 1)
+	c.RunFor(30 * time.Second)
+	for nid, sn := range nodes {
+		for _, rec := range sn.a.Members() {
+			if rec.Status != Alive {
+				t.Errorf("node %v sees %v as %v, want alive", nid, rec.Node, rec.Status)
+			}
+		}
+	}
+}
+
+func TestPartitionedNodeSuspectedThenDead(t *testing.T) {
+	c, nodes := buildSwim(t, 4, Config{}, 2)
+	c.RunFor(5 * time.Second)
+	for _, other := range []id.NodeID{1, 2, 4} {
+		c.Partition(3, other)
+	}
+	// Direct probe (1 s period) + 2×500 ms timeouts + 3 s confirm: node 3
+	// must be dead everywhere within a few probe cycles.
+	c.RunFor(30 * time.Second)
+	for _, nid := range []id.NodeID{1, 2, 4} {
+		if st, _ := nodes[nid].a.Status(3); st != Dead {
+			t.Fatalf("node %v sees 3 as %v, want dead", nid, st)
+		}
+	}
+
+	// Healing lets node 3's probes flow again: it hears itself declared
+	// dead, refutes at a higher incarnation, and is revived everywhere.
+	for _, other := range []id.NodeID{1, 2, 4} {
+		c.Heal(3, other)
+	}
+	c.RunFor(30 * time.Second)
+	for _, nid := range []id.NodeID{1, 2, 4} {
+		if st, _ := nodes[nid].a.Status(3); st != Alive {
+			t.Fatalf("after heal node %v sees 3 as %v, want alive", nid, st)
+		}
+	}
+}
+
+func TestJoinViaSeed(t *testing.T) {
+	c, nodes := buildSwim(t, 3, Config{}, 3)
+	c.RunFor(3 * time.Second)
+
+	joiner := &swimNode{}
+	joiner.a = New(Config{Join: 1}, 4, nil)
+	joiner.a.OnJoined(func(_ env.Env, seed id.NodeID) { joiner.joined = seed })
+	c.Add(4, joiner)
+	c.CallAt(c.Elapsed(), 4, func(e env.Env) { joiner.Start(e) })
+	c.RunFor(20 * time.Second)
+
+	if joiner.joined != 1 {
+		t.Fatalf("joiner's OnJoined seed = %v, want 1", joiner.joined)
+	}
+	if !joiner.a.Joined() {
+		t.Fatal("joiner not marked joined")
+	}
+	for _, nid := range []id.NodeID{1, 2, 3} {
+		if st, ok := nodes[nid].a.Status(4); !ok || st != Alive {
+			t.Fatalf("node %v sees joiner as %v (known=%v), want alive", nid, st, ok)
+		}
+	}
+	for _, other := range []id.NodeID{1, 2, 3} {
+		if st, ok := joiner.a.Status(other); !ok || st != Alive {
+			t.Fatalf("joiner sees %v as %v (known=%v), want alive", other, st, ok)
+		}
+	}
+}
+
+func TestLeaveMarksDeadImmediately(t *testing.T) {
+	c, nodes := buildSwim(t, 3, Config{SuspectTimeout: time.Hour}, 4)
+	c.RunFor(3 * time.Second)
+	c.CallAt(c.Elapsed(), 3, func(e env.Env) { nodes[3].a.Leave(e) })
+	// Far less than the (deliberately huge) suspect window: leave must
+	// not depend on failure detection.
+	c.RunFor(2 * time.Second)
+	for _, nid := range []id.NodeID{1, 2} {
+		if st, _ := nodes[nid].a.Status(3); st != Dead {
+			t.Fatalf("node %v sees leaver as %v, want dead", nid, st)
+		}
+	}
+}
+
+func TestRejoinAfterLeaveRevives(t *testing.T) {
+	c, nodes := buildSwim(t, 3, Config{}, 5)
+	c.RunFor(3 * time.Second)
+	c.CallAt(c.Elapsed(), 3, func(e env.Env) { nodes[3].a.Leave(e) })
+	c.RunFor(5 * time.Second)
+
+	// A restarted node 3 (fresh agent, incarnation zero) joins via the
+	// seed; the join bump must displace its tombstone everywhere.
+	fresh := &swimNode{}
+	fresh.a = New(Config{Join: 1}, 3, nil)
+	nodes[3].a = fresh.a // route node 3's handler callbacks to the new agent
+	c.CallAt(c.Elapsed(), 3, func(e env.Env) { fresh.a.Start(e) })
+	c.RunFor(30 * time.Second)
+	for _, nid := range []id.NodeID{1, 2} {
+		if st, _ := nodes[nid].a.Status(3); st != Alive {
+			t.Fatalf("node %v sees rejoiner as %v, want alive", nid, st)
+		}
+	}
+	if !fresh.a.Joined() {
+		t.Fatal("rejoiner not joined")
+	}
+}
+
+// TestLeaveAfterJoinHonored is the regression test for the
+// cluster-assigned-incarnation bug: a joiner is recorded at incarnation
+// >= 1 cluster-wide (the join bump over any tombstone), so unless it
+// adopts that incarnation from its JoinReply, its later Leave broadcasts
+// a lower incarnation and every peer discards it.
+func TestLeaveAfterJoinHonored(t *testing.T) {
+	// A huge suspect window proves eviction comes from the leave
+	// announcement, not the failure detector.
+	c, nodes := buildSwim(t, 3, Config{SuspectTimeout: time.Hour}, 6)
+	c.RunFor(3 * time.Second)
+
+	joiner := &swimNode{}
+	joiner.a = New(Config{Join: 1, SuspectTimeout: time.Hour}, 4, nil)
+	c.Add(4, joiner)
+	c.CallAt(c.Elapsed(), 4, func(e env.Env) { joiner.Start(e) })
+	c.RunFor(10 * time.Second)
+	for _, nid := range []id.NodeID{1, 2, 3} {
+		if st, _ := nodes[nid].a.Status(4); st != Alive {
+			t.Fatalf("node %v sees joiner as %v before leave", nid, st)
+		}
+	}
+
+	c.CallAt(c.Elapsed(), 4, func(e env.Env) { joiner.a.Leave(e) })
+	c.RunFor(2 * time.Second)
+	for _, nid := range []id.NodeID{1, 2, 3} {
+		if st, _ := nodes[nid].a.Status(4); st != Dead {
+			t.Fatalf("node %v sees left joiner as %v, want dead", nid, st)
+		}
+	}
+}

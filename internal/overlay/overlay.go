@@ -123,6 +123,148 @@ func (d *Dynamic) Top(file id.FileID) []id.NodeID { return d.agent.HotSet(file) 
 // IsTop implements Membership.
 func (d *Dynamic) IsTop(file id.FileID, n id.NodeID) bool { return d.agent.Hot(file, n) }
 
+// View is a live membership view fed by the dynamic-membership subsystem:
+// the bottom layer (All) is the set of currently-alive nodes, mutated at
+// runtime as members join, die, and rejoin, and the top layer is whatever
+// the wrapped inner Membership believes minus anyone no longer alive —
+// dead nodes leave every top layer the moment they are confirmed dead.
+//
+// With TopFallback set, a file whose inner top layer filters down to
+// nothing beyond the local node falls back to the whole alive set: the
+// bottom layer always covers all nodes (§4.1), so an empty overlay — a
+// fresh joiner that has not yet learned any hot set — degrades to
+// correct-but-wider probing instead of detection and resolution silently
+// contacting nobody.
+type View struct {
+	mu       sync.RWMutex
+	self     id.NodeID
+	alive    map[id.NodeID]struct{}
+	sorted   []id.NodeID // copy-on-write cache of the sorted alive set
+	inner    Membership
+	fallback bool
+}
+
+// NewView builds node self's live view over the initial member set.
+// inner provides top-layer beliefs (a Static pin set or a ransub-backed
+// Dynamic); nil means no per-file top layers beyond the fallback.
+func NewView(self id.NodeID, initial []id.NodeID, inner Membership) *View {
+	v := &View{self: self, alive: make(map[id.NodeID]struct{}, len(initial)), inner: inner}
+	for _, n := range initial {
+		v.alive[n] = struct{}{}
+	}
+	v.resort()
+	return v
+}
+
+// resort rebuilds the sorted cache; callers hold v.mu (or own v
+// exclusively). Gossip fan-out reads the view on every digest, so All
+// must not pay a sort per call for a set that only changes on membership
+// events.
+func (v *View) resort() {
+	out := make([]id.NodeID, 0, len(v.alive))
+	for n := range v.alive {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	v.sorted = out
+}
+
+// SetTopFallback enables falling back to the full alive set when the
+// inner top layer for a file holds nobody but (at most) the local node.
+func (v *View) SetTopFallback(on bool) {
+	v.mu.Lock()
+	v.fallback = on
+	v.mu.Unlock()
+}
+
+// Add marks a node alive (joiner entering the bottom layer).
+func (v *View) Add(n id.NodeID) {
+	v.mu.Lock()
+	if _, ok := v.alive[n]; !ok {
+		v.alive[n] = struct{}{}
+		v.resort()
+	}
+	v.mu.Unlock()
+}
+
+// Remove evicts a dead (or departed) node from the view — and therefore
+// from the bottom layer and every top layer at once.
+func (v *View) Remove(n id.NodeID) {
+	v.mu.Lock()
+	if _, ok := v.alive[n]; ok {
+		delete(v.alive, n)
+		v.resort()
+	}
+	v.mu.Unlock()
+}
+
+// Contains reports whether n is currently in the view.
+func (v *View) Contains(n id.NodeID) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	_, ok := v.alive[n]
+	return ok
+}
+
+// All implements Membership: the sorted alive set (a copy of the
+// copy-on-write cache; no per-call sort).
+func (v *View) All() []id.NodeID {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return append([]id.NodeID(nil), v.sorted...)
+}
+
+// Top implements Membership: the inner belief filtered to alive nodes,
+// falling back (when enabled) to the whole alive set if that leaves no
+// peer besides the local node.
+func (v *View) Top(file id.FileID) []id.NodeID {
+	var inner []id.NodeID
+	if v.inner != nil {
+		inner = v.inner.Top(file)
+	}
+	v.mu.RLock()
+	var out []id.NodeID
+	peers := 0
+	for _, n := range inner {
+		if _, ok := v.alive[n]; ok {
+			out = append(out, n)
+			if n != v.self {
+				peers++
+			}
+		}
+	}
+	fallback := v.fallback
+	v.mu.RUnlock()
+	if peers == 0 && fallback {
+		return v.All()
+	}
+	return out
+}
+
+// IsTop implements Membership.
+func (v *View) IsTop(file id.FileID, n id.NodeID) bool {
+	if !v.Contains(n) {
+		return false
+	}
+	if v.inner != nil && v.inner.IsTop(file, n) {
+		return true
+	}
+	v.mu.RLock()
+	fallback := v.fallback
+	v.mu.RUnlock()
+	if !fallback {
+		return false
+	}
+	// Under fallback, n is top exactly when the filtered inner layer is
+	// empty (Top degraded to everyone).
+	for _, t := range v.Top(file) {
+		if t == n {
+			return true
+		}
+	}
+	return false
+}
+
 func sortedCopy(ns []id.NodeID) []id.NodeID {
 	out := append([]id.NodeID(nil), ns...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -116,6 +116,29 @@ func New(cfg Config, self id.NodeID, all []id.NodeID) *Agent {
 	}
 }
 
+// SetAll replaces the membership the dissemination tree is built over —
+// the dynamic-membership wiring: joiners enter the tree, dead nodes leave
+// it. A list that does not contain self is ignored (the view always holds
+// the local node). The collect/distribute waves already tolerate loss and
+// cold subtrees, so a tree that changes between epochs needs no special
+// handling: the next wave simply climbs the new tree.
+func (a *Agent) SetAll(all []id.NodeID) {
+	sorted := append([]id.NodeID(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := -1
+	for i, n := range sorted {
+		if n == a.self {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	a.mu.Lock()
+	a.all, a.index = sorted, idx
+	a.mu.Unlock()
+}
+
 // tree helpers over the sorted membership
 func (a *Agent) parent() (id.NodeID, bool) {
 	if a.index == 0 {

@@ -71,6 +71,10 @@ type Cluster struct {
 	sizer  *wire.Sizer
 	cut    map[[2]id.NodeID]bool
 	events int
+	// gen counts how many times each node has (re)started, salting the
+	// restarted node's RNG seed so a fresh incarnation does not replay
+	// its predecessor's random choices (still fully deterministic).
+	gen map[id.NodeID]int
 	// shardRank is a seeded permutation of shard indices: the stable
 	// tie-break that interleaves same-instant events of different shards
 	// deterministically. Rank ties (same shard, or single-shard nodes)
@@ -86,6 +90,7 @@ type node struct {
 	shards int
 	skew   time.Duration
 	rng    *rand.Rand
+	gen    int // incarnation (bumped by churn restarts)
 }
 
 // shardOfMsg returns the serialization domain an inbound message runs in.
@@ -104,6 +109,17 @@ func (n *node) shardOfTimer(key string, data any) int {
 	return env.ClampShard(n.sh.ShardOfTimer(key, data), n.shards)
 }
 
+// sysKind labels cluster-level churn events scheduled in the same seeded
+// queue as protocol traffic, so join/crash/restart interleave
+// deterministically with everything else.
+type sysKind int
+
+const (
+	sysNone  sysKind = iota
+	sysAdd           // node (re)starts: construct handler, call Start
+	sysCrash         // node fails: removed from the cluster, events dropped
+)
+
 type event struct {
 	at    time.Duration
 	seq   uint64
@@ -116,7 +132,10 @@ type event struct {
 	key  string // timer (with data)
 	data any
 	tmr  bool
+	gen  int           // timers: arming incarnation (die with it)
 	call func(env.Env) // injected call
+	sys  sysKind       // churn event (with mk for sysAdd)
+	mk   func() env.Handler
 }
 
 type eventQueue []*event
@@ -159,6 +178,7 @@ func New(cfg Config) *Cluster {
 		stats: NewStats(),
 		sizer: wire.NewSizer(),
 		cut:   make(map[[2]id.NodeID]bool),
+		gen:   make(map[id.NodeID]int),
 	}
 	// Seeded shard interleaving: a fixed permutation of ranks drawn from
 	// the cluster seed. Same seed ⇒ same schedule, different seed ⇒
@@ -261,6 +281,75 @@ func (c *Cluster) CallAtFile(at time.Duration, nid id.NodeID, file id.FileID, fn
 // drivers between Run calls. Protocol code must not retain it.
 func (c *Cluster) Env(nid id.NodeID) env.Env { return c.nodes[nid] }
 
+// ---- deterministic churn ----
+
+// AddAt schedules node nid to (re)start at virtual time at: mk constructs
+// the handler inside the event (so a restarted node gets fresh protocol
+// state), the node joins the cluster, and its Start callback runs. The
+// event sits in the same seeded queue as all traffic, so churn schedules
+// replay bit-for-bit from the cluster seed. Re-adding a live node
+// replaces its handler (a crash-free in-place restart).
+func (c *Cluster) AddAt(at time.Duration, nid id.NodeID, mk func() env.Handler) {
+	if at < c.now {
+		at = c.now
+	}
+	c.push(&event{at: at, node: nid, sys: sysAdd, mk: mk})
+}
+
+// CrashAt schedules node nid to fail at virtual time at: it vanishes from
+// the cluster, every event addressed to it — in-flight messages, its own
+// timers — is silently dropped, and peers only learn through their
+// failure detectors. Restart it later with AddAt.
+func (c *Cluster) CrashAt(at time.Duration, nid id.NodeID) {
+	if at < c.now {
+		at = c.now
+	}
+	c.push(&event{at: at, node: nid, sys: sysCrash})
+}
+
+// runSys executes a churn event.
+func (c *Cluster) runSys(e *event) {
+	switch e.sys {
+	case sysCrash:
+		delete(c.nodes, e.node)
+	case sysAdd:
+		var skew time.Duration
+		if c.cfg.MaxSkew > 0 {
+			skew = time.Duration(c.rng.Int63n(int64(2*c.cfg.MaxSkew))) - c.cfg.MaxSkew
+		}
+		c.gen[e.node]++
+		h := e.mk()
+		nd := &node{
+			c:      c,
+			id:     e.node,
+			h:      h,
+			shards: 1,
+			skew:   skew,
+			gen:    c.gen[e.node],
+			rng: rand.New(rand.NewSource(c.cfg.Seed ^
+				(int64(e.node)*0x9e3779b97f4a7c + 1 + int64(c.gen[e.node])*0x1000193))),
+		}
+		if sh, ok := h.(env.Sharded); ok && sh.Shards() > 1 {
+			nd.sh, nd.shards = sh, sh.Shards()
+		}
+		c.nodes[e.node] = nd
+		if !containsID(c.order, e.node) {
+			c.order = append(c.order, e.node)
+			sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+		}
+		nd.h.Start(nd)
+	}
+}
+
+func containsID(ns []id.NodeID, x id.NodeID) bool {
+	for _, n := range ns {
+		if n == x {
+			return true
+		}
+	}
+	return false
+}
+
 func (c *Cluster) push(e *event) {
 	c.seq++
 	e.seq = c.seq
@@ -277,9 +366,29 @@ func (c *Cluster) Step() bool {
 	if e.at > c.now {
 		c.now = e.at
 	}
+	if e.sys != sysNone {
+		c.events++
+		if w := c.cfg.EventTrace; w != nil {
+			kind := "crash"
+			if e.sys == sysAdd {
+				kind = "add"
+			}
+			fmt.Fprintf(w, "%d %v sys %s\n", e.at.Nanoseconds(), e.node, kind)
+		}
+		c.runSys(e)
+		return true
+	}
 	n, ok := c.nodes[e.node]
 	if !ok {
-		return true // node removed; drop silently
+		return true // node removed (crashed); drop silently
+	}
+	if e.tmr && e.gen != n.gen {
+		// A timer armed by a previous incarnation of a restarted node:
+		// it died with its owner (messages, by contrast, deliver across
+		// restarts like in-flight packets to a rebound port). Without
+		// this, every self-re-arming loop — probe rounds, gossip rounds
+		// — would run doubled after an in-place restart.
+		return true
 	}
 	c.events++
 	if w := c.cfg.EventTrace; w != nil {
@@ -365,7 +474,7 @@ func (n *node) After(d time.Duration, key string, data any) {
 	if d < 0 {
 		d = 0
 	}
-	n.c.push(&event{at: n.c.now + d, node: n.id, shard: n.shardOfTimer(key, data), key: key, data: data, tmr: true})
+	n.c.push(&event{at: n.c.now + d, node: n.id, shard: n.shardOfTimer(key, data), key: key, data: data, tmr: true, gen: n.gen})
 }
 
 // Logf implements env.Env.

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"testing"
+
+	"idea/internal/id"
+	"idea/internal/vv"
+	"idea/internal/wire"
+)
+
+// fill applies n updates from each of the writers, round-robin, in
+// arrival order.
+func fill(r *Replica, writers []id.NodeID, n int) {
+	seqs := make(map[id.NodeID]int)
+	for i := 0; i < n*len(writers); i++ {
+		w := writers[i%len(writers)]
+		seqs[w]++
+		r.Apply(wire.Update{File: r.File, Writer: w, Seq: seqs[w], At: vv.Stamp(i+1) * 1e6, Meta: float64(i)})
+	}
+}
+
+func TestSnapshotInstallRoundTrip(t *testing.T) {
+	src := NewReplica("f", 1)
+	fill(src, []id.NodeID{2, 3}, 10)
+
+	vec, base, meta, ups := src.Snapshot()
+	dst := NewReplica("f", 9)
+	if !dst.InstallSnapshot(vec, base, meta, ups) {
+		t.Fatal("install refused on empty replica")
+	}
+	if got := vv.Compare(dst.Vector(), src.Vector()); got != vv.Equal {
+		t.Fatalf("vectors after install: %v, want Equal", got)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("Len = %d, want %d", dst.Len(), src.Len())
+	}
+	// The installed replica must be a fully functional peer: it can ship
+	// missing suffixes and apply further updates.
+	empty := vv.New()
+	if got := len(dst.MissingFrom(empty)); got != 20 {
+		t.Fatalf("MissingFrom(empty) = %d updates, want 20", got)
+	}
+	if !dst.Apply(wire.Update{File: "f", Writer: 2, Seq: 11, At: 99e6}) {
+		t.Fatal("apply after install rejected")
+	}
+	if dst.Vector().Count(2) != 11 {
+		t.Fatalf("count(2) = %d, want 11", dst.Vector().Count(2))
+	}
+}
+
+func TestSnapshotCarriesCompactionBase(t *testing.T) {
+	src := NewReplica("f", 1)
+	fill(src, []id.NodeID{2, 3}, 8)
+	pruned := src.CompactBelow(map[id.NodeID]int{2: 5, 3: 5})
+	if pruned == 0 {
+		t.Fatal("compaction pruned nothing; test setup broken")
+	}
+
+	vec, base, meta, ups := src.Snapshot()
+	if base[2] == 0 && base[3] == 0 {
+		t.Fatalf("base = %v, want the compacted prefix counts", base)
+	}
+	dst := NewReplica("f", 9)
+	if !dst.InstallSnapshot(vec, base, meta, ups) {
+		t.Fatal("install refused")
+	}
+	if dst.Compacted() != src.Compacted() {
+		t.Fatalf("Compacted = %d, want %d", dst.Compacted(), src.Compacted())
+	}
+	if got := vv.Compare(dst.Vector(), src.Vector()); got != vv.Equal {
+		t.Fatalf("vectors after install: %v, want Equal", got)
+	}
+	// Appending the next in-sequence update from each writer must work:
+	// the installed base seeds the per-writer index correctly.
+	next2 := src.Vector().Count(2) + 1
+	if !dst.Apply(wire.Update{File: "f", Writer: 2, Seq: next2, At: 100e6}) {
+		t.Fatal("post-install append rejected")
+	}
+	// WriteLocal must continue the owner's own numbering.
+	u := dst.WriteLocal(101e6, "w", nil, 0)
+	if u.Seq != dst.Vector().Count(9) {
+		t.Fatalf("local write seq %d not reflected in vector", u.Seq)
+	}
+}
+
+func TestInstallSnapshotRefusesNonEmpty(t *testing.T) {
+	dst := NewReplica("f", 9)
+	dst.WriteLocal(1e6, "w", nil, 0)
+	src := NewReplica("f", 1)
+	fill(src, []id.NodeID{2}, 3)
+	vec, base, meta, ups := src.Snapshot()
+	if dst.InstallSnapshot(vec, base, meta, ups) {
+		t.Fatal("install must refuse a non-empty replica")
+	}
+	if dst.Len() != 1 {
+		t.Fatalf("refused install mutated the replica: Len = %d", dst.Len())
+	}
+}
+
+func TestDropPendingFrom(t *testing.T) {
+	r := NewReplica("f", 1)
+	// Gapped arrivals from writer 2 buffer as pending.
+	r.Apply(wire.Update{File: "f", Writer: 2, Seq: 3, At: 1e6})
+	r.Apply(wire.Update{File: "f", Writer: 2, Seq: 4, At: 2e6})
+	r.Apply(wire.Update{File: "f", Writer: 3, Seq: 2, At: 3e6})
+	if r.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", r.Pending())
+	}
+	if got := r.DropPendingFrom(2); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending after drop = %d, want 1", r.Pending())
+	}
+	if got := r.DropPendingFrom(2); got != 0 {
+		t.Fatalf("second drop = %d, want 0", got)
+	}
+}

@@ -511,6 +511,67 @@ func (r *Replica) CompactBelow(stable map[id.NodeID]int) int {
 	return k
 }
 
+// Snapshot exports the replica's transferable state for join bootstrap:
+// the version vector, the per-writer compaction base (updates below it
+// were pruned here and are covered by the vector alone), the
+// critical-metadata value as of that base, and the live log tail in
+// arrival order. The receiver installs it with InstallSnapshot — one
+// transfer instead of replaying total history through anti-entropy.
+func (r *Replica) Snapshot() (vec *vv.Vector, base map[id.NodeID]int, prefixMeta float64, updates []wire.Update) {
+	base = make(map[id.NodeID]int)
+	for w, b := range r.wBase {
+		if b > 0 {
+			base[w] = b
+		}
+	}
+	return r.vec.Clone(), base, r.compactedMeta, r.Log()
+}
+
+// InstallSnapshot loads a peer's Snapshot into this replica. It only
+// applies to an empty replica (no applied, compacted, or pending state) —
+// a replica that already holds updates converges through the normal
+// protocol instead — and reports whether the install happened. After the
+// install the replica is byte-equivalent to the sender's: same vector,
+// same compaction base, same live log.
+func (r *Replica) InstallSnapshot(vec *vv.Vector, base map[id.NodeID]int, prefixMeta float64, updates []wire.Update) bool {
+	if r.logBase+len(r.log) > 0 || r.Pending() > 0 || vec == nil {
+		return false
+	}
+	gaugeBefore := r.vec.WindowStamps()
+	r.vec = vec.Clone()
+	for w, b := range base {
+		if b > 0 {
+			r.wBase[w] = b
+			r.logBase += b
+		}
+	}
+	r.compactedMeta = prefixMeta
+	r.log = append([]wire.Update(nil), updates...)
+	for _, u := range r.log {
+		r.byWriter[u.Writer] = append(r.byWriter[u.Writer], u)
+	}
+	r.nextSeq = r.vec.Count(r.Owner)
+	r.met.logEntries.Add(int64(len(r.log)))
+	r.met.windowStamps.Add(int64(r.vec.WindowStamps() - gaugeBefore))
+	r.met.applied.Add(int64(len(r.log)))
+	return true
+}
+
+// DropPendingFrom discards the buffered out-of-order updates of one
+// writer — membership eviction: a confirmed-dead writer's gapped suffix
+// would otherwise wait forever for a gap only the dead node could close.
+// It returns how many updates were shed.
+func (r *Replica) DropPendingFrom(w id.NodeID) int {
+	p := r.pending[w]
+	if len(p) == 0 {
+		return 0
+	}
+	n := len(p)
+	delete(r.pending, w)
+	r.met.pending.Add(-int64(n))
+	return n
+}
+
 // StableCounts returns the per-writer update counts this replica can
 // never roll back below: the counts at its oldest live checkpoint, or
 // the current counts when no checkpoint is live. Gossip advertises these

@@ -141,6 +141,11 @@ type peerLink struct {
 	nid   id.NodeID
 	out   chan []byte
 	depth *telemetry.Gauge
+	// done is closed when the peer is removed from the membership view:
+	// the writer goroutine exits wherever it is blocked (queue wait,
+	// backoff sleep, mid-write via the severed conn) instead of redialing
+	// a gone peer forever.
+	done chan struct{}
 
 	mu     sync.Mutex
 	c      net.Conn
@@ -170,6 +175,20 @@ func (l *peerLink) closeConn() {
 		l.c.Close()
 	}
 	l.mu.Unlock()
+}
+
+// shutdown severs the link and tells its writer goroutine to exit.
+func (l *peerLink) shutdown() {
+	l.mu.Lock()
+	already := l.closed
+	l.closed = true
+	if l.c != nil {
+		l.c.Close()
+	}
+	l.mu.Unlock()
+	if !already {
+		close(l.done)
+	}
 }
 
 // Listen binds addr and returns a Node ready to Start. Pass logger nil to
@@ -277,6 +296,30 @@ func (n *Node) AddPeer(nid id.NodeID, addr string) {
 	n.mu.Lock()
 	n.peers[nid] = addr
 	n.mu.Unlock()
+}
+
+// RemovePeer forgets a peer at runtime — the dynamic-membership eviction
+// path. The redial loop stops, the send queue is torn down, and the
+// peer's queue-depth gauge drops to zero; frames already queued are
+// discarded (the peer is gone). Future sends to the ID fail like any
+// unknown peer until AddPeer registers it again.
+func (n *Node) RemovePeer(nid id.NodeID) {
+	n.mu.Lock()
+	delete(n.peers, nid)
+	l := n.links[nid]
+	delete(n.links, nid)
+	n.mu.Unlock()
+	if l != nil {
+		l.shutdown()
+	}
+}
+
+// HasPeer reports whether an address is registered for nid.
+func (n *Node) HasPeer(nid id.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.peers[nid]
+	return ok
 }
 
 // QueueDepth returns the current outbound queue length for a peer (zero
@@ -460,6 +503,7 @@ func (n *Node) link(to id.NodeID) (*peerLink, error) {
 		nid:   to,
 		out:   make(chan []byte, sendQueue),
 		depth: n.reg.Gauge(fmt.Sprintf("transport.queue_depth.%v", to)),
+		done:  make(chan struct{}),
 	}
 	n.links[to] = l
 	n.wg.Add(1)
@@ -488,12 +532,14 @@ func (n *Node) writerLoop(l *peerLink) {
 			c.Close()
 		}
 		l.setConn(nil)
+		// A removed peer's gauge must not freeze at its last depth.
+		l.depth.Set(0)
 	}()
 	for {
 		if c == nil {
 			addr, ok := n.peerAddr(l.nid)
 			if !ok {
-				return // link without address cannot exist; defensive
+				return // peer removed (or defensive: link without address)
 			}
 			dctx, dcancel := context.WithTimeout(n.ctx, dialTimeout)
 			var d net.Dialer
@@ -503,6 +549,8 @@ func (n *Node) writerLoop(l *peerLink) {
 				select {
 				case <-n.done:
 					return
+				case <-l.done:
+					return
 				default:
 				}
 				n.met.retries.Inc()
@@ -510,6 +558,8 @@ func (n *Node) writerLoop(l *peerLink) {
 				select {
 				case <-time.After(jitter(backoff)):
 				case <-n.done:
+					return
+				case <-l.done:
 					return
 				}
 				backoff *= 2
@@ -519,7 +569,7 @@ func (n *Node) writerLoop(l *peerLink) {
 				continue
 			}
 			if !l.setConn(cc) {
-				return // node closed while the dial was in flight
+				return // node closed or peer removed while dialing
 			}
 			c = cc
 			backoff = backoffMin
@@ -531,11 +581,15 @@ func (n *Node) writerLoop(l *peerLink) {
 				l.depth.Set(int64(len(l.out)))
 			case <-n.done:
 				return
+			case <-l.done:
+				return
 			}
 		}
 		if err := writeFrame(c, pending); err != nil {
 			select {
 			case <-n.done:
+				return
+			case <-l.done:
 				return
 			default:
 			}

@@ -8,6 +8,7 @@ import (
 
 	"idea/internal/env"
 	"idea/internal/id"
+	"idea/internal/telemetry"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -251,5 +252,68 @@ func TestReconnectToLateStartingPeer(t *testing.T) {
 	got, ok := msgs[0].(wire.CollectRequest)
 	if !ok || got.Token != 7 {
 		t.Fatalf("late peer got %#v, want the queued CollectRequest", msgs[0])
+	}
+}
+
+// TestRemovePeerStopsRedial is the regression test for the
+// redial-forever bug: a peer that is gone used to be redialed at the
+// backoff cap for the life of the process. Removing the peer must stop
+// the redial loop, tear down the send queue, and zero the queue-depth
+// gauge.
+func TestRemovePeerStopsRedial(t *testing.T) {
+	// A reserved-then-freed address: dials always fail.
+	rsv, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := rsv.Addr().String()
+	rsv.Close()
+
+	h1 := &collector{}
+	n1, err := Listen(1, "127.0.0.1:0", h1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	n1.AttachMetrics(reg)
+	n1.AddPeer(2, deadAddr)
+	n1.Start()
+	t.Cleanup(func() { n1.Close() })
+
+	// Queue a frame: the writer starts its dial/backoff loop.
+	n1.Inject(func(e env.Env) { e.Send(2, wire.CollectRequest{File: "f", Token: 1}) })
+	retriesAt := func() int64 { return reg.Snapshot().Counters["transport.dial_retries_total"] }
+	deadline := time.Now().Add(5 * time.Second)
+	for retriesAt() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if retriesAt() == 0 {
+		t.Fatal("writer never attempted a dial")
+	}
+
+	n1.RemovePeer(2)
+	if n1.HasPeer(2) {
+		t.Fatal("peer still registered after RemovePeer")
+	}
+	// The redial loop must wind down: after a settle period the retry
+	// counter stops moving.
+	time.Sleep(100 * time.Millisecond)
+	before := retriesAt()
+	time.Sleep(500 * time.Millisecond)
+	if after := retriesAt(); after != before {
+		t.Fatalf("dial retries still advancing after removal: %d -> %d", before, after)
+	}
+	if d := n1.QueueDepth(2); d != 0 {
+		t.Fatalf("queue depth after removal = %d, want 0", d)
+	}
+	if g := reg.Snapshot().Gauges["transport.queue_depth.n2"]; g != 0 {
+		t.Fatalf("queue-depth gauge after removal = %d, want 0", g)
+	}
+
+	// Sending to the removed peer is a no-op, not a panic or a new link.
+	n1.Inject(func(e env.Env) { e.Send(2, wire.CollectRequest{File: "f", Token: 2}) })
+	time.Sleep(50 * time.Millisecond)
+	if n1.QueueDepth(2) != 0 {
+		t.Fatal("send to removed peer recreated a link")
 	}
 }

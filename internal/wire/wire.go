@@ -283,6 +283,140 @@ type StrongCommitted struct {
 // Kind implements Message.
 func (StrongCommitted) Kind() string { return "base.sc_commit" }
 
+// ---- Dynamic membership (SWIM-style failure detection + join) ----
+
+// MemberStatus is the wire form of a membership record's state. The
+// membership package defines the semantics; the wire layer only ships the
+// byte.
+type MemberStatus uint8
+
+// The membership states a record can carry.
+const (
+	MemberAlive MemberStatus = iota
+	MemberSuspect
+	MemberDead
+)
+
+// MemberRecord is one incarnation-numbered membership assertion, the unit
+// piggybacked on probe traffic for dissemination. Addr is the node's
+// dialable listen address (empty under the emulator, which routes by ID).
+type MemberRecord struct {
+	Node   id.NodeID
+	Addr   string
+	Status MemberStatus
+	Inc    int
+}
+
+// SwimPing is a direct liveness probe. The receiver answers with SwimAck
+// carrying the same Seq; both directions piggyback membership records.
+// Addr is the sender's dialable address: a receiver that believed the
+// sender dead (and tore its link down) needs it to deliver the ack — the
+// first hop of the refutation loop.
+type SwimPing struct {
+	Seq       int64
+	Addr      string
+	Piggyback []MemberRecord
+}
+
+// Kind implements Message.
+func (SwimPing) Kind() string { return "member.ping" }
+
+// SwimAck answers a SwimPing (Acker == the probed node) or completes an
+// indirect probe relay (the relay forwards the target's ack to the probe
+// origin, preserving the origin's Seq).
+type SwimAck struct {
+	Seq       int64
+	Acker     id.NodeID
+	Piggyback []MemberRecord
+}
+
+// Kind implements Message.
+func (SwimAck) Kind() string { return "member.ack" }
+
+// SwimPingReq asks a relay to probe Target on the sender's behalf — the
+// SWIM indirect probe that keeps one lossy path from condemning a live
+// node.
+type SwimPingReq struct {
+	Seq       int64
+	Target    id.NodeID
+	Piggyback []MemberRecord
+}
+
+// Kind implements Message.
+func (SwimPingReq) Kind() string { return "member.pingreq" }
+
+// SwimLeave is a voluntary departure announcement: the leaver broadcasts
+// it directly (it is shutting down, so piggyback dissemination would be
+// too slow) and receivers mark it dead at the carried incarnation without
+// a suspicion period.
+type SwimLeave struct {
+	Node id.NodeID
+	Inc  int
+}
+
+// Kind implements Message.
+func (SwimLeave) Kind() string { return "member.leave" }
+
+// JoinRequest announces a node that wants to enter the cluster knowing
+// only one seed. The seed replies with JoinReply and disseminates the
+// joiner's alive record.
+type JoinRequest struct {
+	Node id.NodeID
+	Addr string
+}
+
+// Kind implements Message.
+func (JoinRequest) Kind() string { return "member.join" }
+
+// JoinReply hands the joiner the seed's full membership view.
+type JoinReply struct {
+	Members []MemberRecord
+}
+
+// Kind implements Message.
+func (JoinReply) Kind() string { return "member.join_rep" }
+
+// ---- Snapshot state transfer (join bootstrap) ----
+
+// SnapshotRequest asks a peer for its file census; the joiner then pulls
+// each file's state with SnapshotFileRequest instead of replaying history
+// through anti-entropy.
+type SnapshotRequest struct{}
+
+// Kind implements Message.
+func (SnapshotRequest) Kind() string { return "snap.req" }
+
+// SnapshotManifest lists the files a SnapshotRequest receiver holds.
+type SnapshotManifest struct {
+	Files []id.FileID
+}
+
+// Kind implements Message.
+func (SnapshotManifest) Kind() string { return "snap.manifest" }
+
+// SnapshotFileRequest pulls one file's replica snapshot.
+type SnapshotFileRequest struct {
+	File id.FileID
+}
+
+// Kind implements Message.
+func (SnapshotFileRequest) Kind() string { return "snap.file_req" }
+
+// SnapshotFileReply ships one replica's transferable state: the version
+// vector, the per-writer compaction base (updates below it were pruned on
+// the sender and are covered by the vector alone), the critical-metadata
+// value as of that base, and the live log tail.
+type SnapshotFileReply struct {
+	File       id.FileID
+	VV         *vv.Vector
+	Base       map[id.NodeID]int
+	PrefixMeta float64
+	Updates    []Update
+}
+
+// Kind implements Message.
+func (SnapshotFileReply) Kind() string { return "snap.file" }
+
 // ---- P2P file-system frontend (§7.3 integration) ----
 
 // FSWrite routes a client write to a replica of the file's replica set.
@@ -355,6 +489,16 @@ func Register() {
 		gob.Register(StrongReplicate{})
 		gob.Register(StrongAck{})
 		gob.Register(StrongCommitted{})
+		gob.Register(SwimPing{})
+		gob.Register(SwimAck{})
+		gob.Register(SwimPingReq{})
+		gob.Register(SwimLeave{})
+		gob.Register(JoinRequest{})
+		gob.Register(JoinReply{})
+		gob.Register(SnapshotRequest{})
+		gob.Register(SnapshotManifest{})
+		gob.Register(SnapshotFileRequest{})
+		gob.Register(SnapshotFileReply{})
 		gob.Register(FSWrite{})
 		gob.Register(FSWriteAck{})
 		gob.Register(FSRead{})
@@ -403,6 +547,10 @@ func RoutingFile(msg Message) (id.FileID, bool) {
 	case StrongAck:
 		return m.File, true
 	case StrongCommitted:
+		return m.File, true
+	case SnapshotFileRequest:
+		return m.File, true
+	case SnapshotFileReply:
 		return m.File, true
 	case FSWrite:
 		return m.File, true
