@@ -1,0 +1,153 @@
+package main
+
+// The -gate mode turns BENCH_core.json from a trivia file into a CI
+// gate: every tracked perf headline is diffed against the committed
+// BENCH_baseline.json and a regression beyond its tolerance fails the
+// run. A PR that legitimately moves a number refreshes the baseline file
+// in the same change (see README "Performance & CI gates").
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// gateMetric is one tracked perf headline.
+type gateMetric struct {
+	key          string
+	higherBetter bool
+	// tol is the relative regression tolerated before the gate fails:
+	// 0.20 = one fifth worse than baseline. Machine-independent metrics
+	// (ratios, wire bytes) get the tight 20%; absolute wall-clock and
+	// throughput numbers get wider tolerances because the committed
+	// baseline may have been recorded on different hardware than the CI
+	// runner — they still catch order-of-magnitude rot without flaking
+	// on a slower core or scheduler jitter.
+	tol float64
+}
+
+// trackedMetrics is the gate's contract: every perf number a past PR
+// claimed as a win stays a win, within tolerance.
+var trackedMetrics = []gateMetric{
+	{"missing_from_speedup_x", true, 0.20},
+	{"missing_from_ns_indexed", false, 0.50},
+	{"digest_encode_bytes", false, 0.20},
+	{"parallel_write_ops_per_sec_shards_1", true, 0.50},
+	{"parallel_write_ops_per_sec_shards_4", true, 0.50},
+	{"parallel_write_speedup_x", true, 0.20},
+	{"join_catchup_seconds", false, 1.00},
+}
+
+// minSpeedupProcs is the core count below which the parallel speedup
+// floor is not enforced: with fewer schedulable CPUs than the headline
+// shard count there is no parallelism to measure, only overhead, and the
+// honest reading of speedup ≈ 1.0 there is "sharding costs nothing",
+// not "sharding pays".
+const minSpeedupProcs = 4
+
+func loadBench(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out, nil
+}
+
+// runGate compares the fresh bench artifact against the committed
+// baseline and returns an error describing every violated metric. The
+// parallel-write speedup floor is additionally enforced (bench must
+// demonstrate sharding pays ≥ minSpeedup at the headline shard count)
+// whenever the bench ran with at least minSpeedupProcs cores.
+func runGate(benchPath, baselinePath string, minSpeedup float64, w io.Writer) error {
+	bench, err := loadBench(benchPath)
+	if err != nil {
+		return fmt.Errorf("bench-gate: %w", err)
+	}
+	base, err := loadBench(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench-gate: %w", err)
+	}
+	fmt.Fprintf(w, "bench-gate: %s vs baseline %s\n", benchPath, baselinePath)
+	fmt.Fprintf(w, "%-40s %14s %14s %9s  %s\n", "metric", "baseline", "current", "delta", "verdict")
+	var failures []string
+	for _, m := range trackedMetrics {
+		cur, okCur := bench[m.key]
+		want, okBase := base[m.key]
+		switch {
+		case !okCur:
+			failures = append(failures, fmt.Sprintf("%s: missing from %s", m.key, benchPath))
+			fmt.Fprintf(w, "%-40s %14s %14s %9s  MISSING\n", m.key, fmtNum(want), "-", "-")
+			continue
+		case !okBase:
+			// A metric added before the baseline is refreshed: surface
+			// it, but only the committed contract can fail the gate.
+			fmt.Fprintf(w, "%-40s %14s %14s %9s  UNTRACKED (refresh baseline)\n", m.key, "-", fmtNum(cur), "-")
+			continue
+		}
+		delta := 0.0
+		if want != 0 {
+			delta = (cur - want) / want
+		}
+		bad := false
+		if m.higherBetter {
+			bad = cur < want*(1-m.tol)
+		} else {
+			bad = cur > want*(1+m.tol)
+		}
+		verdict := "ok"
+		if bad {
+			verdict = fmt.Sprintf("REGRESSION (>%.0f%% worse)", m.tol*100)
+			dir := "min"
+			if !m.higherBetter {
+				dir = "max"
+			}
+			failures = append(failures, fmt.Sprintf("%s: %s vs baseline %s (%+.1f%%, %s tolerated %.0f%%)",
+				m.key, fmtNum(cur), fmtNum(want), delta*100, dir, m.tol*100))
+		}
+		fmt.Fprintf(w, "%-40s %14s %14s %+8.1f%%  %s\n", m.key, fmtNum(want), fmtNum(cur), delta*100, verdict)
+	}
+
+	speedup := bench["parallel_write_speedup_x"]
+	procs := int(bench["gomaxprocs"])
+	if procs >= minSpeedupProcs {
+		if speedup < minSpeedup {
+			failures = append(failures, fmt.Sprintf(
+				"parallel_write_speedup_x = %.2f < required %.2f at gomaxprocs=%d", speedup, minSpeedup, procs))
+		} else {
+			fmt.Fprintf(w, "speedup floor: %.2fx >= %.2fx at gomaxprocs=%d ok\n", speedup, minSpeedup, procs)
+		}
+	} else {
+		fmt.Fprintf(w, "speedup floor: skipped (gomaxprocs=%d < %d: no parallelism to measure; speedup recorded %.2fx)\n",
+			procs, minSpeedupProcs, speedup)
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(w, "FAIL %s\n", f)
+		}
+		return fmt.Errorf("bench-gate: %d tracked metric(s) regressed", len(failures))
+	}
+	fmt.Fprintln(w, "bench-gate: all tracked metrics within tolerance")
+	return nil
+}
+
+func fmtNum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if v >= 1000 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -4,63 +4,91 @@
 //
 //	go run ./cmd/idea-bench            # everything
 //	go run ./cmd/idea-bench -only fig7a,table2
+//
+// With -gate it instead acts as the CI bench-regression gate: the fresh
+// BENCH_core.json artifact is diffed against the committed
+// BENCH_baseline.json and any tracked metric more than its tolerance
+// worse than baseline — or a parallel-write speedup below -min-speedup
+// on a machine with enough cores to measure one — exits nonzero.
+//
+//	go test -run '^$' -bench CoreBaseline -benchtime 100x .
+//	go run ./cmd/idea-bench -gate
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"idea/internal/experiments"
 )
 
-func main() {
-	seed := flag.Int64("seed", 1, "deterministic seed for every experiment")
-	only := flag.String("only", "", "comma-separated subset (fig7a,fig7b,fig8,table2,fig9,fig10,fig2,capture,rollback,bounds,parallel,ttl,refsel,skew)")
-	flag.Parse()
-
+// runExperiments replays the selected experiments (empty = all) and
+// renders them to w, returning how many ran.
+func runExperiments(seed int64, only string, w io.Writer) int {
 	type exp struct {
 		key string
 		run func() experiments.Report
 	}
 	all := []exp{
-		{"fig7a", func() experiments.Report { return experiments.RunFig7a(*seed) }},
-		{"fig7b", func() experiments.Report { return experiments.RunFig7b(*seed) }},
-		{"fig8", func() experiments.Report { return experiments.RunFig8(*seed) }},
-		{"table2", func() experiments.Report { return experiments.RunTable2(*seed) }},
-		{"fig9", func() experiments.Report { return experiments.RunFig9(*seed) }},
-		{"fig10", func() experiments.Report { return experiments.RunFig10Table3(*seed) }},
-		{"fig2", func() experiments.Report { return experiments.RunFig2Tradeoff(*seed) }},
-		{"capture", func() experiments.Report { return experiments.RunTopLayerCapture(*seed, 0.05) }},
-		{"rollback", func() experiments.Report { return experiments.RunRollback(*seed) }},
-		{"bounds", func() experiments.Report { return experiments.RunBoundsLearning(*seed) }},
-		{"parallel", func() experiments.Report { return experiments.RunParallelPhase2(*seed) }},
-		{"ttl", func() experiments.Report { return experiments.RunTTLTradeoff(*seed) }},
-		{"refsel", func() experiments.Report { return experiments.RunRefSelectors(*seed) }},
-		{"skew", func() experiments.Report { return experiments.RunSkewSensitivity(*seed) }},
-		{"workload", func() experiments.Report { return experiments.RunWorkloadSensitivity(*seed) }},
+		{"fig7a", func() experiments.Report { return experiments.RunFig7a(seed) }},
+		{"fig7b", func() experiments.Report { return experiments.RunFig7b(seed) }},
+		{"fig8", func() experiments.Report { return experiments.RunFig8(seed) }},
+		{"table2", func() experiments.Report { return experiments.RunTable2(seed) }},
+		{"fig9", func() experiments.Report { return experiments.RunFig9(seed) }},
+		{"fig10", func() experiments.Report { return experiments.RunFig10Table3(seed) }},
+		{"fig2", func() experiments.Report { return experiments.RunFig2Tradeoff(seed) }},
+		{"capture", func() experiments.Report { return experiments.RunTopLayerCapture(seed, 0.05) }},
+		{"rollback", func() experiments.Report { return experiments.RunRollback(seed) }},
+		{"bounds", func() experiments.Report { return experiments.RunBoundsLearning(seed) }},
+		{"parallel", func() experiments.Report { return experiments.RunParallelPhase2(seed) }},
+		{"ttl", func() experiments.Report { return experiments.RunTTLTradeoff(seed) }},
+		{"refsel", func() experiments.Report { return experiments.RunRefSelectors(seed) }},
+		{"skew", func() experiments.Report { return experiments.RunSkewSensitivity(seed) }},
+		{"workload", func() experiments.Report { return experiments.RunWorkloadSensitivity(seed) }},
 	}
 
 	want := map[string]bool{}
-	if *only != "" {
-		for _, k := range strings.Split(*only, ",") {
+	if only != "" {
+		for _, k := range strings.Split(only, ",") {
 			want[strings.TrimSpace(k)] = true
 		}
 	}
 
-	fmt.Println("IDEA evaluation reproduction (emulated PlanetLab, virtual time)")
-	fmt.Printf("seed %d\n", *seed)
+	fmt.Fprintln(w, "IDEA evaluation reproduction (emulated PlanetLab, virtual time)")
+	fmt.Fprintf(w, "seed %d\n", seed)
 	ran := 0
 	for _, e := range all {
 		if len(want) > 0 && !want[e.key] {
 			continue
 		}
 		r := e.run()
-		fmt.Print(r.Rendered)
+		fmt.Fprint(w, r.Rendered)
 		ran++
 	}
-	if ran == 0 {
+	return ran
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed for every experiment")
+	only := flag.String("only", "", "comma-separated subset (fig7a,fig7b,fig8,table2,fig9,fig10,fig2,capture,rollback,bounds,parallel,ttl,refsel,skew,workload)")
+	gate := flag.Bool("gate", false, "bench-regression gate: diff -bench against -baseline and exit nonzero on regression")
+	benchFile := flag.String("bench", "BENCH_core.json", "fresh bench artifact (gate mode)")
+	baseFile := flag.String("baseline", "BENCH_baseline.json", "committed baseline (gate mode)")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "required parallel_write_speedup_x when the bench ran with >= 4 cores (gate mode)")
+	flag.Parse()
+
+	if *gate {
+		if err := runGate(*benchFile, *baseFile, *minSpeedup, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if runExperiments(*seed, *only, os.Stdout) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments matched -only")
 		os.Exit(2)
 	}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsSmoke runs one real experiment end-to-end on the
+// emulated cluster through the same code path the binary uses — the
+// command was previously never exercised by any test.
+func TestExperimentsSmoke(t *testing.T) {
+	var buf strings.Builder
+	if ran := runExperiments(1, "table2", &buf); ran != 1 {
+		t.Fatalf("ran %d experiments, want 1", ran)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 2") {
+		t.Fatalf("table2 output missing its header:\n%s", out)
+	}
+}
+
+func TestExperimentsUnknownKey(t *testing.T) {
+	var buf strings.Builder
+	if ran := runExperiments(1, "no-such-exp", &buf); ran != 0 {
+		t.Fatalf("ran %d experiments for an unknown key, want 0", ran)
+	}
+}
+
+// writeBench writes a bench/baseline JSON fixture.
+func writeBench(t *testing.T, dir, name string, m map[string]any) string {
+	t.Helper()
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func goodBench() map[string]any {
+	return map[string]any{
+		"missing_from_speedup_x":              400.0,
+		"missing_from_ns_indexed":             800.0,
+		"digest_encode_bytes":                 735.0,
+		"parallel_write_ops_per_sec_shards_1": 400000.0,
+		"parallel_write_ops_per_sec_shards_4": 410000.0,
+		"parallel_write_speedup_x":            1.02,
+		"join_catchup_seconds":                0.05,
+		"gomaxprocs":                          1.0,
+	}
+}
+
+func TestGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	bench := writeBench(t, dir, "bench.json", goodBench())
+	base := writeBench(t, dir, "base.json", goodBench())
+	var out strings.Builder
+	if err := runGate(bench, base, 2.0, &out); err != nil {
+		t.Fatalf("gate failed on identical bench/baseline: %v\n%s", err, out.String())
+	}
+	// gomaxprocs 1: the speedup floor must be skipped, not violated.
+	if !strings.Contains(out.String(), "speedup floor: skipped") {
+		t.Fatalf("expected skipped speedup floor at gomaxprocs=1:\n%s", out.String())
+	}
+}
+
+func TestGateCatchesRegression(t *testing.T) {
+	dir := t.TempDir()
+	b := goodBench()
+	b["parallel_write_ops_per_sec_shards_4"] = 150000.0 // −63% vs baseline (tol 50%)
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	var out strings.Builder
+	err := runGate(bench, base, 2.0, &out)
+	if err == nil {
+		t.Fatalf("gate passed a 63%% throughput regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("verdict table missing REGRESSION marker:\n%s", out.String())
+	}
+}
+
+func TestGateCatchesLowerIsBetterRegression(t *testing.T) {
+	dir := t.TempDir()
+	b := goodBench()
+	b["digest_encode_bytes"] = 2000.0 // digests ballooned
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	if err := runGate(bench, base, 2.0, &strings.Builder{}); err == nil {
+		t.Fatal("gate passed a 2.7x digest-size regression")
+	}
+}
+
+func TestGateToleratesNoise(t *testing.T) {
+	dir := t.TempDir()
+	b := goodBench()
+	b["parallel_write_ops_per_sec_shards_4"] = 300000.0 // −27%: within its 50% tol
+	b["join_catchup_seconds"] = 0.09                    // +80%: within its 100% tol
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	var out strings.Builder
+	if err := runGate(bench, base, 2.0, &out); err != nil {
+		t.Fatalf("gate flaked on in-tolerance noise: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateEnforcesSpeedupFloorOnMulticore(t *testing.T) {
+	dir := t.TempDir()
+	b := goodBench()
+	b["gomaxprocs"] = 8.0
+	b["parallel_write_speedup_x"] = 1.02 // sharding doesn't pay on 8 cores
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	if err := runGate(bench, base, 2.0, &strings.Builder{}); err == nil {
+		t.Fatal("gate passed speedup 1.02x at gomaxprocs=8 with a 2.0x floor")
+	}
+
+	b["parallel_write_speedup_x"] = 2.6
+	bench = writeBench(t, dir, "bench2.json", b)
+	var out strings.Builder
+	if err := runGate(bench, base, 2.0, &out); err != nil {
+		// The baseline still has speedup 1.02 (higher-better, 20% tol):
+		// 2.6 vs 1.02 is an improvement, so only the floor matters.
+		t.Fatalf("gate failed a passing 2.6x speedup: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateMissingMetricFails(t *testing.T) {
+	dir := t.TempDir()
+	b := goodBench()
+	delete(b, "parallel_write_speedup_x")
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	if err := runGate(bench, base, 2.0, &strings.Builder{}); err == nil {
+		t.Fatal("gate passed a bench artifact missing a tracked metric")
+	}
+}

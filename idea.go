@@ -283,6 +283,12 @@ type LiveNodeConfig struct {
 	// bootstraps its store via snapshot transfer. All/Peers/TopLayers
 	// may be left empty.
 	Join string
+	// ShardQueue/SendQueue size the transport's per-shard inbound event
+	// queues and per-peer outbound frame queues (0 = defaults). Inbound
+	// buffering is per serialization domain, so total capacity — and
+	// backpressure — scales with Shards.
+	ShardQueue int
+	SendQueue  int
 	// Logger receives transport diagnostics (nil = silent).
 	Logger *log.Logger
 }
@@ -326,7 +332,8 @@ func NewLiveNode(cfg LiveNodeConfig) (*LiveNode, error) {
 		opts.Swim = &sc
 	}
 	n := core.NewNode(cfg.Self, opts)
-	tn, err := transport.Listen(cfg.Self, cfg.Listen, n, cfg.Logger)
+	tn, err := transport.ListenOpts(cfg.Self, cfg.Listen, n, cfg.Logger,
+		transport.Opts{ShardQueue: cfg.ShardQueue, SendQueue: cfg.SendQueue})
 	if err != nil {
 		return nil, err
 	}

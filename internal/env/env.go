@@ -116,6 +116,21 @@ type Sharded interface {
 	ShardOfTimer(key string, data any) int
 }
 
+// Multi is optionally implemented by messages that bundle several
+// independently routable messages into one wire frame (e.g. a gossip
+// round's digests to one peer). A runtime delivers the bundle as its
+// constituent messages: each sub-message is routed through
+// Sharded.ShardOfMessage on its own, so per-file work still executes in
+// the shard owning the file while the network sees one frame. Handlers
+// therefore never receive the bundle itself on the bundled runtimes;
+// protocol code should still accept it defensively for single-domain
+// runtimes that do not split.
+type Multi interface {
+	Message
+	// Unbatch returns the constituent messages in send order.
+	Unbatch() []Message
+}
+
 // ShardCount returns the number of serialization domains h runs under a
 // shard-aware runtime: Shards() when h implements Sharded, else 1.
 func ShardCount(h Handler) int {

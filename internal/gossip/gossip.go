@@ -41,6 +41,14 @@ type Config struct {
 	// hops of the origin's round, so a few rounds suffice; eviction
 	// keeps the dedup map bounded on long-running nodes.
 	SeenRounds int
+	// DisableBatch turns off per-round digest batching. By default the
+	// agent groups one round's digests by destination peer and ships
+	// each group as a single wire.DigestBatch frame — a shard sweeping
+	// F files costs one envelope per peer per round instead of F.
+	// Fan-out selection, dedup, TTL, and per-digest accounting are
+	// identical either way; runtimes split batches back into per-file
+	// digests on arrival.
+	DisableBatch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +144,10 @@ type Agent struct {
 	shard int // serialization-domain label carried in round-timer data
 	round int
 	seen  map[string]int // digest dedup key (origin/round/file) → local round inserted
+
+	// outBatch accumulates one round's origin digests per destination
+	// peer (reused across rounds; flushed in deterministic peer order).
+	outBatch map[id.NodeID][]wire.GossipDigest
 
 	// heard collects, per file, the latest per-writer counts each origin
 	// advertised — the raw material of the stability frontier.
@@ -256,9 +268,14 @@ func (a *Agent) Timer(e env.Env, key string, _ any) bool {
 				d.Stable = ss.StableCounts(f)
 			}
 			a.measureDigest(d)
-			a.emit(e, d)
+			if a.cfg.DisableBatch {
+				a.emit(e, d)
+			} else {
+				a.batch(e, d)
+			}
 		}
 	}
+	a.flushBatch(e)
 	a.evictSeen()
 	a.learnFrontiers(e)
 	e.After(a.cfg.Interval, timerRound, a.shard)
@@ -325,6 +342,63 @@ func (a *Agent) emit(e env.Env, d wire.GossipDigest, exclude ...id.NodeID) {
 		sent++
 		a.met.emitted.Inc()
 		e.Send(peers[i], d)
+	}
+}
+
+// batch stages one origin digest for the round's per-peer batches, using
+// the same permutation-walk fan-out selection as emit.
+func (a *Agent) batch(e env.Env, d wire.GossipDigest) {
+	peers := a.peersNow()
+	if len(peers) == 0 {
+		return
+	}
+	n := a.cfg.Fanout
+	if n > len(peers) {
+		n = len(peers)
+	}
+	if a.outBatch == nil {
+		a.outBatch = make(map[id.NodeID][]wire.GossipDigest)
+	}
+	sent := 0
+	for _, i := range e.Rand().Perm(len(peers)) {
+		if sent >= n {
+			break
+		}
+		if peers[i] == d.Origin {
+			continue
+		}
+		sent++
+		a.outBatch[peers[i]] = append(a.outBatch[peers[i]], d)
+	}
+}
+
+// flushBatch ships the staged round batches, one frame per peer, in
+// deterministic peer order (map iteration order must not leak into the
+// emulator's event schedule). A single-digest batch is sent plain — no
+// point paying the bundle envelope for one message.
+func (a *Agent) flushBatch(e env.Env) {
+	if len(a.outBatch) == 0 {
+		return
+	}
+	for _, p := range a.peersNow() {
+		ds := a.outBatch[p]
+		if len(ds) == 0 {
+			continue
+		}
+		// The emitted counter ticks at send time, not staging time, so a
+		// peer evicted from the live view between the two never counts.
+		a.met.emitted.Add(int64(len(ds)))
+		if len(ds) == 1 {
+			e.Send(p, ds[0])
+		} else {
+			e.Send(p, wire.DigestBatch{Digests: ds})
+		}
+		delete(a.outBatch, p)
+	}
+	// Peers that left the view between staging and flush (dynamic
+	// membership) keep nothing staged.
+	for p := range a.outBatch {
+		delete(a.outBatch, p)
 	}
 }
 
@@ -480,6 +554,14 @@ func (a *Agent) Recv(e env.Env, from id.NodeID, msg env.Message) bool {
 	switch m := msg.(type) {
 	case wire.GossipDigest:
 		a.HandleDigest(e, from, m)
+	case wire.DigestBatch:
+		// Both bundled runtimes split batches before routing (env.Multi),
+		// so this only runs under a runtime that delivers the bundle
+		// whole — necessarily single-domain, where iterating here is
+		// exactly equivalent.
+		for _, d := range m.Digests {
+			a.HandleDigest(e, from, d)
+		}
 	case wire.GossipReport:
 		a.HandleReport(e, m)
 	default:

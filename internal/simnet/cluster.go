@@ -466,7 +466,17 @@ func (n *node) Send(to id.NodeID, msg env.Message) {
 	if to == n.id {
 		lat = 10 * time.Microsecond // loopback
 	}
-	c.push(&event{at: c.now + lat, node: to, shard: c.nodes[to].shardOfMsg(msg), from: n.id, msg: msg})
+	at := c.now + lat
+	if mm, ok := msg.(env.Multi); ok {
+		// One frame on the wire (one latency/loss draw, one stats
+		// record), delivered as its constituent messages so each routes
+		// to the shard owning its file — mirroring the live transport.
+		for _, sub := range mm.Unbatch() {
+			c.push(&event{at: at, node: to, shard: c.nodes[to].shardOfMsg(sub), from: n.id, msg: sub})
+		}
+		return
+	}
+	c.push(&event{at: at, node: to, shard: c.nodes[to].shardOfMsg(msg), from: n.id, msg: msg})
 }
 
 // After implements env.Env.

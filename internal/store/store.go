@@ -589,44 +589,32 @@ func (r *Replica) StableCounts() map[id.NodeID]int {
 	return out
 }
 
-// storeStripes is the fixed lock-stripe count of the replica map. It is
-// independent of the runtime's shard count: striping only has to keep the
-// map itself safe under concurrent Open/Peek from different shards, while
-// each *Replica stays single-domain by the env routing contract.
-const storeStripes = 16
-
-type storeStripe struct {
-	mu       sync.RWMutex
-	replicas map[id.FileID]*Replica
-}
-
 // Store is a node's collection of replicas, one per shared file. The
-// replica map is lock-striped by FileID hash so shard executors can open
-// and enumerate replicas concurrently; the replicas themselves carry no
-// locks — all operations on one file are serialized by its shard.
+// replica map is a sync.Map: the lookup hot path (Open/Peek on every
+// write, apply, and digest) is a lock-free read that writes no shared
+// cache line, so shard executors on different cores never serialize on —
+// or bounce — a map lock just to reach their own files. Creation (first
+// open of a file) takes the slow-path mutex; the replicas themselves
+// carry no locks — all operations on one file are serialized by its
+// shard.
 type Store struct {
-	owner   id.NodeID
-	stripes [storeStripes]storeStripe
-	met     storeMetrics
+	owner    id.NodeID
+	mu       sync.Mutex // serializes replica creation and metric attach
+	replicas sync.Map   // id.FileID → *Replica
+	met      storeMetrics
 }
 
 // New returns an empty store for node owner.
 func New(owner id.NodeID) *Store {
-	s := &Store{owner: owner}
-	for i := range s.stripes {
-		s.stripes[i].replicas = make(map[id.FileID]*Replica)
-	}
-	return s
-}
-
-func (s *Store) stripe(file id.FileID) *storeStripe {
-	return &s.stripes[file.Hash()%storeStripes]
+	return &Store{owner: owner}
 }
 
 // AttachMetrics wires the store (and every replica, current and future)
 // to a registry, exporting log/checkpoint sizes and update flow. Call it
 // before the node starts handling traffic.
 func (s *Store) AttachMetrics(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.met = storeMetrics{
 		replicas:     reg.Gauge("store.replicas"),
 		logEntries:   reg.Gauge("store.log_entries"),
@@ -639,40 +627,33 @@ func (s *Store) AttachMetrics(reg *telemetry.Registry) {
 		rollbacks:    reg.Counter("store.rollbacks_total"),
 		undone:       reg.Counter("store.undone_updates_total"),
 	}
-	for i := range s.stripes {
-		st := &s.stripes[i]
-		st.mu.Lock()
-		for _, r := range st.replicas {
-			r.met = s.met
-			s.met.replicas.Add(1)
-			s.met.logEntries.Add(int64(len(r.log)))
-			s.met.checkpoints.Add(int64(len(r.checkpoints)))
-			s.met.pending.Add(int64(r.Pending()))
-			s.met.windowStamps.Add(int64(r.vec.WindowStamps()))
-		}
-		st.mu.Unlock()
-	}
+	s.replicas.Range(func(_, v any) bool {
+		r := v.(*Replica)
+		r.met = s.met
+		s.met.replicas.Add(1)
+		s.met.logEntries.Add(int64(len(r.log)))
+		s.met.checkpoints.Add(int64(len(r.checkpoints)))
+		s.met.pending.Add(int64(r.Pending()))
+		s.met.windowStamps.Add(int64(r.vec.WindowStamps()))
+		return true
+	})
 }
 
 // Open returns the replica of file, creating it on first access — the
 // paper's "IDEA retrieves a copy of the file from the underlying
 // replication-based system".
 func (s *Store) Open(file id.FileID) *Replica {
-	st := s.stripe(file)
-	st.mu.RLock()
-	r, ok := st.replicas[file]
-	st.mu.RUnlock()
-	if ok {
-		return r
+	if v, ok := s.replicas.Load(file); ok {
+		return v.(*Replica)
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if r, ok = st.replicas[file]; ok {
-		return r
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.replicas.Load(file); ok {
+		return v.(*Replica)
 	}
-	r = NewReplica(file, s.owner)
+	r := NewReplica(file, s.owner)
 	r.met = s.met
-	st.replicas[file] = r
+	s.replicas.Store(file, r)
 	s.met.replicas.Add(1)
 	return r
 }
@@ -680,35 +661,32 @@ func (s *Store) Open(file id.FileID) *Replica {
 // Peek returns the replica of file without creating one; nil when the
 // node holds no replica.
 func (s *Store) Peek(file id.FileID) *Replica {
-	st := s.stripe(file)
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.replicas[file]
+	if v, ok := s.replicas.Load(file); ok {
+		return v.(*Replica)
+	}
+	return nil
 }
 
-// Files returns the open file IDs in sorted order. The snapshot is
-// consistent per stripe, which is all cross-file operations (gossip
-// sweeps, metrics, ListFiles-style merges) need.
+// Files returns the open file IDs in sorted order.
 func (s *Store) Files() []id.FileID {
 	return s.FilesFiltered(nil)
 }
 
 // FilesFiltered returns the open file IDs matching keep (nil keeps all)
-// in sorted order. Filtering happens during the stripe scan, so a caller
-// owning 1/N of the files — a shard's gossip sweep — pays for sorting
-// only its own subset rather than the node's whole file census.
+// in sorted order. Filtering happens during the scan, so a caller owning
+// 1/N of the files — a shard's gossip sweep — pays for sorting only its
+// own subset rather than the node's whole file census. The enumeration
+// is weakly consistent (files opened mid-scan may or may not appear),
+// which is all cross-file operations need.
 func (s *Store) FilesFiltered(keep func(id.FileID) bool) []id.FileID {
 	var out []id.FileID
-	for i := range s.stripes {
-		st := &s.stripes[i]
-		st.mu.RLock()
-		for f := range st.replicas {
-			if keep == nil || keep(f) {
-				out = append(out, f)
-			}
+	s.replicas.Range(func(k, _ any) bool {
+		f := k.(id.FileID)
+		if keep == nil || keep(f) {
+			out = append(out, f)
 		}
-		st.mu.RUnlock()
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -1,0 +1,19 @@
+package telemetry
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The whole point of the striped cells is that adjacent stripes never
+// share a 64-byte cache line; that only holds while the element sizes
+// stay exact multiples of 64. This pins the layout against innocent
+// field additions.
+func TestStripeCellsAreCacheLineSized(t *testing.T) {
+	if s := unsafe.Sizeof(cell{}); s%64 != 0 {
+		t.Fatalf("cell is %d bytes; must be a multiple of 64", s)
+	}
+	if s := unsafe.Sizeof(histCell{}); s%64 != 0 {
+		t.Fatalf("histCell is %d bytes; must be a multiple of 64", s)
+	}
+}

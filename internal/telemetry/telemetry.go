@@ -6,6 +6,16 @@
 // when no registry is attached. All operations are safe for concurrent
 // use — the live transport records from several goroutines while the
 // admin endpoint snapshots.
+//
+// Hot-path writes are striped: a counter, gauge, or histogram spreads its
+// accumulation over several cacheline-padded cells, and each writer picks
+// a cell with per-P affinity (a sync.Pool round-robin). Shard executors
+// on different cores therefore do not serialize on — or bounce — a single
+// cache line per event, which is what flattened the sharded runtime's
+// write throughput before striping. Reads (Value, Quantile, Snapshot)
+// merge the cells; they are slightly more expensive and remain exact for
+// counters and gauges, while histogram min/max/sum merge across cells
+// with the same semantics as before.
 package telemetry
 
 import (
@@ -16,9 +26,45 @@ import (
 	"time"
 )
 
+// stripes is the number of padded cells each hot metric spreads its
+// writes across. Eight covers the shard counts the runtime actually uses
+// (one per CPU, small machines) without bloating the many registries the
+// emulator creates; it must be a power of two.
+const (
+	stripes    = 8
+	stripeMask = stripes - 1
+)
+
+// cell is one cacheline-padded accumulator. 64-byte alignment padding
+// keeps neighbouring cells out of each other's cache line so striped
+// writers never false-share.
+type cell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// stripePool hands out stripe indices with per-P affinity: sync.Pool
+// keeps freed values in per-P caches, so a goroutine running on one core
+// keeps drawing the same index while goroutines on other cores draw
+// others. The fallback New round-robins so cold starts still spread.
+var (
+	stripeNext atomic.Int64
+	stripePool = sync.Pool{New: func() any {
+		s := int(stripeNext.Add(1)) & stripeMask
+		return &s
+	}}
+)
+
+func stripe() int {
+	p := stripePool.Get().(*int)
+	s := *p
+	stripePool.Put(p)
+	return s
+}
+
 // Counter is a monotonically increasing event count.
 type Counter struct {
-	v atomic.Int64
+	cells [stripes]cell
 }
 
 // Inc adds one. Safe on a nil receiver (no-op).
@@ -29,7 +75,7 @@ func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
 	}
-	c.v.Add(n)
+	c.cells[stripe()].v.Add(n)
 }
 
 // Value returns the current count; zero on a nil receiver.
@@ -37,12 +83,19 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v.Load()
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].v.Load()
+	}
+	return sum
 }
 
-// Gauge is a point-in-time level (queue depth, log length, …).
+// Gauge is a point-in-time level (queue depth, log length, …). Delta
+// maintenance (Add) stripes like a counter; Set writes an absolute level.
+// A gauge should be maintained by Set or by Add, not a concurrent mix:
+// Set rebases every cell, so a racing Add's delta may be absorbed.
 type Gauge struct {
-	v atomic.Int64
+	cells [stripes]cell
 }
 
 // Set stores v. Safe on a nil receiver (no-op).
@@ -50,7 +103,10 @@ func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
 	}
-	g.v.Store(v)
+	g.cells[0].v.Store(v)
+	for i := 1; i < stripes; i++ {
+		g.cells[i].v.Store(0)
+	}
 }
 
 // Add moves the gauge by n. Safe on a nil receiver (no-op).
@@ -58,7 +114,7 @@ func (g *Gauge) Add(n int64) {
 	if g == nil {
 		return
 	}
-	g.v.Add(n)
+	g.cells[stripe()].v.Add(n)
 }
 
 // Value returns the current level; zero on a nil receiver.
@@ -66,7 +122,11 @@ func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.v.Load()
+	var sum int64
+	for i := range g.cells {
+		sum += g.cells[i].v.Load()
+	}
+	return sum
 }
 
 // Histogram accumulates observations into fixed exponential buckets.
@@ -75,12 +135,21 @@ func (g *Gauge) Value() int64 {
 // within the containing bucket, which is accurate to the bucket growth
 // factor (~1.3x here) — plenty for p50/p95/p99 reporting.
 type Histogram struct {
-	bounds []float64 // upper bounds, ascending; len(buckets) == len(bounds)+1
+	bounds []float64 // upper bounds, ascending; len(cell counts) == len(bounds)+1
+	cells  []histCell
+}
+
+// histCell is one stripe of a histogram: its own bucket array and scalar
+// accumulators, padded to exactly 64 bytes (24-byte slice header + four
+// 8-byte scalars + 8 pad) so adjacent stripes in the cells array never
+// share a cache line; the bucket arrays are separate allocations.
+type histCell struct {
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits accumulated via CAS
 	min    atomic.Uint64 // float64 bits
 	max    atomic.Uint64 // float64 bits
+	_      [8]byte
 }
 
 // DefaultLatencyBounds covers 50µs .. ~80s with ~1.3x growth — wide
@@ -101,10 +170,14 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 	h := &Histogram{
 		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		cells:  make([]histCell, stripes),
 	}
-	h.min.Store(math.Float64bits(math.Inf(1)))
-	h.max.Store(math.Float64bits(math.Inf(-1)))
+	for i := range h.cells {
+		c := &h.cells[i]
+		c.counts = make([]atomic.Int64, len(bounds)+1)
+		c.min.Store(math.Float64bits(math.Inf(1)))
+		c.max.Store(math.Float64bits(math.Inf(-1)))
+	}
 	return h
 }
 
@@ -113,28 +186,50 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	c := &h.cells[stripe()]
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i].Add(1)
-	h.count.Add(1)
+	c.counts[i].Add(1)
+	c.count.Add(1)
 	for {
-		old := h.sum.Load()
+		old := c.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sum.CompareAndSwap(old, next) {
+		if c.sum.CompareAndSwap(old, next) {
 			break
 		}
 	}
 	for {
-		old := h.min.Load()
-		if v >= math.Float64frombits(old) || h.min.CompareAndSwap(old, math.Float64bits(v)) {
+		old := c.min.Load()
+		if v >= math.Float64frombits(old) || c.min.CompareAndSwap(old, math.Float64bits(v)) {
 			break
 		}
 	}
 	for {
-		old := h.max.Load()
-		if v <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+		old := c.max.Load()
+		if v <= math.Float64frombits(old) || c.max.CompareAndSwap(old, math.Float64bits(v)) {
 			break
 		}
 	}
+}
+
+// minValue/maxValue merge the per-cell extremes.
+func (h *Histogram) minValue() float64 {
+	m := math.Inf(1)
+	for i := range h.cells {
+		if v := math.Float64frombits(h.cells[i].min.Load()); v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (h *Histogram) maxValue() float64 {
+	m := math.Inf(-1)
+	for i := range h.cells {
+		if v := math.Float64frombits(h.cells[i].max.Load()); v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 // ObserveDuration records d in seconds. Safe on a nil receiver (no-op).
@@ -145,7 +240,11 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.count.Load()
+	var n int64
+	for i := range h.cells {
+		n += h.cells[i].count.Load()
+	}
+	return n
 }
 
 // Sum returns the accumulated total; zero on a nil receiver.
@@ -153,7 +252,11 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	return math.Float64frombits(h.sum.Load())
+	var s float64
+	for i := range h.cells {
+		s += math.Float64frombits(h.cells[i].sum.Load())
+	}
+	return s
 }
 
 // Mean returns Sum/Count, or zero with no observations.
@@ -170,7 +273,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	total := h.count.Load()
+	total := h.Count()
 	if total == 0 {
 		return 0
 	}
@@ -182,8 +285,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	rank := q * float64(total)
 	var cum float64
-	for i := range h.counts {
-		n := float64(h.counts[i].Load())
+	for i := 0; i <= len(h.bounds); i++ {
+		var n float64
+		for ci := range h.cells {
+			n += float64(h.cells[ci].counts[i].Load())
+		}
 		if n == 0 {
 			continue
 		}
@@ -196,15 +302,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 		// observation reports its own value, not a bucket edge.
 		frac := (rank - cum) / n
 		v := lo + frac*(hi-lo)
-		if min := math.Float64frombits(h.min.Load()); v < min {
+		if min := h.minValue(); v < min {
 			v = min
 		}
-		if max := math.Float64frombits(h.max.Load()); v > max {
+		if max := h.maxValue(); v > max {
 			v = max
 		}
 		return v
 	}
-	return math.Float64frombits(h.max.Load())
+	return h.maxValue()
 }
 
 func (h *Histogram) bucketSpan(i int) (lo, hi float64) {
@@ -212,8 +318,7 @@ func (h *Histogram) bucketSpan(i int) (lo, hi float64) {
 		return 0, h.bounds[0]
 	}
 	if i == len(h.bounds) {
-		hi = math.Float64frombits(h.max.Load())
-		return h.bounds[len(h.bounds)-1], hi
+		return h.bounds[len(h.bounds)-1], h.maxValue()
 	}
 	return h.bounds[i-1], h.bounds[i]
 }
@@ -352,7 +457,7 @@ func (r *Registry) Snapshot() Snapshot {
 			P99:   h.Quantile(0.99),
 		}
 		if hs.Count > 0 {
-			hs.Max = math.Float64frombits(h.max.Load())
+			hs.Max = h.maxValue()
 		}
 		s.Histograms[n] = hs
 	}

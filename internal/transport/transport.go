@@ -21,7 +21,13 @@
 // lazily and redials with exponential backoff, so a peer that starts late
 // or restarts becomes reachable as soon as it is up, and a slow peer can
 // never stall the protocol (its queue fills and overflow frames are
-// dropped, which the protocol's timeouts already tolerate).
+// dropped, which the protocol's timeouts already tolerate). The writer
+// coalesces queued frames into one write call per flush window, so many
+// shards bursting at one peer never pay per-frame syscalls, and enqueuing
+// shards share nothing with each other but the channel itself.
+//
+// Per-event telemetry is sampled (1 in 64) on the consuming side of each
+// queue; see sampleEvery.
 package transport
 
 import (
@@ -47,17 +53,49 @@ import (
 const MaxFrame = 16 << 20
 
 const (
-	// sendQueue bounds the per-peer outbound frame queue.
-	sendQueue = 4096
-	// shardQueue bounds one shard's inbound event queue; enqueues block
-	// when it fills (backpressure onto the TCP readers and injectors).
-	shardQueue = 1024
+	// defaultSendQueue bounds the per-peer outbound frame queue.
+	defaultSendQueue = 4096
+	// defaultShardQueue bounds one shard's inbound event queue; enqueues
+	// block when it fills (backpressure onto the TCP readers and
+	// injectors).
+	defaultShardQueue = 1024
 	// dialTimeout bounds one dial attempt.
 	dialTimeout = 3 * time.Second
 	// backoffMin/backoffMax bound the exponential redial backoff.
 	backoffMin = 50 * time.Millisecond
 	backoffMax = 3 * time.Second
+	// sampleEvery is the 1-in-N sampling rate of the per-event telemetry
+	// (queue-wait histogram, depth gauges). Unsampled instrumentation put
+	// two clock reads and a shared histogram write on every event — a
+	// measurable cross-shard serializer; uniform sampling keeps the
+	// distribution honest at 1/64 of the cost.
+	sampleEvery = 64
+	// flushBatchBytes caps how many queued frames the peer writer
+	// coalesces into one write call — the flush window of the batched
+	// send path.
+	flushBatchBytes = 64 << 10
+	// flushBatchFrames caps the frames per coalesced write.
+	flushBatchFrames = 128
 )
+
+// Opts tunes a Node's queues; the zero value selects the defaults. Shard
+// queues are per serialization domain, so total inbound buffering scales
+// with the shard count; SendQueue bounds each peer's outbound frame
+// queue.
+type Opts struct {
+	ShardQueue int
+	SendQueue  int
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.ShardQueue <= 0 {
+		o.ShardQueue = defaultShardQueue
+	}
+	if o.SendQueue <= 0 {
+		o.SendQueue = defaultSendQueue
+	}
+	return o
+}
 
 type eventKind int
 
@@ -101,6 +139,7 @@ type Node struct {
 	sh     env.Sharded // nil for plain single-domain handlers
 	ln     net.Listener
 	logger *log.Logger
+	opts   Opts
 
 	shards []*shardLoop
 	done   chan struct{}
@@ -131,6 +170,11 @@ type shardLoop struct {
 	events chan event
 	env    liveEnv
 	depth  *telemetry.Gauge
+	// seq counts dequeued events; only the executor goroutine touches it.
+	// Every sampleEvery-th event feeds the queue-wait histogram and the
+	// depth gauge (plus a settle-to-zero update whenever the queue runs
+	// dry, so an idle shard never freezes its gauge at a stale depth).
+	seq uint64
 }
 
 // peerLink is the outbound side of one peer: a bounded frame queue
@@ -191,9 +235,14 @@ func (l *peerLink) shutdown() {
 	}
 }
 
-// Listen binds addr and returns a Node ready to Start. Pass logger nil to
-// disable debug logging.
+// Listen binds addr and returns a Node ready to Start with default queue
+// sizing. Pass logger nil to disable debug logging.
 func Listen(nid id.NodeID, addr string, h env.Handler, logger *log.Logger) (*Node, error) {
+	return ListenOpts(nid, addr, h, logger, Opts{})
+}
+
+// ListenOpts is Listen with explicit queue sizing.
+func ListenOpts(nid id.NodeID, addr string, h env.Handler, logger *log.Logger, opts Opts) (*Node, error) {
 	wire.Register()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -205,6 +254,7 @@ func Listen(nid id.NodeID, addr string, h env.Handler, logger *log.Logger) (*Nod
 		h:       h,
 		ln:      ln,
 		logger:  logger,
+		opts:    opts.withDefaults(),
 		done:    make(chan struct{}),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -219,7 +269,7 @@ func Listen(nid id.NodeID, addr string, h env.Handler, logger *log.Logger) (*Nod
 	seed := time.Now().UnixNano() ^ int64(nid)
 	n.shards = make([]*shardLoop, nsh)
 	for i := 0; i < nsh; i++ {
-		sl := &shardLoop{idx: i, events: make(chan event, shardQueue)}
+		sl := &shardLoop{idx: i, events: make(chan event, n.opts.ShardQueue)}
 		sl.env = liveEnv{n: n, shard: i, rng: rand.New(rand.NewSource(seed ^ int64(i)*0x9e3779b97f4a7c))}
 		n.shards[i] = sl
 	}
@@ -253,14 +303,15 @@ func (n *Node) shardOfFile(f id.FileID) *shardLoop {
 	return n.shards[env.ClampShard(n.sh.ShardOfFile(f), len(n.shards))]
 }
 
-// enqueue places ev on the shard's queue, blocking for backpressure, and
-// maintains the depth gauge. It reports false when the node is shutting
-// down.
+// enqueue places ev on the shard's queue, blocking for backpressure. It
+// reports false when the node is shutting down. The producer side stays
+// minimal — one clock read and the channel send; queue telemetry is
+// maintained by the consuming executor (sampled), so concurrent
+// producers never serialize on a shared gauge.
 func (n *Node) enqueue(sl *shardLoop, ev event) bool {
 	ev.enq = time.Now()
 	select {
 	case sl.events <- ev:
-		sl.depth.Set(int64(len(sl.events)))
 		return true
 	case <-n.done:
 		return false
@@ -370,9 +421,9 @@ func (n *Node) Close() error {
 		for c := range n.inbound {
 			c.Close()
 		}
-		// Sever outbound connections too: a writer blocked in
-		// writeFrame on a stalled peer must be unblocked or wg.Wait
-		// hangs forever.
+		// Sever outbound connections too: a writer blocked mid-write
+		// on a stalled peer must be unblocked or wg.Wait hangs
+		// forever.
 		for _, l := range n.links {
 			l.closeConn()
 		}
@@ -390,8 +441,13 @@ func (n *Node) shardLoopRun(sl *shardLoop) {
 		case <-n.done:
 			return
 		case ev := <-sl.events:
-			sl.depth.Set(int64(len(sl.events)))
-			n.met.queueWait.ObserveDuration(time.Since(ev.enq))
+			if sl.seq%sampleEvery == 0 {
+				sl.depth.Set(int64(len(sl.events)))
+				n.met.queueWait.ObserveDuration(time.Since(ev.enq))
+			} else if len(sl.events) == 0 && sl.depth.Value() != 0 {
+				sl.depth.Set(0)
+			}
+			sl.seq++
 			switch ev.kind {
 			case evStart:
 				n.h.Start(e)
@@ -452,6 +508,17 @@ func (n *Node) readLoop(c net.Conn) {
 		n.met.decode.ObserveDuration(time.Since(t0))
 		n.met.framesIn.Inc()
 		n.met.bytesIn.Add(int64(len(frame)) + 4)
+		if mm, ok := envl.Msg.(env.Multi); ok {
+			// One frame, many messages: each sub-message routes to the
+			// shard owning its file, preserving the per-file ordering
+			// contract (this reader enqueues them in send order).
+			for _, sub := range mm.Unbatch() {
+				if !n.enqueue(n.shardOfMsg(sub), event{kind: evRecv, from: envl.From, msg: sub}) {
+					return
+				}
+			}
+			continue
+		}
 		if !n.enqueue(n.shardOfMsg(envl.Msg), event{kind: evRecv, from: envl.From, msg: envl.Msg}) {
 			return
 		}
@@ -481,7 +548,9 @@ func (n *Node) send(to id.NodeID, msg env.Message) {
 	}
 	select {
 	case l.out <- frame:
-		l.depth.Set(int64(len(l.out)))
+		// The queue-depth gauge is maintained by the draining writer
+		// (sampled); senders from different shards must not serialize
+		// on it.
 	default:
 		n.met.dropped.Inc()
 		n.logf("send %v: queue full, dropping %s", to, wm.Kind())
@@ -501,7 +570,7 @@ func (n *Node) link(to id.NodeID) (*peerLink, error) {
 	}
 	l := &peerLink{
 		nid:   to,
-		out:   make(chan []byte, sendQueue),
+		out:   make(chan []byte, n.opts.SendQueue),
 		depth: n.reg.Gauge(fmt.Sprintf("transport.queue_depth.%v", to)),
 		done:  make(chan struct{}),
 	}
@@ -520,12 +589,20 @@ func (n *Node) peerAddr(nid id.NodeID) (string, bool) {
 
 // writerLoop owns one peer's connection: it dials on demand, redials
 // with exponential backoff (jittered, capped), and drains the frame
-// queue. A frame that fails mid-write is retried on the next connection
-// rather than lost.
+// queue in coalesced batches — one blocking dequeue, then every frame
+// already queued (up to the flush window) is gathered into a single
+// write call. N shards fanning frames at one peer therefore cost one
+// syscall per flush window instead of two per frame, and the connection
+// writer stops being the serialization point of the sharded send path.
+// Frames that fail mid-write are retried on the next connection rather
+// than lost; a reconnect may duplicate the tail of a partially written
+// batch, which the protocol's per-writer sequence dedup already absorbs.
 func (n *Node) writerLoop(l *peerLink) {
 	defer n.wg.Done()
 	var c net.Conn
-	var pending []byte
+	var batch [][]byte // dequeued frames not yet confirmed written
+	var wbuf []byte    // reusable coalesced write buffer
+	var sends uint64   // flush counter for sampled depth-gauge updates
 	backoff := backoffMin
 	defer func() {
 		if c != nil {
@@ -575,17 +652,37 @@ func (n *Node) writerLoop(l *peerLink) {
 			backoff = backoffMin
 			n.met.connects.Inc()
 		}
-		if pending == nil {
+		if len(batch) == 0 {
+			var first []byte
 			select {
-			case pending = <-l.out:
-				l.depth.Set(int64(len(l.out)))
+			case first = <-l.out:
 			case <-n.done:
 				return
 			case <-l.done:
 				return
 			}
+			batch = append(batch, first)
+			// Opportunistically coalesce whatever else is already
+			// queued, bounded by the flush window.
+			size := len(first)
+			for len(batch) < flushBatchFrames && size < flushBatchBytes {
+				select {
+				case f := <-l.out:
+					batch = append(batch, f)
+					size += len(f)
+				default:
+					size = flushBatchBytes // queue drained: flush now
+				}
+			}
 		}
-		if err := writeFrame(c, pending); err != nil {
+		wbuf = wbuf[:0]
+		for _, f := range batch {
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(f)))
+			wbuf = append(wbuf, hdr[:]...)
+			wbuf = append(wbuf, f...)
+		}
+		if _, err := c.Write(wbuf); err != nil {
 			select {
 			case <-n.done:
 				return
@@ -597,11 +694,18 @@ func (n *Node) writerLoop(l *peerLink) {
 			c.Close()
 			c = nil
 			l.setConn(nil)
-			continue // redial and retry the same frame
+			continue // redial and retry the whole batch
 		}
-		n.met.framesOut.Inc()
-		n.met.bytesOut.Add(int64(len(pending)) + 4)
-		pending = nil
+		n.met.framesOut.Add(int64(len(batch)))
+		n.met.bytesOut.Add(int64(len(wbuf)))
+		batch = batch[:0]
+		if sends%sampleEvery == 0 || len(l.out) == 0 {
+			l.depth.Set(int64(len(l.out)))
+		}
+		sends++
+		if cap(wbuf) > 4*flushBatchBytes {
+			wbuf = nil // don't pin an outsized buffer after a burst
+		}
 	}
 }
 
@@ -638,16 +742,6 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
-}
-
-func writeFrame(w io.Writer, frame []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(frame)
-	return err
 }
 
 // liveEnv implements env.Env on top of a Node. Each shard executor owns

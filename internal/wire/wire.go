@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"idea/internal/env"
 	"idea/internal/id"
 	"idea/internal/vv"
 )
@@ -92,6 +93,29 @@ type GossipDigest struct {
 
 // Kind implements Message.
 func (GossipDigest) Kind() string { return "gossip.digest" }
+
+// DigestBatch bundles one gossip round's digests bound for the same peer
+// into a single frame: a shard sweeping F files pays one envelope, one
+// encode, and one queue slot per peer per round instead of F of each.
+// It implements env.Multi, so both runtimes split it back into its
+// per-file digests on arrival and every digest still executes in the
+// shard owning its file; the batch itself is never handed to a sharded
+// handler.
+type DigestBatch struct {
+	Digests []GossipDigest
+}
+
+// Kind implements Message.
+func (DigestBatch) Kind() string { return "gossip.digest_batch" }
+
+// Unbatch implements env.Multi.
+func (b DigestBatch) Unbatch() []env.Message {
+	out := make([]env.Message, len(b.Digests))
+	for i, d := range b.Digests {
+		out[i] = d
+	}
+	return out
+}
 
 // GossipReport flows back to the origin when a bottom-layer node found a
 // conflict the top layer did not know about.
@@ -473,6 +497,7 @@ func Register() {
 		gob.Register(DetectRequest{})
 		gob.Register(DetectReply{})
 		gob.Register(GossipDigest{})
+		gob.Register(DigestBatch{})
 		gob.Register(GossipReport{})
 		gob.Register(RansubCollect{})
 		gob.Register(RansubDistribute{})
@@ -511,7 +536,9 @@ func Register() {
 // contract. Node-global protocol families return ok=false and run on
 // shard 0 — the RanSub waves do carry a FileID, but the temperature
 // overlay's tree state is node-global by design, so they are deliberately
-// not file-routed.
+// not file-routed. env.Multi bundles (DigestBatch) are split by the
+// runtime before routing, so they never reach this switch on the bundled
+// runtimes and deliberately have no case.
 func RoutingFile(msg Message) (id.FileID, bool) {
 	switch m := msg.(type) {
 	case DetectRequest:
