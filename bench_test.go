@@ -28,6 +28,7 @@ import (
 	"idea/internal/overlay"
 	"idea/internal/store"
 	"idea/internal/telemetry"
+	"idea/internal/tracing"
 	"idea/internal/transport"
 	"idea/internal/vv"
 	"idea/internal/wire"
@@ -57,11 +58,18 @@ func linearMissingFrom(log []wire.Update, remote *vv.Vector) []wire.Update {
 // sharded core node with gossip/ransub off behind a real TCP transport
 // with metrics attached.
 func newBurstNode(tb testing.TB, shards int) (*core.Node, *transport.Node) {
+	return newTracedBurstNode(tb, shards, tracing.Config{})
+}
+
+// newTracedBurstNode is newBurstNode with a tracing config, so the bench
+// can compare the burst with tracing off against 1% sampling.
+func newTracedBurstNode(tb testing.TB, shards int, tc tracing.Config) (*core.Node, *transport.Node) {
 	n := core.NewNode(1, core.Options{
 		Membership:    overlay.NewStatic([]id.NodeID{1}, nil),
 		Shards:        shards,
 		DisableGossip: true,
 		DisableRansub: true,
+		Tracing:       tc,
 	})
 	tn, err := transport.Listen(1, "127.0.0.1:0", n, nil)
 	if err != nil {
@@ -118,6 +126,57 @@ func burstWrites(_ testing.TB, n *core.Node, tn *transport.Node, files, writers,
 		time.Sleep(50 * time.Microsecond)
 	}
 	return float64(total) / time.Since(start).Seconds()
+}
+
+// percentileMs returns the q-quantile of ds in milliseconds
+// (nearest-rank on the sorted slice; 0 when empty).
+func percentileMs(ds []time.Duration, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// traceVisibilityStats drives a fully-sampled (SampleEvery=1) hint-based
+// cluster under virtual time and derives the visibility SLO numbers from
+// the merged causal timelines: write-visibility latency (inject → last
+// apply on any replica) and resolution latency (resolve.start →
+// resolve.verdict) percentiles. Virtual time makes these deterministic
+// for a given seed, so the bench gate can hold them to a tight tolerance.
+func traceVisibilityStats() (visP50, visP95, visP99, resolveP99 float64, traced int) {
+	cl := experiments.NewCluster(experiments.ClusterConfig{
+		Seed: 11, Nodes: 12, Writers: 4, Gossip: true,
+		Mutate: func(_ id.NodeID, o *core.Options) {
+			o.Tracing = tracing.Config{SampleEvery: 1, BufferPerStripe: 8192}
+		},
+	})
+	cl.Warmup()
+	for _, w := range cl.Writers {
+		if err := cl.Nodes[w].SetHint(experiments.SharedFile, 0.95); err != nil {
+			panic(err)
+		}
+	}
+	cl.ScheduleUniformWrites(5*time.Second, 200*time.Second)
+	cl.C.RunFor(230 * time.Second)
+
+	dumps := make([]tracing.Dump, 0, len(cl.All))
+	for _, nid := range cl.All {
+		dumps = append(dumps, tracing.DumpOf(cl.Nodes[nid].Tracer(), 0, ""))
+	}
+	var vis, res []time.Duration
+	for _, tl := range tracing.Merge(dumps) {
+		if d, ok := tl.Visibility(); ok {
+			vis = append(vis, d)
+		}
+		if d, ok := tl.Resolution(); ok {
+			res = append(res, d)
+		}
+	}
+	return percentileMs(vis, 0.50), percentileMs(vis, 0.95), percentileMs(vis, 0.99),
+		percentileMs(res, 0.99), len(vis)
 }
 
 // joinCatchupSeconds measures the dynamic-membership bootstrap: a seed
@@ -257,10 +316,24 @@ func BenchmarkCoreBaseline(b *testing.B) {
 	const headlineShards = 4
 	opsHeadline := opsByShards[headlineShards]
 
+	// Tracing overhead headline: the same 4-shard burst with 1% write
+	// sampling, against the tracing-off run just measured. A ratio near
+	// 1.0 backs the "near-zero cost" claim; the gate holds it.
+	tn2, ttn2 := newTracedBurstNode(b, headlineShards, tracing.Config{SampleEvery: 100})
+	opsTraced := burstWrites(b, tn2, ttn2, benchFiles, benchWriters, opsPerWriter)
+	ttn2.Close()
+	tracingRatio := opsTraced / opsHeadline
+
+	// Visibility SLO headline: merged-timeline write-visibility and
+	// resolution latency percentiles from a fully-sampled emulation.
+	visP50, visP95, visP99, resolveP99, traced := traceVisibilityStats()
+
 	// Dynamic-membership headline: seed-address-only join + snapshot
 	// bootstrap into the same 50k-update scenario.
 	joinSecs := joinCatchupSeconds(b, updates, writers)
 
+	b.ReportMetric(visP99, "visibility-p99-ms")
+	b.ReportMetric(tracingRatio, "traced-ops-ratio")
 	b.ReportMetric(joinSecs, "join-catchup-s")
 	b.ReportMetric(float64(digestBytes), "digest-bytes")
 	b.ReportMetric(indexedNs, "missingfrom-ns")
@@ -271,22 +344,28 @@ func BenchmarkCoreBaseline(b *testing.B) {
 	b.ReportMetric(opsHeadline/opsSingle, "shard-speedup-x")
 
 	baseline := map[string]any{
-		"updates_per_replica":       updates,
-		"writers":                   writers,
-		"missing_per_writer":        missing,
-		"vv_window":                 vv.DefaultWindow,
-		"digest_stamps":             8,
-		"digest_encode_bytes":       digestBytes,
-		"missing_from_ns_indexed":   indexedNs,
-		"missing_from_ns_full_scan": legacyNs,
-		"missing_from_speedup_x":    legacyNs / indexedNs,
-		"parallel_write_files":      benchFiles,
-		"parallel_write_writers":    benchWriters,
-		"parallel_write_shards":     headlineShards,
-		"parallel_write_speedup_x":  opsHeadline / opsSingle,
-		"join_catchup_seconds":      joinSecs,
-		"gomaxprocs":                runtime.GOMAXPROCS(0),
-		"go":                        runtime.Version(),
+		"updates_per_replica":              updates,
+		"writers":                          writers,
+		"missing_per_writer":               missing,
+		"vv_window":                        vv.DefaultWindow,
+		"digest_stamps":                    8,
+		"digest_encode_bytes":              digestBytes,
+		"missing_from_ns_indexed":          indexedNs,
+		"missing_from_ns_full_scan":        legacyNs,
+		"missing_from_speedup_x":           legacyNs / indexedNs,
+		"parallel_write_files":             benchFiles,
+		"parallel_write_writers":           benchWriters,
+		"parallel_write_shards":            headlineShards,
+		"parallel_write_speedup_x":         opsHeadline / opsSingle,
+		"join_catchup_seconds":             joinSecs,
+		"write_visibility_ms_p50":          visP50,
+		"write_visibility_ms_p95":          visP95,
+		"write_visibility_ms_p99":          visP99,
+		"resolve_latency_ms_p99":           resolveP99,
+		"traced_writes":                    traced,
+		"tracing_sampled_throughput_ratio": tracingRatio,
+		"gomaxprocs":                       runtime.GOMAXPROCS(0),
+		"go":                               runtime.Version(),
 	}
 	for _, sc := range shardCounts {
 		baseline[fmt.Sprintf("parallel_write_ops_per_sec_shards_%d", sc)] = opsByShards[sc]

@@ -37,6 +37,14 @@ var trackedMetrics = []gateMetric{
 	{"parallel_write_ops_per_sec_shards_4", true, 0.50},
 	{"parallel_write_speedup_x", true, 0.20},
 	{"join_catchup_seconds", false, 1.00},
+	// Visibility SLOs come from merged causal timelines under virtual
+	// time — deterministic for the bench seed, so the tolerance only
+	// absorbs legitimate protocol-timing shifts, not hardware.
+	{"write_visibility_ms_p99", false, 0.20},
+	{"resolve_latency_ms_p99", false, 0.20},
+	// Tracing must stay near-free: throughput at 1% sampling over
+	// throughput with tracing off, same machine, same run.
+	{"tracing_sampled_throughput_ratio", true, 0.25},
 }
 
 // minSpeedupProcs is the core count below which the parallel speedup

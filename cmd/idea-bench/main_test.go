@@ -52,6 +52,9 @@ func goodBench() map[string]any {
 		"parallel_write_ops_per_sec_shards_4": 410000.0,
 		"parallel_write_speedup_x":            1.02,
 		"join_catchup_seconds":                0.05,
+		"write_visibility_ms_p99":             450.0,
+		"resolve_latency_ms_p99":              300.0,
+		"tracing_sampled_throughput_ratio":    0.99,
 		"gomaxprocs":                          1.0,
 	}
 }
@@ -128,6 +131,28 @@ func TestGateEnforcesSpeedupFloorOnMulticore(t *testing.T) {
 		// The baseline still has speedup 1.02 (higher-better, 20% tol):
 		// 2.6 vs 1.02 is an improvement, so only the floor matters.
 		t.Fatalf("gate failed a passing 2.6x speedup: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateCatchesVisibilitySLOViolation(t *testing.T) {
+	dir := t.TempDir()
+	b := goodBench()
+	b["write_visibility_ms_p99"] = 600.0 // +33% vs its 20% tolerance
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	if err := runGate(bench, base, 2.0, &strings.Builder{}); err == nil {
+		t.Fatal("gate passed a 33% write-visibility p99 regression")
+	}
+}
+
+func TestGateCatchesTracingOverheadRegression(t *testing.T) {
+	dir := t.TempDir()
+	b := goodBench()
+	b["tracing_sampled_throughput_ratio"] = 0.60 // tracing now costs 40%
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	if err := runGate(bench, base, 2.0, &strings.Builder{}); err == nil {
+		t.Fatal("gate passed a 40% tracing overhead")
 	}
 }
 

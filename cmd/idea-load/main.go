@@ -57,6 +57,7 @@ func main() {
 	shards := flag.Int("shards", 0, "driver node's per-file serialization domains (0 = one per CPU, 1 = classic single loop)")
 	swim := flag.Bool("swim", false, "dynamic membership: SWIM failure detection + live join/leave")
 	join := flag.String("join", "", "seed address to join the cluster (implies -swim; -peers/-all not needed)")
+	traceEvery := flag.Int("trace-every", 0, "sample 1 in N of the driver's writes for causal tracing (0 = off)")
 	admin := flag.String("admin", "", "serve /metrics + /healthz on this address")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "settle time before driving load")
@@ -93,6 +94,7 @@ func main() {
 		Shards:    *shards,
 		Swim:      *swim,
 		Join:      *join,
+		Tracing:   idea.TracingConfig{SampleEvery: *traceEvery},
 	}
 	if len(cfg.All) == 0 {
 		cfg.All = cliutil.DefaultAll(cfg.Self, cfg.Peers)
@@ -109,7 +111,7 @@ func main() {
 		cfg.Self, node.Addr(), node.NumShards(), len(peerMap))
 
 	if *admin != "" {
-		srv, err := idea.ServeMetrics(*admin, node.Metrics())
+		srv, err := idea.ServeNodeAdmin(*admin, node.N)
 		if err != nil {
 			fatalf("admin: %v", err)
 		}

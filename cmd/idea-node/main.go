@@ -3,8 +3,10 @@
 // console on stdin drives writes, hints, and resolutions, so a handful of
 // terminals (or examples/tcpcluster programmatically) form a working
 // deployment. With -admin the node also serves an HTTP endpoint exposing
-// its telemetry registry (/metrics, JSON) and a liveness probe
-// (/healthz) — the surface cmd/idea-load reads while driving the cluster.
+// its telemetry registry (/metrics — JSON, or Prometheus text with
+// ?format=prom), a liveness probe (/healthz), pprof profiles
+// (/debug/pprof/), and — with -trace-every — the causal-tracing span
+// journal (/trace) that cmd/idea-trace merges into a cluster timeline.
 //
 // Usage:
 //
@@ -57,6 +59,7 @@ func main() {
 	compact := flag.Bool("compact-logs", false, "prune replica logs below the gossip-learned stability frontier (reads then serve only the live suffix)")
 	swim := flag.Bool("swim", false, "dynamic membership: SWIM failure detection + live join/leave")
 	join := flag.String("join", "", "seed address to join a live cluster (implies -swim; -peers/-all not needed)")
+	traceEvery := flag.Int("trace-every", 0, "sample 1 in N writes for causal tracing, journal on /trace (0 = off, 100 = 1%)")
 	verbose := flag.Bool("v", false, "verbose transport logging")
 	flag.Parse()
 
@@ -67,6 +70,7 @@ func main() {
 		CompactLogs: *compact,
 		Swim:        *swim,
 		Join:        *join,
+		Tracing:     idea.TracingConfig{SampleEvery: *traceEvery},
 	}
 	if *verbose {
 		cfg.Logger = log.New(os.Stderr, "idea-node ", log.LstdFlags|log.Lmicroseconds)
@@ -96,7 +100,7 @@ func main() {
 	fmt.Printf("node %v listening on %s (%d shard(s))\n", cfg.Self, node.Addr(), node.NumShards())
 
 	if *admin != "" {
-		srv, err := idea.ServeMetrics(*admin, node.Metrics())
+		srv, err := idea.ServeNodeAdmin(*admin, node.N)
 		if err != nil {
 			fatalf("admin: %v", err)
 		}

@@ -27,6 +27,7 @@ package idea
 
 import (
 	"log"
+	"net/http"
 	"time"
 
 	"idea/internal/core"
@@ -41,6 +42,7 @@ import (
 	"idea/internal/resolve"
 	"idea/internal/simnet"
 	"idea/internal/telemetry"
+	"idea/internal/tracing"
 	"idea/internal/transport"
 	"idea/internal/vv"
 	"idea/internal/wire"
@@ -126,10 +128,37 @@ type MetricsRegistry = telemetry.Registry
 type MetricsSnapshot = telemetry.Snapshot
 
 // ServeMetrics starts an admin HTTP listener on addr serving the
-// registry's snapshot on /metrics and a liveness probe on /healthz.
-// Close the returned server to stop it.
+// registry's snapshot on /metrics (JSON, or Prometheus text with
+// ?format=prom), a liveness probe on /healthz, and pprof profiles on
+// /debug/pprof/. Close the returned server to stop it.
 func ServeMetrics(addr string, reg *MetricsRegistry) (*telemetry.AdminServer, error) {
 	return telemetry.ServeAdmin(addr, reg)
+}
+
+// ---- Tracing ----
+
+// TracingConfig enables sampled causal tracing on a node (see
+// internal/tracing): one write in every SampleEvery mints a trace that
+// follows the op through detection, gossip, and resolution, with each
+// hop journaled per node. The zero value disables tracing.
+type TracingConfig = tracing.Config
+
+// Tracer is a node's causal tracer handle (Node.Tracer; nil when
+// tracing is disabled).
+type Tracer = tracing.Tracer
+
+// TraceDump is one node's exported span journal, as served on /trace
+// and consumed by cmd/idea-trace.
+type TraceDump = tracing.Dump
+
+// ServeNodeAdmin starts the full admin surface for a node: everything
+// ServeMetrics serves, plus the node's span journal on /trace
+// (filterable with ?trace= and ?file=). Close the returned server to
+// stop it.
+func ServeNodeAdmin(addr string, n *Node) (*telemetry.AdminServer, error) {
+	return telemetry.ServeAdminWith(addr, n.Metrics(), map[string]http.Handler{
+		"/trace": tracing.Handler(n.Tracer()),
+	})
 }
 
 // NewNode constructs a bare IDEA node; most callers use
@@ -161,6 +190,10 @@ type EmulatedClusterConfig struct {
 	GossipEvery time.Duration
 	// DisableGossip turns the bottom layer off (as in the paper's §6).
 	DisableGossip bool
+	// Tracing enables sampled causal tracing on every node. Sampling is
+	// a deterministic per-node write counter, so traced emulations stay
+	// reproducible.
+	Tracing TracingConfig
 }
 
 // EmulatedCluster is a deterministic in-process IDEA deployment under
@@ -192,6 +225,7 @@ func NewEmulatedCluster(cfg EmulatedClusterConfig) *EmulatedCluster {
 			DisableRansub: cfg.TopLayers != nil,
 			Gossip:        gossip.Config{Interval: cfg.GossipEvery},
 			Ransub:        ransub.Config{},
+			Tracing:       cfg.Tracing,
 		}
 		n := core.NewNode(nid, opts)
 		ec.nodes[nid] = n
@@ -289,6 +323,9 @@ type LiveNodeConfig struct {
 	// backpressure — scales with Shards.
 	ShardQueue int
 	SendQueue  int
+	// Tracing enables sampled causal tracing (journal served on /trace
+	// when the admin endpoint is up; zero disables).
+	Tracing TracingConfig
 	// Logger receives transport diagnostics (nil = silent).
 	Logger *log.Logger
 }
@@ -316,6 +353,7 @@ func NewLiveNode(cfg LiveNodeConfig) (*LiveNode, error) {
 		Shards:            shards,
 		DisableRansub:     cfg.TopLayers != nil,
 		CompactStableLogs: cfg.CompactLogs,
+		Tracing:           cfg.Tracing,
 	}
 	if cfg.Swim || cfg.Join != "" {
 		sc := membership.Config{}

@@ -41,6 +41,7 @@ import (
 	"idea/internal/resolve"
 	"idea/internal/store"
 	"idea/internal/telemetry"
+	"idea/internal/tracing"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -129,6 +130,12 @@ type Options struct {
 	// nil creates a fresh per-node registry (always available via
 	// Node.Metrics).
 	Metrics *telemetry.Registry
+	// Tracing enables the causal tracing layer: one write in every
+	// Tracing.SampleEvery mints a trace context that is piggybacked
+	// through detection, gossip, and resolution, with every hop recorded
+	// in the node's span journal (see internal/tracing and the /trace
+	// admin endpoint). The zero value disables tracing entirely.
+	Tracing tracing.Config
 }
 
 // NumShardsAuto selects one shard per available CPU (GOMAXPROCS).
@@ -212,6 +219,7 @@ type Node struct {
 	mem     overlay.Membership
 	ran     *ransub.Agent
 	reg     *telemetry.Registry
+	tr      *tracing.Tracer
 	met     coreMetrics
 	nshards int
 	shards  []*coreShard
@@ -265,6 +273,7 @@ func NewNode(self id.NodeID, opts Options) *Node {
 	if n.reg == nil {
 		n.reg = telemetry.NewRegistry()
 	}
+	n.tr = tracing.New(self, opts.Tracing)
 	if opts.HintDelta == 0 {
 		n.opts.HintDelta = 0.02
 	}
@@ -325,10 +334,12 @@ func NewNode(self id.NodeID, opts Options) *Node {
 		sh := &coreShard{n: n, idx: i, files: make(map[id.FileID]*fileState)}
 		sh.det = detect.New(opts.Detect, self, n.mem, n.st, n.quant)
 		sh.det.AttachMetrics(n.reg)
+		sh.det.SetTracer(n.tr)
 		sh.det.OnResult(sh.handleDetectResult)
 		sh.det.OnDiscrepancy(sh.handleDiscrepancy)
 		sh.res = resolve.New(opts.Resolve, self, n.mem, n.st)
 		sh.res.AttachMetrics(n.reg)
+		sh.res.SetTracer(n.tr)
 		sh.res.OnApplied(sh.handleApplied)
 		sh.res.OnOutcome(func(e env.Env, o resolve.Outcome) {
 			if f := n.onOutcome.get(); f != nil {
@@ -349,6 +360,14 @@ func NewNode(self id.NodeID, opts Options) *Node {
 			}
 			sh.gos.SetShard(i)
 			sh.gos.AttachMetrics(n.reg)
+			if n.tr != nil {
+				sh.gos.SetTracer(n.tr, func(f id.FileID) tracing.Context {
+					if r := n.st.Peek(f); r != nil {
+						return r.LastTrace()
+					}
+					return tracing.Context{}
+				})
+			}
 			if opts.CompactStableLogs {
 				// Bottom-layer digests double as a stability signal: once
 				// every peer is known to hold (and can no longer roll back
@@ -436,6 +455,10 @@ func (n *Node) Quantifier() *quantify.Quantifier { return n.quant }
 // subsystem — detection, resolution, gossip, the replica store, and the
 // live transport when one is attached — records into it.
 func (n *Node) Metrics() *telemetry.Registry { return n.reg }
+
+// Tracer exposes the node's causal tracer; nil when Options.Tracing is
+// zero (every tracing call site is nil-safe).
+func (n *Node) Tracer() *tracing.Tracer { return n.tr }
 
 // AlertsTotal returns how many bottom-layer discrepancy alerts fired.
 func (n *Node) AlertsTotal() int { return int(n.met.alerts.Value()) }
@@ -638,12 +661,16 @@ func (n *Node) Write(e env.Env, file id.FileID, op string, data []byte, meta flo
 // via the OnLevel hook with this specific write. Tokens are unique per
 // (file's shard); correlate by (file, token) on multi-shard nodes.
 func (n *Node) WriteTracked(e env.Env, file id.FileID, op string, data []byte, meta float64) (wire.Update, int64) {
-	u := n.st.Open(file).WriteLocal(e.Stamp(), op, data, meta)
+	// Sampling decision first: a sampled write mints the trace the whole
+	// lifecycle joins (inject → log append → detect → gossip → resolve).
+	tc := n.tr.StartWrite(e.Now(), file, 0)
+	u := n.st.Open(file).WriteLocalTraced(e.Stamp(), op, data, meta, tc)
+	tc = n.tr.Event(e.Now(), tc, tracing.EvWAL, file, id.Nil, int64(u.Seq))
 	n.met.writes.Inc()
 	if n.ran != nil {
 		n.ran.RecordUpdate(file)
 	}
-	token := n.shardOf(file).det.Detect(e, file)
+	token := n.shardOf(file).det.DetectTraced(e, file, tc)
 	return u, token
 }
 
@@ -713,7 +740,7 @@ func (sh *coreShard) handleDetectResult(e env.Env, res detect.Result) {
 		// (for OnDemand, "wants" is whatever IDEA has learned from
 		// complaints so far; initially zero → never auto-resolve).
 		if desired > 0 && res.Level < desired {
-			sh.res.RequestActive(e, res.File)
+			sh.res.RequestActiveTraced(e, res.File, res.TC)
 			return
 		}
 	case FullyAutomatic:
@@ -752,8 +779,9 @@ func (sh *coreShard) handleDiscrepancy(e env.Env, file id.FileID, top, bottom fl
 			a.RolledBack = true
 			a.Undone = len(undone)
 			n.met.rollbacks.Inc()
-			// Re-resolve to catch up with the true state.
-			sh.res.RequestActive(e, file)
+			// Re-resolve to catch up with the true state, continuing the
+			// timeline of the write whose gossip report exposed it.
+			sh.res.RequestActiveTraced(e, file, rep.TC)
 		}
 	}
 	if f := n.onAlert.get(); f != nil {

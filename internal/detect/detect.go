@@ -26,6 +26,7 @@ import (
 	"idea/internal/quantify"
 	"idea/internal/store"
 	"idea/internal/telemetry"
+	"idea/internal/tracing"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -68,6 +69,10 @@ type Result struct {
 	Replies int
 	// Elapsed is the detection delay as observed by the writer.
 	Elapsed time.Duration
+	// TC is the causal trace context of the verdict (zero when the
+	// triggering write was unsampled); the owner threads it into the
+	// resolution it requests.
+	TC tracing.Context
 }
 
 // ResultFunc receives completed detections on the writer.
@@ -111,6 +116,7 @@ type probe struct {
 	ref     id.NodeID
 	started time.Time
 	done    bool
+	tc      tracing.Context
 }
 
 // Detector runs on every node; the owning node routes detect messages,
@@ -124,6 +130,8 @@ type Detector struct {
 
 	onResult      ResultFunc
 	onDiscrepancy DiscrepancyFunc
+
+	tr *tracing.Tracer
 
 	nextToken int64
 	inflight  map[int64]*probe
@@ -183,6 +191,9 @@ func New(cfg Config, self id.NodeID, mem overlay.Membership, st *store.Store, q 
 // OnResult installs the completion callback.
 func (d *Detector) OnResult(f ResultFunc) { d.onResult = f }
 
+// SetTracer attaches the node's causal tracer (nil is fine and free).
+func (d *Detector) SetTracer(tr *tracing.Tracer) { d.tr = tr }
+
 // OnDiscrepancy installs the §4.4.2 discrepancy callback.
 func (d *Detector) OnDiscrepancy(f DiscrepancyFunc) { d.onDiscrepancy = f }
 
@@ -203,6 +214,13 @@ func (d *Detector) TopVerdict(file id.FileID) float64 {
 // result arrives via OnResult. With no top-layer peers the probe completes
 // immediately with success (a lone writer cannot conflict).
 func (d *Detector) Detect(e env.Env, file id.FileID) int64 {
+	return d.DetectTraced(e, file, tracing.Context{})
+}
+
+// DetectTraced is Detect carrying the causal trace context of the write
+// that triggered it; every probe hop joins the write's timeline. A zero
+// context (the unsampled common case) records nothing.
+func (d *Detector) DetectTraced(e env.Env, file id.FileID, tc tracing.Context) int64 {
 	d.nextToken++
 	token := d.nextToken
 	d.met.probes.Inc()
@@ -212,6 +230,7 @@ func (d *Detector) Detect(e env.Env, file id.FileID) int64 {
 		expect:  len(peers),
 		worst:   1,
 		started: e.Now(),
+		tc:      d.tr.Event(e.Now(), tc, tracing.EvDetectStart, file, id.Nil, token),
 	}
 	d.inflight[token] = p
 	if p.expect == 0 {
@@ -220,7 +239,7 @@ func (d *Detector) Detect(e env.Env, file id.FileID) int64 {
 	}
 	v := d.st.Open(file).Vector()
 	for _, peer := range peers {
-		e.Send(peer, wire.DetectRequest{File: file, Token: token, VV: v})
+		e.Send(peer, wire.DetectRequest{File: file, Token: token, VV: v, TC: p.tc})
 	}
 	e.After(d.cfg.Timeout, timerTimeout, timeoutData{file: file, token: token})
 	return token
@@ -236,7 +255,8 @@ func (d *Detector) HandleRequest(e env.Env, from id.NodeID, m wire.DetectRequest
 	local := d.st.Open(m.File)
 	lv := local.Vector()
 	cmp := vv.Compare(lv, m.VV)
-	rep := wire.DetectReply{File: m.File, Token: m.Token, VV: lv}
+	tc := d.tr.Event(e.Now(), m.TC, tracing.EvDetectPeer, m.File, from, m.Token)
+	rep := wire.DetectReply{File: m.File, Token: m.Token, VV: lv, TC: tc}
 	if cmp != vv.Equal {
 		refID, ref := d.quant.RefSel(map[id.NodeID]*vv.Vector{d.self: lv, from: m.VV})
 		triple, level := d.quant.Score(m.VV, ref)
@@ -252,11 +272,12 @@ func (d *Detector) HandleRequest(e env.Env, from id.NodeID, m wire.DetectRequest
 
 // HandleReply aggregates one peer's verdict into the writer's probe; the
 // probe finalizes when every peer answered (or on timeout).
-func (d *Detector) HandleReply(e env.Env, _ id.NodeID, m wire.DetectReply) {
+func (d *Detector) HandleReply(e env.Env, from id.NodeID, m wire.DetectReply) {
 	p, ok := d.inflight[m.Token]
 	if !ok || p.done {
 		return
 	}
+	d.tr.Event(e.Now(), m.TC, tracing.EvDetectReply, m.File, from, m.Token)
 	p.replies++
 	if m.Conflict && m.Level < p.worst {
 		p.worst = m.Level
@@ -298,6 +319,7 @@ func (d *Detector) finalize(e env.Env, token int64) {
 		Ref:     p.ref,
 		Replies: p.replies,
 		Elapsed: e.Now().Sub(p.started),
+		TC:      d.tr.Event(e.Now(), p.tc, tracing.EvDetectVerdict, p.file, id.Nil, int64(p.worst*1000)),
 	}
 	d.Detections++
 	d.met.roundTrip.ObserveDuration(res.Elapsed)
@@ -321,6 +343,7 @@ func (d *Detector) NoteResolved(file id.FileID) { d.topVerdict[file] = 1 }
 // layer says things are worse by more than epsilon, raise the discrepancy
 // hook so the owner can alert the user and roll back.
 func (d *Detector) HandleGossipReport(e env.Env, rep wire.GossipReport) {
+	d.tr.Event(e.Now(), rep.TC, tracing.EvReportRecv, rep.File, rep.Reporter, int64(rep.Level*1000))
 	top := d.TopVerdict(rep.File)
 	if rep.Level >= top-d.cfg.DiscrepancyEps {
 		return // sufficiently close (e.g. 78% vs 80%): keep silent

@@ -17,6 +17,7 @@ import (
 	"idea/internal/id"
 	"idea/internal/quantify"
 	"idea/internal/telemetry"
+	"idea/internal/tracing"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -141,6 +142,12 @@ type Agent struct {
 	quant      *quantify.Quantifier
 	sink       ReportSink
 
+	// tr/traceOf attach the causal tracing layer: traceOf supplies the
+	// file's most recent sampled write context so origin digests are
+	// tagged with it (see wire.GossipDigest.TC).
+	tr      *tracing.Tracer
+	traceOf func(file id.FileID) tracing.Context
+
 	shard int // serialization-domain label carried in round-timer data
 	round int
 	seen  map[string]int // digest dedup key (origin/round/file) → local round inserted
@@ -214,6 +221,14 @@ func New(cfg Config, self id.NodeID, peers []id.NodeID, state State, q *quantify
 // OnFrontier installs the stability-frontier callback.
 func (a *Agent) OnFrontier(f FrontierFunc) { a.onFrontier = f }
 
+// SetTracer attaches the node's causal tracer plus the source of each
+// file's most recent sampled write context (both may be nil). Call
+// before Start.
+func (a *Agent) SetTracer(tr *tracing.Tracer, traceOf func(file id.FileID) tracing.Context) {
+	a.tr = tr
+	a.traceOf = traceOf
+}
+
 // SetPeerSource makes the agent draw its peer set from f at every use
 // instead of the static list passed to New. f must be safe to call from
 // the agent's serialization domain (a membership View is). Call before
@@ -266,6 +281,11 @@ func (a *Agent) Timer(e env.Env, key string, _ any) bool {
 			}
 			if ss, ok := a.state.(StableState); ok {
 				d.Stable = ss.StableCounts(f)
+			}
+			if a.traceOf != nil {
+				if tc := a.traceOf(f); tc.Sampled() {
+					d.TC = a.tr.Event(e.Now(), tc, tracing.EvDigestOut, f, id.Nil, int64(a.round))
+				}
 			}
 			a.measureDigest(d)
 			if a.cfg.DisableBatch {
@@ -419,6 +439,7 @@ func (a *Agent) HandleDigest(e env.Env, from id.NodeID, d wire.GossipDigest) {
 	if d.Origin != a.self && d.VV != nil {
 		a.noteCounts(d.File, d.Origin, d)
 	}
+	tc := a.tr.Event(e.Now(), d.TC, tracing.EvDigestRecv, d.File, from, int64(d.TTL))
 	if local := a.state.LocalVector(d.File); local != nil && d.Origin != a.self {
 		if vv.Compare(local, d.VV) == vv.Concurrent {
 			a.ConflictsFound++
@@ -432,6 +453,7 @@ func (a *Agent) HandleDigest(e env.Env, from id.NodeID, d wire.GossipDigest) {
 				Level:    level,
 				Triple:   triple,
 				VV:       local,
+				TC:       a.tr.Event(e.Now(), tc, tracing.EvReportOut, d.File, d.Origin, int64(level*1000)),
 			})
 		}
 	}

@@ -29,6 +29,7 @@ import (
 	"idea/internal/overlay"
 	"idea/internal/store"
 	"idea/internal/telemetry"
+	"idea/internal/tracing"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -177,11 +178,13 @@ type session struct {
 	p1dur    time.Duration
 	p2start  time.Time
 	inPhase2 bool
+	tc       tracing.Context
 }
 
 type retryState struct {
 	tries int
 	want  bool // an active resolution is still wanted
+	tc    tracing.Context
 }
 
 // Resolver runs on every node; the owning node routes "resolve." messages
@@ -194,6 +197,7 @@ type Resolver struct {
 
 	onOutcome OutcomeFunc
 	onApplied AppliedFunc
+	tr        *tracing.Tracer
 
 	nextToken int64
 	sessions  map[int64]*session
@@ -259,6 +263,9 @@ func (r *Resolver) OnOutcome(f OutcomeFunc) { r.onOutcome = f }
 // OnApplied installs the every-node image-adoption callback.
 func (r *Resolver) OnApplied(f AppliedFunc) { r.onApplied = f }
 
+// SetTracer attaches the node's causal tracer (nil is fine and free).
+func (r *Resolver) SetTracer(tr *tracing.Tracer) { r.tr = tr }
+
 // SetPolicy changes the resolution policy (the set_resolution API).
 func (r *Resolver) SetPolicy(p Policy) { r.cfg.Policy = p }
 
@@ -273,22 +280,32 @@ func (r *Resolver) Policy() Policy { return r.cfg.Policy }
 // off and retries; receiving the competitor's inform in the meantime
 // cancels the retry.
 func (r *Resolver) RequestActive(e env.Env, file id.FileID) {
+	r.RequestActiveTraced(e, file, tracing.Context{})
+}
+
+// RequestActiveTraced is RequestActive carrying the causal trace context
+// of the detection verdict (or user demand) that triggered it, so the
+// whole session joins the originating write's timeline.
+func (r *Resolver) RequestActiveTraced(e env.Env, file id.FileID, tc tracing.Context) {
 	if _, busy := r.engaged[file]; busy {
 		r.Backoffs++
 		r.met.backoffs.Inc()
-		r.scheduleRetry(e, file)
+		r.scheduleRetry(e, file, tc)
 		return
 	}
-	r.start(e, file, true)
+	r.start(e, file, true, tc)
 }
 
-func (r *Resolver) scheduleRetry(e env.Env, file id.FileID) {
+func (r *Resolver) scheduleRetry(e env.Env, file id.FileID, tc tracing.Context) {
 	st, ok := r.retries[file]
 	if !ok {
 		st = &retryState{}
 		r.retries[file] = st
 	}
 	st.want = true
+	if tc.Sampled() {
+		st.tc = tc
+	}
 	if st.tries >= maxBackoffTries {
 		return
 	}
@@ -326,10 +343,14 @@ func (r *Resolver) designated(file id.FileID) id.NodeID {
 
 // ---- Session machinery ----
 
-func (r *Resolver) start(e env.Env, file id.FileID, active bool) {
+func (r *Resolver) start(e env.Env, file id.FileID, active bool, tc tracing.Context) {
 	r.nextToken++
 	token := r.nextToken
 	members := overlay.TopPeers(r.mem, file, r.self)
+	activeArg := int64(0)
+	if active {
+		activeArg = 1
+	}
 	s := &session{
 		token:   token,
 		file:    file,
@@ -339,6 +360,7 @@ func (r *Resolver) start(e env.Env, file id.FileID, active bool) {
 		vecs:    make(map[id.NodeID]*vv.Vector),
 		pool:    make(map[string]wire.Update),
 		p1start: e.Now(),
+		tc:      r.tr.Event(e.Now(), tc, tracing.EvResolveStart, file, id.Nil, activeArg),
 	}
 	r.sessions[token] = s
 	r.engaged[file] = token
@@ -347,7 +369,7 @@ func (r *Resolver) start(e env.Env, file id.FileID, active bool) {
 	if active {
 		// Phase 1: parallel call-for-attention.
 		for _, m := range members {
-			e.Send(m, wire.CallForAttention{File: file, Initiator: r.self, Token: token})
+			e.Send(m, wire.CallForAttention{File: file, Initiator: r.self, Token: token, TC: s.tc})
 		}
 		if r.cfg.Phase1 == FastPhase1 || len(members) == 0 {
 			s.p1dur = e.Now().Sub(s.p1start) + time.Duration(len(members))*CFADispatchCost
@@ -358,6 +380,21 @@ func (r *Resolver) start(e env.Env, file id.FileID, active bool) {
 	}
 	// Background resolution skips the call-for-attention.
 	r.enterPhase2(e, s)
+}
+
+// traceApplies records the "apply" span for every sampled update in
+// updates that v (the replica's vector before adoption) shows as new
+// here — the moment the write becomes visible on this node. Call before
+// AdoptImage mutates the vector.
+func (r *Resolver) traceApplies(e env.Env, v *vv.Vector, updates []wire.Update, file id.FileID) {
+	if r.tr == nil {
+		return
+	}
+	for _, u := range updates {
+		if u.TC.Sampled() && u.Seq > v.Count(u.Writer) {
+			r.tr.Event(e.Now(), u.TC, tracing.EvApply, file, u.Writer, int64(u.Seq))
+		}
+	}
 }
 
 func (r *Resolver) enterPhase2(e env.Env, s *session) {
@@ -375,7 +412,7 @@ func (r *Resolver) enterPhase2(e env.Env, s *session) {
 			return
 		}
 		for _, m := range s.members {
-			e.Send(m, wire.CollectRequest{File: s.file, Token: s.token, VV: s.vecs[r.self]})
+			e.Send(m, wire.CollectRequest{File: s.file, Token: s.token, VV: s.vecs[r.self], TC: s.tc})
 		}
 		e.After(r.cfg.VisitTimeout, timerVisit, visitKey{file: s.file, token: s.token, visit: -1})
 		return
@@ -389,7 +426,7 @@ func (r *Resolver) visitNext(e env.Env, s *session) {
 		return
 	}
 	m := s.members[s.next]
-	e.Send(m, wire.CollectRequest{File: s.file, Token: s.token, VV: s.vecs[r.self]})
+	e.Send(m, wire.CollectRequest{File: s.file, Token: s.token, VV: s.vecs[r.self], TC: s.tc})
 	e.After(r.cfg.VisitTimeout, timerVisit, visitKey{file: s.file, token: s.token, visit: s.next})
 }
 
@@ -466,14 +503,18 @@ func (r *Resolver) finish(e env.Env, s *session) {
 			Winner:  winner,
 			VV:      winVec,
 			Updates: r.imageUpdates(s, winVec, mv),
+			TC:      s.tc,
 		})
 	}
 	// Adopt locally.
 	localMissing := r.imageUpdates(s, winVec, s.vecs[r.self])
-	applied, invalidated := r.st.Open(s.file).AdoptImage(winVec, localMissing, r.invalidates())
+	local := r.st.Open(s.file)
+	r.traceApplies(e, local.Vector(), localMissing, s.file)
+	applied, invalidated := local.AdoptImage(winVec, localMissing, r.invalidates())
 	_ = applied
 	_ = invalidated
 	p2 := e.Now().Sub(s.p2start)
+	r.tr.Event(e.Now(), s.tc, tracing.EvVerdict, s.file, winner, int64(len(s.members)))
 
 	delete(r.sessions, s.token)
 	if r.engaged[s.file] == s.token {
@@ -629,6 +670,7 @@ func (r *Resolver) HandleCFA(e env.Env, from id.NodeID, m wire.CallForAttention)
 		e.Send(from, wire.CFAAck{File: m.File, Token: m.Token, OK: false})
 		return
 	}
+	r.tr.Event(e.Now(), m.TC, tracing.EvResolveCFA, m.File, from, m.Token)
 	r.engaged[m.File] = m.Token
 	if st, ok := r.retries[m.File]; ok {
 		st.want = false // someone else is on it
@@ -668,7 +710,7 @@ func (r *Resolver) abort(e env.Env, s *session) {
 	if r.onOutcome != nil {
 		r.onOutcome(e, Outcome{Token: s.token, File: s.file, Active: s.active, Aborted: true})
 	}
-	r.scheduleRetry(e, s.file)
+	r.scheduleRetry(e, s.file, s.tc)
 }
 
 // HandleCFACancel releases an engagement abandoned by its initiator.
@@ -688,13 +730,16 @@ func (r *Resolver) HandleCollectRequest(e env.Env, from id.NodeID, m wire.Collec
 	} else {
 		missing = rep.Log()
 	}
-	e.Send(from, wire.CollectReply{File: m.File, Token: m.Token, VV: rep.Vector(), Updates: missing})
+	tc := r.tr.Event(e.Now(), m.TC, tracing.EvCollect, m.File, from, m.Token)
+	e.Send(from, wire.CollectReply{File: m.File, Token: m.Token, VV: rep.Vector(), Updates: missing, TC: tc})
 }
 
 // HandleInform adopts the consistent image and acknowledges.
 func (r *Resolver) HandleInform(e env.Env, from id.NodeID, m wire.Inform) {
 	r.met.informs.Inc()
 	rep := r.st.Open(m.File)
+	r.tr.Event(e.Now(), m.TC, tracing.EvInform, m.File, from, m.Token)
+	r.traceApplies(e, rep.Vector(), m.Updates, m.File)
 	rep.AdoptImage(m.VV, m.Updates, r.invalidates())
 	if r.engaged[m.File] == m.Token {
 		delete(r.engaged, m.File)
@@ -720,11 +765,11 @@ func (r *Resolver) Timer(e env.Env, key string, data any) bool {
 			return true
 		}
 		if _, busy := r.engaged[file]; busy {
-			r.scheduleRetry(e, file)
+			r.scheduleRetry(e, file, st.tc)
 			return true
 		}
 		delete(r.retries, file)
-		r.start(e, file, true)
+		r.start(e, file, true, st.tc)
 	case timerVisit:
 		vk := data.(visitKey)
 		s, ok := r.sessions[vk.token]
@@ -752,7 +797,7 @@ func (r *Resolver) Timer(e env.Env, key string, data any) bool {
 		}
 		if r.designated(file) == r.self {
 			if _, busy := r.engaged[file]; !busy {
-				r.start(e, file, false)
+				r.start(e, file, false, tracing.Context{})
 			}
 		}
 		e.After(freq, timerBack, file)

@@ -17,6 +17,7 @@ import (
 
 	"idea/internal/id"
 	"idea/internal/telemetry"
+	"idea/internal/tracing"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -82,6 +83,11 @@ type Replica struct {
 	checkpoints    []checkpoint
 	maxCheckpoints int
 
+	// lastTC is the trace context of the most recent sampled local write;
+	// gossip digests for this file are tagged with it so the bottom-layer
+	// hop shows up on that write's timeline.
+	lastTC tracing.Context
+
 	met storeMetrics
 }
 
@@ -137,6 +143,14 @@ func (r *Replica) Log() []wire.Update { return append([]wire.Update(nil), r.log.
 // per-writer sequence number, stamps it, ticks the version vector, and
 // returns the update for dissemination/detection.
 func (r *Replica) WriteLocal(at vv.Stamp, op string, data []byte, meta float64) wire.Update {
+	return r.WriteLocalTraced(at, op, data, meta, tracing.Context{})
+}
+
+// WriteLocalTraced is WriteLocal carrying the write's causal trace
+// context: the update ships it to every replica that later applies it,
+// and the replica remembers it as the file's most recent sampled write
+// (see LastTrace). The zero context is the unsampled common case.
+func (r *Replica) WriteLocalTraced(at vv.Stamp, op string, data []byte, meta float64, tc tracing.Context) wire.Update {
 	// Resync with the vector: the owner's own undone-then-re-shipped
 	// updates may have been applied through Apply/drain since the last
 	// local write, and reissuing one of those sequence numbers would
@@ -153,11 +167,19 @@ func (r *Replica) WriteLocal(at vv.Stamp, op string, data []byte, meta float64) 
 		Meta:   meta,
 		Op:     op,
 		Data:   data,
+		TC:     tc,
+	}
+	if tc.Sampled() {
+		r.lastTC = tc
 	}
 	r.apply(u)
 	r.drain(r.Owner)
 	return u
 }
+
+// LastTrace returns the trace context of the most recent sampled local
+// write (zero when tracing is off or no sampled write happened yet).
+func (r *Replica) LastTrace() tracing.Context { return r.lastTC }
 
 // Apply integrates a remote update. Duplicates (by writer+seq) are
 // ignored. A gapped arrival — the writer's next expected sequence number

@@ -39,6 +39,10 @@ type WAL struct {
 	// groupCommit is how many records may accumulate before the buffer
 	// is pushed to the OS; 1 = flush every append.
 	groupCommit int
+	// onAppend observes every update append that carries a sampled trace
+	// context — the "wal.append" span of the causal timeline. Only
+	// sampled updates reach it, so the hook costs nothing at rest.
+	onAppend func(u wire.Update)
 }
 
 type walFile struct {
@@ -123,9 +127,17 @@ func (w *WAL) append(file id.FileID, rec walRecord) error {
 	return nil
 }
 
+// SetTraceHook installs the observer invoked for every appended update
+// whose trace context is sampled (the WAL has no clock of its own, so
+// the owner stamps the span).
+func (w *WAL) SetTraceHook(f func(u wire.Update)) { w.onAppend = f }
+
 // AppendUpdate records one applied update (reaching the OS by the next
 // group-commit flush).
 func (w *WAL) AppendUpdate(u wire.Update) error {
+	if w.onAppend != nil && u.TC.Sampled() {
+		w.onAppend(u)
+	}
 	return w.append(u.File, walRecord{Kind: 'u', Update: u})
 }
 

@@ -4,18 +4,34 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 )
 
 // Handler serves the admin surface for a registry:
 //
-//	GET /metrics  — full Snapshot as JSON
-//	GET /healthz  — "ok" (200) while the process is up
+//	GET /metrics       — full Snapshot as JSON, or Prometheus text
+//	                     exposition with ?format=prom (also negotiated
+//	                     from a scraper's Accept header)
+//	GET /healthz       — "ok" (200) while the process is up
+//	GET /debug/pprof/  — net/http/pprof profiles (CPU, heap, goroutine…)
 //
 // It is mounted by cmd/idea-node's -admin flag and usable by any other
 // embedder.
-func Handler(reg *Registry) http.Handler {
+func Handler(reg *Registry) http.Handler { return HandlerWith(reg, nil) }
+
+// HandlerWith is Handler plus extra routes: each pattern/handler pair in
+// extra is mounted on the same mux, letting an embedder expose
+// subsystem-specific endpoints (the node mounts the tracing journal at
+// /trace this way) without this package depending on them.
+func HandlerWith(reg *Registry, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WritePrometheus(w, reg.Snapshot())
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -25,7 +41,30 @@ func Handler(reg *Registry) http.Handler {
 		w.Header().Set("Content-Type", "text/plain")
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	return mux
+}
+
+// wantsPrometheus decides the /metrics representation: an explicit
+// ?format=prom (or ?format=json) wins; otherwise a scraper Accept header
+// naming text/plain or OpenMetrics selects the text format. Browsers
+// (text/html) and plain curls keep getting JSON.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 // AdminServer is a running admin HTTP listener.
@@ -36,11 +75,17 @@ type AdminServer struct {
 
 // ServeAdmin binds addr and serves Handler(reg) on it until Close.
 func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	return ServeAdminWith(addr, reg, nil)
+}
+
+// ServeAdminWith binds addr and serves HandlerWith(reg, extra) until
+// Close.
+func ServeAdminWith(addr string, reg *Registry, extra map[string]http.Handler) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: HandlerWith(reg, extra)}
 	go srv.Serve(ln)
 	return &AdminServer{ln: ln, srv: srv}, nil
 }

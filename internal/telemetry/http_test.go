@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func adminRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("core.writes").Add(7)
+	reg.Gauge("gossip.fanout").Set(3)
+	reg.Histogram("resolve.latency").Observe(0.010)
+	reg.Histogram("resolve.latency").Observe(0.020)
+	return reg
+}
+
+func TestHandlerMetricsJSON(t *testing.T) {
+	srv := httptest.NewServer(Handler(adminRegistry()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q, want application/json", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["core.writes"] != 7 {
+		t.Fatalf("counters = %v, want core.writes=7", snap.Counters)
+	}
+	if snap.Gauges["gossip.fanout"] != 3 {
+		t.Fatalf("gauges = %v, want gossip.fanout=3", snap.Gauges)
+	}
+	if h := snap.Histograms["resolve.latency"]; h.Count != 2 {
+		t.Fatalf("histogram count = %d, want 2", h.Count)
+	}
+}
+
+func TestHandlerMetricsPrometheus(t *testing.T) {
+	srv := httptest.NewServer(Handler(adminRegistry()))
+	defer srv.Close()
+
+	// Explicit format override.
+	resp, err := http.Get(srv.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE idea_core_writes counter",
+		"idea_core_writes 7",
+		"# TYPE idea_gossip_fanout gauge",
+		"idea_gossip_fanout 3",
+		"# TYPE idea_resolve_latency summary",
+		`idea_resolve_latency{quantile="0.99"}`,
+		"idea_resolve_latency_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+
+	// Scraper-style Accept negotiation, no query parameter.
+	req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(body2), "idea_core_writes 7") {
+		t.Fatalf("Accept negotiation did not yield prometheus text:\n%s", body2)
+	}
+
+	// format=json wins over a scraper Accept header.
+	req3, _ := http.NewRequest("GET", srv.URL+"/metrics?format=json", nil)
+	req3.Header.Set("Accept", "text/plain")
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if ct := resp3.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("format=json content type %q, want application/json", ct)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestHandlerPprofMounted(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index = %d, body missing profile list", resp.StatusCode)
+	}
+}
+
+func TestHandlerWithExtraRoutes(t *testing.T) {
+	extra := map[string]http.Handler{
+		"/trace": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Write([]byte("journal"))
+		}),
+	}
+	srv := httptest.NewServer(HandlerWith(NewRegistry(), extra))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "journal" {
+		t.Fatalf("extra route body = %q", body)
+	}
+}
+
+func TestServeAdminLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up").Inc()
+	a, err := ServeAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := a.Addr()
+	if addr == "" || !strings.Contains(addr, ":") {
+		t.Fatalf("Addr() = %q", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the listener must refuse new connections (allow the OS
+	// a moment to tear the socket down).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c := http.Client{Timeout: 200 * time.Millisecond}
+		_, err := c.Get("http://" + addr + "/healthz")
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admin server still serving after Close")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

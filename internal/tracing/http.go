@@ -1,0 +1,56 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"idea/internal/id"
+)
+
+// Dump is the JSON document the /trace endpoint serves and cmd/idea-trace
+// consumes: one node's journal plus enough metadata to merge it.
+type Dump struct {
+	Node        id.NodeID `json:"node"`
+	SampleEvery int64     `json:"sample_every"`
+	Dropped     uint64    `json:"dropped"`
+	Events      []Event   `json:"events"`
+}
+
+// DumpOf snapshots the tracer's journal, optionally filtered to one
+// trace ID and/or one file (zero values mean "no filter").
+func DumpOf(t *Tracer, trace uint64, file id.FileID) Dump {
+	d := Dump{Node: t.Node(), SampleEvery: t.SampleEvery(), Dropped: t.Journal().Dropped()}
+	for _, ev := range t.Journal().Events() {
+		if trace != 0 && ev.Trace != trace {
+			continue
+		}
+		if file != "" && ev.File != file {
+			continue
+		}
+		d.Events = append(d.Events, ev)
+	}
+	return d
+}
+
+// Handler serves the node's journal as JSON. Filters: ?trace=<id> (decimal
+// or 0x-hex) and ?file=<name>. A nil tracer serves an empty dump, so the
+// admin endpoint can mount it unconditionally.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var trace uint64
+		if s := r.URL.Query().Get("trace"); s != "" {
+			v, err := strconv.ParseUint(s, 0, 64)
+			if err != nil {
+				http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			trace = v
+		}
+		file := id.FileID(r.URL.Query().Get("file"))
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(DumpOf(t, trace, file))
+	})
+}

@@ -1,0 +1,414 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"idea/internal/id"
+)
+
+// This file is the merge half of the tracing layer: it stitches the
+// per-node journal dumps into cluster-wide causal timelines. It is used
+// by cmd/idea-trace (the operator tool) and by the bench harness, which
+// derives write-visibility latency from merged timelines.
+
+// taggedEvent pairs a journal event with the node whose dump held it.
+type taggedEvent struct {
+	node id.NodeID
+	ev   Event
+}
+
+// spanRef locates a span: the node that recorded it and when.
+type spanRef struct {
+	node id.NodeID
+	at   int64
+}
+
+// NodeEvent is one journal event tagged with the node that recorded it
+// and its depth in the causal tree (for rendering).
+type NodeEvent struct {
+	Node id.NodeID `json:"node"`
+	Event
+	Depth int `json:"depth"`
+}
+
+// Timeline is one trace's cluster-wide causally ordered event list:
+// parents before children (DFS order), siblings by skew-adjusted time.
+type Timeline struct {
+	Trace  uint64      `json:"trace"`
+	Events []NodeEvent `json:"events"`
+}
+
+// Merge stitches per-node dumps into one timeline per trace, ordered by
+// skew-adjusted time of each trace's first event. Clock offsets between
+// nodes are estimated from cross-node parent→child edges (a child can
+// only be recorded after its parent's message arrived); under simnet
+// virtual time every offset estimates to zero, so merged emulation
+// timelines are exact.
+func Merge(dumps []Dump) []Timeline {
+	var all []taggedEvent
+	for _, d := range dumps {
+		for _, ev := range d.Events {
+			all = append(all, taggedEvent{d.Node, ev})
+		}
+	}
+	// Span → recording node + time, for edge discovery and tree links.
+	bySpan := make(map[uint64]spanRef, len(all))
+	for _, t := range all {
+		bySpan[t.ev.Span] = spanRef{t.node, t.ev.At}
+	}
+	offsets := estimateOffsets(all, bySpan)
+
+	byTrace := make(map[uint64][]NodeEvent)
+	for _, t := range all {
+		ev := t.ev
+		ev.At += offsets[t.node]
+		byTrace[ev.Trace] = append(byTrace[ev.Trace], NodeEvent{Node: t.node, Event: ev})
+	}
+	out := make([]Timeline, 0, len(byTrace))
+	for tid, evs := range byTrace {
+		out = append(out, Timeline{Trace: tid, Events: causalOrder(evs)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		at, bt := out[a].start(), out[b].start()
+		if at != bt {
+			return at < bt
+		}
+		return out[a].Trace < out[b].Trace
+	})
+	return out
+}
+
+func (t Timeline) start() int64 {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	min := t.Events[0].At
+	for _, e := range t.Events[1:] {
+		if e.At < min {
+			min = e.At
+		}
+	}
+	return min
+}
+
+// estimateOffsets computes per-node clock offsets (nanoseconds to add to
+// a node's timestamps) from cross-node parent→child edges. For an edge
+// A→B (parent recorded on A at s, child on B at r) causality demands
+// adjusted r ≥ adjusted s, bounding off(B)−off(A) from below by s−r;
+// edges B→A bound it from above. Per node pair the offset is the value
+// in that feasible interval closest to zero — live clocks get shifted
+// just enough to make every message latency non-negative, and virtual
+// clocks (already consistent) stay untouched. Offsets compose over a
+// BFS tree from the first node; nodes with no edge path keep zero.
+func estimateOffsets(all []taggedEvent, bySpan map[uint64]spanRef) map[id.NodeID]int64 {
+	type pair struct{ a, b id.NodeID }
+	lo := make(map[pair]int64) // max over A→B edges of send−recv
+	hi := make(map[pair]int64) // min over B→A edges of recv−send
+	nodes := make(map[id.NodeID]bool)
+	for _, t := range all {
+		nodes[t.node] = true
+		if t.ev.Parent == 0 {
+			continue
+		}
+		p, ok := bySpan[t.ev.Parent]
+		if !ok || p.node == t.node {
+			continue
+		}
+		// Edge p.node → t.node, normalized onto the (a<b) pair key.
+		a, b := p.node, t.node
+		send, recv := p.at, t.ev.At
+		if a < b {
+			k := pair{a, b}
+			if v, ok := lo[k]; !ok || send-recv > v {
+				lo[k] = send - recv
+			}
+		} else {
+			k := pair{b, a}
+			if v, ok := hi[k]; !ok || recv-send < v {
+				hi[k] = recv - send
+			}
+		}
+	}
+	// Per-pair relative offset off(b)−off(a): nearest-to-zero feasible.
+	rel := make(map[pair]int64)
+	seenPair := make(map[pair]bool)
+	for k, l := range lo {
+		seenPair[k] = true
+		h, hasHi := hi[k]
+		switch {
+		case l > 0:
+			rel[k] = l
+		case hasHi && h < 0:
+			rel[k] = h
+		default:
+			rel[k] = 0
+		}
+	}
+	for k, h := range hi {
+		if seenPair[k] {
+			continue
+		}
+		if h < 0 {
+			rel[k] = h
+		} else {
+			rel[k] = 0
+		}
+	}
+	// Compose along a BFS from the smallest node ID.
+	off := make(map[id.NodeID]int64, len(nodes))
+	ids := make([]id.NodeID, 0, len(nodes))
+	for n := range nodes {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	adj := make(map[id.NodeID][]id.NodeID)
+	for k := range rel {
+		adj[k.a] = append(adj[k.a], k.b)
+		adj[k.b] = append(adj[k.b], k.a)
+	}
+	visited := make(map[id.NodeID]bool)
+	for _, root := range ids {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		off[root] = 0
+		queue := []id.NodeID{root}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			next := adj[cur]
+			sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+			for _, n := range next {
+				if visited[n] {
+					continue
+				}
+				visited[n] = true
+				if cur < n {
+					off[n] = off[cur] + rel[pair{cur, n}]
+				} else {
+					off[n] = off[cur] - rel[pair{n, cur}]
+				}
+				queue = append(queue, n)
+			}
+		}
+	}
+	return off
+}
+
+// causalOrder arranges one trace's events parents-first (DFS), siblings
+// by adjusted time then journal sequence then node. Events whose parent
+// was dropped from a ring become roots alongside the inject event, so a
+// partially overwritten journal still renders.
+func causalOrder(evs []NodeEvent) []NodeEvent {
+	present := make(map[uint64]bool, len(evs))
+	for _, e := range evs {
+		present[e.Span] = true
+	}
+	children := make(map[uint64][]int)
+	var roots []int
+	for i, e := range evs {
+		if e.Parent != 0 && present[e.Parent] {
+			children[e.Parent] = append(children[e.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	less := func(a, b int) bool {
+		ea, eb := evs[a], evs[b]
+		if ea.At != eb.At {
+			return ea.At < eb.At
+		}
+		if ea.Seq != eb.Seq {
+			return ea.Seq < eb.Seq
+		}
+		return ea.Node < eb.Node
+	}
+	sort.Slice(roots, func(i, j int) bool { return less(roots[i], roots[j]) })
+	out := make([]NodeEvent, 0, len(evs))
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		e := evs[i]
+		e.Depth = depth
+		out = append(out, e)
+		kids := children[evs[i].Span]
+		sort.Slice(kids, func(a, b int) bool { return less(kids[a], kids[b]) })
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return out
+}
+
+// Visibility returns the write-visibility latency of the trace: the time
+// from the inject event to the last apply on any replica. ok is false
+// when the trace has no inject or no apply (e.g. the write never left
+// its origin, or journals were truncated).
+func (t Timeline) Visibility() (time.Duration, bool) {
+	var inject int64
+	var haveInject bool
+	var lastApply int64
+	var haveApply bool
+	for _, e := range t.Events {
+		switch e.Name {
+		case EvInject:
+			if !haveInject || e.At < inject {
+				inject = e.At
+				haveInject = true
+			}
+		case EvApply:
+			if !haveApply || e.At > lastApply {
+				lastApply = e.At
+				haveApply = true
+			}
+		}
+	}
+	if !haveInject || !haveApply || lastApply < inject {
+		return 0, false
+	}
+	return time.Duration(lastApply - inject), true
+}
+
+// Resolution returns the resolution latency of the trace: first
+// resolve.start to last resolve.verdict. ok is false when the trace
+// triggered no resolution session.
+func (t Timeline) Resolution() (time.Duration, bool) {
+	var start, verdict int64
+	var haveStart, haveVerdict bool
+	for _, e := range t.Events {
+		switch e.Name {
+		case EvResolveStart:
+			if !haveStart || e.At < start {
+				start = e.At
+				haveStart = true
+			}
+		case EvVerdict:
+			if !haveVerdict || e.At > verdict {
+				verdict = e.At
+				haveVerdict = true
+			}
+		}
+	}
+	if !haveStart || !haveVerdict || verdict < start {
+		return 0, false
+	}
+	return time.Duration(verdict - start), true
+}
+
+// Nodes returns the distinct nodes the trace touched, ascending.
+func (t Timeline) Nodes() []id.NodeID {
+	seen := make(map[id.NodeID]bool)
+	for _, e := range t.Events {
+		seen[e.Node] = true
+	}
+	out := make([]id.NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Tree renders the timeline as an indented human-readable tree, offsets
+// relative to the trace's first event.
+func (t Timeline) Tree() string {
+	var b strings.Builder
+	base := t.start()
+	fmt.Fprintf(&b, "trace %016x  nodes=%v", t.Trace, t.Nodes())
+	if d, ok := t.Visibility(); ok {
+		fmt.Fprintf(&b, "  visibility=%s", d.Round(time.Microsecond))
+	}
+	if d, ok := t.Resolution(); ok {
+		fmt.Fprintf(&b, "  resolution=%s", d.Round(time.Microsecond))
+	}
+	b.WriteByte('\n')
+	for _, e := range t.Events {
+		fmt.Fprintf(&b, "  %+11.3fms  %s[n%d] %s", float64(e.At-base)/1e6,
+			strings.Repeat("  ", e.Depth), int64(e.Node), e.Name)
+		if e.File != "" {
+			fmt.Fprintf(&b, " file=%s", e.File)
+		}
+		if e.Peer != id.Nil {
+			fmt.Fprintf(&b, " peer=n%d", int64(e.Peer))
+		}
+		if e.Arg != 0 {
+			fmt.Fprintf(&b, " arg=%d", e.Arg)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// chromeEvent is one entry of the Chrome trace-event format (loadable in
+// chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int64          `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace serializes timelines in the Chrome trace-event JSON format:
+// one process per node, one thread per trace, instant events for spans.
+func ChromeTrace(timelines []Timeline) ([]byte, error) {
+	var events []chromeEvent
+	var base int64
+	haveBase := false
+	nodes := make(map[id.NodeID]bool)
+	for _, tl := range timelines {
+		if len(tl.Events) == 0 {
+			continue
+		}
+		if s := tl.start(); !haveBase || s < base {
+			base = s
+			haveBase = true
+		}
+		for _, e := range tl.Events {
+			nodes[e.Node] = true
+		}
+	}
+	for _, tl := range timelines {
+		for _, e := range tl.Events {
+			events = append(events, chromeEvent{
+				Name:  e.Name,
+				Phase: "i",
+				Scope: "t",
+				TS:    float64(e.At-base) / 1e3,
+				PID:   int64(e.Node),
+				TID:   tl.Trace & 0xffffffff,
+				Args: map[string]any{
+					"trace":  fmt.Sprintf("%016x", e.Trace),
+					"span":   fmt.Sprintf("%016x", e.Span),
+					"parent": fmt.Sprintf("%016x", e.Parent),
+					"file":   string(e.File),
+					"peer":   int64(e.Peer),
+					"arg":    e.Arg,
+				},
+			})
+		}
+	}
+	ids := make([]id.NodeID, 0, len(nodes))
+	for n := range nodes {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, n := range ids {
+		events = append(events, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   int64(n),
+			Args:  map[string]any{"name": fmt.Sprintf("node %d", int64(n))},
+		})
+	}
+	return json.MarshalIndent(map[string]any{"traceEvents": events}, "", " ")
+}

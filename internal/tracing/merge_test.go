@@ -1,0 +1,198 @@
+package tracing
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"idea/internal/id"
+)
+
+// mkDump builds a dump for node n from (at, span, parent, name) tuples.
+func mkDump(n id.NodeID, trace uint64, evs ...Event) Dump {
+	for i := range evs {
+		evs[i].Trace = trace
+		evs[i].Seq = uint64(i + 1)
+	}
+	return Dump{Node: n, SampleEvery: 1, Events: evs}
+}
+
+func TestMergeCausalOrder(t *testing.T) {
+	const tr = 0x42
+	dumps := []Dump{
+		mkDump(1, tr,
+			Event{At: 100, Span: 10, Name: EvInject, File: "f"},
+			Event{At: 110, Span: 11, Parent: 10, Name: EvWAL, File: "f"},
+			Event{At: 120, Span: 12, Parent: 11, Name: EvDetectStart, File: "f"},
+		),
+		mkDump(2, tr,
+			Event{At: 180, Span: 20, Parent: 12, Name: EvDetectPeer, File: "f"},
+		),
+	}
+	tls := Merge(dumps)
+	if len(tls) != 1 {
+		t.Fatalf("got %d timelines, want 1", len(tls))
+	}
+	tl := tls[0]
+	if tl.Trace != tr || len(tl.Events) != 4 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	names := make([]string, len(tl.Events))
+	for i, e := range tl.Events {
+		names[i] = e.Name
+	}
+	want := []string{EvInject, EvWAL, EvDetectStart, EvDetectPeer}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order = %v, want %v", names, want)
+		}
+	}
+	if tl.Events[3].Depth != 3 {
+		t.Fatalf("detect.peer depth = %d, want 3", tl.Events[3].Depth)
+	}
+	if got := tl.Nodes(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Nodes() = %v", got)
+	}
+}
+
+func TestMergeSkewAdjustment(t *testing.T) {
+	// Node 2's clock is 1s behind: its child event timestamps land before
+	// the parent's send. Merge must shift node 2 forward so the message
+	// latency is non-negative.
+	const tr = 7
+	dumps := []Dump{
+		mkDump(1, tr,
+			Event{At: 1_000_000_000, Span: 10, Name: EvInject, File: "f"},
+			Event{At: 1_000_100_000, Span: 11, Parent: 10, Name: EvDetectStart, File: "f"},
+		),
+		mkDump(2, tr,
+			// 1s behind: recorded at t=150µs on a clock reading t-1s.
+			Event{At: 150_000, Span: 20, Parent: 11, Name: EvDetectPeer, File: "f"},
+		),
+	}
+	tl := Merge(dumps)[0]
+	var peerAt, startAt int64
+	for _, e := range tl.Events {
+		switch e.Name {
+		case EvDetectStart:
+			startAt = e.At
+		case EvDetectPeer:
+			peerAt = e.At
+		}
+	}
+	if peerAt < startAt {
+		t.Fatalf("after skew adjustment detect.peer (%d) still precedes detect.start (%d)", peerAt, startAt)
+	}
+}
+
+func TestMergeNoSkewUnderVirtualTime(t *testing.T) {
+	// Consistent clocks (simnet): offsets must be exactly zero so virtual
+	// timestamps pass through unchanged.
+	const tr = 9
+	dumps := []Dump{
+		mkDump(1, tr,
+			Event{At: 1000, Span: 10, Name: EvInject, File: "f"},
+		),
+		mkDump(2, tr,
+			Event{At: 1500, Span: 20, Parent: 10, Name: EvApply, File: "f"},
+		),
+	}
+	tl := Merge(dumps)[0]
+	for _, e := range tl.Events {
+		if e.Node == 2 && e.At != 1500 {
+			t.Fatalf("virtual-time event shifted to %d", e.At)
+		}
+	}
+}
+
+func TestTimelineVisibilityAndResolution(t *testing.T) {
+	const tr = 3
+	tl := Merge([]Dump{
+		mkDump(1, tr,
+			Event{At: 0, Span: 1, Name: EvInject, File: "f"},
+			Event{At: 5e6, Span: 2, Parent: 1, Name: EvResolveStart, File: "f"},
+			Event{At: 40e6, Span: 3, Parent: 2, Name: EvVerdict, File: "f"},
+		),
+		mkDump(2, tr,
+			Event{At: 30e6, Span: 20, Parent: 2, Name: EvApply, File: "f"},
+		),
+		mkDump(3, tr,
+			Event{At: 35e6, Span: 30, Parent: 2, Name: EvApply, File: "f"},
+		),
+	})[0]
+	vis, ok := tl.Visibility()
+	if !ok || vis != 35*time.Millisecond {
+		t.Fatalf("Visibility() = %v %v, want 35ms true", vis, ok)
+	}
+	res, ok := tl.Resolution()
+	if !ok || res != 35*time.Millisecond {
+		t.Fatalf("Resolution() = %v %v, want 35ms true", res, ok)
+	}
+	if _, ok := (Timeline{}).Visibility(); ok {
+		t.Fatal("empty timeline reports visibility")
+	}
+}
+
+func TestMergeOrphanedParentBecomesRoot(t *testing.T) {
+	// Parent span overwritten in the origin's ring: the child must still
+	// appear (as a root), not vanish.
+	tl := Merge([]Dump{
+		mkDump(2, 5, Event{At: 10, Span: 20, Parent: 99, Name: EvApply, File: "f"}),
+	})[0]
+	if len(tl.Events) != 1 || tl.Events[0].Depth != 0 {
+		t.Fatalf("orphan handling: %+v", tl.Events)
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	tl := Merge([]Dump{
+		mkDump(1, 0xabc,
+			Event{At: 0, Span: 1, Name: EvInject, File: "f"},
+			Event{At: 2e6, Span: 2, Parent: 1, Name: EvWAL, File: "f", Arg: 3},
+		),
+	})[0]
+	out := tl.Tree()
+	for _, want := range []string{"trace 0000000000000abc", "[n1] inject file=f", "wal.append", "arg=3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	tls := Merge([]Dump{
+		mkDump(1, 1,
+			Event{At: 0, Span: 1, Name: EvInject, File: "f"},
+		),
+		mkDump(2, 1,
+			Event{At: 1e6, Span: 20, Parent: 1, Name: EvApply, File: "f"},
+		),
+	})
+	raw, err := ChromeTrace(tls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	// 2 span events + 2 process_name metadata records.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d trace events, want 4", len(doc.TraceEvents))
+	}
+	var sawMeta, sawInstant bool
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			sawMeta = true
+		case "i":
+			sawInstant = true
+		}
+	}
+	if !sawMeta || !sawInstant {
+		t.Fatalf("missing phases: meta=%v instant=%v", sawMeta, sawInstant)
+	}
+}

@@ -1,0 +1,312 @@
+// Package tracing is the causal tracing layer: sampled per-op trace
+// contexts minted at write inject, carried inside wire messages, and
+// recorded as span events in a striped ring-buffer journal on every node
+// the op touches. It is distinct from internal/trace (the experiment
+// recorder behind regenerated tables): tracing answers "why did THIS
+// write take 900ms to become visible on n3", not "what was the p95".
+//
+// Design constraints, in order:
+//
+//   - Near-zero cost when unsampled. The unsampled path is a nil check
+//     plus a zero check on the context — no atomics, no allocation, no
+//     time lookup. Protocol code therefore instruments unconditionally.
+//   - Deterministic under simnet virtual time. Sampling is a per-node
+//     write counter (never env.Rand — a stray Rand draw would shift every
+//     subsequent random choice and change the event schedule), trace and
+//     span IDs derive from the node ID plus a sequence, and event
+//     timestamps are passed in by the caller from env.Now(). Two runs of
+//     the same seeded cluster produce byte-identical journal dumps.
+//   - Concurrency-safe on the live runtime. Span events arrive from every
+//     shard executor; the journal stripes its rings over cacheline-padded
+//     cells with per-P stripe affinity, the same idiom the telemetry
+//     registry uses for hot counters, so executors on different cores do
+//     not bounce a single cache line per event.
+package tracing
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idea/internal/id"
+)
+
+// Span event names. One vocabulary across every layer so the merge tool
+// and the README inventory stay honest. The causal chain of a sampled
+// write reads: inject → wal.append → digest.out → digest.recv →
+// detect.start → detect.peer → detect.reply → detect.verdict →
+// resolve.start → resolve.cfa → resolve.collect → resolve.inform →
+// apply → resolve.verdict.
+const (
+	EvInject        = "inject"          // write issued on the origin node
+	EvWAL           = "wal.append"      // update appended to the replica log / WAL
+	EvDigestOut     = "digest.out"      // gossip digest carrying this file left the node
+	EvDigestRecv    = "digest.recv"     // gossip digest arrived on a peer
+	EvReportOut     = "report.out"      // bottom-layer conflict report sent to origin
+	EvReportRecv    = "report.recv"     // conflict report heard by the origin
+	EvDetectStart   = "detect.start"    // top-layer probe fan-out began
+	EvDetectPeer    = "detect.peer"     // probe handled on a top-layer peer
+	EvDetectReply   = "detect.reply"    // peer's reply aggregated on the writer
+	EvDetectVerdict = "detect.verdict"  // probe finalized; arg = level in millis
+	EvResolveStart  = "resolve.start"   // resolution session opened (arg 1 = active)
+	EvResolveCFA    = "resolve.cfa"     // call-for-attention handled on a member
+	EvCollect       = "resolve.collect" // collect visit handled on a member
+	EvInform        = "resolve.inform"  // inform (winner image) handled on a member
+	EvApply         = "apply"           // a sampled update became visible here; arg = seq
+	EvVerdict       = "resolve.verdict" // session finished; arg 1 = active
+)
+
+// Context is the causal context piggybacked through wire messages: which
+// trace the message belongs to and which span caused it. The zero Context
+// is "unsampled" and costs nothing to carry or test.
+type Context struct {
+	Trace uint64 // trace ID; 0 = unsampled
+	Span  uint64 // span that emitted the message (parent for the receiver)
+}
+
+// Sampled reports whether the context belongs to a sampled trace.
+func (c Context) Sampled() bool { return c.Trace != 0 }
+
+// Event is one span event in a node's journal. At is nanoseconds since
+// the Unix epoch in the recording node's clock — virtual time under
+// simnet, wall time on a live node; the merge tool skew-adjusts the
+// latter. Seq is the journal-local append order, the deterministic
+// tie-break for equal timestamps.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	At     int64     `json:"at"`
+	Trace  uint64    `json:"trace"`
+	Span   uint64    `json:"span"`
+	Parent uint64    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	File   id.FileID `json:"file,omitempty"`
+	Peer   id.NodeID `json:"peer,omitempty"`
+	Arg    int64     `json:"arg,omitempty"`
+}
+
+// Config sizes a node's tracer. The zero value disables tracing.
+type Config struct {
+	// SampleEvery samples one write in every N: 1 traces everything,
+	// 100 is the canonical 1% production setting, 0 disables tracing.
+	SampleEvery int
+	// BufferPerStripe is the ring capacity of each journal stripe
+	// (default 1024, i.e. 8192 events per node before overwrite).
+	BufferPerStripe int
+}
+
+// Enabled reports whether the config turns tracing on.
+func (c Config) Enabled() bool { return c.SampleEvery > 0 }
+
+const (
+	journalStripes   = 8
+	journalMask      = journalStripes - 1
+	defaultPerStripe = 1024
+)
+
+// stripePool hands out stripe indices with per-P affinity, mirroring the
+// telemetry registry: a goroutine keeps drawing the stripe cached on its
+// core, so concurrent recorders spread instead of serializing.
+var (
+	stripeNext atomic.Int64
+	stripePool = sync.Pool{New: func() any {
+		s := int(stripeNext.Add(1)) & journalMask
+		return &s
+	}}
+)
+
+func stripe() int {
+	p := stripePool.Get().(*int)
+	s := *p
+	stripePool.Put(p)
+	return s
+}
+
+// ring is one journal stripe: a fixed buffer overwritten circularly.
+// Sampled events take the stripe mutex (only ~1% of ops at production
+// sampling, and contention is already spread across stripes); the padding
+// keeps neighbouring stripes' hot words out of each other's cache line.
+type ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever appended to this stripe
+	drop uint64 // events overwritten before being read
+	_    [64]byte
+}
+
+// Journal is a node's striped span-event ring buffer.
+type Journal struct {
+	seq   atomic.Uint64 // global append order across stripes
+	rings [journalStripes]ring
+}
+
+// NewJournal returns a journal with the given per-stripe capacity
+// (default 1024).
+func NewJournal(perStripe int) *Journal {
+	if perStripe <= 0 {
+		perStripe = defaultPerStripe
+	}
+	j := &Journal{}
+	for i := range j.rings {
+		j.rings[i].buf = make([]Event, 0, perStripe)
+	}
+	return j
+}
+
+// record appends one event. Callers guarantee ev.Trace != 0.
+func (j *Journal) record(ev Event) {
+	ev.Seq = j.seq.Add(1)
+	r := &j.rings[stripe()]
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next%uint64(len(r.buf))] = ev
+		r.drop++
+	}
+	r.next++
+	r.mu.Unlock()
+}
+
+// Events returns every retained event ordered by append sequence (which
+// under simnet is the deterministic schedule order; on a live node it is
+// a consistent total order across stripes).
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	var out []Event
+	for i := range j.rings {
+		r := &j.rings[i]
+		r.mu.Lock()
+		out = append(out, r.buf...)
+		r.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Dropped returns how many events have been overwritten before export.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	var n uint64
+	for i := range j.rings {
+		r := &j.rings[i]
+		r.mu.Lock()
+		n += r.drop
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// Tracer is a node's handle into the tracing layer: it owns the sampling
+// decision, mints trace/span IDs, and appends to the node's journal. All
+// methods are safe on a nil receiver, so unconfigured nodes pay only the
+// nil check.
+type Tracer struct {
+	node   id.NodeID
+	salt   uint64 // node-derived high bits for trace/span IDs
+	every  int64
+	writes atomic.Int64
+	traces atomic.Uint64
+	spans  atomic.Uint64
+	j      *Journal
+}
+
+// New returns a tracer for the node, or nil when the config disables
+// tracing (so the disabled path stays a single nil check).
+func New(node id.NodeID, cfg Config) *Tracer {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Tracer{
+		node:  node,
+		salt:  nodeSalt(node),
+		every: int64(cfg.SampleEvery),
+		j:     NewJournal(cfg.BufferPerStripe),
+	}
+}
+
+// nodeSalt derives the high bits of every ID this node mints: FNV-1a of
+// the node ID, never zero. Deterministic, so seeded simnet runs mint the
+// same IDs every time.
+func nodeSalt(n id.NodeID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	v := uint64(n)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime64
+		v >>= 8
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Journal returns the tracer's journal (nil on a nil tracer).
+func (t *Tracer) Journal() *Journal {
+	if t == nil {
+		return nil
+	}
+	return t.j
+}
+
+// Node returns the node this tracer records for.
+func (t *Tracer) Node() id.NodeID {
+	if t == nil {
+		return id.Nil
+	}
+	return t.node
+}
+
+// SampleEvery returns the configured sampling divisor (0 on nil).
+func (t *Tracer) SampleEvery() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.every
+}
+
+// StartWrite makes the sampling decision for one write and, when the
+// write is sampled, mints a fresh trace and records the inject event.
+// The returned context is zero for unsampled writes.
+func (t *Tracer) StartWrite(at time.Time, file id.FileID, arg int64) Context {
+	if t == nil {
+		return Context{}
+	}
+	if t.writes.Add(1)%t.every != 0 {
+		return Context{}
+	}
+	tid := t.salt<<20 | (t.traces.Add(1) & (1<<20 - 1))
+	ctx := Context{Trace: tid}
+	return t.Event(at, ctx, EvInject, file, id.Nil, arg)
+}
+
+// Event records one span event caused by ctx and returns the context to
+// propagate onward (same trace, the new event's span as parent). On a
+// nil tracer or an unsampled context it records nothing and returns ctx
+// unchanged — the no-op path every unsampled op takes.
+func (t *Tracer) Event(at time.Time, ctx Context, name string, file id.FileID, peer id.NodeID, arg int64) Context {
+	if t == nil || ctx.Trace == 0 {
+		return ctx
+	}
+	span := t.salt ^ t.spans.Add(1)
+	t.j.record(Event{
+		At:     at.UnixNano(),
+		Trace:  ctx.Trace,
+		Span:   span,
+		Parent: ctx.Span,
+		Name:   name,
+		File:   file,
+		Peer:   peer,
+		Arg:    arg,
+	})
+	return Context{Trace: ctx.Trace, Span: span}
+}

@@ -13,6 +13,7 @@ import (
 
 	"idea/internal/env"
 	"idea/internal/id"
+	"idea/internal/tracing"
 	"idea/internal/vv"
 )
 
@@ -32,6 +33,12 @@ type Update struct {
 	Meta   float64  // application critical-metadata value after this update
 	Op     string   // application operation name (e.g. "draw", "book")
 	Data   []byte   // opaque application payload
+	// TC is the causal trace context minted when the write was injected.
+	// It travels with the update through every shipping path (collect,
+	// inform, anti-entropy, snapshots), so whichever replica applies the
+	// update can append the "apply" span to its journal. Zero (the
+	// overwhelmingly common case — unsampled) is omitted by gob.
+	TC tracing.Context
 }
 
 // Key uniquely identifies an update.
@@ -47,6 +54,7 @@ type DetectRequest struct {
 	File  id.FileID
 	Token int64 // correlates replies with one detect(update) call
 	VV    *vv.Vector
+	TC    tracing.Context
 }
 
 // Kind implements Message.
@@ -63,6 +71,7 @@ type DetectReply struct {
 	Triple   vv.Triple
 	Ref      id.NodeID // node whose replica was used as reference state
 	VV       *vv.Vector
+	TC       tracing.Context
 }
 
 // Kind implements Message.
@@ -89,6 +98,9 @@ type GossipDigest struct {
 	// update some peer already pruned. Nil on digests from old nodes;
 	// receivers then fall back to the VV counts.
 	Stable map[id.NodeID]int
+	// TC tags the digest with the file's most recent sampled write on the
+	// origin (if any) so the gossip hop shows up on that write's timeline.
+	TC tracing.Context
 }
 
 // Kind implements Message.
@@ -126,6 +138,7 @@ type GossipReport struct {
 	Level    float64
 	Triple   vv.Triple
 	VV       *vv.Vector
+	TC       tracing.Context
 }
 
 // Kind implements Message.
@@ -174,6 +187,7 @@ type CallForAttention struct {
 	File      id.FileID
 	Initiator id.NodeID
 	Token     int64
+	TC        tracing.Context
 }
 
 // Kind implements Message.
@@ -207,6 +221,7 @@ type CollectRequest struct {
 	File  id.FileID
 	Token int64
 	VV    *vv.Vector
+	TC    tracing.Context
 }
 
 // Kind implements Message.
@@ -218,6 +233,7 @@ type CollectReply struct {
 	Token   int64
 	VV      *vv.Vector
 	Updates []Update
+	TC      tracing.Context
 }
 
 // Kind implements Message.
@@ -232,6 +248,7 @@ type Inform struct {
 	Winner  id.NodeID
 	VV      *vv.Vector
 	Updates []Update
+	TC      tracing.Context
 }
 
 // Kind implements Message.

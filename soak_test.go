@@ -27,8 +27,13 @@ import (
 	"idea"
 	"idea/internal/id"
 	"idea/internal/loadgen"
+	"idea/internal/tracing"
 	"idea/internal/vv"
 )
+
+// soakTracing samples 1-in-20 writes: thousands of ops over a 3m soak
+// yield plenty of complete causal chains without journal pressure.
+var soakTracing = idea.TracingConfig{SampleEvery: 20, BufferPerStripe: 8192}
 
 func soakDuration() time.Duration {
 	if s := os.Getenv("SOAK_DURATION"); s != "" {
@@ -86,6 +91,7 @@ func TestNightlySoak(t *testing.T) {
 			Shards:     2,
 			Swim:       true,
 			SwimConfig: fastSwim(),
+			Tracing:    soakTracing,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -130,6 +136,7 @@ func TestNightlySoak(t *testing.T) {
 				Shards:     2,
 				SwimConfig: fastSwim(),
 				Join:       nodes[1].Addr(),
+				Tracing:    soakTracing,
 			})
 			if err != nil {
 				// InjectFile on the closed node left in nodes[victim]
@@ -220,6 +227,9 @@ func TestNightlySoak(t *testing.T) {
 
 	for _, nid := range all {
 		writeJSON(t, filepath.Join(out, fmt.Sprintf("metrics-node%d.json", nid)), nodes[nid].Metrics().Snapshot())
+		// Per-node span journals; CI merges them with idea-trace into a
+		// cluster-wide causal timeline and uploads it alongside the metrics.
+		writeJSON(t, filepath.Join(out, fmt.Sprintf("trace-node%d.json", nid)), tracing.DumpOf(nodes[nid].N.Tracer(), 0, ""))
 	}
 	writeJSON(t, filepath.Join(out, "summary.json"), map[string]any{
 		"converged":    converged,
