@@ -1,0 +1,59 @@
+// Command idea-lint runs the invariant analyzer suite (internal/lint)
+// over the tree. It speaks two protocols:
+//
+//   - invoked by the go build system as a vet tool (go vet
+//     -vettool=$(command -v idea-lint) ./...), it acts as a
+//     unitchecker: the go command hands it one package at a time with
+//     full export data, caching results like any other vet run;
+//   - invoked directly with package patterns (idea-lint ./...), it
+//     re-executes itself through `go vet -vettool=<self>` so the same
+//     loading, caching, and exit-code behaviour applies without a
+//     second driver implementation.
+//
+// Exit status is 0 on a clean tree and nonzero when any analyzer
+// reports an unsuppressed finding (or the build fails). Findings are
+// suppressed only by an //idealint:allow <analyzer> <reason> directive
+// on the offending line or the line above it.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"idea/internal/lint"
+)
+
+func main() {
+	// The go command drives vet tools with -V=full / -flags probes and
+	// then one <unit>.cfg argument per package; hand any of those
+	// straight to the unitchecker.
+	for _, arg := range os.Args[1:] {
+		if strings.HasSuffix(arg, ".cfg") || strings.HasPrefix(arg, "-V=") || arg == "-flags" {
+			unitchecker.Main(lint.Analyzers()...) // never returns
+		}
+	}
+
+	// Direct invocation: relaunch through go vet with ourselves as the
+	// vettool, forwarding package patterns and analyzer flags verbatim.
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "idea-lint: %v\n", err)
+		os.Exit(2)
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, os.Args[1:]...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "idea-lint: running go vet: %v\n", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the idea-lint binary once per test run.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "idea-lint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building idea-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// scratchModule writes a throwaway module with the given files and
+// returns its root directory.
+func scratchModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runLint runs the built binary against pkgs inside dir, returning
+// combined output and the exit code.
+func runLint(t *testing.T, bin, dir string, pkgs ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, pkgs...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running idea-lint: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := buildLint(t)
+
+	t.Run("clean tree exits zero", func(t *testing.T) {
+		dir := scratchModule(t, map[string]string{
+			"clean/clean.go": "package clean\n\nfunc Add(a, b int) int { return a + b }\n",
+		})
+		out, code := runLint(t, bin, dir, "./...")
+		if code != 0 {
+			t.Fatalf("want exit 0 on clean tree, got %d:\n%s", code, out)
+		}
+	})
+
+	t.Run("violation exits nonzero and names the rule", func(t *testing.T) {
+		dir := scratchModule(t, map[string]string{
+			"detect/detect.go": "package detect\n\nimport \"time\"\n\n" +
+				"func Stamp() int64 { return time.Now().UnixNano() }\n",
+		})
+		out, code := runLint(t, bin, dir, "./...")
+		if code == 0 {
+			t.Fatalf("want nonzero exit on seeded violation, got 0:\n%s", out)
+		}
+		if !strings.Contains(out, "time.Now") || !strings.Contains(out, "simnet replay") {
+			t.Fatalf("diagnostic should mention time.Now and the replay invariant:\n%s", out)
+		}
+	})
+
+	t.Run("allow directive suppresses back to zero", func(t *testing.T) {
+		dir := scratchModule(t, map[string]string{
+			"detect/detect.go": "package detect\n\nimport \"time\"\n\n" +
+				"func Stamp() int64 {\n" +
+				"\t//idealint:allow determinism boot-time wall clock, never replayed\n" +
+				"\treturn time.Now().UnixNano()\n}\n",
+		})
+		out, code := runLint(t, bin, dir, "./...")
+		if code != 0 {
+			t.Fatalf("want exit 0 with allow directive, got %d:\n%s", code, out)
+		}
+	})
+
+	t.Run("reasonless directive does not suppress", func(t *testing.T) {
+		dir := scratchModule(t, map[string]string{
+			"detect/detect.go": "package detect\n\nimport \"time\"\n\n" +
+				"func Stamp() int64 {\n" +
+				"\t//idealint:allow determinism\n" +
+				"\treturn time.Now().UnixNano()\n}\n",
+		})
+		out, code := runLint(t, bin, dir, "./...")
+		if code == 0 {
+			t.Fatalf("want nonzero exit for reasonless directive, got 0:\n%s", out)
+		}
+		if !strings.Contains(out, "needs a reason") {
+			t.Fatalf("diagnostic should explain the missing reason:\n%s", out)
+		}
+	})
+}

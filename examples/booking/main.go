@@ -55,7 +55,7 @@ func run(auto bool) (oversold int, msgs int) {
 		// designated initiator at fire time runs the round.
 		for _, nid := range servers[1:] {
 			nid := nid
-			cluster.Call(0, nid, func(e env.Env) {
+			cluster.CallFile(0, nid, flight, func(e env.Env) {
 				cluster.Node(nid).SetBackgroundFreq(e, flight, ctl.OptimalPeriod())
 			})
 		}

@@ -49,7 +49,7 @@ func main() {
 	fss[client].OnWriteAck = func(_ env.Env, f id.FileID, key string) {
 		fmt.Printf("client %v: write to %s acknowledged as %s\n", client, f, key)
 	}
-	c.CallAt(time.Second, client, func(e env.Env) {
+	c.CallAtFile(time.Second, client, file, func(e env.Env) {
 		fss[client].Write(e, file, "put", []byte("track list v1"), 1)
 	})
 	c.RunFor(2 * time.Second)
@@ -57,17 +57,17 @@ func main() {
 	// Two replicas accept concurrent direct writes — the optimistic
 	// default of P2P file systems — and IDEA flags the conflict.
 	fmt.Println("\ntwo replicas accept concurrent writes:")
-	c.CallAt(time.Second, rs[1], func(e env.Env) {
+	c.CallAtFile(time.Second, rs[1], file, func(e env.Env) {
 		fss[rs[1]].Write(e, file, "put", []byte("track list v2a"), 2)
 	})
-	c.CallAt(time.Second, rs[2], func(e env.Env) {
+	c.CallAtFile(time.Second, rs[2], file, func(e env.Env) {
 		fss[rs[2]].Write(e, file, "put", []byte("track list v2b"), 3)
 	})
 	c.RunFor(2 * time.Second)
 	fmt.Printf("replica %v perceives level %.4f\n", rs[1], fss[rs[1]].Node().Level(file))
 
 	fmt.Println("\nresolving on demand:")
-	c.CallAt(time.Second, rs[0], func(e env.Env) {
+	c.CallAtFile(time.Second, rs[0], file, func(e env.Env) {
 		fss[rs[0]].Node().DemandActiveResolution(e, file)
 	})
 	c.RunFor(3 * time.Second)
@@ -82,7 +82,7 @@ func main() {
 		fmt.Printf("\nclient %v remote read: %d updates at level %.4f\n",
 			client, len(res.Updates), res.Level)
 	}
-	c.CallAt(time.Second, client, func(e env.Env) { fss[client].Read(e, file) })
+	c.CallAtFile(time.Second, client, file, func(e env.Env) { fss[client].Read(e, file) })
 	c.RunFor(2 * time.Second)
 
 	fmt.Printf("\ntotal messages: %d\n", c.Stats().Total())

@@ -43,23 +43,23 @@ func main() {
 	})
 
 	fmt.Println("1) node 1 writes — detection finds everyone behind but no conflict:")
-	cluster.Call(0, 1, func(e idea.Env) {
+	cluster.CallFile(0, 1, board, func(e idea.Env) {
 		cluster.Node(1).Write(e, board, "draw", []byte("circle at (3,4)"), 0)
 	})
 	cluster.Run(2 * time.Second)
 
 	fmt.Println("2) nodes 2 and 3 write concurrently — a real conflict forms:")
-	cluster.Call(0, 2, func(e idea.Env) {
+	cluster.CallFile(0, 2, board, func(e idea.Env) {
 		cluster.Node(2).Write(e, board, "draw", []byte("square at (1,1)"), 0)
 	})
-	cluster.Call(0, 3, func(e idea.Env) {
+	cluster.CallFile(0, 3, board, func(e idea.Env) {
 		cluster.Node(3).Write(e, board, "draw", []byte("arrow to (9,9)"), 0)
 	})
 	cluster.Run(2 * time.Second)
 	fmt.Println("   (no resolution yet: nobody asked, and no hint is set)")
 
 	fmt.Println("3) the user at node 1 demands active resolution (Table 1 API):")
-	cluster.Call(0, 1, func(e idea.Env) {
+	cluster.CallFile(0, 1, board, func(e idea.Env) {
 		cluster.Node(1).DemandActiveResolution(e, board)
 	})
 	cluster.Run(3 * time.Second)
@@ -76,13 +76,13 @@ func main() {
 	for round := 0; round < 3; round++ {
 		for _, nid := range []idea.NodeID{2, 4} {
 			nid := nid
-			cluster.Call(0, nid, func(e idea.Env) {
+			cluster.CallFile(0, nid, board, func(e idea.Env) {
 				cluster.Node(nid).Write(e, board, "draw", []byte("more ink"), 0)
 			})
 		}
 		cluster.Run(5 * time.Second)
 	}
-	cluster.Call(0, 1, func(e idea.Env) { cluster.Node(1).ReadChecked(e, board) })
+	cluster.CallFile(0, 1, board, func(e idea.Env) { cluster.Node(1).ReadChecked(e, board) })
 	cluster.Run(2 * time.Second)
 	fmt.Printf("   node 1 level after hint-based control: %.4f\n", cluster.Node(1).Level(board))
 

@@ -59,7 +59,7 @@ func RunTTLTradeoff(seed int64) Report {
 		cl.Warmup()
 		// A stray bottom-layer conflict.
 		stray := cl.All[len(cl.All)-1]
-		cl.C.CallAt(time.Second, stray, func(e env.Env) {
+		cl.C.CallAtFile(time.Second, stray, SharedFile, func(e env.Env) {
 			cl.Nodes[stray].Store().Open(SharedFile).WriteLocal(e.Stamp(), "stray", nil, 7)
 		})
 		// Run until some writer hears a gossip report (or 120 s).

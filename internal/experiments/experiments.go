@@ -116,7 +116,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 // time since the epoch).
 func (cl *Cluster) Warmup() {
 	w0 := cl.Writers[0]
-	cl.C.CallAt(100*time.Millisecond, w0, func(e env.Env) {
+	cl.C.CallAtFile(100*time.Millisecond, w0, SharedFile, func(e env.Env) {
 		u := cl.Nodes[w0].Store().Open(SharedFile).WriteLocal(e.Stamp(), "init", nil, 0)
 		for _, w := range cl.Writers[1:] {
 			cl.Nodes[w].Store().Open(SharedFile).Apply(u)
@@ -127,7 +127,7 @@ func (cl *Cluster) Warmup() {
 
 // WriteAt schedules a paper-style update by writer w at virtual time at.
 func (cl *Cluster) WriteAt(at time.Duration, w id.NodeID) {
-	cl.C.CallAt(at, w, func(e env.Env) {
+	cl.C.CallAtFile(at, w, SharedFile, func(e env.Env) {
 		cl.Nodes[w].Write(e, SharedFile, "draw", []byte("op"), 0)
 	})
 }

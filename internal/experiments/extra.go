@@ -45,7 +45,7 @@ func RunTopLayerCapture(seed int64, bottomShare float64) Report {
 		// layer, so detection cannot see it).
 		if float64(int(t/(5*time.Second)))*bottomShare >= float64(bottomWrites+1) {
 			bw := bottomWriter
-			cl.C.CallAt(t, bw, func(e env.Env) {
+			cl.C.CallAtFile(t, bw, SharedFile, func(e env.Env) {
 				cl.Nodes[bw].Store().Open(SharedFile).WriteLocal(e.Stamp(), "stray", nil, 0)
 			})
 			bottomWrites++
@@ -93,7 +93,7 @@ func RunRollback(seed int64) Report {
 	})
 	for _, w := range cl.Writers {
 		w := w
-		cl.C.CallAt(0, w, func(e env.Env) {
+		cl.C.CallAtFile(0, w, SharedFile, func(e env.Env) {
 			if err := cl.Nodes[w].SetHint(SharedFile, 0.9); err != nil {
 				panic(err)
 			}
@@ -103,7 +103,7 @@ func RunRollback(seed int64) Report {
 
 	// The stray bottom-layer conflict.
 	stray := cl.All[len(cl.All)-1]
-	cl.C.CallAt(time.Second, stray, func(e env.Env) {
+	cl.C.CallAtFile(time.Second, stray, SharedFile, func(e env.Env) {
 		r := cl.Nodes[stray].Store().Open(SharedFile)
 		for i := 0; i < 10; i++ {
 			r.WriteLocal(e.Stamp(), "stray", nil, float64(i))
@@ -114,13 +114,13 @@ func RunRollback(seed int64) Report {
 	// working on the validated snapshot.
 	var verdictAt time.Duration
 	w1 := cl.Writers[0]
-	cl.C.CallAt(2*time.Second, w1, func(e env.Env) {
+	cl.C.CallAtFile(2*time.Second, w1, SharedFile, func(e env.Env) {
 		u := cl.Nodes[w1].Write(e, SharedFile, "draw", nil, 0)
 		for _, w := range cl.Writers[1:] {
 			cl.Nodes[w].Store().Open(SharedFile).Apply(u)
 		}
 	})
-	cl.C.CallAt(3*time.Second, w1, func(e env.Env) {
+	cl.C.CallAtFile(3*time.Second, w1, SharedFile, func(e env.Env) {
 		verdictAt = 3 * time.Second
 		r := cl.Nodes[w1].Store().Open(SharedFile)
 		r.WriteLocal(e.Stamp(), "draft", nil, 1)
@@ -171,7 +171,7 @@ func RunBoundsLearning(seed int64) Report {
 		RoundCostBytes: 44 * 1024, // the paper's c = 44·s with s = 1 KB
 		MinPeriod:      time.Second,
 	}
-	cl.C.CallAt(0, w1, func(e env.Env) {
+	cl.C.CallAtFile(0, w1, SharedFile, func(e env.Env) {
 		cl.Nodes[w1].EnableAutomatic(e, SharedFile, ctl, 10*time.Second)
 	})
 	cl.C.RunFor(time.Second)
@@ -183,9 +183,9 @@ func RunBoundsLearning(seed int64) Report {
 
 	// Feedback schedule: two oversells tighten the ceiling, then an
 	// undersell raises the floor.
-	cl.C.CallAt(20*time.Second, w1, func(e env.Env) { cl.Nodes[w1].ReportOversell(e, SharedFile) })
-	cl.C.CallAt(40*time.Second, w1, func(e env.Env) { cl.Nodes[w1].ReportOversell(e, SharedFile) })
-	cl.C.CallAt(60*time.Second, w1, func(e env.Env) { cl.Nodes[w1].ReportUndersell(e, SharedFile) })
+	cl.C.CallAtFile(20*time.Second, w1, SharedFile, func(e env.Env) { cl.Nodes[w1].ReportOversell(e, SharedFile) })
+	cl.C.CallAtFile(40*time.Second, w1, SharedFile, func(e env.Env) { cl.Nodes[w1].ReportOversell(e, SharedFile) })
+	cl.C.CallAtFile(60*time.Second, w1, SharedFile, func(e env.Env) { cl.Nodes[w1].ReportUndersell(e, SharedFile) })
 	for t := 25 * time.Second; t <= 80*time.Second; t += 20 * time.Second {
 		cl.C.RunUntil(t)
 		series.Add(t, cl.Nodes[w1].BackgroundFreq(SharedFile).Seconds())

@@ -100,14 +100,14 @@ func RunAutomatic(cfg AutoConfig) AutoResult {
 	// Arm fixed-frequency background resolution on every server.
 	for _, nid := range servers {
 		nid := nid
-		c.CallAt(0, nid, func(e env.Env) {
+		c.CallAtFile(0, nid, flightFile, func(e env.Env) {
 			nodes[nid].SetMode(flightFile, core.FullyAutomatic)
 			nodes[nid].SetBackgroundFreq(e, flightFile, cfg.Freq)
 		})
 	}
 	// Warm-up shared prefix.
 	w0 := servers[0]
-	c.CallAt(100*time.Millisecond, w0, func(e env.Env) {
+	c.CallAtFile(100*time.Millisecond, w0, flightFile, func(e env.Env) {
 		u := nodes[w0].Store().Open(flightFile).WriteLocal(e.Stamp(), "init", nil, 0)
 		for _, s := range servers[1:] {
 			nodes[s].Store().Open(flightFile).Apply(u)

@@ -68,7 +68,7 @@ func runIdeaArm(seed int64) TradeoffResult {
 	cl := NewCluster(ClusterConfig{Seed: seed, Nodes: 8, Writers: 4})
 	for _, w := range cl.Writers {
 		w := w
-		cl.C.CallAt(0, w, func(e env.Env) {
+		cl.C.CallAtFile(0, w, SharedFile, func(e env.Env) {
 			if err := cl.Nodes[w].SetHint(SharedFile, 0.95); err != nil {
 				panic(err)
 			}
@@ -120,7 +120,7 @@ func runOptimisticArm(seed int64) TradeoffResult {
 		at := time.Duration(r) * tradeoffInterval
 		for _, nid := range ids {
 			nid := nid
-			c.CallAt(at, nid, func(e env.Env) {
+			c.CallAtFile(at, nid, SharedFile, func(e env.Env) {
 				nodes[nid].Write(e, SharedFile, "draw", []byte("op"), 0)
 			})
 		}
@@ -170,7 +170,7 @@ func runStrongArm(seed int64) TradeoffResult {
 		at := time.Duration(r) * tradeoffInterval
 		for _, nid := range ids {
 			nid := nid
-			c.CallAt(at, nid, func(e env.Env) {
+			c.CallAtFile(at, nid, SharedFile, func(e env.Env) {
 				nodes[nid].Write(e, SharedFile, "draw", []byte("op"), 0)
 			})
 		}

@@ -53,7 +53,7 @@ func RunHint(cfg HintConfig) Report {
 	cl := NewCluster(ClusterConfig{Seed: cfg.Seed, Nodes: cfg.Nodes, Writers: cfg.Writers})
 	for _, w := range cl.Writers {
 		w := w
-		cl.C.CallAt(0, w, func(e env.Env) {
+		cl.C.CallAtFile(0, w, SharedFile, func(e env.Env) {
 			if err := cl.Nodes[w].SetHint(SharedFile, cfg.Hint); err != nil {
 				panic(err)
 			}
@@ -67,7 +67,7 @@ func RunHint(cfg HintConfig) Report {
 		}
 		for _, w := range cl.Writers {
 			w := w
-			cl.C.CallAt(at, w, func(e env.Env) {
+			cl.C.CallAtFile(at, w, SharedFile, func(e env.Env) {
 				if err := cl.Nodes[w].SetHint(SharedFile, cfg.ResetHintTo); err != nil {
 					panic(err)
 				}

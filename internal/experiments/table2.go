@@ -70,7 +70,7 @@ func RunPhaseBreakdown(cfg PhaseConfig) PhaseResult {
 				got = &oc
 			}
 		})
-		cl.C.CallAt(at, initiator, func(e env.Env) {
+		cl.C.CallAtFile(at, initiator, SharedFile, func(e env.Env) {
 			cl.Nodes[initiator].DemandActiveResolution(e, SharedFile)
 		})
 		at += 5 * time.Second

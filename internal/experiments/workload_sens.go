@@ -44,7 +44,7 @@ func RunWorkloadSensitivity(seed int64) Report {
 		cl := NewCluster(ClusterConfig{Seed: seed, Nodes: 12, Writers: 4})
 		for _, w := range cl.Writers {
 			w := w
-			cl.C.CallAt(0, w, func(e env.Env) {
+			cl.C.CallAtFile(0, w, SharedFile, func(e env.Env) {
 				if err := cl.Nodes[w].SetHint(SharedFile, 0.95); err != nil {
 					panic(err)
 				}

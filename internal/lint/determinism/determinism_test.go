@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"idea/internal/lint/determinism"
+	"idea/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), determinism.Analyzer, "detect", "notproto")
+}

@@ -1,0 +1,86 @@
+// Package detect is a determinism-analyzer fixture standing in for a
+// protocol package (its path base is in lintutil.ProtocolPackages).
+package detect
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type sender struct{}
+
+func (sender) Send(to int, msg any) {}
+
+func ambientTime() {
+	_ = time.Now()              // want `time\.Now in protocol package detect breaks simnet replay`
+	_ = time.Since(time.Time{}) // want `time\.Since in protocol package detect`
+	<-time.After(time.Second)   // want `time\.After in protocol package detect`
+	t := time.NewTimer(0)       // want `time\.NewTimer in protocol package detect`
+	t.Stop()
+	time.Sleep(0) // want `time\.Sleep in protocol package detect`
+}
+
+func ambientRand() {
+	_ = rand.Intn(4)                 // want `rand\.Intn in protocol package detect breaks simnet replay`
+	r := rand.New(rand.NewSource(1)) // want `rand\.New in protocol package detect` `rand\.NewSource in protocol package detect`
+	_ = r.Int63()
+}
+
+func escapingMapOrder(m map[string]int, s sender) []string {
+	var out []string
+	for k := range m { // want `map iteration order escapes into slice out`
+		out = append(out, k)
+	}
+	for k, v := range m { // want `map iteration order escapes via sender\.Send`
+		s.Send(v, k)
+	}
+	ch := make(chan string, len(m))
+	for k := range m { // want `map iteration order escapes via channel send`
+		ch <- k
+	}
+	return out
+}
+
+type agg struct{ peers []string }
+
+func escapesViaField(a *agg, m map[string]bool) {
+	for k := range m { // want `map iteration order escapes into slice peers`
+		a.peers = append(a.peers, k)
+	}
+}
+
+func sortedRescue(m map[string]int, s sender) {
+	var keys []string
+	for k := range m { // collected then sorted below: deterministic
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.Send(1, k)
+	}
+}
+
+func orderFreeUses(m map[string]int) map[int]int {
+	counts := make(map[int]int)
+	for _, v := range m { // aggregation into a map is order-free
+		counts[v]++
+	}
+	for range m { // loop-local slice: order cannot escape
+		local := []int{1}
+		local = append(local, 2)
+		_ = local
+	}
+	return counts
+}
+
+func suppressed() {
+	//idealint:allow determinism boundary logging only, never feeds the wire
+	_ = time.Now()
+	_ = time.Now() //idealint:allow determinism same-line trailing directive
+}
+
+func reasonlessDirective() {
+	//idealint:allow determinism
+	_ = time.Now() // want `directive needs a reason` `time\.Now in protocol package detect`
+}

@@ -1,0 +1,18 @@
+// Package notproto is outside the protocol-package set: ambient time
+// and randomness are fine here, and no diagnostics may fire.
+package notproto
+
+import (
+	"math/rand"
+	"time"
+)
+
+func WallClockIsFine(m map[string]int) []string {
+	_ = time.Now()
+	_ = rand.Intn(4)
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package lint assembles the idea-lint invariant analyzer suite: the
+// custom go/analysis passes that machine-check the conventions the
+// compiler cannot — replay determinism, shard affinity, trace
+// propagation, and telemetry hygiene. See the README's "Invariants &
+// linting" section for the contract each analyzer enforces and how to
+// add the next one.
+package lint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"idea/internal/lint/determinism"
+	"idea/internal/lint/shardaffinity"
+	"idea/internal/lint/telemetryhygiene"
+	"idea/internal/lint/tracepropagation"
+)
+
+// Analyzers returns the full idea-lint suite in a fresh slice.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		shardaffinity.Analyzer,
+		tracepropagation.Analyzer,
+		telemetryhygiene.Analyzer,
+	}
+}

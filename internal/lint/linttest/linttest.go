@@ -1,0 +1,249 @@
+// Package linttest is a self-contained analysistest substitute: it runs
+// one analyzer over fixture packages under testdata/src and compares
+// the diagnostics against // want annotations.
+//
+// The upstream analysistest depends on go/packages and an installed
+// module proxy; this harness instead type-checks fixtures directly with
+// go/types. Imports inside a fixture resolve first against sibling
+// directories of testdata/src (so fixtures can fake idea packages like
+// "env", "wire", or "id" with the same path base the analyzers match
+// on) and fall back to the standard library, type-checked from source.
+//
+// Expectations use the analysistest syntax:
+//
+//	time.Now() // want `breaks simnet replay`
+//
+// Each backquoted (or double-quoted) regexp must match a diagnostic
+// reported on that line, and every diagnostic must be claimed by an
+// annotation. Fact import/export is not supported — the idea-lint
+// analyzers are factless by design.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each fixture package (a path under dir/src) and applies the
+// analyzer, failing t on any mismatch between diagnostics and // want
+// annotations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgPaths {
+		lp, err := l.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags := runAnalyzer(t, l, a, lp, make(map[*analysis.Analyzer]any))
+		checkWants(t, l.fset, lp, diags)
+	}
+}
+
+// TestData returns the testdata directory of the caller's package.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	src  string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*loadedPkg
+}
+
+func newLoader(src string) *loader {
+	l := &loader{
+		src:  src,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loadedPkg),
+	}
+	// The "source" importer type-checks the standard library from
+	// GOROOT source, so fixtures can import time/math/rand/etc without
+	// compiled export data being available.
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+// Import implements types.Importer for fixture-internal imports.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	pkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type errors in fixture %s:\n  %s", path, strings.Join(typeErrs, "\n  "))
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+// runAnalyzer executes a (and, recursively, its Requires) over the
+// package, returning a's diagnostics.
+func runAnalyzer(t *testing.T, l *loader, a *analysis.Analyzer, lp *loadedPkg, results map[*analysis.Analyzer]any) []analysis.Diagnostic {
+	t.Helper()
+	for _, req := range a.Requires {
+		if _, done := results[req]; !done {
+			runAnalyzer(t, l, req, lp, results)
+		}
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       l.fset,
+		Files:      lp.files,
+		Pkg:        lp.pkg,
+		TypesInfo:  lp.info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		ResultOf:   results,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:   os.ReadFile,
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		t.Fatalf("%s.Run: %v", a.Name, err)
+	}
+	results[a] = res
+	return diags
+}
+
+// wantRe extracts the expectations from a "// want ..." comment:
+// backquoted or double-quoted regexps, space-separated.
+var wantRe = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, lp *loadedPkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range lp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllString(text, -1) {
+					raw := m
+					if m[0] == '"' {
+						if uq, err := strconv.Unquote(m); err == nil {
+							raw = uq
+						}
+					} else {
+						raw = strings.Trim(m, "`")
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, m, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

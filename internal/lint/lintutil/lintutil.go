@@ -1,0 +1,213 @@
+// Package lintutil is the shared toolkit of the idea-lint analyzers:
+// the protocol-package scoping rule, the //idealint:allow suppression
+// directive, and small type-inspection helpers every analyzer needs.
+//
+// # Suppression
+//
+// A finding is suppressed by a directive comment on the same line or on
+// the line immediately above it:
+//
+//	//idealint:allow <analyzer> <reason>
+//
+// The analyzer name must match the reporting analyzer (or be the word
+// "all"), and the reason is mandatory: a directive without one does not
+// suppress anything and is itself reported, so every intentional
+// exception in the tree carries its justification next to the code.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// ProtocolPackages names the packages whose code runs inside the
+// runtime's serialization domains and therefore must be deterministic:
+// the simnet replays a seed into a byte-identical trace only if protocol
+// code draws time and randomness from env.Env alone. The set is matched
+// against the last element of a package's import path, so it covers both
+// the real tree (idea/internal/detect) and analyzer test fixtures.
+var ProtocolPackages = map[string]bool{
+	"detect":     true,
+	"resolve":    true,
+	"gossip":     true,
+	"membership": true,
+	"core":       true,
+	"store":      true,
+	"overlay":    true,
+	"ransub":     true,
+	"vv":         true,
+	"wire":       true,
+}
+
+// IsProtocolPkg reports whether the import path names a protocol
+// package (one subject to the determinism contract).
+func IsProtocolPkg(path string) bool {
+	return ProtocolPackages[PathBase(path)]
+}
+
+// PathBase returns the last element of an import path.
+func PathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// IsPkg reports whether the named type's defining package has the given
+// import-path base ("wire", "tracing", "id", ...). It is how analyzers
+// recognize idea types without hard-coding the module path, which also
+// lets their testdata fixtures stand in fake packages with the same
+// base name.
+func IsPkg(obj types.Object, base string) bool {
+	return obj != nil && obj.Pkg() != nil && PathBase(obj.Pkg().Path()) == base
+}
+
+// NamedFrom unwraps t to a *types.Named, looking through pointers and
+// aliases; it returns nil for anything else.
+func NamedFrom(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamedType reports whether t (through pointers/aliases) is the named
+// type pkgBase.name.
+func IsNamedType(t types.Type, pkgBase, name string) bool {
+	n := NamedFrom(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && IsPkg(obj, pkgBase)
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The invariant
+// analyzers skip test files: tests drive wall-clock deadlines and build
+// ad-hoc frames outside any serialization domain, and the determinism
+// contract binds protocol code, not its harnesses.
+func InTestFile(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// directive is one parsed //idealint:allow comment.
+type directive struct {
+	line      int
+	analyzers []string
+	hasReason bool
+	pos       token.Pos
+}
+
+// DirectivePrefix is the comment prefix of a suppression directive.
+const DirectivePrefix = "//idealint:allow"
+
+// Reporter wraps analysis.Pass.Report with suppression-directive
+// handling for one analyzer.
+type Reporter struct {
+	pass *analysis.Pass
+	name string
+	// byFile maps filename -> line -> directives on that line.
+	byFile map[string]map[int][]*directive
+	// flaggedBad marks malformed directives already reported, so a
+	// directive shielding two findings is complained about once.
+	flaggedBad map[*directive]bool
+}
+
+// NewReporter builds a Reporter for the pass's analyzer, indexing every
+// suppression directive in the package once.
+func NewReporter(pass *analysis.Pass) *Reporter {
+	r := &Reporter{
+		pass:       pass,
+		name:       pass.Analyzer.Name,
+		byFile:     make(map[string]map[int][]*directive),
+		flaggedBad: make(map[*directive]bool),
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //idealint:allowance
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				d := &directive{
+					analyzers: strings.Split(fields[0], ","),
+					hasReason: len(fields) > 1,
+					pos:       c.Pos(),
+				}
+				p := pass.Fset.Position(c.Pos())
+				d.line = p.Line
+				m := r.byFile[p.Filename]
+				if m == nil {
+					m = make(map[int][]*directive)
+					r.byFile[p.Filename] = m
+				}
+				m[d.line] = append(m[d.line], d)
+			}
+		}
+	}
+	return r
+}
+
+// Reportf reports a finding at pos unless a well-formed directive on the
+// finding's line (or the line above) allows this analyzer. A directive
+// that names this analyzer but carries no reason does not suppress and
+// is itself reported. It returns true if the finding was emitted.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) bool {
+	p := r.pass.Fset.Position(pos)
+	if m := r.byFile[p.Filename]; m != nil {
+		for _, line := range [2]int{p.Line, p.Line - 1} {
+			for _, d := range m[line] {
+				if !r.covers(d) {
+					continue
+				}
+				if d.hasReason {
+					return false
+				}
+				if !r.flaggedBad[d] {
+					r.flaggedBad[d] = true
+					// Report at the finding, not the directive: the
+					// directive does not suppress until it explains
+					// itself.
+					r.pass.Reportf(pos, "idealint:allow directive needs a reason: //idealint:allow %s <why>", r.name)
+				}
+			}
+		}
+	}
+	r.pass.Reportf(pos, format, args...)
+	return true
+}
+
+func (r *Reporter) covers(d *directive) bool {
+	for _, a := range d.analyzers {
+		if a == r.name || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncScope walks up an inspector stack to the innermost enclosing
+// function node (FuncDecl or FuncLit); nil when at package scope.
+func FuncScope(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package shardaffinity_test
+
+import (
+	"testing"
+
+	"idea/internal/lint/linttest"
+	"idea/internal/lint/shardaffinity"
+)
+
+func TestShardAffinity(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), shardaffinity.Analyzer,
+		"driver", "detect", "ransub", "core")
+}

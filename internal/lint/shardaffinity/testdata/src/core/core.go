@@ -1,0 +1,38 @@
+// Package core exercises the hook-write rule: hook[T] slots are
+// installed via SetOn* setters, never by direct field assignment.
+package core
+
+// hook is an atomically swappable callback slot (fixture stand-in for
+// the real atomic.Pointer-based one).
+type hook[T any] struct{ p *T }
+
+func (h *hook[T]) swap(f T) (prev T) {
+	if h.p != nil {
+		prev = *h.p
+	}
+	h.p = &f
+	return prev
+}
+
+// LevelFunc observes detection levels.
+type LevelFunc func(level float64)
+
+// Node is a protocol node with observer hooks.
+type Node struct {
+	onLevel hook[LevelFunc]
+}
+
+// SetOnLevel installs the detection observer.
+func (n *Node) SetOnLevel(f LevelFunc) LevelFunc { return n.onLevel.swap(f) }
+
+func badDirectWrite(n *Node) {
+	n.onLevel = hook[LevelFunc]{} // want `direct write to hook field onLevel races with shard callbacks`
+}
+
+func goodSetter(n *Node) {
+	n.SetOnLevel(func(level float64) {})
+}
+
+func suppressedWrite(n *Node) {
+	n.onLevel = hook[LevelFunc]{} //idealint:allow shardaffinity constructor runs before any shard exists
+}

@@ -1,0 +1,39 @@
+// Package detect exercises the timer-routing rule: a package exporting
+// TimerFile must arm only keys its router handles, with routable data.
+package detect
+
+import (
+	"time"
+
+	"env"
+	"id"
+)
+
+const (
+	timerTimeout = "detect.timeout"
+	timerOrphan  = "detect.orphan" // armed below but never routed
+)
+
+type timeoutData struct{ file id.FileID }
+
+// TimerFile routes detect timers to the owning file's shard.
+func TimerFile(key string, data any) (id.FileID, bool) {
+	if key != timerTimeout {
+		return "", false
+	}
+	if td, ok := data.(timeoutData); ok {
+		return td.file, true
+	}
+	return "", true
+}
+
+func arm(e env.Env, f id.FileID) {
+	e.After(time.Second, timerTimeout, timeoutData{file: f})
+	e.After(time.Second, timerOrphan, timeoutData{file: f}) // want `timer key "detect\.orphan" is not handled by this package's TimerFile/TimerShard`
+	e.After(time.Second, timerTimeout, nil)                 // want `routed timer key "detect\.timeout" armed with nil data`
+	e.After(time.Second, "detect.dyn:"+string(f), nil)      // want `timer key is not a compile-time constant`
+}
+
+func armSuppressed(e env.Env) {
+	e.After(time.Second, timerOrphan, nil) //idealint:allow shardaffinity single-shard-only debug timer
+}

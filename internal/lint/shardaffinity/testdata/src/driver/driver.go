@@ -1,0 +1,45 @@
+// Package driver exercises the node-global-injection rule: per-file
+// work must ride InjectFile, not Inject.
+package driver
+
+import (
+	"env"
+	"id"
+	"transport"
+)
+
+type write struct{ file id.FileID }
+
+func (w write) Kind() string { return "w" }
+
+func badInject(n *transport.Node, file id.FileID) {
+	n.Inject(func(e env.Env) {
+		e.Send(1, write{file: file}) // want `per-file work runs node-global through Node\.Inject; use InjectFile`
+	})
+}
+
+func badInjectLiteral(n *transport.Node) {
+	n.Inject(func(e env.Env) {
+		var f id.FileID = "f1" // want `per-file work runs node-global through Node\.Inject; use InjectFile`
+		e.Send(1, write{file: f})
+	})
+}
+
+func goodInjectFile(n *transport.Node, file id.FileID) {
+	n.InjectFile(file, func(e env.Env) {
+		e.Send(1, write{file: file})
+	})
+}
+
+func goodGlobalInject(n *transport.Node) {
+	n.Inject(func(e env.Env) {
+		e.Send(1, nil) // node-global admin work: fine
+	})
+}
+
+func suppressedInject(n *transport.Node, file id.FileID) {
+	n.Inject(func(e env.Env) {
+		//idealint:allow shardaffinity single-shard baseline driver by construction
+		e.Send(1, write{file: file})
+	})
+}

@@ -1,0 +1,13 @@
+// Package env fakes idea/internal/env for analyzer fixtures.
+package env
+
+import "time"
+
+// Message is the transport payload.
+type Message interface{ Kind() string }
+
+// Env is the runtime interface protocol code runs against.
+type Env interface {
+	After(d time.Duration, key string, data any)
+	Send(to int, msg Message)
+}

@@ -1,0 +1,8 @@
+// Package id fakes idea/internal/id for analyzer fixtures.
+package id
+
+// FileID identifies a shared file.
+type FileID string
+
+// Hash mirrors the real FileID.Hash.
+func (f FileID) Hash() uint32 { return uint32(len(f)) }

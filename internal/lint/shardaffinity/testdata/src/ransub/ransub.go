@@ -1,0 +1,16 @@
+// Package ransub has no TimerFile/TimerShard router: its timers are
+// node-global by design and the timer-routing rule does not apply.
+package ransub
+
+import (
+	"time"
+
+	"env"
+)
+
+const timerEpoch = "ransub.epoch"
+
+func arm(e env.Env) {
+	e.After(time.Second, timerEpoch, nil) // unrouted package: fine
+	e.After(time.Second, "ransub.dyn:"+"x", nil)
+}

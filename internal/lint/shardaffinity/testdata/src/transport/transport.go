@@ -1,0 +1,17 @@
+// Package transport fakes idea/internal/transport for analyzer
+// fixtures.
+package transport
+
+import (
+	"env"
+	"id"
+)
+
+// Node is a live runtime node.
+type Node struct{}
+
+// Inject runs fn on shard 0.
+func (n *Node) Inject(fn func(env.Env)) {}
+
+// InjectFile runs fn in the shard owning file.
+func (n *Node) InjectFile(file id.FileID, fn func(env.Env)) {}

@@ -1,0 +1,12 @@
+package telemetryhygiene_test
+
+import (
+	"testing"
+
+	"idea/internal/lint/linttest"
+	"idea/internal/lint/telemetryhygiene"
+)
+
+func TestTelemetryHygiene(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), telemetryhygiene.Analyzer, "metrics")
+}

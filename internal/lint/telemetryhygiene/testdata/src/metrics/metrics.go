@@ -1,0 +1,46 @@
+// Package metrics exercises the telemetry-hygiene rules: constant
+// inventory-convention names, and no registry lookups inside loops.
+package metrics
+
+import "telemetry"
+
+const roundTrips = "detect.round_trips"
+
+func goodNames(r *telemetry.Registry) {
+	r.Counter(roundTrips).Add(1)
+	r.Counter("detect.probe_total").Add(1)
+	r.HistogramWith("core.queue_wait_ms", []float64{1, 5, 10}).Observe(2)
+	r.Gauge("store.pending_updates").Add(1)
+	r.Counter(roundTrips + ".by_peer").Add(1) // constant concatenation is still compile-time
+}
+
+func badNames(r *telemetry.Registry, shard string) {
+	r.Counter("core.shard_queue_depth." + shard).Add(1) // want `metric name passed to Registry\.Counter is not a compile-time constant`
+	r.Gauge("Store.PendingUpdates").Add(1)              // want `metric name "Store\.PendingUpdates" does not match the inventory convention`
+	r.Histogram("flat").Observe(1)                      // want `metric name "flat" does not match the inventory convention`
+}
+
+func lookupInLoop(r *telemetry.Registry, vals []float64) {
+	for _, v := range vals {
+		r.Histogram("core.queue_wait").Observe(v) // want `Registry\.Histogram inside a loop takes the registry lock every iteration`
+	}
+	h := r.Histogram("core.queue_wait") // hoisted: fine
+	for _, v := range vals {
+		h.Observe(v)
+	}
+}
+
+func closureDefinedInLoop(r *telemetry.Registry) {
+	var fns []func()
+	for i := 0; i < 2; i++ {
+		fns = append(fns, func() {
+			r.Counter("gossip.rounds_total").Add(1) // charged to the closure, not the loop
+		})
+	}
+	_ = fns
+}
+
+func suppressedDynamic(r *telemetry.Registry, shard string) {
+	//idealint:allow telemetryhygiene per-shard gauge family, named once at boot
+	r.Gauge("core.shard_queue_depth." + shard).Add(1)
+}

@@ -1,0 +1,28 @@
+// Package telemetry fakes idea/internal/telemetry for analyzer
+// fixtures.
+package telemetry
+
+// Counter is a monotonic metric handle.
+type Counter struct{}
+
+// Add bumps the counter.
+func (c *Counter) Add(n int64) {}
+
+// Observe records a histogram sample (fixture reuses Counter for all
+// handle kinds).
+func (c *Counter) Observe(v float64) {}
+
+// Registry interns metrics by name.
+type Registry struct{}
+
+// Counter interns a counter.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge interns a gauge.
+func (r *Registry) Gauge(name string) *Counter { return &Counter{} }
+
+// Histogram interns a histogram.
+func (r *Registry) Histogram(name string) *Counter { return &Counter{} }
+
+// HistogramWith interns a histogram with explicit bounds.
+func (r *Registry) HistogramWith(name string, bounds []float64) *Counter { return &Counter{} }

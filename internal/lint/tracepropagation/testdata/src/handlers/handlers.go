@@ -1,0 +1,53 @@
+// Package handlers exercises the trace-propagation rule: a derived
+// TC-bearing frame must forward the context reachable in its handler.
+package handlers
+
+import (
+	"id"
+	"tracing"
+	"wire"
+)
+
+func dropsInboundContext(m wire.DetectRequest) wire.DetectReply {
+	return wire.DetectReply{File: m.File, Token: m.Token} // want `wire\.DetectReply carries a trace context but TC is not set here`
+}
+
+func forwardsInboundContext(m wire.DetectRequest) wire.DetectReply {
+	return wire.DetectReply{File: m.File, Token: m.Token, TC: m.TC}
+}
+
+func dropsSessionContext(file id.FileID, tc tracing.Context) wire.DetectRequest {
+	return wire.DetectRequest{File: file} // want `wire\.DetectRequest carries a trace context but TC is not set here`
+}
+
+type session struct {
+	file id.FileID
+	tc   tracing.Context
+}
+
+func dropsFieldContext(s *session) wire.DetectRequest {
+	return wire.DetectRequest{File: s.file} // want `wire\.DetectRequest carries a trace context but TC is not set here`
+}
+
+func forwardsFieldContext(s *session) wire.DetectRequest {
+	return wire.DetectRequest{File: s.file, TC: s.tc}
+}
+
+func mintSite(file id.FileID) wire.DetectRequest {
+	return wire.DetectRequest{File: file} // no context reachable: a mint/fixture site
+}
+
+func noTCField(m wire.DetectRequest) wire.InformAck {
+	return wire.InformAck{File: m.File, Token: m.Token} // frame has no TC: nothing to forward
+}
+
+func buildThenAttach(m wire.DetectRequest) wire.DetectRequest {
+	out := wire.DetectRequest{File: m.File}
+	out.TC = m.TC
+	return out
+}
+
+func suppressedTerminalFrame(m wire.DetectRequest) wire.DetectReply {
+	//idealint:allow tracepropagation reply is terminal and never rendered on timelines
+	return wire.DetectReply{File: m.File, Token: m.Token}
+}

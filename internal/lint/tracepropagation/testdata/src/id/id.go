@@ -1,0 +1,5 @@
+// Package id fakes idea/internal/id for analyzer fixtures.
+package id
+
+// FileID identifies a shared file.
+type FileID string

@@ -1,0 +1,8 @@
+// Package tracing fakes idea/internal/tracing for analyzer fixtures.
+package tracing
+
+// Context is a causal trace context riding on wire frames.
+type Context struct{ Trace, Span uint64 }
+
+// Zero reports whether the context is unsampled.
+func (c Context) Zero() bool { return c.Trace == 0 }

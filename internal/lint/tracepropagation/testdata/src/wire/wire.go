@@ -1,0 +1,28 @@
+// Package wire fakes idea/internal/wire for analyzer fixtures: two
+// TC-bearing frames and one without.
+package wire
+
+import (
+	"id"
+	"tracing"
+)
+
+// DetectRequest is a TC-bearing probe frame.
+type DetectRequest struct {
+	File  id.FileID
+	Token int64
+	TC    tracing.Context
+}
+
+// DetectReply is a TC-bearing reply frame.
+type DetectReply struct {
+	File  id.FileID
+	Token int64
+	TC    tracing.Context
+}
+
+// InformAck carries no trace context.
+type InformAck struct {
+	File  id.FileID
+	Token int64
+}

@@ -1,0 +1,12 @@
+package tracepropagation_test
+
+import (
+	"testing"
+
+	"idea/internal/lint/linttest"
+	"idea/internal/lint/tracepropagation"
+)
+
+func TestTracePropagation(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), tracepropagation.Analyzer, "handlers")
+}

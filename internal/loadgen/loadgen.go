@@ -195,7 +195,9 @@ func newRecorder(reg *telemetry.Registry) *recorder {
 	}
 	rec := &recorder{timeouts: reg.Counter("loadgen.timeouts_total")}
 	for op := Op(0); op < numOps; op++ {
+		//idealint:allow telemetryhygiene per-op metric family interned once at construction
 		rec.hists[op] = reg.Histogram(fmt.Sprintf("loadgen.%s_seconds", op))
+		//idealint:allow telemetryhygiene per-op metric family interned once at construction
 		rec.counts[op] = reg.Counter(fmt.Sprintf("loadgen.%s_total", op))
 	}
 	return rec

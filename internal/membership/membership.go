@@ -345,7 +345,8 @@ func (a *Agent) Members() []Record {
 	return out
 }
 
-// alive returns the non-dead member IDs (excluding self), unsorted.
+// alive returns the non-dead member IDs (excluding self), sorted by
+// node ID so the order is replay-stable regardless of map iteration.
 // Callers hold no lock ordering concerns: it takes a.mu itself only when
 // called from outside the event loop via exported accessors.
 func (a *Agent) alive() []id.NodeID {
@@ -355,6 +356,7 @@ func (a *Agent) alive() []id.NodeID {
 			out = append(out, n)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -407,7 +409,6 @@ func (a *Agent) Leave(e env.Env) {
 	msg := wire.SwimLeave{Node: a.self, Inc: a.inc}
 	targets := a.alive()
 	a.mu.Unlock()
-	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 	for _, n := range targets {
 		e.Send(n, msg)
 	}
@@ -519,7 +520,6 @@ func (a *Agent) ackTimeout(e env.Env, pd probeData) {
 			relays = append(relays, n)
 		}
 	}
-	sort.Slice(relays, func(i, j int) bool { return relays[i] < relays[j] })
 	e.Rand().Shuffle(len(relays), func(i, j int) { relays[i], relays[j] = relays[j], relays[i] })
 	if len(relays) > a.cfg.IndirectProbes {
 		relays = relays[:a.cfg.IndirectProbes]

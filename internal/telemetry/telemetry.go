@@ -379,6 +379,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Histogram returns the named histogram, creating it with the default
 // latency buckets on first use. A nil registry returns nil.
 func (r *Registry) Histogram(name string) *Histogram {
+	//idealint:allow telemetryhygiene registry's own delegation, name is the caller's
 	return r.HistogramWith(name, nil)
 }
 

@@ -334,6 +334,7 @@ func (n *Node) AttachMetrics(reg *telemetry.Registry) {
 		queueWait: reg.Histogram("core.queue_wait"),
 	}
 	for _, sl := range n.shards {
+		//idealint:allow telemetryhygiene per-shard gauge family, interned once at boot
 		sl.depth = reg.Gauge(fmt.Sprintf("core.shard_queue_depth.%d", sl.idx))
 	}
 }
@@ -569,8 +570,9 @@ func (n *Node) link(to id.NodeID) (*peerLink, error) {
 		return nil, fmt.Errorf("transport: unknown peer %v", to)
 	}
 	l := &peerLink{
-		nid:   to,
-		out:   make(chan []byte, n.opts.SendQueue),
+		nid: to,
+		out: make(chan []byte, n.opts.SendQueue),
+		//idealint:allow telemetryhygiene per-peer gauge interned once at link creation
 		depth: n.reg.Gauge(fmt.Sprintf("transport.queue_depth.%v", to)),
 		done:  make(chan struct{}),
 	}

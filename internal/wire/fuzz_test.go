@@ -27,3 +27,41 @@ func FuzzDecode(f *testing.F) {
 		_ = e.Msg.Kind()
 	})
 }
+
+// FuzzEnvelopeRoundTrip checks that any envelope the decoder accepts
+// survives a re-encode/re-decode cycle with its routing and message kind
+// intact — the property the transport relies on when it forwards frames.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	for _, m := range allMessages() {
+		frame, err := Encode(Envelope{From: 3, To: 4, Msg: m})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Decode(data)
+		if err != nil {
+			return
+		}
+		frame, err := Encode(e)
+		if err != nil {
+			t.Fatalf("re-encode of accepted envelope failed: %v", err)
+		}
+		e2, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded envelope failed: %v", err)
+		}
+		if e2.From != e.From || e2.To != e.To {
+			t.Fatalf("routing changed across round trip: %v->%v became %v->%v",
+				e.From, e.To, e2.From, e2.To)
+		}
+		if (e.Msg == nil) != (e2.Msg == nil) {
+			t.Fatal("message presence changed across round trip")
+		}
+		if e.Msg != nil && e.Msg.Kind() != e2.Msg.Kind() {
+			t.Fatalf("message kind changed across round trip: %v became %v",
+				e.Msg.Kind(), e2.Msg.Kind())
+		}
+	})
+}
