@@ -62,14 +62,22 @@ func newBurstNode(tb testing.TB, shards int) (*core.Node, *transport.Node) {
 }
 
 // newTracedBurstNode is newBurstNode with a tracing config, so the bench
-// can compare the burst with tracing off against 1% sampling.
+// can compare the burst with tracing off against 1% sampling. The node
+// runs with a group-commit-8 WAL attached — durability is the benchmarked
+// default, not an unmeasured option.
 func newTracedBurstNode(tb testing.TB, shards int, tc tracing.Config) (*core.Node, *transport.Node) {
+	wal, err := store.OpenWAL(tb.TempDir())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	wal.SetGroupCommit(8)
 	n := core.NewNode(1, core.Options{
 		Membership:    overlay.NewStatic([]id.NodeID{1}, nil),
 		Shards:        shards,
 		DisableGossip: true,
 		DisableRansub: true,
 		Tracing:       tc,
+		Journal:       wal,
 	})
 	tn, err := transport.Listen(1, "127.0.0.1:0", n, nil)
 	if err != nil {
@@ -180,11 +188,13 @@ func traceVisibilityStats() (visP50, visP95, visP99, resolveP99 float64, traced 
 }
 
 // joinCatchupSeconds measures the dynamic-membership bootstrap: a seed
-// node holding a 50k-update replica, and a joiner started with nothing
+// node holding an `updates`-deep replica (each update carrying `payload`
+// bytes of data; 0 = metadata-only), and a joiner started with nothing
 // but the seed's address. It returns the wall-clock seconds from the
 // joiner's start until its replica vector is equal to the seed's — the
-// join handshake plus the snapshot state transfer.
-func joinCatchupSeconds(b *testing.B, updates, writers int) float64 {
+// join handshake plus the chunked snapshot state transfer. Both nodes
+// run with the group-commit WAL attached, like production.
+func joinCatchupSeconds(b *testing.B, updates, writers, payload int) float64 {
 	fast := &idea.MembershipConfig{
 		ProbeInterval:  200 * time.Millisecond,
 		ProbeTimeout:   100 * time.Millisecond,
@@ -193,13 +203,20 @@ func joinCatchupSeconds(b *testing.B, updates, writers int) float64 {
 	}
 	seed, err := idea.NewLiveNode(idea.LiveNodeConfig{
 		Self: 1, Listen: "127.0.0.1:0", All: []idea.NodeID{1},
-		Swim: true, SwimConfig: fast, Shards: 1,
+		Swim: true, SwimConfig: fast, Shards: 1, WalDir: b.TempDir(),
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer seed.Close()
 
+	var data []byte
+	if payload > 0 {
+		data = make([]byte, payload)
+		for i := range data {
+			data[i] = byte(i)
+		}
+	}
 	// Fill the seed's replica inside the file's serialization domain.
 	filled := make(chan struct{})
 	seed.InjectFile("bench", func(e env.Env) {
@@ -208,7 +225,8 @@ func joinCatchupSeconds(b *testing.B, updates, writers int) float64 {
 		for i := 0; i < updates; i++ {
 			w := id.NodeID(i%writers + 2)
 			seqs[w]++
-			rep.Apply(wire.Update{File: "bench", Writer: w, Seq: seqs[w], At: vv.Stamp(i+1) * 1e6})
+			rep.Apply(wire.Update{File: "bench", Writer: w, Seq: seqs[w],
+				At: vv.Stamp(i+1) * 1e6, Op: "put", Data: data})
 		}
 		close(filled)
 	})
@@ -219,13 +237,14 @@ func joinCatchupSeconds(b *testing.B, updates, writers int) float64 {
 
 	start := time.Now()
 	joiner, err := idea.NewLiveNode(idea.LiveNodeConfig{
-		Self: 9, Listen: "127.0.0.1:0", Join: seed.Addr(), SwimConfig: fast, Shards: 1,
+		Self: 9, Listen: "127.0.0.1:0", Join: seed.Addr(), SwimConfig: fast,
+		Shards: 1, WalDir: b.TempDir(),
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer joiner.Close()
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(60 * time.Second)
 	for {
 		got := make(chan *vv.Vector, 1)
 		joiner.InjectFile("bench", func(env.Env) { got <- joiner.N.Store().Open("bench").Vector() })
@@ -233,10 +252,39 @@ func joinCatchupSeconds(b *testing.B, updates, writers int) float64 {
 			return time.Since(start).Seconds()
 		}
 		if time.Now().After(deadline) {
-			b.Fatal("joiner never converged to the seed's 50k-update replica")
+			b.Fatalf("joiner never converged to the seed's %d-update replica", updates)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// encodeAllocsPerOp measures steady-state allocations of the pooled
+// encode path on the transport's hottest frame shape (an update-bearing
+// Inform). The gate holds this at exactly 0: any allocation on the hot
+// frame is a regression.
+func encodeAllocsPerOp(b *testing.B) float64 {
+	us := make([]wire.Update, 8)
+	for i := range us {
+		us[i] = wire.Update{File: "bench", Writer: 1, Seq: i + 1, At: 1e9, Meta: 5,
+			Op: "put", Data: []byte("0123456789abcdef0123456789abcdef")}
+	}
+	e := wire.Envelope{From: 1, To: 2, Msg: wire.Inform{File: "bench", Token: 7,
+		Winner: 2, VV: vv.New(), Updates: us}}
+	// Warm the pool so the measurement sees steady state, not first-use.
+	for i := 0; i < 16; i++ {
+		f, err := wire.EncodeFrame(e, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Release()
+	}
+	return testing.AllocsPerRun(1000, func() {
+		f, err := wire.EncodeFrame(e, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Release()
+	})
 }
 
 // BenchmarkCoreBaseline measures the bounded-state headline numbers — the
@@ -329,12 +377,29 @@ func BenchmarkCoreBaseline(b *testing.B) {
 	visP50, visP95, visP99, resolveP99, traced := traceVisibilityStats()
 
 	// Dynamic-membership headline: seed-address-only join + snapshot
-	// bootstrap into the same 50k-update scenario.
-	joinSecs := joinCatchupSeconds(b, updates, writers)
+	// bootstrap into the same 50k-update scenario (metadata-only updates).
+	joinSecs := joinCatchupSeconds(b, updates, writers, 0)
+
+	// Snapshot-throughput headline: the same bootstrap with payload-bearing
+	// updates — 1024 × 16KiB ≈ 16MiB, larger than both the per-chunk window
+	// and the transport's maximum frame, so only the chunked streaming path
+	// can move it. Reported as payload MB per second of join wall-clock.
+	const (
+		snapUpdates = 1024
+		snapPayload = 16 << 10
+	)
+	snapSecs := joinCatchupSeconds(b, snapUpdates, 3, snapPayload)
+	snapMBps := float64(snapUpdates) * float64(snapPayload) / float64(1<<20) / snapSecs
+
+	// Zero-copy headline: steady-state allocations of the pooled encode
+	// path. The gate tolerates exactly 0.
+	encodeAllocs := encodeAllocsPerOp(b)
 
 	b.ReportMetric(visP99, "visibility-p99-ms")
 	b.ReportMetric(tracingRatio, "traced-ops-ratio")
 	b.ReportMetric(joinSecs, "join-catchup-s")
+	b.ReportMetric(snapMBps, "snapshot-MB/s")
+	b.ReportMetric(encodeAllocs, "encode-allocs/op")
 	b.ReportMetric(float64(digestBytes), "digest-bytes")
 	b.ReportMetric(indexedNs, "missingfrom-ns")
 	b.ReportMetric(legacyNs/indexedNs, "speedup-x")
@@ -358,6 +423,9 @@ func BenchmarkCoreBaseline(b *testing.B) {
 		"parallel_write_shards":            headlineShards,
 		"parallel_write_speedup_x":         opsHeadline / opsSingle,
 		"join_catchup_seconds":             joinSecs,
+		"snapshot_payload_mb":              float64(snapUpdates) * float64(snapPayload) / float64(1<<20),
+		"snapshot_mb_per_sec":              snapMBps,
+		"encode_allocs_per_op":             encodeAllocs,
 		"write_visibility_ms_p50":          visP50,
 		"write_visibility_ms_p95":          visP95,
 		"write_visibility_ms_p99":          visP99,
@@ -365,6 +433,7 @@ func BenchmarkCoreBaseline(b *testing.B) {
 		"traced_writes":                    traced,
 		"tracing_sampled_throughput_ratio": tracingRatio,
 		"gomaxprocs":                       runtime.GOMAXPROCS(0),
+		"num_cpu":                          runtime.NumCPU(),
 		"go":                               runtime.Version(),
 	}
 	for _, sc := range shardCounts {

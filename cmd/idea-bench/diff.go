@@ -1,0 +1,74 @@
+package main
+
+// The -diff mode renders an old-vs-new comparison of every numeric key
+// in the bench artifact as a markdown table (benchstat-style), so a PR's
+// perf delta is readable in the CI artifact without running anything
+// locally. Unlike -gate it never fails: it reports, the gate judges.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// runDiff writes a markdown table comparing every numeric metric present
+// in either file. Metrics tracked by the gate are marked; delta is
+// relative to baseline where both sides exist.
+func runDiff(benchPath, baselinePath string, w io.Writer) error {
+	bench, err := loadBench(benchPath)
+	if err != nil {
+		return fmt.Errorf("bench-diff: %w", err)
+	}
+	base, err := loadBench(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench-diff: %w", err)
+	}
+	tracked := make(map[string]bool, len(trackedMetrics))
+	for _, m := range trackedMetrics {
+		tracked[m.key] = true
+	}
+	keys := make(map[string]bool, len(bench)+len(base))
+	for k := range bench {
+		keys[k] = true
+	}
+	for k := range base {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(w, "### Bench diff: `%s` vs baseline `%s`\n\n", benchPath, baselinePath)
+	fmt.Fprintln(w, "| metric | baseline | current | delta | gate |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|:---:|")
+	for _, k := range sorted {
+		cur, okCur := bench[k]
+		old, okOld := base[k]
+		curS, oldS, deltaS := "–", "–", "–"
+		if okCur {
+			curS = fmtNum(cur)
+		}
+		if okOld {
+			oldS = fmtNum(old)
+		}
+		if okCur && okOld && old != 0 {
+			d := (cur - old) / old * 100
+			if math.Abs(d) < 0.05 {
+				deltaS = "~"
+			} else {
+				deltaS = fmt.Sprintf("%+.1f%%", d)
+			}
+		}
+		mark := ""
+		if tracked[k] {
+			mark = "✓"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n", k, oldS, curS, deltaS, mark)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "`✓` = tracked by `idea-bench -gate` (regression beyond tolerance fails CI).")
+	return nil
+}

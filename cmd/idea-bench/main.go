@@ -13,6 +13,11 @@
 //
 //	go test -run '^$' -bench CoreBaseline -benchtime 100x .
 //	go run ./cmd/idea-bench -gate
+//
+// With -diff it renders the same comparison as a benchstat-style
+// markdown table over every numeric key in both artifacts — for CI to
+// upload as a readable perf delta on every PR. -diff never fails the
+// build; only -gate judges.
 package main
 
 import (
@@ -75,6 +80,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed for every experiment")
 	only := flag.String("only", "", "comma-separated subset (fig7a,fig7b,fig8,table2,fig9,fig10,fig2,capture,rollback,bounds,parallel,ttl,refsel,skew,workload)")
 	gate := flag.Bool("gate", false, "bench-regression gate: diff -bench against -baseline and exit nonzero on regression")
+	diff := flag.Bool("diff", false, "render -bench vs -baseline as a markdown table on stdout (never fails)")
 	benchFile := flag.String("bench", "BENCH_core.json", "fresh bench artifact (gate mode)")
 	baseFile := flag.String("baseline", "BENCH_baseline.json", "committed baseline (gate mode)")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "required parallel_write_speedup_x when the bench ran with >= 4 cores (gate mode)")
@@ -82,6 +88,13 @@ func main() {
 
 	if *gate {
 		if err := runGate(*benchFile, *baseFile, *minSpeedup, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *diff {
+		if err := runDiff(*benchFile, *baseFile, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

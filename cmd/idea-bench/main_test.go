@@ -55,7 +55,10 @@ func goodBench() map[string]any {
 		"write_visibility_ms_p99":             450.0,
 		"resolve_latency_ms_p99":              300.0,
 		"tracing_sampled_throughput_ratio":    0.99,
+		"encode_allocs_per_op":                0.0,
+		"snapshot_mb_per_sec":                 400.0,
 		"gomaxprocs":                          1.0,
+		"num_cpu":                             1.0,
 	}
 }
 
@@ -117,6 +120,7 @@ func TestGateEnforcesSpeedupFloorOnMulticore(t *testing.T) {
 	dir := t.TempDir()
 	b := goodBench()
 	b["gomaxprocs"] = 8.0
+	b["num_cpu"] = 8.0
 	b["parallel_write_speedup_x"] = 1.02 // sharding doesn't pay on 8 cores
 	bench := writeBench(t, dir, "bench.json", b)
 	base := writeBench(t, dir, "base.json", goodBench())
@@ -164,5 +168,74 @@ func TestGateMissingMetricFails(t *testing.T) {
 	base := writeBench(t, dir, "base.json", goodBench())
 	if err := runGate(bench, base, 2.0, &strings.Builder{}); err == nil {
 		t.Fatal("gate passed a bench artifact missing a tracked metric")
+	}
+}
+
+func TestGateZeroToleranceEncodeAllocs(t *testing.T) {
+	dir := t.TempDir()
+	b := goodBench()
+	b["encode_allocs_per_op"] = 1.0 // any allocation on the hot frame fails
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	if err := runGate(bench, base, 2.0, &strings.Builder{}); err == nil {
+		t.Fatal("gate passed 1 alloc/op on the pooled encode path (tolerance is 0)")
+	}
+}
+
+func TestGateFloorUsesEffectiveCores(t *testing.T) {
+	// GOMAXPROCS=8 on a 1-CPU box: no parallelism actually exists, so the
+	// floor must skip honestly instead of failing the ≈1.0x reading.
+	dir := t.TempDir()
+	b := goodBench()
+	b["gomaxprocs"] = 8.0
+	b["num_cpu"] = 1.0
+	b["parallel_write_speedup_x"] = 1.02
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	var out strings.Builder
+	if err := runGate(bench, base, 2.0, &out); err != nil {
+		t.Fatalf("gate enforced the speedup floor on 1 effective core: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "speedup floor: skipped") {
+		t.Fatalf("expected skipped speedup floor at 1 effective core:\n%s", out.String())
+	}
+}
+
+func TestGateFloorPrefersHeadlineShardKey(t *testing.T) {
+	// When both keys are present the floor reads the explicit 4-shard
+	// ratio, not the legacy alias — a PR can't satisfy the floor with a
+	// stale duplicate key.
+	dir := t.TempDir()
+	b := goodBench()
+	b["gomaxprocs"] = 8.0
+	b["num_cpu"] = 8.0
+	b["parallel_write_speedup_x"] = 2.6
+	b["parallel_write_speedup_x_shards_4"] = 1.1
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	if err := runGate(bench, base, 2.0, &strings.Builder{}); err == nil {
+		t.Fatal("gate read the legacy speedup key over parallel_write_speedup_x_shards_4")
+	}
+}
+
+func TestDiffRendersMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	b := goodBench()
+	b["snapshot_mb_per_sec"] = 800.0 // doubled vs baseline
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	var out strings.Builder
+	if err := runDiff(bench, base, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"| metric | baseline | current | delta | gate |",
+		"| snapshot_mb_per_sec | 400 | 800 | +100.0% | ✓ |",
+		"| gomaxprocs | 1 | 1 | ~ |  |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, got)
+		}
 	}
 }

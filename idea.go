@@ -41,6 +41,7 @@ import (
 	"idea/internal/ransub"
 	"idea/internal/resolve"
 	"idea/internal/simnet"
+	"idea/internal/store"
 	"idea/internal/telemetry"
 	"idea/internal/tracing"
 	"idea/internal/transport"
@@ -326,6 +327,15 @@ type LiveNodeConfig struct {
 	// Tracing enables sampled causal tracing (journal served on /trace
 	// when the admin endpoint is up; zero disables).
 	Tracing TracingConfig
+	// WalDir enables the durability journal: replica updates are written
+	// to per-file logs under this directory, replayed on restart, and
+	// fsynced periodically (see core.Options.Journal). Empty keeps the
+	// store memory-only.
+	WalDir string
+	// WalGroupCommit is how many journal records may accumulate before
+	// being pushed to the OS (see store.WAL.SetGroupCommit). Zero means
+	// 8 — the benchmarked default; set 1 to flush every append.
+	WalGroupCommit int
 	// Logger receives transport diagnostics (nil = silent).
 	Logger *log.Logger
 }
@@ -354,6 +364,18 @@ func NewLiveNode(cfg LiveNodeConfig) (*LiveNode, error) {
 		DisableRansub:     cfg.TopLayers != nil,
 		CompactStableLogs: cfg.CompactLogs,
 		Tracing:           cfg.Tracing,
+	}
+	if cfg.WalDir != "" {
+		wal, err := store.OpenWAL(cfg.WalDir)
+		if err != nil {
+			return nil, err
+		}
+		gc := cfg.WalGroupCommit
+		if gc == 0 {
+			gc = 8
+		}
+		wal.SetGroupCommit(gc)
+		opts.Journal = wal
 	}
 	if cfg.Swim || cfg.Join != "" {
 		sc := membership.Config{}

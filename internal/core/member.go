@@ -34,6 +34,13 @@ const (
 	// joinRetryEvery is the bootstrap retry period (frames can be dropped
 	// by full queues; the joiner re-requests whatever is still missing).
 	joinRetryEvery = 3 * time.Second
+	// snapChunkUpdates / snapChunkBytes bound one snapshot chunk: the
+	// server never materializes (and the joiner never receives) more
+	// than one window of a file's log per frame, so bootstrap peak
+	// memory is O(chunk), not O(store). The byte cap is approximate
+	// (payload bytes, counted before encoding).
+	snapChunkUpdates = 512
+	snapChunkBytes   = 1 << 20
 )
 
 // pruneShard is the payload of a keyMemberPrune timer.
@@ -51,9 +58,25 @@ type joinState struct {
 	seed        id.NodeID
 	started     time.Time
 	manifest    bool
-	outstanding map[id.FileID]bool
+	outstanding map[id.FileID]*fileFetch
 	done        bool
 	catchup     time.Duration
+}
+
+// fileFetch is one file's chunked-transfer progress. Chunk handling for
+// a file runs in that file's serialization domain, but joinState (and
+// so these records) is shared with the shard-0 retry timer — access
+// only under joinState.mu.
+type fileFetch struct {
+	next int // next absolute log offset to pull
+	// begun: the replica was empty and BeginSnapshot adopted the
+	// sender's base; chunks stream through Apply and the transfer ends
+	// with FinishSnapshot (byte-equivalent replica).
+	begun bool
+	// degraded: the replica already held state (e.g. writes raced the
+	// bootstrap), so chunks best-effort ApplyAll and the normal
+	// protocol converges the rest.
+	degraded bool
 }
 
 // setupMembership builds the SWIM agent and live view for a node whose
@@ -189,7 +212,10 @@ func (n *Node) handleJoined(e env.Env, seed id.NodeID) {
 	e.After(joinRetryEvery, keyJoinRetry, nil)
 }
 
-// joinRetry re-requests whatever part of the bootstrap is still missing.
+// joinRetry re-requests whatever part of the bootstrap is still
+// missing, resuming each in-flight file at the offset it reached (the
+// chunk protocol is stateless on the server, so a re-request is
+// idempotent).
 func (n *Node) joinRetry(e env.Env) {
 	n.join.mu.Lock()
 	if !n.join.active || n.join.done {
@@ -197,26 +223,28 @@ func (n *Node) joinRetry(e env.Env) {
 		return
 	}
 	seed := n.join.seed
-	var missing []id.FileID
+	var missing []wire.SnapshotFileRequest
 	if n.join.manifest {
-		for f := range n.join.outstanding {
-			missing = append(missing, f)
+		for f, ff := range n.join.outstanding {
+			missing = append(missing, wire.SnapshotFileRequest{File: f, Offset: ff.next})
 		}
 	}
 	manifest := n.join.manifest
 	n.join.mu.Unlock()
 	// Deterministic re-request order (the queue is a map).
-	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	sort.Slice(missing, func(i, j int) bool { return missing[i].File < missing[j].File })
 	if !manifest {
 		e.Send(seed, wire.SnapshotRequest{})
 	}
-	for _, f := range missing {
-		e.Send(seed, wire.SnapshotFileRequest{File: f})
+	for _, req := range missing {
+		e.Send(seed, req)
 	}
 	e.After(joinRetryEvery, keyJoinRetry, nil)
 }
 
-// handleSnapshotManifest records the file census and pulls each file.
+// handleSnapshotManifest records the file census and starts pulling each
+// file from offset zero. Files fetch concurrently (each in its own
+// shard), but within a file the in-flight window is one chunk.
 func (n *Node) handleSnapshotManifest(e env.Env, from id.NodeID, m wire.SnapshotManifest) {
 	n.join.mu.Lock()
 	if !n.join.active || n.join.manifest || from != n.join.seed {
@@ -224,9 +252,9 @@ func (n *Node) handleSnapshotManifest(e env.Env, from id.NodeID, m wire.Snapshot
 		return
 	}
 	n.join.manifest = true
-	n.join.outstanding = make(map[id.FileID]bool, len(m.Files))
+	n.join.outstanding = make(map[id.FileID]*fileFetch, len(m.Files))
 	for _, f := range m.Files {
-		n.join.outstanding[f] = true
+		n.join.outstanding[f] = &fileFetch{}
 	}
 	empty := len(m.Files) == 0
 	n.join.mu.Unlock()
@@ -239,23 +267,28 @@ func (n *Node) handleSnapshotManifest(e env.Env, from id.NodeID, m wire.Snapshot
 	}
 }
 
-// handleSnapshotFile installs one file's snapshot (in the file's own
-// serialization domain) and completes the bootstrap when it was the last.
-func (n *Node) handleSnapshotFile(e env.Env, from id.NodeID, m wire.SnapshotFileReply) {
+// handleSnapshotChunk integrates one window of a file's snapshot (in the
+// file's own serialization domain), pulls the next window, and completes
+// the bootstrap when the last file finishes.
+func (n *Node) handleSnapshotChunk(e env.Env, from id.NodeID, m wire.SnapshotFileChunk) {
 	n.join.mu.Lock()
-	want := n.join.active && !n.join.done && n.join.outstanding[m.File] && from == n.join.seed
-	if want {
-		delete(n.join.outstanding, m.File)
-	}
-	left := len(n.join.outstanding)
-	manifest := n.join.manifest
+	ff := n.join.outstanding[m.File]
+	want := n.join.active && !n.join.done && ff != nil && from == n.join.seed
 	n.join.mu.Unlock()
 	if !want {
 		return
 	}
-	if m.VV != nil {
-		rep := n.st.Open(m.File)
-		if !rep.InstallSnapshot(m.VV, m.Base, m.PrefixMeta, m.Updates) {
+	if m.VV == nil {
+		// The seed no longer holds the file; nothing to transfer.
+		n.snapshotFileDone(e, m.File)
+		return
+	}
+	rep := n.st.Open(m.File)
+	n.join.mu.Lock()
+	if !ff.begun && !ff.degraded {
+		if rep.BeginSnapshot(m.Base, m.PrefixMeta) {
+			ff.begun = true
+		} else {
 			// The replica already holds state (e.g. writes raced the
 			// bootstrap): fall back to applying what fits; the normal
 			// protocol converges the rest — except a prefix the sender
@@ -263,6 +296,7 @@ func (n *Node) handleSnapshotFile(e env.Env, from id.NodeID, m wire.SnapshotFile
 			// combination (a local head start racing a snapshot from a
 			// log-compacting seed) leaves the file permanently behind,
 			// so make it loud instead of silent.
+			ff.degraded = true
 			local := rep.Vector()
 			for w, b := range m.Base {
 				if b > local.Count(w) {
@@ -271,10 +305,45 @@ func (n *Node) handleSnapshotFile(e env.Env, from id.NodeID, m wire.SnapshotFile
 					break
 				}
 			}
-			rep.ApplyAll(m.Updates)
 		}
 	}
-	if manifest && left == 0 {
+	if ff.begun && m.Offset > ff.next {
+		// The sender compacted past our progress mid-transfer (its base
+		// moved); the missing prefix can no longer be shipped by anyone.
+		e.Logf("core: snapshot stream for %s jumped %d→%d: sender compacted mid-transfer; falling back to best-effort apply",
+			m.File, ff.next, m.Offset)
+		ff.begun, ff.degraded = false, true
+	}
+	begun := ff.begun
+	if next := m.Offset + len(m.Updates); next > ff.next {
+		ff.next = next
+	}
+	next := ff.next
+	n.join.mu.Unlock()
+	rep.ApplyAll(m.Updates)
+	if next < m.End {
+		e.Send(from, wire.SnapshotFileRequest{File: m.File, Offset: next})
+		return
+	}
+	if begun && !rep.FinishSnapshot(m.VV) {
+		// Counts diverged (e.g. a retransmitted tail raced new writes on
+		// the sender): the replica still holds every update it applied;
+		// anti-entropy converges the remainder.
+		e.Logf("core: snapshot stream for %s finished without exact vector adoption; converging via anti-entropy", m.File)
+	}
+	n.snapshotFileDone(e, m.File)
+}
+
+// snapshotFileDone retires one file from the bootstrap queue and
+// completes the join when it was the last.
+func (n *Node) snapshotFileDone(e env.Env, f id.FileID) {
+	n.join.mu.Lock()
+	delete(n.join.outstanding, f)
+	left := len(n.join.outstanding)
+	manifest := n.join.manifest
+	done := n.join.done
+	n.join.mu.Unlock()
+	if !done && manifest && left == 0 {
 		n.finishJoin(e)
 	}
 }
@@ -300,12 +369,16 @@ func (n *Node) handleSnapshotRequest(e env.Env, from id.NodeID) {
 	e.Send(from, wire.SnapshotManifest{Files: n.st.Files()})
 }
 
-// handleSnapshotFileRequest serves one file's snapshot from the shard
-// owning it.
+// handleSnapshotFileRequest serves one bounded window of a file's
+// snapshot from the shard owning it. The server keeps no per-transfer
+// state: every chunk carries the full vector and base, and the client
+// addresses the next window by absolute log offset, so retries and
+// duplicate requests are idempotent.
 func (n *Node) handleSnapshotFileRequest(e env.Env, from id.NodeID, m wire.SnapshotFileRequest) {
-	reply := wire.SnapshotFileReply{File: m.File}
+	reply := wire.SnapshotFileChunk{File: m.File}
 	if r := n.st.Peek(m.File); r != nil {
-		reply.VV, reply.Base, reply.PrefixMeta, reply.Updates = r.Snapshot()
+		reply.VV, reply.Base, reply.PrefixMeta, reply.Offset, reply.Updates, reply.End =
+			r.SnapshotWindow(m.Offset, snapChunkUpdates, snapChunkBytes)
 	}
 	if n.met.snapshotBytes != nil {
 		n.met.snapshotBytes.Add(int64(n.snapSizer.Size(wire.Envelope{From: n.self, To: from, Msg: reply})))
@@ -329,8 +402,8 @@ func (n *Node) recvMembership(e env.Env, from id.NodeID, msg env.Message) bool {
 		n.handleSnapshotManifest(e, from, m)
 	case wire.SnapshotFileRequest:
 		n.handleSnapshotFileRequest(e, from, m)
-	case wire.SnapshotFileReply:
-		n.handleSnapshotFile(e, from, m)
+	case wire.SnapshotFileChunk:
+		n.handleSnapshotChunk(e, from, m)
 	default:
 		return false
 	}

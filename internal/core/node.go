@@ -130,6 +130,19 @@ type Options struct {
 	// nil creates a fresh per-node registry (always available via
 	// Node.Metrics).
 	Metrics *telemetry.Registry
+	// Journal attaches a durability journal to the replica store: on
+	// boot the node replays the journal's logs (crash recovery), then
+	// every applied update and rollback is journaled via the store's
+	// hooks and fsynced every WalSync by a periodic sweep. Nil (the
+	// default) keeps the store memory-only. The node takes ownership of
+	// the journal's lifecycle hooks; configure group commit
+	// (WAL.SetGroupCommit) before passing it in.
+	Journal *store.WAL
+	// WalSync is the fsync-sweep period when Journal is set; zero means
+	// 500ms. Updates newer than the last sweep ride the group-commit
+	// buffer/page cache and can be lost to a crash — recovery treats
+	// them as a torn tail and anti-entropy re-ships them.
+	WalSync time.Duration
 	// Tracing enables the causal tracing layer: one write in every
 	// Tracing.SampleEvery mints a trace context that is piggybacked
 	// through detection, gossip, and resolution, with every hop recorded
@@ -230,6 +243,11 @@ type Node struct {
 	join      joinState
 	snapSizer *wire.Sizer
 
+	// Durability (nil/zero without Options.Journal).
+	wal     *store.WAL
+	walSync time.Duration
+	walErrs []string // recovery problems, logged once at Start
+
 	onLevel    hook[LevelFunc]
 	onAlert    hook[AlertFunc]
 	onResolved hook[ResolvedFunc]
@@ -253,6 +271,10 @@ type coreMetrics struct {
 // keyShardStart fans per-shard boot work out of Handler.Start (which runs
 // on shard 0) into each shard's own domain via zero-delay timers.
 const keyShardStart = "core.shard.start"
+
+// keyWalSync is the periodic journal fsync sweep (shard 0; the WAL
+// serializes per-file against concurrent appends itself).
+const keyWalSync = "core.wal.sync"
 
 // NewNode builds an IDEA node.
 func NewNode(self id.NodeID, opts Options) *Node {
@@ -286,6 +308,33 @@ func NewNode(self id.NodeID, opts Options) *Node {
 		resolved:   n.reg.Counter("core.resolved_total"),
 	}
 	n.st.AttachMetrics(n.reg)
+	if opts.Journal != nil {
+		n.wal = opts.Journal
+		if n.walSync = opts.WalSync; n.walSync <= 0 {
+			n.walSync = 500 * time.Millisecond
+		}
+		// Crash recovery: replay the journal into the store before the
+		// hooks attach, so recovered updates are not re-journaled. A
+		// corrupt log is skipped loudly — its file re-syncs through
+		// anti-entropy like any lagging replica.
+		names, err := n.wal.Files()
+		if err != nil {
+			n.walErrs = append(n.walErrs, fmt.Sprintf("wal scan: %v", err))
+		}
+		for _, name := range names {
+			log, err := n.wal.Recover(id.FileID(name))
+			if err != nil {
+				n.walErrs = append(n.walErrs, fmt.Sprintf("wal recover %s: %v", name, err))
+				continue
+			}
+			if len(log) == 0 {
+				continue
+			}
+			n.st.Open(log[0].File).ApplyAll(log)
+		}
+		n.wal.AttachMetrics(n.reg)
+		n.st.SetJournal(n.wal)
+	}
 	n.quant = opts.Quant
 	if n.quant == nil {
 		n.quant = quantify.Default()
@@ -575,6 +624,13 @@ func (n *Node) Start(e env.Env) {
 	for i := 1; i < n.nshards; i++ {
 		e.After(0, keyShardStart, i)
 	}
+	if n.wal != nil {
+		for _, msg := range n.walErrs {
+			e.Logf("core: %s", msg)
+		}
+		n.walErrs = nil
+		e.After(n.walSync, keyWalSync, nil)
+	}
 }
 
 func (sh *coreShard) start(e env.Env) {
@@ -637,6 +693,13 @@ func (n *Node) Timer(e env.Env, key string, data any) {
 		}
 	case key == keyJoinRetry:
 		n.joinRetry(e)
+	case key == keyWalSync:
+		if n.wal != nil {
+			if err := n.wal.SyncAll(); err != nil {
+				e.Logf("core: wal sync: %v", err)
+			}
+			e.After(n.walSync, keyWalSync, nil)
+		}
 	case strings.HasPrefix(key, "core.auto:"):
 		n.autoTick(e, id.FileID(strings.TrimPrefix(key, "core.auto:")))
 	default:

@@ -116,3 +116,140 @@ func TestDropPendingFrom(t *testing.T) {
 		t.Fatalf("second drop = %d, want 0", got)
 	}
 }
+
+// stream transfers src into dst through the chunked window protocol the
+// join bootstrap uses: BeginSnapshot, windows of at most maxUpdates /
+// maxBytes applied in order, FinishSnapshot with the final vector.
+func stream(t *testing.T, src, dst *Replica, maxUpdates, maxBytes int) {
+	t.Helper()
+	vec, base, meta, start, ups, end := src.SnapshotWindow(0, maxUpdates, maxBytes)
+	if !dst.BeginSnapshot(base, meta) {
+		t.Fatal("BeginSnapshot refused on empty replica")
+	}
+	offset := start
+	for {
+		dst.ApplyAll(ups)
+		offset += len(ups)
+		if offset >= end {
+			break
+		}
+		vec, _, _, _, ups, end = src.SnapshotWindow(offset, maxUpdates, maxBytes)
+	}
+	if !dst.FinishSnapshot(vec) {
+		t.Fatal("FinishSnapshot refused after all chunks applied")
+	}
+}
+
+func TestSnapshotWindowChunkedRoundTrip(t *testing.T) {
+	src := NewReplica("f", 1)
+	fill(src, []id.NodeID{2, 3}, 30)
+
+	dst := NewReplica("f", 9)
+	stream(t, src, dst, 7, 1<<20)
+	if got := vv.Compare(dst.Vector(), src.Vector()); got != vv.Equal {
+		t.Fatalf("vectors after chunked install: %v, want Equal", got)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("Len = %d, want %d", dst.Len(), src.Len())
+	}
+	// The streamed replica must be a fully functional peer.
+	if !dst.Apply(wire.Update{File: "f", Writer: 2, Seq: src.Vector().Count(2) + 1, At: 999e6}) {
+		t.Fatal("apply after chunked install rejected")
+	}
+	u := dst.WriteLocal(1000e6, "w", nil, 0)
+	if u.Seq != dst.Vector().Count(9) {
+		t.Fatalf("local write seq %d not reflected in vector", u.Seq)
+	}
+}
+
+func TestSnapshotWindowRespectsByteBudget(t *testing.T) {
+	src := NewReplica("f", 1)
+	fat := make([]byte, 1024)
+	for i := 1; i <= 20; i++ {
+		src.Apply(wire.Update{File: "f", Writer: 2, Seq: i, At: vv.Stamp(i) * 1e6, Data: fat})
+	}
+	_, _, _, _, ups, end := src.SnapshotWindow(0, 100, 3*1024)
+	if end != 20 {
+		t.Fatalf("end = %d, want 20", end)
+	}
+	// 1024B payload + overhead per update against a 3KiB budget: the
+	// window must stop well short of the update cap.
+	if len(ups) == 0 || len(ups) > 4 {
+		t.Fatalf("window carried %d updates against a 3KiB byte budget", len(ups))
+	}
+}
+
+func TestSnapshotWindowChunkedAfterCompaction(t *testing.T) {
+	src := NewReplica("f", 1)
+	fill(src, []id.NodeID{2, 3}, 8)
+	if src.CompactBelow(map[id.NodeID]int{2: 5, 3: 5}) == 0 {
+		t.Fatal("compaction pruned nothing; test setup broken")
+	}
+	dst := NewReplica("f", 9)
+	stream(t, src, dst, 3, 1<<20)
+	if dst.Compacted() != src.Compacted() {
+		t.Fatalf("Compacted = %d, want %d", dst.Compacted(), src.Compacted())
+	}
+	if got := vv.Compare(dst.Vector(), src.Vector()); got != vv.Equal {
+		t.Fatalf("vectors: %v, want Equal", got)
+	}
+	next2 := src.Vector().Count(2) + 1
+	if !dst.Apply(wire.Update{File: "f", Writer: 2, Seq: next2, At: 100e6}) {
+		t.Fatal("post-install append rejected")
+	}
+}
+
+func TestSnapshotWindowIdempotentRetry(t *testing.T) {
+	// Re-requesting a window (a retry after a lost reply) must be
+	// harmless: Apply dedups the overlap.
+	src := NewReplica("f", 1)
+	fill(src, []id.NodeID{2}, 10)
+	dst := NewReplica("f", 9)
+	vec, base, meta, _, ups, _ := src.SnapshotWindow(0, 4, 1<<20)
+	if !dst.BeginSnapshot(base, meta) {
+		t.Fatal("begin refused")
+	}
+	dst.ApplyAll(ups)
+	dst.ApplyAll(ups) // duplicate chunk
+	_, _, _, _, ups2, _ := src.SnapshotWindow(4, 4, 1<<20)
+	dst.ApplyAll(ups2)
+	_, _, _, _, ups3, _ := src.SnapshotWindow(8, 4, 1<<20)
+	dst.ApplyAll(ups3)
+	if !dst.FinishSnapshot(vec) {
+		t.Fatal("finish refused after duplicate chunk")
+	}
+	if dst.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", dst.Len())
+	}
+}
+
+func TestBeginSnapshotRefusesNonEmpty(t *testing.T) {
+	dst := NewReplica("f", 9)
+	dst.WriteLocal(1e6, "w", nil, 0)
+	if dst.BeginSnapshot(map[id.NodeID]int{2: 3}, 1) {
+		t.Fatal("BeginSnapshot must refuse a non-empty replica")
+	}
+	if dst.Compacted() != 0 {
+		t.Fatalf("refused begin mutated the replica: Compacted = %d", dst.Compacted())
+	}
+}
+
+func TestFinishSnapshotRefusesIncomplete(t *testing.T) {
+	src := NewReplica("f", 1)
+	fill(src, []id.NodeID{2}, 6)
+	vec, base, meta, _, ups, _ := src.SnapshotWindow(0, 3, 1<<20)
+	dst := NewReplica("f", 9)
+	if !dst.BeginSnapshot(base, meta) {
+		t.Fatal("begin refused")
+	}
+	dst.ApplyAll(ups) // only the first window
+	if dst.FinishSnapshot(vec) {
+		t.Fatal("FinishSnapshot must refuse while chunks are missing")
+	}
+	// ... and with a foreign writer the sender never mentioned.
+	dst2 := NewReplica("g", 9)
+	dst2.Apply(wire.Update{File: "g", Writer: 7, Seq: 1, At: 1e6})
+	if dst2.FinishSnapshot(vv.New()) {
+		t.Fatal("FinishSnapshot must refuse when the replica holds writers the vector lacks")
+	}
+}

@@ -37,6 +37,26 @@ type storeMetrics struct {
 	undone       *telemetry.Counter // updates undone by rollbacks
 }
 
+// Journal observes replica mutations for durability. A Store with a
+// journal attached (SetJournal) reports every applied update — whatever
+// path it arrives by: local write, remote apply, gap-closing drain,
+// resolution adoption — and every truncation of the applied log
+// (checkpoint rollback, invalidating adoption). The hooks run
+// synchronously inside the mutation, on the file's own shard, so a
+// journal only needs to tolerate concurrent calls for *different* files.
+//
+// Snapshot installs (InstallSnapshot/BeginSnapshot) are not journaled:
+// a snapshot-seeded prefix exists only as a vector base, with no updates
+// to replay. A journal-backed node that bootstraps from a snapshot must
+// re-bootstrap on recovery; anti-entropy reconciles the difference.
+type Journal interface {
+	// Appended is called after u was applied to the replica's log.
+	Appended(u wire.Update)
+	// Truncated is called after the applied log was cut; keep is the
+	// surviving absolute length (compacted prefix included).
+	Truncated(file id.FileID, keep int)
+}
+
 const (
 	// DefaultMaxCheckpoints bounds the live checkpoints per replica; the
 	// oldest is pruned when a new one would exceed it.
@@ -88,7 +108,8 @@ type Replica struct {
 	// hop shows up on that write's timeline.
 	lastTC tracing.Context
 
-	met storeMetrics
+	met     storeMetrics
+	journal Journal
 }
 
 type checkpoint struct {
@@ -240,6 +261,9 @@ func (r *Replica) apply(u wire.Update) {
 	r.met.windowStamps.Add(int64(len(r.vec.Entries[u.Writer].Stamps) - before))
 	r.met.logEntries.Add(1)
 	r.met.applied.Inc()
+	if r.journal != nil {
+		r.journal.Appended(u)
+	}
 }
 
 // ApplyAll integrates a batch, returning how many were new.
@@ -365,6 +389,9 @@ func (r *Replica) Rollback(token int64) ([]wire.Update, error) {
 		r.met.logEntries.Add(-int64(len(undone)))
 		r.met.rollbacks.Inc()
 		r.met.undone.Add(int64(len(undone)))
+		if r.journal != nil {
+			r.journal.Truncated(r.File, r.logBase+len(r.log))
+		}
 		return undone, nil
 	}
 	return nil, fmt.Errorf("store: unknown checkpoint %d for %v", token, r.File)
@@ -471,6 +498,9 @@ func (r *Replica) AdoptImage(adoptVec *vv.Vector, updates []wire.Update, invalid
 				r.vec.Meta = r.log[n-1].Meta
 			}
 			r.nextSeq = r.vec.Count(r.Owner)
+		}
+		if invalidated > 0 && r.journal != nil {
+			r.journal.Truncated(r.File, r.logBase+len(r.log))
 		}
 	}
 	applied = r.ApplyAll(updates)
@@ -579,6 +609,98 @@ func (r *Replica) InstallSnapshot(vec *vv.Vector, base map[id.NodeID]int, prefix
 	return true
 }
 
+// SnapshotWindow exports one bounded window of the replica's
+// transferable state for chunked join bootstrap: the full version
+// vector and compaction base (every chunk is self-describing, so a
+// transfer can resume from any offset), plus at most maxUpdates live
+// updates — or fewer, once their payload bytes exceed maxBytes — in
+// arrival order starting at absolute log position offset. start is the
+// clamped position actually served (it can exceed the requested offset
+// when compaction pruned past it, and is capped at end); end is the
+// absolute log length at serve time. Unlike Snapshot, the sender never
+// materializes more than one window.
+func (r *Replica) SnapshotWindow(offset, maxUpdates, maxBytes int) (vec *vv.Vector, base map[id.NodeID]int, prefixMeta float64, start int, updates []wire.Update, end int) {
+	end = r.logBase + len(r.log)
+	start = offset
+	if start < r.logBase {
+		start = r.logBase
+	}
+	if start > end {
+		start = end
+	}
+	k := start - r.logBase
+	bytes := 0
+	i := k
+	for i < len(r.log) && i-k < maxUpdates && bytes < maxBytes {
+		bytes += len(r.log[i].Data) + len(r.log[i].Op) + 64
+		i++
+	}
+	if i > k {
+		updates = append([]wire.Update(nil), r.log[k:i]...)
+	}
+	base = make(map[id.NodeID]int)
+	for w, b := range r.wBase {
+		if b > 0 {
+			base[w] = b
+		}
+	}
+	return r.vec.Clone(), base, r.compactedMeta, start, updates, end
+}
+
+// BeginSnapshot prepares an empty replica to stream a chunked snapshot
+// in: it adopts the sender's compaction base and prefix metadata and
+// seeds the vector with the base counts, so the chunks' updates then
+// integrate through the normal Apply path (which enforces per-writer
+// contiguity and dedups retransmitted overlap). It only applies to an
+// empty replica — one that already holds updates converges through the
+// normal protocol instead — and reports whether it happened. The
+// transfer completes with FinishSnapshot.
+func (r *Replica) BeginSnapshot(base map[id.NodeID]int, prefixMeta float64) bool {
+	if r.logBase+len(r.log) > 0 || r.Pending() > 0 {
+		return false
+	}
+	for w, b := range base {
+		if b > 0 {
+			r.wBase[w] = b
+			r.logBase += b
+			r.vec.Entries[w] = vv.Entry{Count: b, Base: b}
+		}
+	}
+	r.compactedMeta = prefixMeta
+	r.vec.Meta = prefixMeta
+	r.nextSeq = r.vec.Count(r.Owner)
+	return true
+}
+
+// FinishSnapshot completes a chunked transfer by adopting the sender's
+// exact vector once every chunk has been applied. It verifies the
+// replica's integrated per-writer counts match the vector's — a
+// mismatch means chunks are still missing (or the sender moved past the
+// transfer) and the adoption is refused. After a successful finish the
+// replica is byte-equivalent to the sender's snapshot: same vector
+// (stamps, watermarks, metadata, error triple), same compaction base,
+// same live log.
+func (r *Replica) FinishSnapshot(vec *vv.Vector) bool {
+	if vec == nil {
+		return false
+	}
+	for w, e := range vec.Entries {
+		if r.vec.Count(w) != e.Count {
+			return false
+		}
+	}
+	for w, e := range r.vec.Entries {
+		if _, ok := vec.Entries[w]; !ok && e.Count > 0 {
+			return false
+		}
+	}
+	gaugeBefore := r.vec.WindowStamps()
+	r.vec = vec.Clone()
+	r.nextSeq = r.vec.Count(r.Owner)
+	r.met.windowStamps.Add(int64(r.vec.WindowStamps() - gaugeBefore))
+	return true
+}
+
 // DropPendingFrom discards the buffered out-of-order updates of one
 // writer — membership eviction: a confirmed-dead writer's gapped suffix
 // would otherwise wait forever for a gap only the dead node could close.
@@ -621,9 +743,10 @@ func (r *Replica) StableCounts() map[id.NodeID]int {
 // shard.
 type Store struct {
 	owner    id.NodeID
-	mu       sync.Mutex // serializes replica creation and metric attach
+	mu       sync.Mutex // serializes replica creation and metric/journal attach
 	replicas sync.Map   // id.FileID → *Replica
 	met      storeMetrics
+	journal  Journal
 }
 
 // New returns an empty store for node owner.
@@ -661,6 +784,21 @@ func (s *Store) AttachMetrics(reg *telemetry.Registry) {
 	})
 }
 
+// SetJournal wires a durability journal to the store (and every replica,
+// current and future): each applied update and each truncation of the
+// applied log is reported to it synchronously from the mutating shard.
+// Call it before the node starts handling traffic, after any recovery
+// replay (replayed updates would otherwise be re-journaled).
+func (s *Store) SetJournal(j Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+	s.replicas.Range(func(_, v any) bool {
+		v.(*Replica).journal = j
+		return true
+	})
+}
+
 // Open returns the replica of file, creating it on first access — the
 // paper's "IDEA retrieves a copy of the file from the underlying
 // replication-based system".
@@ -675,6 +813,7 @@ func (s *Store) Open(file id.FileID) *Replica {
 	}
 	r := NewReplica(file, s.owner)
 	r.met = s.met
+	r.journal = s.journal
 	s.replicas.Store(file, r)
 	s.met.replicas.Add(1)
 	return r

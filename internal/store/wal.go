@@ -8,9 +8,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"idea/internal/id"
+	"idea/internal/telemetry"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -32,9 +36,18 @@ import (
 // bounded tail-loss window (which recovery's torn-tail handling already
 // absorbs) for an order of magnitude fewer journal syscalls. Sync and
 // Close always flush first.
+//
+// The WAL is safe for concurrent use: the file table is guarded by a
+// read-write mutex (lookups on the append hot path take only the read
+// side) and each open log serializes its own encode/flush/sync under a
+// per-file mutex, so shard executors journaling different files never
+// contend, and a periodic SyncAll sweep never races an append.
 type WAL struct {
 	dir string
-	// open appenders per file
+	// mu guards the file table and the configuration fields below it.
+	// Appends take only the read side; opening a new log takes the write
+	// side.
+	mu    sync.RWMutex
 	files map[id.FileID]*walFile
 	// groupCommit is how many records may accumulate before the buffer
 	// is pushed to the OS; 1 = flush every append.
@@ -43,9 +56,22 @@ type WAL struct {
 	// context — the "wal.append" span of the causal timeline. Only
 	// sampled updates reach it, so the hook costs nothing at rest.
 	onAppend func(u wire.Update)
+	// fsyncMS observes each Sync's flush+fsync latency in milliseconds;
+	// nil (no registry attached) is a no-op.
+	fsyncMS *telemetry.Histogram
+
+	// errMu guards firstErr: the first append error seen via the Journal
+	// hook interface, surfaced at the next Err/Sync call site (the hooks
+	// run inside the store's apply path, which has no error channel).
+	errMu    sync.Mutex
+	firstErr error
 }
 
 type walFile struct {
+	// mu serializes this log's encoder, buffer, and fsync: appends from
+	// the file's shard and sync sweeps from the timer shard never
+	// interleave mid-record.
+	mu        sync.Mutex
 	f         *os.File
 	bw        *bufio.Writer
 	enc       *gob.Encoder
@@ -77,7 +103,20 @@ func (w *WAL) SetGroupCommit(n int) {
 	if n < 1 {
 		n = 1
 	}
+	w.mu.Lock()
 	w.groupCommit = n
+	w.mu.Unlock()
+}
+
+// AttachMetrics exports the journal's fsync latency as the
+// store.wal_fsync_ms histogram. Call it before the node starts handling
+// traffic.
+func (w *WAL) AttachMetrics(reg *telemetry.Registry) {
+	h := reg.HistogramWith("store.wal_fsync_ms",
+		[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250})
+	w.mu.Lock()
+	w.fsyncMS = h
+	w.mu.Unlock()
 }
 
 // path maps a file ID to a filesystem-safe log name.
@@ -93,32 +132,41 @@ func (w *WAL) path(file id.FileID) string {
 	return filepath.Join(w.dir, safe+".wal")
 }
 
-func (w *WAL) appender(file id.FileID) (*walFile, error) {
-	if wf, ok := w.files[file]; ok {
-		return wf, nil
+// appender returns the file's open log (creating it on first append)
+// along with the commit-group size and trace hook read under the same
+// lock, so one acquisition serves the whole append.
+func (w *WAL) appender(file id.FileID) (wf *walFile, groupCommit int, onAppend func(wire.Update), err error) {
+	w.mu.RLock()
+	wf, groupCommit, onAppend = w.files[file], w.groupCommit, w.onAppend
+	w.mu.RUnlock()
+	if wf != nil {
+		return wf, groupCommit, onAppend, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if wf = w.files[file]; wf != nil {
+		return wf, w.groupCommit, w.onAppend, nil
 	}
 	f, err := os.OpenFile(w.path(file), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("store: wal open: %w", err)
+		return nil, 0, nil, fmt.Errorf("store: wal open: %w", err)
 	}
 	bw := bufio.NewWriterSize(f, 64<<10)
-	wf := &walFile{f: f, bw: bw, enc: gob.NewEncoder(bw)}
+	wf = &walFile{f: f, bw: bw, enc: gob.NewEncoder(bw)}
 	w.files[file] = wf
-	return wf, nil
+	return wf, w.groupCommit, w.onAppend, nil
 }
 
 // append encodes one record and flushes the buffer once the commit group
 // is full.
-func (w *WAL) append(file id.FileID, rec walRecord) error {
-	wf, err := w.appender(file)
-	if err != nil {
-		return err
-	}
+func (w *WAL) append(file id.FileID, rec walRecord, groupCommit int, wf *walFile) error {
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
 	if err := wf.enc.Encode(rec); err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
 	wf.unflushed++
-	if wf.unflushed >= w.groupCommit {
+	if wf.unflushed >= groupCommit {
 		wf.unflushed = 0
 		if err := wf.bw.Flush(); err != nil {
 			return fmt.Errorf("store: wal flush: %w", err)
@@ -130,55 +178,157 @@ func (w *WAL) append(file id.FileID, rec walRecord) error {
 // SetTraceHook installs the observer invoked for every appended update
 // whose trace context is sampled (the WAL has no clock of its own, so
 // the owner stamps the span).
-func (w *WAL) SetTraceHook(f func(u wire.Update)) { w.onAppend = f }
+func (w *WAL) SetTraceHook(f func(u wire.Update)) {
+	w.mu.Lock()
+	w.onAppend = f
+	w.mu.Unlock()
+}
 
 // AppendUpdate records one applied update (reaching the OS by the next
 // group-commit flush).
 func (w *WAL) AppendUpdate(u wire.Update) error {
-	if w.onAppend != nil && u.TC.Sampled() {
-		w.onAppend(u)
+	wf, gc, hook, err := w.appender(u.File)
+	if err != nil {
+		return err
 	}
-	return w.append(u.File, walRecord{Kind: 'u', Update: u})
+	if hook != nil && u.TC.Sampled() {
+		hook(u)
+	}
+	return w.append(u.File, walRecord{Kind: 'u', Update: u}, gc, wf)
 }
 
 // AppendRollback records that the replica rolled back to keep updates.
 func (w *WAL) AppendRollback(file id.FileID, keep int) error {
-	return w.append(file, walRecord{Kind: 'r', Keep: keep})
+	wf, gc, _, err := w.appender(file)
+	if err != nil {
+		return err
+	}
+	return w.append(file, walRecord{Kind: 'r', Keep: keep}, gc, wf)
+}
+
+// ---- store.Journal hooks ----
+//
+// Appended and Truncated let a WAL plug directly into Store.SetJournal:
+// every update the store applies and every rollback/invalidation
+// truncation is journaled automatically. The hooks run inside the
+// store's apply path, which has no error channel, so failures latch into
+// the WAL's sticky error and surface at the next Err, Sync, or SyncAll.
+
+// Appended journals one applied update (store.Journal).
+func (w *WAL) Appended(u wire.Update) { w.noteErr(w.AppendUpdate(u)) }
+
+// Truncated journals a cut of the applied log to keep entries
+// (store.Journal): checkpoint rollbacks and resolution invalidations.
+func (w *WAL) Truncated(file id.FileID, keep int) {
+	w.noteErr(w.AppendRollback(file, keep))
+}
+
+func (w *WAL) noteErr(err error) {
+	if err == nil {
+		return
+	}
+	w.errMu.Lock()
+	if w.firstErr == nil {
+		w.firstErr = err
+	}
+	w.errMu.Unlock()
+}
+
+// Err returns the first error latched by the journal hooks (nil when the
+// journal is healthy). The error is sticky: a journal that failed once
+// may have lost records, so the owner should treat the log as torn.
+func (w *WAL) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.firstErr
 }
 
 // Flush pushes a file's buffered records to the OS without fsync.
 func (w *WAL) Flush(file id.FileID) error {
-	if wf, ok := w.files[file]; ok {
-		wf.unflushed = 0
-		return wf.bw.Flush()
+	w.mu.RLock()
+	wf := w.files[file]
+	w.mu.RUnlock()
+	if wf == nil {
+		return nil
 	}
-	return nil
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
+	wf.unflushed = 0
+	return wf.bw.Flush()
 }
 
-// Sync flushes a file's log to stable storage.
+// Sync flushes a file's log to stable storage, recording the latency in
+// the store.wal_fsync_ms histogram when metrics are attached.
 func (w *WAL) Sync(file id.FileID) error {
-	if wf, ok := w.files[file]; ok {
-		wf.unflushed = 0
-		if err := wf.bw.Flush(); err != nil {
-			return err
-		}
-		return wf.f.Sync()
+	w.mu.RLock()
+	wf, hist := w.files[file], w.fsyncMS
+	w.mu.RUnlock()
+	if wf == nil {
+		return nil
 	}
-	return nil
+	return w.syncFile(wf, hist)
+}
+
+func (w *WAL) syncFile(wf *walFile, hist *telemetry.Histogram) error {
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
+	//idealint:allow determinism measures real disk fsync latency at the durability boundary, never replayed
+	start := time.Now()
+	wf.unflushed = 0
+	if err := wf.bw.Flush(); err != nil {
+		w.noteErr(err)
+		return err
+	}
+	err := wf.f.Sync()
+	if hist != nil {
+		//idealint:allow determinism measures real disk fsync latency at the durability boundary, never replayed
+		hist.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+	w.noteErr(err)
+	return err
+}
+
+// SyncAll flushes every open log to stable storage — the periodic
+// durability sweep. It returns the first error (also latched into Err).
+func (w *WAL) SyncAll() error {
+	w.mu.RLock()
+	ids := make([]id.FileID, 0, len(w.files))
+	for f := range w.files {
+		ids = append(ids, f)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	files := make([]*walFile, 0, len(ids))
+	for _, f := range ids {
+		files = append(files, w.files[f])
+	}
+	hist := w.fsyncMS
+	w.mu.RUnlock()
+	var first error
+	for _, wf := range files {
+		if err := w.syncFile(wf, hist); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Close flushes and closes every open log.
 func (w *WAL) Close() error {
+	w.mu.Lock()
+	files := w.files
+	w.files = make(map[id.FileID]*walFile)
+	w.mu.Unlock()
 	var first error
-	for _, wf := range w.files {
+	for _, wf := range files {
+		wf.mu.Lock()
 		if err := wf.bw.Flush(); err != nil && first == nil {
 			first = err
 		}
 		if err := wf.f.Close(); err != nil && first == nil {
 			first = err
 		}
+		wf.mu.Unlock()
 	}
-	w.files = make(map[id.FileID]*walFile)
 	return first
 }
 
@@ -240,14 +390,18 @@ func (w *WAL) Files() ([]string, error) {
 
 // ---- Store integration ----
 
-// PersistentStore wraps a Store with a WAL: every applied update and
-// rollback is journaled, and NewPersistentStore replays existing logs.
+// PersistentStore wraps a Store with a WAL through the store's journal
+// hooks: every applied update and rollback is journaled automatically —
+// whatever path it arrives by (local write, remote apply, drain,
+// resolution adoption) — and NewPersistentStore replays existing logs.
 type PersistentStore struct {
 	*Store
 	wal *WAL
 }
 
 // NewPersistentStore opens (or recovers) a durable store rooted at dir.
+// Replay happens before the journal hooks attach, so recovered updates
+// are not re-journaled.
 func NewPersistentStore(owner id.NodeID, dir string) (*PersistentStore, error) {
 	wal, err := OpenWAL(dir)
 	if err != nil {
@@ -271,49 +425,38 @@ func NewPersistentStore(owner id.NodeID, dir string) (*PersistentStore, error) {
 		// Restore the owner's write cursor.
 		rep.nextSeq = rep.vec.Count(owner)
 	}
+	ps.Store.SetJournal(wal)
 	return ps, nil
 }
 
-// WriteLocal journals and applies a local write. Like Apply, it journals
-// whatever the replica actually applied in applied order — a local write
-// can also drain buffered updates of the owner (e.g. re-shipped own
-// writes that arrived gapped after a rollback).
+// WAL returns the underlying journal (for trace hooks or direct sync).
+func (ps *PersistentStore) WAL() *WAL { return ps.wal }
+
+// WriteLocal applies a local write; the journal hook records whatever
+// the replica actually applied, in applied order — a local write can
+// also drain buffered updates of the owner (e.g. re-shipped own writes
+// that arrived gapped after a rollback). The returned error is the
+// journal's sticky error, surfaced here so callers see append failures
+// at the write that followed them.
 func (ps *PersistentStore) WriteLocal(file id.FileID, at vv.Stamp, op string, data []byte, meta float64) (wire.Update, error) {
-	rep := ps.Store.Open(file)
-	before := len(rep.log)
-	u := rep.WriteLocal(at, op, data, meta)
-	for _, au := range rep.log[before:] {
-		if err := ps.wal.AppendUpdate(au); err != nil {
-			return u, err
-		}
-	}
-	return u, nil
+	u := ps.Store.Open(file).WriteLocal(at, op, data, meta)
+	return u, ps.wal.Err()
 }
 
-// Apply journals and applies a remote update; duplicates are not
-// re-journaled. The journal records exactly what the replica *applied*,
-// in applied order — a gapped arrival that was merely buffered is not yet
-// durable (anti-entropy re-ships it), and closing a gap journals the
-// whole drained run, so recovery replay and rollback markers always line
-// up with the applied log.
+// Apply integrates a remote update; duplicates are not re-journaled,
+// and a gapped arrival that was merely buffered is not yet durable
+// (anti-entropy re-ships it) — the journal hook records exactly what the
+// replica *applied*, in applied order, so recovery replay and rollback
+// markers always line up with the applied log.
 func (ps *PersistentStore) Apply(u wire.Update) (bool, error) {
-	rep := ps.Store.Open(u.File)
-	before := len(rep.log)
-	if !rep.Apply(u) {
-		return false, nil
-	}
-	for _, au := range rep.log[before:] {
-		if err := ps.wal.AppendUpdate(au); err != nil {
-			return true, err
-		}
-	}
-	return true, nil
+	ok := ps.Store.Open(u.File).Apply(u)
+	return ok, ps.wal.Err()
 }
 
-// RollbackTo journals a rollback marker after a checkpoint rollback.
-func (ps *PersistentStore) RollbackTo(file id.FileID, keep int) error {
-	return ps.wal.AppendRollback(file, keep)
-}
+// RollbackTo is retained for compatibility: the journal hook already
+// records a marker when Replica.Rollback (or an invalidating adoption)
+// runs, so this only surfaces the journal's sticky error.
+func (ps *PersistentStore) RollbackTo(id.FileID, int) error { return ps.wal.Err() }
 
 // SetGroupCommit raises the journal's group-commit window (see
 // WAL.SetGroupCommit): one OS write per n journaled records instead of

@@ -3,8 +3,11 @@ package store
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
+	"idea/internal/id"
+	"idea/internal/telemetry"
 	"idea/internal/vv"
 	"idea/internal/wire"
 )
@@ -281,5 +284,123 @@ func TestPersistentStoreRollbackJournal(t *testing.T) {
 	defer ps2.Close()
 	if got := ps2.Open(fBoard).Len(); got != 2 {
 		t.Fatalf("recovered %d updates after journaled rollback, want 2", got)
+	}
+}
+
+func TestStoreJournalHooksCaptureAllPaths(t *testing.T) {
+	// A journal attached via Store.SetJournal must see every applied
+	// update — local writes, remote applies, gap-closing drains — and a
+	// truncation marker for rollbacks, with no per-path plumbing.
+	dir := t.TempDir()
+	w := OpenWALMust(t, dir)
+	st := New(nA)
+	st.SetJournal(w)
+	rep := st.Open(fBoard)
+	rep.WriteLocal(sec(1), "w", []byte("a"), 0)
+	rep.Apply(wire.Update{File: fBoard, Writer: nB, Seq: 2, At: sec(2), Op: "w"}) // gapped: buffered
+	rep.Apply(wire.Update{File: fBoard, Writer: nB, Seq: 1, At: sec(3), Op: "w"}) // drains 1,2
+	rep.Checkpoint(5)
+	rep.WriteLocal(sec(4), "w", []byte("b"), 0)
+	if _, err := rep.Rollback(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("journal latched error: %v", err)
+	}
+	w.Close()
+
+	log, err := OpenWALMust(t, dir).Recover(fBoard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 3 {
+		t.Fatalf("recovered %d updates, want 3 (rollback marker cut the 4th)", len(log))
+	}
+	if log[1].Writer != nB || log[1].Seq != 1 || log[2].Seq != 2 {
+		t.Fatalf("journal not in applied order: %v", log)
+	}
+}
+
+func TestStoreJournalHookOnInvalidatingAdoption(t *testing.T) {
+	// An invalidate-both resolution cuts local extras; the journal must
+	// record the truncation so recovery does not resurrect them.
+	dir := t.TempDir()
+	w := OpenWALMust(t, dir)
+	st := New(nA)
+	st.SetJournal(w)
+	rep := st.Open(fBoard)
+	rep.WriteLocal(sec(1), "w", nil, 0)
+	rep.WriteLocal(sec(2), "w", nil, 0) // will be invalidated
+	adopt := vv.New()
+	adopt.Tick(nA, sec(1), 0)
+	applied, invalidated := rep.AdoptImage(adopt, nil, true)
+	if applied != 0 || invalidated != 1 {
+		t.Fatalf("adopt = %d applied, %d invalidated; want 0/1", applied, invalidated)
+	}
+	w.Close()
+	log, err := OpenWALMust(t, dir).Recover(fBoard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 1 || log[0].Seq != 1 {
+		t.Fatalf("recovered %v, want only the surviving update", log)
+	}
+}
+
+func TestWALConcurrentAppendsAndSync(t *testing.T) {
+	// Shard executors journal different files while the periodic sweep
+	// fsyncs everything: must be race-free (run under -race).
+	w := OpenWALMust(t, t.TempDir())
+	w.SetGroupCommit(4)
+	files := []id.FileID{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for i, f := range files {
+		wg.Add(1)
+		go func(f id.FileID, writer id.NodeID) {
+			defer wg.Done()
+			for s := 1; s <= 200; s++ {
+				if err := w.AppendUpdate(wire.Update{File: f, Writer: writer, Seq: s, Op: "w"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(f, id.NodeID(i+1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := w.SyncAll(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	w.Close()
+	for _, f := range files {
+		log, err := OpenWALMust(t, w.dir).Recover(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(log) != 200 {
+			t.Fatalf("file %s recovered %d updates, want 200", f, len(log))
+		}
+	}
+}
+
+func TestWALFsyncHistogram(t *testing.T) {
+	w := OpenWALMust(t, t.TempDir())
+	reg := telemetry.NewRegistry()
+	w.AttachMetrics(reg)
+	w.AppendUpdate(wire.Update{File: fBoard, Writer: nA, Seq: 1, Op: "w"})
+	if err := w.Sync(fBoard); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Histogram("store.wal_fsync_ms").Count(); got != 2 {
+		t.Fatalf("store.wal_fsync_ms count = %d, want 2", got)
 	}
 }

@@ -1,6 +1,7 @@
 // Package transport is the live-network runtime for IDEA nodes: the same
 // env.Handler protocol code that runs under the simulator runs here over
-// real TCP connections. Frames are length-prefixed gob envelopes.
+// real TCP connections. Frames are length-prefixed binary envelopes
+// (internal/wire's codec).
 //
 // Handler callbacks are serialized per *serialization domain*: a plain
 // handler gets the classic single event loop, while a handler
@@ -21,10 +22,13 @@
 // lazily and redials with exponential backoff, so a peer that starts late
 // or restarts becomes reachable as soon as it is up, and a slow peer can
 // never stall the protocol (its queue fills and overflow frames are
-// dropped, which the protocol's timeouts already tolerate). The writer
-// coalesces queued frames into one write call per flush window, so many
-// shards bursting at one peer never pay per-frame syscalls, and enqueuing
-// shards share nothing with each other but the channel itself.
+// dropped, which the protocol's timeouts already tolerate). The data path
+// is zero-copy: senders encode into pooled wire.Frames (length prefix
+// stamped into the frame's headroom, no second buffer), and the writer
+// gathers queued frames into one vectored net.Buffers write (writev) per
+// flush window — frames are never copied into a coalescing buffer, many
+// shards bursting at one peer never pay per-frame syscalls, and each
+// frame returns to the encode pool the moment its batch is on the wire.
 //
 // Per-event telemetry is sampled (1 in 64) on the consuming side of each
 // queue; see sampleEvery.
@@ -51,6 +55,10 @@ import (
 
 // MaxFrame bounds a single message frame (16 MiB).
 const MaxFrame = 16 << 20
+
+// frameHeader is the length prefix size; senders reserve it as headroom
+// in the pooled encode buffer so the header needs no separate write.
+const frameHeader = 4
 
 const (
 	// defaultSendQueue bounds the per-peer outbound frame queue.
@@ -119,8 +127,8 @@ type event struct {
 // transportMetrics are the telemetry handles for the frame hot path;
 // zero-value (nil) handles are no-ops.
 type transportMetrics struct {
-	encode    *telemetry.Histogram // envelope gob-encode duration
-	decode    *telemetry.Histogram // envelope gob-decode duration
+	encode    *telemetry.Histogram // envelope encode duration
+	decode    *telemetry.Histogram // envelope decode duration
 	framesOut *telemetry.Counter
 	bytesOut  *telemetry.Counter
 	framesIn  *telemetry.Counter
@@ -182,8 +190,11 @@ type shardLoop struct {
 // backoff. The current connection is also tracked under mu so Close can
 // sever a writer blocked mid-write on a stalled peer.
 type peerLink struct {
-	nid   id.NodeID
-	out   chan []byte
+	nid id.NodeID
+	// out carries pooled encoded frames (header headroom already
+	// stamped); ownership passes to the writer goroutine, which
+	// releases each frame after the vectored write that shipped it.
+	out   chan *wire.Frame
 	depth *telemetry.Gauge
 	// done is closed when the peer is removed from the membership view:
 	// the writer goroutine exits wherever it is blocked (queue wait,
@@ -492,8 +503,13 @@ func (n *Node) readLoop(c net.Conn) {
 		n.mu.Unlock()
 		c.Close()
 	}()
+	// rbuf is this connection's reusable read buffer. wire.Decode copies
+	// every byte payload out of the frame, so the buffer can be reused
+	// for the next frame immediately — steady-state reads allocate
+	// nothing.
+	var rbuf []byte
 	for {
-		frame, err := readFrame(c)
+		frame, err := readFrame(c, &rbuf)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !isClosed(err) {
 				n.logf("read: %v", err)
@@ -526,9 +542,12 @@ func (n *Node) readLoop(c net.Conn) {
 	}
 }
 
-// send encodes the message and enqueues the frame onto the peer's link.
-// It never blocks on the network: a full queue drops the frame (counted),
-// matching the lossy-delivery contract protocol code already handles.
+// send encodes the message into a pooled frame — length prefix stamped
+// into the frame's headroom, so the bytes that hit the socket are
+// exactly the bytes the encoder produced — and enqueues it onto the
+// peer's link. It never blocks on the network: a full queue drops the
+// frame (counted, released), matching the lossy-delivery contract
+// protocol code already handles.
 func (n *Node) send(to id.NodeID, msg env.Message) {
 	wm, ok := msg.(wire.Message)
 	if !ok {
@@ -536,23 +555,33 @@ func (n *Node) send(to id.NodeID, msg env.Message) {
 		return
 	}
 	t0 := time.Now()
-	frame, err := wire.Encode(wire.Envelope{From: n.id, To: to, Msg: wm})
+	f, err := wire.EncodeFrame(wire.Envelope{From: n.id, To: to, Msg: wm}, frameHeader)
 	if err != nil {
 		n.logf("send: %v", err)
 		return
 	}
+	b := f.Bytes()
+	payload := len(b) - frameHeader
+	if payload > MaxFrame {
+		f.Release()
+		n.logf("send %v: %s frame of %d bytes exceeds limit", to, wm.Kind(), payload)
+		return
+	}
+	binary.BigEndian.PutUint32(b[:frameHeader], uint32(payload))
 	n.met.encode.ObserveDuration(time.Since(t0))
 	l, err := n.link(to)
 	if err != nil {
+		f.Release()
 		n.logf("send %v: %v", to, err)
 		return
 	}
 	select {
-	case l.out <- frame:
+	case l.out <- f:
 		// The queue-depth gauge is maintained by the draining writer
 		// (sampled); senders from different shards must not serialize
 		// on it.
 	default:
+		f.Release()
 		n.met.dropped.Inc()
 		n.logf("send %v: queue full, dropping %s", to, wm.Kind())
 	}
@@ -571,7 +600,7 @@ func (n *Node) link(to id.NodeID) (*peerLink, error) {
 	}
 	l := &peerLink{
 		nid: to,
-		out: make(chan []byte, n.opts.SendQueue),
+		out: make(chan *wire.Frame, n.opts.SendQueue),
 		//idealint:allow telemetryhygiene per-peer gauge interned once at link creation
 		depth: n.reg.Gauge(fmt.Sprintf("transport.queue_depth.%v", to)),
 		done:  make(chan struct{}),
@@ -593,18 +622,20 @@ func (n *Node) peerAddr(nid id.NodeID) (string, bool) {
 // with exponential backoff (jittered, capped), and drains the frame
 // queue in coalesced batches — one blocking dequeue, then every frame
 // already queued (up to the flush window) is gathered into a single
-// write call. N shards fanning frames at one peer therefore cost one
-// syscall per flush window instead of two per frame, and the connection
-// writer stops being the serialization point of the sharded send path.
+// vectored net.Buffers write. The kernel scatter-gathers the pooled
+// frame buffers directly (writev): frames are never copied into a
+// second coalescing buffer, N shards fanning frames at one peer cost
+// one syscall per flush window instead of two per frame, and each frame
+// returns to the encode pool once its batch is confirmed written.
 // Frames that fail mid-write are retried on the next connection rather
 // than lost; a reconnect may duplicate the tail of a partially written
 // batch, which the protocol's per-writer sequence dedup already absorbs.
 func (n *Node) writerLoop(l *peerLink) {
 	defer n.wg.Done()
 	var c net.Conn
-	var batch [][]byte // dequeued frames not yet confirmed written
-	var wbuf []byte    // reusable coalesced write buffer
-	var sends uint64   // flush counter for sampled depth-gauge updates
+	var batch []*wire.Frame // dequeued frames not yet confirmed written
+	var vec net.Buffers     // reusable iovec over the batch's buffers
+	var sends uint64        // flush counter for sampled depth-gauge updates
 	backoff := backoffMin
 	defer func() {
 		if c != nil {
@@ -613,6 +644,20 @@ func (n *Node) writerLoop(l *peerLink) {
 		l.setConn(nil)
 		// A removed peer's gauge must not freeze at its last depth.
 		l.depth.Set(0)
+		// Return in-flight and queued frames to the encode pool; late
+		// senders racing the shutdown lose their frames to the GC,
+		// which is harmless.
+		for _, f := range batch {
+			f.Release()
+		}
+		for {
+			select {
+			case f := <-l.out:
+				f.Release()
+			default:
+				return
+			}
+		}
 	}()
 	for {
 		if c == nil {
@@ -655,7 +700,7 @@ func (n *Node) writerLoop(l *peerLink) {
 			n.met.connects.Inc()
 		}
 		if len(batch) == 0 {
-			var first []byte
+			var first *wire.Frame
 			select {
 			case first = <-l.out:
 			case <-n.done:
@@ -666,25 +711,27 @@ func (n *Node) writerLoop(l *peerLink) {
 			batch = append(batch, first)
 			// Opportunistically coalesce whatever else is already
 			// queued, bounded by the flush window.
-			size := len(first)
+			size := len(first.Bytes())
 			for len(batch) < flushBatchFrames && size < flushBatchBytes {
 				select {
 				case f := <-l.out:
 					batch = append(batch, f)
-					size += len(f)
+					size += len(f.Bytes())
 				default:
 					size = flushBatchBytes // queue drained: flush now
 				}
 			}
 		}
-		wbuf = wbuf[:0]
+		// Rebuild the iovec on every attempt: WriteTo consumes it as it
+		// writes, and a failed attempt must retry the whole batch.
+		vec = vec[:0]
+		total := int64(0)
 		for _, f := range batch {
-			var hdr [4]byte
-			binary.BigEndian.PutUint32(hdr[:], uint32(len(f)))
-			wbuf = append(wbuf, hdr[:]...)
-			wbuf = append(wbuf, f...)
+			b := f.Bytes()
+			vec = append(vec, b)
+			total += int64(len(b))
 		}
-		if _, err := c.Write(wbuf); err != nil {
+		if _, err := vec.WriteTo(c); err != nil {
 			select {
 			case <-n.done:
 				return
@@ -699,14 +746,18 @@ func (n *Node) writerLoop(l *peerLink) {
 			continue // redial and retry the whole batch
 		}
 		n.met.framesOut.Add(int64(len(batch)))
-		n.met.bytesOut.Add(int64(len(wbuf)))
+		n.met.bytesOut.Add(total)
+		for i, f := range batch {
+			f.Release()
+			batch[i] = nil
+		}
 		batch = batch[:0]
 		if sends%sampleEvery == 0 || len(l.out) == 0 {
 			l.depth.Set(int64(len(l.out)))
 		}
 		sends++
-		if cap(wbuf) > 4*flushBatchBytes {
-			wbuf = nil // don't pin an outsized buffer after a burst
+		if cap(vec) > flushBatchFrames {
+			vec = nil // don't pin an outsized iovec after a burst
 		}
 	}
 }
@@ -730,19 +781,34 @@ func isClosed(err error) bool {
 	return errors.Is(err, net.ErrClosed)
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
+// readFrame reads one length-prefixed frame into *rbuf, growing (and
+// occasionally shrinking) the caller's reusable buffer. The returned
+// slice aliases *rbuf and is only valid until the next call — safe
+// because wire.Decode copies everything it keeps.
+func readFrame(r io.Reader, rbuf *[]byte) ([]byte, error) {
+	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	size := binary.BigEndian.Uint32(hdr[:])
+	size := int(binary.BigEndian.Uint32(hdr[:]))
 	if size > MaxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
 	}
-	buf := make([]byte, size)
+	buf := *rbuf
+	if cap(buf) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
+	if cap(buf) > 4*flushBatchBytes && size <= flushBatchBytes {
+		// A snapshot chunk blew the buffer up; keep the small frame and
+		// let the outsized backing array go.
+		*rbuf = append([]byte(nil), buf...)
+		return *rbuf, nil
+	}
+	*rbuf = buf
 	return buf, nil
 }
 

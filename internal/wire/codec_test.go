@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"idea/internal/id"
+	"idea/internal/vv"
+)
+
+// TestEncodeDecodeExact round-trips every message and requires the
+// decoded value to be deeply equal to the original — not just the same
+// kind. This pins the codec field-by-field: a field silently dropped
+// from the binary encoding fails here immediately.
+func TestEncodeDecodeExact(t *testing.T) {
+	for _, m := range allMessages() {
+		frame, err := Encode(Envelope{From: -7, To: 2, Msg: m})
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		if got.From != -7 || got.To != 2 {
+			t.Fatalf("%T: routing lost: %+v", m, got)
+		}
+		if !reflect.DeepEqual(got.Msg, m) {
+			t.Fatalf("%T round trip changed the message:\n in: %#v\nout: %#v", m, m, got.Msg)
+		}
+	}
+}
+
+// TestDecodeDoesNotAliasInput scribbles over the input frame after
+// decoding and requires the decoded message to be unaffected — the
+// contract that lets the transport pool and reuse read buffers.
+func TestDecodeDoesNotAliasInput(t *testing.T) {
+	u := Update{File: "f", Writer: 1, Seq: 1, At: 1e9, Meta: 5, Op: "draw", Data: []byte("payload")}
+	env := Envelope{From: 1, To: 2, Msg: Inform{File: "f", Token: 3, Winner: 2,
+		VV: sampleVector(), Updates: []Update{u}}}
+	frame, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), before...)
+	for i := range frame {
+		frame[i] = 0xFF
+	}
+	after, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(snapshot) {
+		t.Fatal("decoded message changed when the input frame was overwritten: decoder aliased the input")
+	}
+}
+
+// TestEncodeFrameHeadroom checks the pooled-frame front end: the
+// requested headroom prefix is present and the payload after it is a
+// valid frame identical to a plain Encode.
+func TestEncodeFrameHeadroom(t *testing.T) {
+	env := Envelope{From: 1, To: 2, Msg: CFAAck{File: "f", Token: 9, OK: true}}
+	plain, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := EncodeFrame(env, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release()
+	b := f.Bytes()
+	if len(b) != len(plain)+4 {
+		t.Fatalf("frame length %d, want %d+4", len(b), len(plain))
+	}
+	if string(f.Payload(4)) != string(plain) {
+		t.Fatal("frame payload differs from plain Encode")
+	}
+	if _, err := Decode(f.Payload(4)); err != nil {
+		t.Fatalf("frame payload does not decode: %v", err)
+	}
+}
+
+// TestFrameReuse releases and re-encodes through the pool repeatedly;
+// contents must stay correct even when the same backing buffer is
+// recycled across messages of different sizes.
+func TestFrameReuse(t *testing.T) {
+	msgs := allMessages()
+	for i := 0; i < 4; i++ {
+		for _, m := range msgs {
+			f, err := EncodeFrame(Envelope{From: 1, To: 2, Msg: m}, 4)
+			if err != nil {
+				t.Fatalf("%T: %v", m, err)
+			}
+			got, err := Decode(f.Payload(4))
+			if err != nil {
+				t.Fatalf("%T: %v", m, err)
+			}
+			if !reflect.DeepEqual(got.Msg, m) {
+				t.Fatalf("%T mangled through pooled frame", m)
+			}
+			f.Release()
+		}
+	}
+}
+
+// TestAppendToComposes encodes two envelopes back to back into one
+// buffer — the pattern the per-peer pending buffer relies on — and
+// checks each decodes from its own region.
+func TestAppendToComposes(t *testing.T) {
+	e1 := Envelope{From: 1, To: 2, Msg: CFACancel{File: "f", Token: 1}}
+	e2 := Envelope{From: 2, To: 1, Msg: InformAck{File: "g", Token: 2}}
+	buf, err := e1.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(buf)
+	buf, err = e2.AppendTo(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Decode(buf[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decode(buf[cut:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1.Msg, e1.Msg) || !reflect.DeepEqual(d2.Msg, e2.Msg) {
+		t.Fatal("composed encodes decoded wrong")
+	}
+}
+
+// TestDecodeRejectsTrailingBytes: a frame must be consumed exactly.
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	frame, err := Encode(Envelope{From: 1, To: 2, Msg: SnapshotRequest{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(frame, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestDecodeRejectsTruncation: every strict prefix of a valid frame
+// must fail, never panic or succeed with a partial message.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	for _, m := range allMessages() {
+		frame, err := Encode(Envelope{From: 1, To: 2, Msg: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(frame); cut++ {
+			if _, err := Decode(frame[:cut]); err == nil {
+				t.Fatalf("%T: truncation at %d/%d accepted", m, cut, len(frame))
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsHostileLengths: a length prefix larger than the
+// remaining input must be rejected before any allocation is attempted.
+func TestDecodeRejectsHostileLengths(t *testing.T) {
+	// Hand-build a frame claiming 2^40 updates in a CollectReply.
+	b := []byte{codecMagic, codecVersion}
+	b = appendVarint(b, 1)          // From
+	b = appendVarint(b, 2)          // To
+	b = append(b, kindCollectReply) // kind
+	b = appendString(b, "f")        // File
+	b = appendVarint(b, 7)          // Token
+	b = append(b, 0)                // nil VV
+	b = appendUvarint(b, 1<<40)     // updates length
+	if _, err := Decode(b); err == nil {
+		t.Fatal("hostile length prefix accepted")
+	}
+}
+
+// TestDecodeRejectsInvalidVectorEntry: entries whose Count, Base and
+// stamp window disagree violate the vv invariant and must not decode.
+func TestDecodeRejectsInvalidVectorEntry(t *testing.T) {
+	b := []byte{codecMagic, codecVersion}
+	b = appendVarint(b, 1)
+	b = appendVarint(b, 2)
+	b = append(b, kindDetectRequest)
+	b = appendString(b, "f")
+	b = appendVarint(b, 1) // Token
+	b = append(b, 1)       // VV present
+	b = appendFloat(b, 0)  // Meta
+	b = appendTriple(b, vv.Triple{})
+	b = appendUvarint(b, 1) // one entry
+	b = appendVarint(b, 1)  // writer
+	b = appendVarint(b, 5)  // Count = 5
+	b = appendVarint(b, 0)  // Base = 0
+	b = appendVarint(b, 0)  // Watermark
+	b = appendUvarint(b, 1) // ...but only 1 stamp
+	b = appendVarint(b, 9)
+	b = appendUvarint(b, 0) // TC
+	b = appendUvarint(b, 0)
+	if _, err := Decode(b); err == nil {
+		t.Fatal("count-invariant-violating vector accepted")
+	}
+}
+
+// TestVectorDeltaStampFidelity round-trips a vector with a compacted
+// window and widely spaced stamps through the delta encoding.
+func TestVectorDeltaStampFidelity(t *testing.T) {
+	v := vv.New()
+	for i := 0; i < 200; i++ {
+		v.Tick(9, vv.Stamp(int64(i)*1e9), float64(i))
+	}
+	v.Compact(8)
+	frame, err := Encode(Envelope{From: 1, To: 2, Msg: DetectRequest{File: "f", VV: v}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Msg.(DetectRequest).VV
+	if err := got.Validate(); err != nil {
+		t.Fatalf("decoded vector invalid: %v", err)
+	}
+	want := v.Entries[9]
+	have := got.Entries[id.NodeID(9)]
+	if have.Count != want.Count || have.Base != want.Base || have.Watermark != want.Watermark {
+		t.Fatalf("entry mangled: want %+v, got %+v", want, have)
+	}
+	for i, s := range want.Stamps {
+		if have.Stamps[i] != s {
+			t.Fatalf("stamp %d mangled: want %v, got %v", i, s, have.Stamps[i])
+		}
+	}
+}

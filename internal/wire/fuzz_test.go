@@ -1,10 +1,19 @@
 package wire
 
-import "testing"
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
 
 // FuzzDecode feeds arbitrary bytes to the frame decoder: it must reject
-// garbage with an error, never panic. Run with `go test -fuzz FuzzDecode`;
-// the seed corpus (valid frames plus mutations) runs on every `go test`.
+// garbage with an error, never panic, and any accepted envelope must not
+// alias the input buffer (the transport reuses pooled read buffers the
+// moment Decode returns). Run with `go test -fuzz FuzzDecode`; the seed
+// corpus (valid frames plus mutations) runs on every `go test`.
 func FuzzDecode(f *testing.F) {
 	for _, m := range allMessages() {
 		frame, err := Encode(Envelope{From: 1, To: 2, Msg: m})
@@ -25,12 +34,28 @@ func FuzzDecode(f *testing.F) {
 			t.Fatal("nil message decoded without error")
 		}
 		_ = e.Msg.Kind()
+		// No-alias contract: scribbling over the input after decode
+		// must not change the decoded message. Compare re-encodes from
+		// before and after the scribble.
+		before, err := Encode(e)
+		if err != nil {
+			return // accepted-but-unencodable is round-trip fuzz's concern
+		}
+		snapshot := append([]byte(nil), before...)
+		for i := range data {
+			data[i] ^= 0xA5
+		}
+		after, err := Encode(e)
+		if err != nil || !bytes.Equal(after, snapshot) {
+			t.Fatalf("decoded message changed when input buffer was overwritten (err=%v)", err)
+		}
 	})
 }
 
 // FuzzEnvelopeRoundTrip checks that any envelope the decoder accepts
 // survives a re-encode/re-decode cycle with its routing and message kind
-// intact — the property the transport relies on when it forwards frames.
+// intact — the property the transport relies on when it forwards frames —
+// and that the pooled EncodeFrame path produces the identical encoding.
 func FuzzEnvelopeRoundTrip(f *testing.F) {
 	for _, m := range allMessages() {
 		frame, err := Encode(Envelope{From: 3, To: 4, Msg: m})
@@ -48,6 +73,14 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encode of accepted envelope failed: %v", err)
 		}
+		pooled, err := EncodeFrame(e, 4)
+		if err != nil {
+			t.Fatalf("pooled re-encode of accepted envelope failed: %v", err)
+		}
+		if !bytes.Equal(pooled.Payload(4), frame) {
+			t.Fatal("EncodeFrame payload differs from Encode")
+		}
+		pooled.Release()
 		e2, err := Decode(frame)
 		if err != nil {
 			t.Fatalf("re-decode of re-encoded envelope failed: %v", err)
@@ -64,4 +97,38 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 				e.Msg.Kind(), e2.Msg.Kind())
 		}
 	})
+}
+
+// TestRegenerateFuzzCorpus rewrites the committed seed corpus in the
+// current wire format: one seed per message kind for each fuzz target.
+// It is a maintenance tool, skipped unless WIRE_REGEN_CORPUS=1 — run it
+// after any codec format change so the corpus stays format-valid seeds
+// rather than degenerating into rejected garbage.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("WIRE_REGEN_CORPUS") == "" {
+		t.Skip("set WIRE_REGEN_CORPUS=1 to rewrite testdata/fuzz seed corpus")
+	}
+	for _, target := range []string{"FuzzDecode", "FuzzEnvelopeRoundTrip"} {
+		dir := filepath.Join("testdata", "fuzz", target)
+		old, _ := filepath.Glob(filepath.Join(dir, "seed-*"))
+		for _, p := range old {
+			if err := os.Remove(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range allMessages() {
+			frame, err := Encode(Envelope{From: 1, To: 2, Msg: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(frame)) + ")\n"
+			name := fmt.Sprintf("seed-%02d-%s", i, m.Kind())
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
 }

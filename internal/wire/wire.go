@@ -1,15 +1,15 @@
 // Package wire defines every message exchanged by IDEA nodes, the update
-// record they carry, and a gob-based codec used both by the TCP transport
-// and by the simulator's byte-accurate overhead accounting (the paper's
-// communication-cost metric counts protocol messages and their sizes,
-// §6.3).
+// record they carry, and a hand-rolled binary codec (see codec.go) used
+// both by the TCP transport and by the simulator's byte-accurate overhead
+// accounting (the paper's communication-cost metric counts protocol
+// messages and their sizes, §6.3). The codec is zero-copy on the encode
+// side — frames are appended into pooled buffers and handed to the
+// transport whole — and copying on the decode side, so decoded messages
+// never alias a read buffer.
 package wire
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
-	"sync"
 
 	"idea/internal/env"
 	"idea/internal/id"
@@ -37,7 +37,7 @@ type Update struct {
 	// It travels with the update through every shipping path (collect,
 	// inform, anti-entropy, snapshots), so whichever replica applies the
 	// update can append the "apply" span to its journal. Zero (the
-	// overwhelmingly common case — unsampled) is omitted by gob.
+	// overwhelmingly common case — unsampled) costs two bytes on the wire.
 	TC tracing.Context
 }
 
@@ -435,28 +435,45 @@ type SnapshotManifest struct {
 // Kind implements Message.
 func (SnapshotManifest) Kind() string { return "snap.manifest" }
 
-// SnapshotFileRequest pulls one file's replica snapshot.
+// SnapshotFileRequest pulls one window of a file's replica snapshot,
+// starting at log position Offset (0-based, counted from the sender's
+// applied-order log origin including any compacted prefix). The joiner
+// walks a file by re-issuing the request with the offset it reached, so
+// the server stays stateless and retries are idempotent.
 type SnapshotFileRequest struct {
-	File id.FileID
+	File   id.FileID
+	Offset int
 }
 
 // Kind implements Message.
 func (SnapshotFileRequest) Kind() string { return "snap.file_req" }
 
-// SnapshotFileReply ships one replica's transferable state: the version
-// vector, the per-writer compaction base (updates below it were pruned on
-// the sender and are covered by the vector alone), the critical-metadata
-// value as of that base, and the live log tail.
-type SnapshotFileReply struct {
+// SnapshotFileChunk is one bounded window of a replica's transferable
+// state. Snapshot transfer is chunked: a joiner pulling a file never
+// receives (and the sender never materializes) the whole log in one
+// frame — each chunk carries at most the server's window of updates and
+// the joiner asks for the next window once the previous is applied.
+//
+// Every chunk restates the sender's full version vector, the per-writer
+// compaction base (updates below it were pruned on the sender and are
+// covered by the vector alone), and the critical-metadata value as of
+// that base: chunks are self-describing, so a transfer can resume from
+// any offset against any replica that has at least that much history.
+// Offset is the log position of the first update carried; End is the
+// sender's log length at serve time. Offset == End with no updates
+// means the requested range is fully transferred.
+type SnapshotFileChunk struct {
 	File       id.FileID
 	VV         *vv.Vector
 	Base       map[id.NodeID]int
 	PrefixMeta float64
+	Offset     int
+	End        int
 	Updates    []Update
 }
 
 // Kind implements Message.
-func (SnapshotFileReply) Kind() string { return "snap.file" }
+func (SnapshotFileChunk) Kind() string { return "snap.file_chunk" }
 
 // ---- P2P file-system frontend (§7.3 integration) ----
 
@@ -504,49 +521,11 @@ func (FSReadReply) Kind() string { return "fs.read_reply" }
 
 // ---- Codec ----
 
-var registerOnce sync.Once
-
-// Register registers every message type with gob. It is idempotent and is
-// called automatically by Encode/Decode; the TCP transport also calls it
-// at start-up.
-func Register() {
-	registerOnce.Do(func() {
-		gob.Register(DetectRequest{})
-		gob.Register(DetectReply{})
-		gob.Register(GossipDigest{})
-		gob.Register(DigestBatch{})
-		gob.Register(GossipReport{})
-		gob.Register(RansubCollect{})
-		gob.Register(RansubDistribute{})
-		gob.Register(CallForAttention{})
-		gob.Register(CFAAck{})
-		gob.Register(CFACancel{})
-		gob.Register(CollectRequest{})
-		gob.Register(CollectReply{})
-		gob.Register(Inform{})
-		gob.Register(InformAck{})
-		gob.Register(AntiEntropyRequest{})
-		gob.Register(AntiEntropyReply{})
-		gob.Register(StrongWrite{})
-		gob.Register(StrongReplicate{})
-		gob.Register(StrongAck{})
-		gob.Register(StrongCommitted{})
-		gob.Register(SwimPing{})
-		gob.Register(SwimAck{})
-		gob.Register(SwimPingReq{})
-		gob.Register(SwimLeave{})
-		gob.Register(JoinRequest{})
-		gob.Register(JoinReply{})
-		gob.Register(SnapshotRequest{})
-		gob.Register(SnapshotManifest{})
-		gob.Register(SnapshotFileRequest{})
-		gob.Register(SnapshotFileReply{})
-		gob.Register(FSWrite{})
-		gob.Register(FSWriteAck{})
-		gob.Register(FSRead{})
-		gob.Register(FSReadReply{})
-	})
-}
+// Register is a no-op kept for compatibility: the original gob codec
+// required every message type to be registered before use, and callers
+// (the transport, tools) still invoke it at start-up. The binary codec
+// in codec.go enumerates the message set statically.
+func Register() {}
 
 // RoutingFile returns the per-file serialization key of a protocol
 // message: the file whose shard must process it under the env.Sharded
@@ -594,7 +573,7 @@ func RoutingFile(msg Message) (id.FileID, bool) {
 		return m.File, true
 	case SnapshotFileRequest:
 		return m.File, true
-	case SnapshotFileReply:
+	case SnapshotFileChunk:
 		return m.File, true
 	case FSWrite:
 		return m.File, true
@@ -612,63 +591,4 @@ func RoutingFile(msg Message) (id.FileID, bool) {
 type Envelope struct {
 	From, To id.NodeID
 	Msg      Message
-}
-
-// Encode gob-encodes an envelope. A fresh encoder is used per frame, which
-// matches the transport's length-prefixed framing.
-func Encode(e Envelope) ([]byte, error) {
-	Register()
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
-		return nil, fmt.Errorf("wire: encode %s: %w", e.Msg.Kind(), err)
-	}
-	return buf.Bytes(), nil
-}
-
-// Decode decodes a frame produced by Encode.
-func Decode(b []byte) (Envelope, error) {
-	Register()
-	var e Envelope
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
-		return Envelope{}, fmt.Errorf("wire: decode: %w", err)
-	}
-	return e, nil
-}
-
-// Sizer measures message sizes on a persistent gob stream, the way a
-// long-lived TCP connection would: type descriptors are charged once, and
-// every subsequent message of the same type costs only its payload. It is
-// used by the simulator for byte-accurate overhead accounting.
-type Sizer struct {
-	mu  sync.Mutex
-	buf countingWriter
-	enc *gob.Encoder
-}
-
-// NewSizer returns a ready-to-use Sizer.
-func NewSizer() *Sizer {
-	Register()
-	s := &Sizer{}
-	s.enc = gob.NewEncoder(&s.buf)
-	return s
-}
-
-// Size returns the encoded size in bytes of msg on the persistent stream.
-func (s *Sizer) Size(e Envelope) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	before := s.buf.n
-	if err := s.enc.Encode(&e); err != nil {
-		// Unregistered or unencodable payloads are a programming
-		// error; charge a nominal size rather than failing a send.
-		return 64
-	}
-	return s.buf.n - before
-}
-
-type countingWriter struct{ n int }
-
-func (w *countingWriter) Write(p []byte) (int, error) {
-	w.n += len(p)
-	return len(p), nil
 }

@@ -92,6 +92,7 @@ func TestNightlySoak(t *testing.T) {
 			Swim:       true,
 			SwimConfig: fastSwim(),
 			Tracing:    soakTracing,
+			WalDir:     t.TempDir(),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -137,6 +138,7 @@ func TestNightlySoak(t *testing.T) {
 				SwimConfig: fastSwim(),
 				Join:       nodes[1].Addr(),
 				Tracing:    soakTracing,
+				WalDir:     t.TempDir(),
 			})
 			if err != nil {
 				// InjectFile on the closed node left in nodes[victim]
