@@ -24,6 +24,7 @@ import (
 	"idea/internal/core"
 	"idea/internal/env"
 	"idea/internal/experiments"
+	"idea/internal/health"
 	"idea/internal/id"
 	"idea/internal/overlay"
 	"idea/internal/store"
@@ -64,21 +65,26 @@ func newBurstNode(tb testing.TB, shards int) (*core.Node, *transport.Node) {
 // newTracedBurstNode is newBurstNode with a tracing config, so the bench
 // can compare the burst with tracing off against 1% sampling. The node
 // runs with a group-commit-8 WAL attached — durability is the benchmarked
-// default, not an unmeasured option.
-func newTracedBurstNode(tb testing.TB, shards int, tc tracing.Config) (*core.Node, *transport.Node) {
+// default, not an unmeasured option. Mutators adjust the remaining
+// options (the health-overhead burst turns the engine off this way).
+func newTracedBurstNode(tb testing.TB, shards int, tc tracing.Config, mut ...func(*core.Options)) (*core.Node, *transport.Node) {
 	wal, err := store.OpenWAL(tb.TempDir())
 	if err != nil {
 		tb.Fatal(err)
 	}
 	wal.SetGroupCommit(8)
-	n := core.NewNode(1, core.Options{
+	opts := core.Options{
 		Membership:    overlay.NewStatic([]id.NodeID{1}, nil),
 		Shards:        shards,
 		DisableGossip: true,
 		DisableRansub: true,
 		Tracing:       tc,
 		Journal:       wal,
-	})
+	}
+	for _, m := range mut {
+		m(&opts)
+	}
+	n := core.NewNode(1, opts)
 	tn, err := transport.Listen(1, "127.0.0.1:0", n, nil)
 	if err != nil {
 		tb.Fatal(err)
@@ -372,6 +378,16 @@ func BenchmarkCoreBaseline(b *testing.B) {
 	ttn2.Close()
 	tracingRatio := opsTraced / opsHeadline
 
+	// Health overhead headline: the headline burst already runs with the
+	// health engine on (its zero-value default); measure the same burst
+	// with evaluation disabled and hold the on/off ratio near 1.0 — the
+	// always-on claim is only honest if always-on is near-free.
+	hn, htn := newTracedBurstNode(b, headlineShards, tracing.Config{},
+		func(o *core.Options) { o.Health = health.Config{Disable: true} })
+	opsHealthOff := burstWrites(b, hn, htn, benchFiles, benchWriters, opsPerWriter)
+	htn.Close()
+	healthRatio := opsHeadline / opsHealthOff
+
 	// Visibility SLO headline: merged-timeline write-visibility and
 	// resolution latency percentiles from a fully-sampled emulation.
 	visP50, visP95, visP99, resolveP99, traced := traceVisibilityStats()
@@ -397,6 +413,7 @@ func BenchmarkCoreBaseline(b *testing.B) {
 
 	b.ReportMetric(visP99, "visibility-p99-ms")
 	b.ReportMetric(tracingRatio, "traced-ops-ratio")
+	b.ReportMetric(healthRatio, "health-ops-ratio")
 	b.ReportMetric(joinSecs, "join-catchup-s")
 	b.ReportMetric(snapMBps, "snapshot-MB/s")
 	b.ReportMetric(encodeAllocs, "encode-allocs/op")
@@ -432,6 +449,7 @@ func BenchmarkCoreBaseline(b *testing.B) {
 		"resolve_latency_ms_p99":           resolveP99,
 		"traced_writes":                    traced,
 		"tracing_sampled_throughput_ratio": tracingRatio,
+		"health_overhead_throughput_ratio": healthRatio,
 		"gomaxprocs":                       runtime.GOMAXPROCS(0),
 		"num_cpu":                          runtime.NumCPU(),
 		"go":                               runtime.Version(),

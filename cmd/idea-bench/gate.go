@@ -51,7 +51,18 @@ var trackedMetrics = []gateMetric{
 	// Tracing must stay near-free: throughput at 1% sampling over
 	// throughput with tracing off, same machine, same run.
 	{"tracing_sampled_throughput_ratio", true, 0.25},
+	// The always-on health engine + flight recorder: throughput with the
+	// engine on (the default) over the same burst with it disabled, same
+	// machine, same run.
+	{"health_overhead_throughput_ratio", true, 0.25},
 }
+
+// minHealthRatio is the absolute floor on health_overhead_throughput_ratio:
+// enabling the engine must keep at least 95% of health-off throughput.
+// Like the speedup floor it is only armed with minSpeedupProcs effective
+// cores — on a starved runner the on/off runs contend for the same CPU
+// and the ratio measures scheduler noise, not the engine.
+const minHealthRatio = 0.95
 
 // minSpeedupProcs is the core count below which the parallel speedup
 // floor is not enforced: with fewer schedulable CPUs than the headline
@@ -160,6 +171,21 @@ func runGate(benchPath, baselinePath string, minSpeedup float64, w io.Writer) er
 	} else {
 		fmt.Fprintf(w, "speedup floor: skipped (%d effective cores < %d: no parallelism to measure; speedup recorded %.2fx)\n",
 			eff, minSpeedupProcs, speedup)
+	}
+
+	if ratio, ok := bench["health_overhead_throughput_ratio"]; ok {
+		if eff >= minSpeedupProcs {
+			if ratio < minHealthRatio {
+				failures = append(failures, fmt.Sprintf(
+					"health_overhead_throughput_ratio = %.3f < required %.2f at %d effective cores (gomaxprocs=%d, num_cpu=%d)",
+					ratio, minHealthRatio, eff, procs, cpus))
+			} else {
+				fmt.Fprintf(w, "health floor: %.3f >= %.2f ok\n", ratio, minHealthRatio)
+			}
+		} else {
+			fmt.Fprintf(w, "health floor: skipped (%d effective cores < %d; ratio recorded %.3f)\n",
+				eff, minSpeedupProcs, ratio)
+		}
 	}
 
 	if len(failures) > 0 {

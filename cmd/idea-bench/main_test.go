@@ -55,6 +55,7 @@ func goodBench() map[string]any {
 		"write_visibility_ms_p99":             450.0,
 		"resolve_latency_ms_p99":              300.0,
 		"tracing_sampled_throughput_ratio":    0.99,
+		"health_overhead_throughput_ratio":    0.98,
 		"encode_allocs_per_op":                0.0,
 		"snapshot_mb_per_sec":                 400.0,
 		"gomaxprocs":                          1.0,
@@ -157,6 +158,44 @@ func TestGateCatchesTracingOverheadRegression(t *testing.T) {
 	base := writeBench(t, dir, "base.json", goodBench())
 	if err := runGate(bench, base, 2.0, &strings.Builder{}); err == nil {
 		t.Fatal("gate passed a 40% tracing overhead")
+	}
+}
+
+func TestGateCatchesHealthOverheadRegression(t *testing.T) {
+	dir := t.TempDir()
+	b := goodBench()
+	b["health_overhead_throughput_ratio"] = 0.65 // health engine now costs 35%
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	if err := runGate(bench, base, 2.0, &strings.Builder{}); err == nil {
+		t.Fatal("gate passed a 35% health-engine overhead")
+	}
+}
+
+func TestGateHealthFloorArmsOnMulticore(t *testing.T) {
+	dir := t.TempDir()
+	b := goodBench()
+	b["gomaxprocs"] = 8.0
+	b["num_cpu"] = 8.0
+	b["parallel_write_speedup_x"] = 2.6
+	b["health_overhead_throughput_ratio"] = 0.90 // above the 25% rel tol, below the 0.95 floor
+	bench := writeBench(t, dir, "bench.json", b)
+	base := writeBench(t, dir, "base.json", goodBench())
+	if err := runGate(bench, base, 2.0, &strings.Builder{}); err == nil {
+		t.Fatal("gate passed health ratio 0.90 on 8 cores with a 0.95 floor")
+	}
+
+	// On a single effective core the floor is skipped: the on/off runs
+	// contend for the same CPU and the ratio is scheduler noise.
+	b["gomaxprocs"] = 1.0
+	b["num_cpu"] = 1.0
+	bench = writeBench(t, dir, "bench2.json", b)
+	var out strings.Builder
+	if err := runGate(bench, base, 2.0, &out); err != nil {
+		t.Fatalf("gate enforced the health floor on 1 core: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "health floor: skipped") {
+		t.Fatalf("expected skipped health floor at 1 core:\n%s", out.String())
 	}
 }
 

@@ -133,6 +133,21 @@ func main() {
 	}()
 	defer node.Leave(2 * time.Second)
 
+	// SIGQUIT dumps the driver node's flight recorder to stderr and keeps
+	// driving — the mid-run "what is it doing" probe.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			dump := idea.FlightDumpOf(node.N)
+			fmt.Fprintf(os.Stderr, "idea-load: SIGQUIT: flight recorder (%d events, %d dropped)\n",
+				len(dump.Events), dump.Dropped)
+			enc := json.NewEncoder(os.Stderr)
+			enc.SetIndent("", "  ")
+			enc.Encode(dump)
+		}
+	}()
+
 	rep := loadgen.RunLive(loadgen.Config{
 		Seed:         *seed,
 		Duration:     *duration,

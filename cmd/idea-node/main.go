@@ -4,9 +4,13 @@
 // terminals (or examples/tcpcluster programmatically) form a working
 // deployment. With -admin the node also serves an HTTP endpoint exposing
 // its telemetry registry (/metrics — JSON, or Prometheus text with
-// ?format=prom), a liveness probe (/healthz), pprof profiles
-// (/debug/pprof/), and — with -trace-every — the causal-tracing span
-// journal (/trace) that cmd/idea-trace merges into a cluster timeline.
+// ?format=prom), the health engine's verdict and active anomalies
+// (/health; the /healthz liveness probe turns 503 on a critical
+// verdict), the always-on flight recorder (/debug/flight), pprof
+// profiles (/debug/pprof/), and — with -trace-every — the causal-tracing
+// span journal (/trace) that cmd/idea-trace merges into a cluster
+// timeline. SIGQUIT dumps the flight recorder to stderr without
+// stopping the node.
 //
 // Usage:
 //
@@ -36,6 +40,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -54,7 +59,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated id=addr peer list")
 	allFlag := flag.String("all", "", "comma-separated node IDs of the full deployment")
 	top := flag.String("top", "", "comma-separated file=ids top-layer pins, e.g. board=1,2;log=2,3")
-	admin := flag.String("admin", "", "serve /metrics + /healthz on this address")
+	admin := flag.String("admin", "", "serve /metrics, /health, /healthz, /trace, /debug/flight on this address")
 	shards := flag.Int("shards", 0, "per-file serialization domains / executor goroutines (0 = one per CPU, 1 = classic single loop)")
 	compact := flag.Bool("compact-logs", false, "prune replica logs below the gossip-learned stability frontier (reads then serve only the live suffix)")
 	swim := flag.Bool("swim", false, "dynamic membership: SWIM failure detection + live join/leave")
@@ -120,6 +125,17 @@ func main() {
 		os.Exit(0)
 	}()
 
+	// SIGQUIT dumps the flight recorder — the unsampled ring of recent
+	// protocol events — to stderr and keeps running, the classic "what
+	// was this process just doing" probe (`kill -QUIT <pid>`).
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			dumpFlight(node.N)
+		}
+	}()
+
 	con := &console{node: node, out: os.Stdout}
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -134,6 +150,15 @@ func main() {
 			return
 		}
 	}
+}
+
+func dumpFlight(n *idea.Node) {
+	dump := idea.FlightDumpOf(n)
+	fmt.Fprintf(os.Stderr, "\nidea-node: SIGQUIT: flight recorder (%d events, %d dropped)\n",
+		len(dump.Events), dump.Dropped)
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	enc.Encode(dump)
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,72 @@
+// Command idea-top is the cluster introspection console: it scrapes
+// every node's /metrics and /health admin endpoints and renders a live
+// refreshing terminal view — per-node ops/sec, queue depths, alive set,
+// WAL fsync p99, process runtime stats, the health verdict with active
+// anomalies, and (when tracing is on) a cluster-wide visibility /
+// resolution p99 estimate from the sampled trace journals.
+//
+// Usage:
+//
+//	idea-top -nodes http://127.0.0.1:9001,http://127.0.0.1:9002
+//	idea-top -nodes ... -interval 2s          # live view, ^C to stop
+//	idea-top -nodes ... -json                 # one sweep, JSON to stdout
+//
+// One-shot -json mode is the machine interface: soak and CI pipe it to
+// a file per sweep and fail the run when "unacked_critical" is nonzero
+// (exit status 2 mirrors that, so scripts can gate without parsing).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"idea/internal/topview"
+)
+
+func main() {
+	nodes := flag.String("nodes", "", "comma-separated admin base URLs (required)")
+	interval := flag.Duration("interval", 2*time.Second, "refresh period of the live view")
+	oneJSON := flag.Bool("json", false, "one sweep, JSON to stdout, exit 2 on unacked critical or unreachable node")
+	slo := flag.Bool("slo", true, "estimate cluster visibility/resolution p99 from /trace journals")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-endpoint fetch timeout")
+	flag.Parse()
+
+	var bases []string
+	for _, b := range strings.Split(*nodes, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		fmt.Fprintln(os.Stderr, "idea-top: -nodes is required (see -h)")
+		os.Exit(1)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if *oneJSON {
+		cs := topview.Collect(client, bases, *slo)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(cs)
+		if !cs.OK() {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var prev *topview.ClusterSample
+	for {
+		cs := topview.Collect(client, bases, *slo)
+		// Home the cursor and clear below instead of a full wipe: no
+		// flicker at human refresh rates.
+		fmt.Print("\x1b[H\x1b[2J")
+		topview.RenderText(os.Stdout, cs, prev)
+		prev = &cs
+		time.Sleep(*interval)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"idea/internal/detect"
 	"idea/internal/env"
 	"idea/internal/gossip"
+	"idea/internal/health"
 	"idea/internal/id"
 	"idea/internal/membership"
 	"idea/internal/overlay"
@@ -152,13 +153,47 @@ type Tracer = tracing.Tracer
 // and consumed by cmd/idea-trace.
 type TraceDump = tracing.Dump
 
+// ---- Health ----
+
+// HealthConfig tunes the per-node health engine (internal/health):
+// rule-based anomaly detectors evaluated on the node's own clock, plus
+// the always-on flight recorder of recent protocol events. The zero
+// value enables evaluation with package defaults.
+type HealthConfig = health.Config
+
+// HealthEngine is a node's health engine handle (Node.Health; never
+// nil — Enabled reports whether evaluation ticks run).
+type HealthEngine = health.Engine
+
+// HealthStatus is the engine's introspection export, as served on
+// /health and consumed by cmd/idea-top.
+type HealthStatus = health.Status
+
+// FlightRecorder is the always-on bounded ring of recent protocol
+// events (Node.Flight), dumped on anomalies, /debug/flight, and SIGQUIT.
+type FlightRecorder = health.Recorder
+
+// FlightDump is one node's exported flight-recorder ring.
+type FlightDump = health.FlightDump
+
+// FlightDumpOf exports a node's flight-recorder ring — the payload
+// served on /debug/flight, dumped on SIGQUIT, and collected per node by
+// the soak harness.
+func FlightDumpOf(n *Node) FlightDump { return health.DumpOf(n.ID(), n.Flight()) }
+
 // ServeNodeAdmin starts the full admin surface for a node: everything
 // ServeMetrics serves, plus the node's span journal on /trace
-// (filterable with ?trace= and ?file=). Close the returned server to
-// stop it.
+// (filterable with ?trace= and ?file=), its health verdict on /health
+// (POST ?ack=<detector> acknowledges an active anomaly), and the flight
+// recorder on /debug/flight. The default /healthz liveness probe is
+// replaced by one wired to the health engine: a critical verdict turns
+// it into a 503. Close the returned server to stop it.
 func ServeNodeAdmin(addr string, n *Node) (*telemetry.AdminServer, error) {
 	return telemetry.ServeAdminWith(addr, n.Metrics(), map[string]http.Handler{
-		"/trace": tracing.Handler(n.Tracer()),
+		"/trace":        tracing.Handler(n.Tracer()),
+		"/health":       health.Handler(n.Health()),
+		"/debug/flight": health.FlightHandler(n.ID(), n.Flight()),
+		"/healthz":      health.LivenessHandler(n.Health()),
 	})
 }
 
@@ -195,6 +230,11 @@ type EmulatedClusterConfig struct {
 	// a deterministic per-node write counter, so traced emulations stay
 	// reproducible.
 	Tracing TracingConfig
+	// Health tunes the per-node health engine. The zero value enables it
+	// with defaults; health ticks ride the virtual clock, send no
+	// messages, and draw no randomness, so emulated runs stay fully
+	// deterministic seed for seed.
+	Health HealthConfig
 }
 
 // EmulatedCluster is a deterministic in-process IDEA deployment under
@@ -227,6 +267,7 @@ func NewEmulatedCluster(cfg EmulatedClusterConfig) *EmulatedCluster {
 			Gossip:        gossip.Config{Interval: cfg.GossipEvery},
 			Ransub:        ransub.Config{},
 			Tracing:       cfg.Tracing,
+			Health:        cfg.Health,
 		}
 		n := core.NewNode(nid, opts)
 		ec.nodes[nid] = n
@@ -327,6 +368,9 @@ type LiveNodeConfig struct {
 	// Tracing enables sampled causal tracing (journal served on /trace
 	// when the admin endpoint is up; zero disables).
 	Tracing TracingConfig
+	// Health tunes the health engine (served on /health when the admin
+	// endpoint is up). The zero value enables it with defaults.
+	Health HealthConfig
 	// WalDir enables the durability journal: replica updates are written
 	// to per-file logs under this directory, replayed on restart, and
 	// fsynced periodically (see core.Options.Journal). Empty keeps the
@@ -364,6 +408,7 @@ func NewLiveNode(cfg LiveNodeConfig) (*LiveNode, error) {
 		DisableRansub:     cfg.TopLayers != nil,
 		CompactStableLogs: cfg.CompactLogs,
 		Tracing:           cfg.Tracing,
+		Health:            cfg.Health,
 	}
 	if cfg.WalDir != "" {
 		wal, err := store.OpenWAL(cfg.WalDir)
@@ -398,6 +443,22 @@ func NewLiveNode(cfg LiveNodeConfig) (*LiveNode, error) {
 		return nil, err
 	}
 	tn.AttachMetrics(n.Metrics())
+	// Peer-link churn lands in the flight recorder: when an anomaly dumps
+	// the ring, connection flaps around the event are right there. (A live
+	// node may read the wall clock — only simnet-driven protocol code is
+	// bound to the virtual one.)
+	flight := n.Flight()
+	tn.SetPeerEventHook(func(event string, peer NodeID) {
+		kind := map[string]string{
+			"add":    health.FKPeerAdd,
+			"remove": health.FKPeerRemove,
+			"up":     health.FKPeerUp,
+			"down":   health.FKPeerDown,
+		}[event]
+		if kind != "" {
+			flight.Record(time.Now(), kind, "", peer, 0, "")
+		}
+	})
 	for nid, addr := range cfg.Peers {
 		tn.AddPeer(nid, addr)
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"idea/internal/env"
+	"idea/internal/health"
 	"idea/internal/id"
 	"idea/internal/membership"
 	"idea/internal/overlay"
@@ -155,17 +156,34 @@ func (n *Node) JoinCatchup() (time.Duration, bool) {
 	return n.join.catchup, n.join.done
 }
 
+// joinStatus reports the snapshot-bootstrap phase to the health engine's
+// join-stall detector.
+func (n *Node) joinStatus(now time.Time) health.JoinStatus {
+	n.join.mu.Lock()
+	defer n.join.mu.Unlock()
+	js := health.JoinStatus{Active: n.join.active, Done: n.join.done}
+	if js.Active && !js.Done {
+		js.Running = now.Sub(n.join.started)
+	}
+	return js
+}
+
 // handleMemberEvent is the agent's event sink: it keeps the view, the
 // RanSub tree, and per-shard replica state in step with the membership,
 // then chains to the externally installed observer.
 func (n *Node) handleMemberEvent(e env.Env, ev membership.Event) {
 	switch ev.Status {
 	case membership.Alive:
+		n.health.Recorder().Record(e.Now(), health.FKMemberAlive, "", ev.Node, 0, "")
 		n.view.Add(ev.Node)
 		if n.ran != nil {
 			n.ran.SetAll(n.view.All())
 		}
+	case membership.Suspect:
+		n.health.Recorder().Record(e.Now(), health.FKMemberSuspect, "", ev.Node, 0, "")
+		n.health.RecordSuspect(e.Now(), ev.Node)
 	case membership.Dead:
+		n.health.Recorder().Record(e.Now(), health.FKMemberDead, "", ev.Node, 0, "")
 		n.view.Remove(ev.Node)
 		if n.ran != nil {
 			n.ran.SetAll(n.view.All())
@@ -205,6 +223,7 @@ func (n *Node) handleJoined(e env.Env, seed id.NodeID) {
 	n.join.seed = seed
 	n.join.started = e.Now()
 	n.join.mu.Unlock()
+	n.health.Recorder().Record(e.Now(), health.FKJoinStart, "", seed, 0, "")
 	if f := n.onJoined.get(); f != nil {
 		f(e, seed)
 	}
@@ -359,6 +378,7 @@ func (n *Node) finishJoin(e env.Env) {
 	catchup := n.join.catchup
 	n.join.mu.Unlock()
 	n.met.joinCatchup.Set(catchup.Milliseconds())
+	n.health.Recorder().Record(e.Now(), health.FKJoinDone, "", n.self, catchup.Milliseconds(), "")
 	e.Logf("core: join bootstrap complete in %v", catchup)
 }
 

@@ -33,6 +33,7 @@ import (
 	"idea/internal/detect"
 	"idea/internal/env"
 	"idea/internal/gossip"
+	"idea/internal/health"
 	"idea/internal/id"
 	"idea/internal/membership"
 	"idea/internal/overlay"
@@ -149,6 +150,13 @@ type Options struct {
 	// in the node's span journal (see internal/tracing and the /trace
 	// admin endpoint). The zero value disables tracing entirely.
 	Tracing tracing.Config
+	// Health tunes the per-node health engine (internal/health): a
+	// rule-based anomaly evaluation that ticks on the env clock — fully
+	// deterministic under simnet — plus the always-on flight recorder of
+	// recent protocol events. The zero value enables the engine with
+	// package defaults; set Health.Disable to opt out of evaluation (the
+	// flight recorder stays on regardless, it is the crash context).
+	Health health.Config
 }
 
 // NumShardsAuto selects one shard per available CPU (GOMAXPROCS).
@@ -248,6 +256,9 @@ type Node struct {
 	walSync time.Duration
 	walErrs []string // recovery problems, logged once at Start
 
+	// Health engine + flight recorder (never nil; see Options.Health).
+	health *health.Engine
+
 	onLevel    hook[LevelFunc]
 	onAlert    hook[AlertFunc]
 	onResolved hook[ResolvedFunc]
@@ -275,6 +286,11 @@ const keyShardStart = "core.shard.start"
 // keyWalSync is the periodic journal fsync sweep (shard 0; the WAL
 // serializes per-file against concurrent appends itself).
 const keyWalSync = "core.wal.sync"
+
+// keyHealthTick is the health engine's evaluation cadence (unkeyed →
+// shard 0, the node-global domain — the engine reads cross-shard
+// aggregates, never per-file controller state).
+const keyHealthTick = "core.health.tick"
 
 // NewNode builds an IDEA node.
 func NewNode(self id.NodeID, opts Options) *Node {
@@ -432,6 +448,10 @@ func NewNode(self id.NodeID, opts Options) *Node {
 		}
 		n.shards[i] = sh
 	}
+	// Built last so metric handles the engine resolves by name — most
+	// importantly the store.wal_fsync_ms histogram's bucket bounds — are
+	// already registered with their canonical shapes.
+	n.health = health.NewEngine(self, opts.Health, n.reg)
 	return n
 }
 
@@ -508,6 +528,15 @@ func (n *Node) Metrics() *telemetry.Registry { return n.reg }
 // Tracer exposes the node's causal tracer; nil when Options.Tracing is
 // zero (every tracing call site is nil-safe).
 func (n *Node) Tracer() *tracing.Tracer { return n.tr }
+
+// Health exposes the node's health engine (never nil; Enabled() reports
+// whether evaluation ticks run).
+func (n *Node) Health() *health.Engine { return n.health }
+
+// Flight exposes the node's always-on flight recorder — the bounded ring
+// of recent protocol events dumped on anomalies, /debug/flight, and
+// SIGQUIT. Never nil.
+func (n *Node) Flight() *health.Recorder { return n.health.Recorder() }
 
 // AlertsTotal returns how many bottom-layer discrepancy alerts fired.
 func (n *Node) AlertsTotal() int { return int(n.met.alerts.Value()) }
@@ -631,6 +660,10 @@ func (n *Node) Start(e env.Env) {
 		n.walErrs = nil
 		e.After(n.walSync, keyWalSync, nil)
 	}
+	n.health.Recorder().Record(e.Now(), health.FKNodeStart, "", n.self, int64(n.nshards), "")
+	if n.health.Enabled() {
+		e.After(n.health.Interval(), keyHealthTick, nil)
+	}
 }
 
 func (sh *coreShard) start(e env.Env) {
@@ -697,14 +730,38 @@ func (n *Node) Timer(e env.Env, key string, data any) {
 		if n.wal != nil {
 			if err := n.wal.SyncAll(); err != nil {
 				e.Logf("core: wal sync: %v", err)
+				n.health.Recorder().Record(e.Now(), health.FKWALError, "", n.self, 0, err.Error())
 			}
 			e.After(n.walSync, keyWalSync, nil)
 		}
+	case key == keyHealthTick:
+		n.healthTick(e)
 	case strings.HasPrefix(key, "core.auto:"):
 		n.autoTick(e, id.FileID(strings.TrimPrefix(key, "core.auto:")))
 	default:
 		e.Logf("core: unhandled timer %q", key)
 	}
+}
+
+// healthTick runs one health-engine evaluation on shard 0: it assembles
+// the probe (a metrics snapshot plus the signals a snapshot can't carry —
+// the WAL's sticky error and the join-bootstrap phase) and re-arms. The
+// tick sends no messages and draws no randomness, so seeded simnet runs
+// stay byte-for-byte reproducible with health enabled.
+func (n *Node) healthTick(e env.Env) {
+	if !n.health.Enabled() {
+		return
+	}
+	p := health.Probe{Snap: n.reg.Snapshot(), Join: n.joinStatus(e.Now())}
+	if n.wal != nil {
+		if err := n.wal.Err(); err != nil {
+			p.WALErr = err.Error()
+		}
+	}
+	for _, ev := range n.health.Tick(e.Now(), p) {
+		e.Logf("core: health %s", ev)
+	}
+	e.After(n.health.Interval(), keyHealthTick, nil)
 }
 
 // ---- Application write/read surface (Fig. 3 triggers) ----
@@ -797,6 +854,7 @@ func (sh *coreShard) handleDetectResult(e env.Env, res detect.Result) {
 		f(e, res.File, res)
 	}
 	desired := n.DesiredLevel(res.File)
+	n.health.RecordLevel(e.Now(), res.File, res.Level, desired)
 	switch fs.mode {
 	case HintBased, OnDemand:
 		// Resolve only when the level drops below what the user wants
@@ -834,6 +892,7 @@ func (sh *coreShard) handleDiscrepancy(e env.Env, file id.FileID, top, bottom fl
 	fs := sh.file(file)
 	a := Alert{File: file, Top: top, Bottom: bottom, Reporter: rep.Reporter}
 	n.met.alerts.Inc()
+	n.health.Recorder().Record(e.Now(), health.FKAlert, file, rep.Reporter, int64(bottom*1000), "")
 	// Roll back only when the corrected level is unacceptable for the
 	// user's (learned) preference.
 	if !n.opts.DisableRollback && fs.hasCP && bottom < n.DesiredLevel(file) {
@@ -842,6 +901,7 @@ func (sh *coreShard) handleDiscrepancy(e env.Env, file id.FileID, top, bottom fl
 			a.RolledBack = true
 			a.Undone = len(undone)
 			n.met.rollbacks.Inc()
+			n.health.Recorder().Record(e.Now(), health.FKRollback, file, rep.Reporter, int64(len(undone)), "")
 			// Re-resolve to catch up with the true state, continuing the
 			// timeline of the write whose gossip report exposed it.
 			sh.res.RequestActiveTraced(e, file, rep.TC)
@@ -857,6 +917,8 @@ func (sh *coreShard) handleApplied(e env.Env, file id.FileID, winner id.NodeID) 
 	fs := sh.file(file)
 	fs.last = 1
 	n.met.resolved.Inc()
+	n.health.Recorder().Record(e.Now(), health.FKResolved, file, winner, 0, "")
+	n.health.RecordLevel(e.Now(), file, 1, n.DesiredLevel(file))
 	sh.det.NoteResolved(file)
 	rep := n.st.Open(file)
 	if fs.hasCP {

@@ -184,6 +184,7 @@ type gossipMetrics struct {
 	seenSize    *telemetry.Gauge   // dedup map occupancy after eviction
 	digestBytes *telemetry.Gauge   // wire size of the last origin digest
 	frontiers   *telemetry.Counter // stability frontiers learned
+	received    *telemetry.Counter // digests received (pre-dedup)
 }
 
 // AttachMetrics wires the agent to a registry; call before Start.
@@ -197,6 +198,7 @@ func (a *Agent) AttachMetrics(reg *telemetry.Registry) {
 		seenSize:    reg.Gauge("gossip.seen_entries"),
 		digestBytes: reg.Gauge("gossip.digest_bytes"),
 		frontiers:   reg.Counter("gossip.frontiers_learned_total"),
+		received:    reg.Counter("gossip.digests_received_total"),
 	}
 }
 
@@ -430,6 +432,7 @@ func digestKey(d wire.GossipDigest) string {
 // conflict to the origin, and forwards the digest while TTL remains —
 // excluding the node it came from.
 func (a *Agent) HandleDigest(e env.Env, from id.NodeID, d wire.GossipDigest) {
+	a.met.received.Inc()
 	k := digestKey(d)
 	if _, dup := a.seen[k]; dup {
 		return
@@ -489,9 +492,14 @@ func (a *Agent) noteCounts(file id.FileID, origin id.NodeID, d wire.GossipDigest
 // once fresh count information from every peer is on hand; stale origins
 // (gone quiet for frontierStaleRounds) are dropped, which conservatively
 // suspends compaction instead of freezing the frontier.
+//
+// Frontier accounting runs whether or not a callback is installed: the
+// gossip.frontiers_learned_total counter is the health engine's
+// convergence-stall signal, so it must tick on every advance even on
+// nodes that never wired log compaction.
 func (a *Agent) learnFrontiers(e env.Env) {
 	peers := a.peersNow()
-	if a.onFrontier == nil || len(peers) == 0 {
+	if len(peers) == 0 {
 		return
 	}
 	for file, byOrigin := range a.heard {
@@ -557,7 +565,9 @@ func (a *Agent) learnFrontiers(e env.Env) {
 		}
 		a.lastFrontier[file] = stable
 		a.met.frontiers.Inc()
-		a.onFrontier(e, file, stable)
+		if a.onFrontier != nil {
+			a.onFrontier(e, file, stable)
+		}
 	}
 }
 

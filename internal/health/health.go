@@ -1,0 +1,816 @@
+// Package health is the system-plane counterpart of IDEA's data-plane
+// detection loop: where the paper's middleware continuously observes
+// replica inconsistency and reacts, this engine continuously observes the
+// *node itself* — the stability frontier, shard queues, journal fsyncs,
+// membership, bootstrap, and staleness bounds — and turns raw telemetry
+// into typed raise/clear anomaly transitions with the evidence that
+// tripped them.
+//
+// Design constraints, in order:
+//
+//   - Deterministic under simnet virtual time. The engine never reads the
+//     ambient clock: every entry point takes the caller's env.Now(), the
+//     evaluation cadence is an env timer armed by the owning node, and no
+//     randomness is drawn — so a seeded cluster produces byte-identical
+//     transition sequences run over run, and the detectors themselves can
+//     be regression-tested like protocol code.
+//   - Near-zero cost when healthy. The per-write path (RecordLevel) is an
+//     atomic load when no file is below its bound; everything else runs
+//     on the tick cadence (seconds), far off the hot path.
+//   - Evidence over verdicts. Every transition carries the metric values
+//     that tripped (or cleared) it, so a soak artifact or /health scrape
+//     answers "why" without a debugger attached.
+package health
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idea/internal/id"
+	"idea/internal/telemetry"
+)
+
+// Detector names. One vocabulary across the engine, the /health JSON,
+// the idea_health_* gauges, and the README catalog.
+const (
+	// DetConvergenceStall: the gossip stability frontier has not advanced
+	// for ConvergenceStallAfter while writes kept flowing — anti-entropy
+	// is partitioned, starved, or wedged. Critical.
+	DetConvergenceStall = "convergence_stall"
+	// DetQueueSaturation: some shard executor or peer send queue has sat
+	// at or above QueueSaturationDepth for QueueSaturationTicks
+	// consecutive evaluations. Warn (critical at 4x the threshold).
+	DetQueueSaturation = "shard_queue_saturation"
+	// DetWALFsync: more than 1% of the journal fsyncs in the last window
+	// exceeded FsyncSpikeMs (warn), or the journal latched a sticky
+	// append/sync error (critical — the log must be treated as torn).
+	DetWALFsync = "wal_fsync_spike"
+	// DetMembershipFlap: one member accumulated FlapSuspects or more
+	// suspect transitions inside FlapWindow — a flapping link or an
+	// overloaded peer chewing through suspect/refute cycles. Warn.
+	DetMembershipFlap = "membership_flap"
+	// DetJoinStall: a snapshot-bootstrap join has been running longer
+	// than JoinStallAfter without completing. Critical.
+	DetJoinStall = "join_stall"
+	// DetStaleness: some file's detected consistency level has sat below
+	// its configured bound for StalenessAfter — the application asked for
+	// a floor the cluster is not delivering. Warn.
+	DetStaleness = "staleness_violation"
+)
+
+// Detectors lists every detector in evaluation order.
+var Detectors = []string{
+	DetConvergenceStall,
+	DetQueueSaturation,
+	DetWALFsync,
+	DetMembershipFlap,
+	DetJoinStall,
+	DetStaleness,
+}
+
+// Severity ranks an anomaly. The zero value means "not raised".
+type Severity int
+
+// Severity levels.
+const (
+	SevNone Severity = iota
+	SevWarn
+	SevCritical
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SevWarn:
+		return "warn"
+	case SevCritical:
+		return "critical"
+	}
+	return "none"
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return []byte(`"` + s.String() + `"`), nil }
+
+// UnmarshalJSON decodes a severity name (for idea-top's scrape path).
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"warn"`:
+		*s = SevWarn
+	case `"critical"`:
+		*s = SevCritical
+	default:
+		*s = SevNone
+	}
+	return nil
+}
+
+// Verdict is the node-level roll-up of the active anomalies.
+type Verdict int
+
+// Verdicts, worst-wins: any critical anomaly makes the node critical,
+// any warning makes it degraded.
+const (
+	Healthy Verdict = iota
+	Degraded
+	Critical
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Degraded:
+		return "degraded"
+	case Critical:
+		return "critical"
+	}
+	return "healthy"
+}
+
+// MarshalJSON encodes the verdict as its name.
+func (v Verdict) MarshalJSON() ([]byte, error) { return []byte(`"` + v.String() + `"`), nil }
+
+// UnmarshalJSON decodes a verdict name (for idea-top's scrape path).
+func (v *Verdict) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"degraded"`:
+		*v = Degraded
+	case `"critical"`:
+		*v = Critical
+	default:
+		*v = Healthy
+	}
+	return nil
+}
+
+// Event is one raise or clear transition — the engine's typed output.
+// At is nanoseconds since the Unix epoch in the node's clock (virtual
+// under simnet), Seq the engine-local transition order.
+type Event struct {
+	Seq      uint64             `json:"seq"`
+	At       int64              `json:"at"`
+	Detector string             `json:"detector"`
+	Raised   bool               `json:"raised"`
+	Severity Severity           `json:"severity"`
+	Evidence map[string]float64 `json:"evidence,omitempty"`
+	Message  string             `json:"message,omitempty"`
+}
+
+// String implements fmt.Stringer.
+func (ev Event) String() string {
+	verb := "clear"
+	if ev.Raised {
+		verb = "raise"
+	}
+	return fmt.Sprintf("%s %s (%s): %s", verb, ev.Detector, ev.Severity, ev.Message)
+}
+
+// Anomaly is one currently-active detector in the /health payload.
+type Anomaly struct {
+	Detector string             `json:"detector"`
+	Severity Severity           `json:"severity"`
+	RaisedAt int64              `json:"raised_at"`
+	Evidence map[string]float64 `json:"evidence,omitempty"`
+	Message  string             `json:"message,omitempty"`
+	Acked    bool               `json:"acked"`
+}
+
+// Status is the /health JSON payload: the verdict, every active anomaly
+// with its evidence, and the recent transition history.
+type Status struct {
+	Node     id.NodeID `json:"node"`
+	Verdict  Verdict   `json:"verdict"`
+	Enabled  bool      `json:"enabled"`
+	Ticks    uint64    `json:"ticks"`
+	LastTick int64     `json:"last_tick,omitempty"`
+	Active   []Anomaly `json:"active,omitempty"`
+	Recent   []Event   `json:"recent,omitempty"`
+}
+
+// UnackedCritical counts active critical anomalies no operator has
+// acknowledged — the quantity soak/CI asserts to be zero.
+func (s Status) UnackedCritical() int {
+	n := 0
+	for _, a := range s.Active {
+		if a.Severity == SevCritical && !a.Acked {
+			n++
+		}
+	}
+	return n
+}
+
+// JoinStatus is the probe's view of the node's snapshot-bootstrap join.
+type JoinStatus struct {
+	Active  bool
+	Done    bool
+	Running time.Duration
+}
+
+// Probe is everything one evaluation reads: a registry snapshot, the
+// journal's sticky error (empty when healthy), and the join state. The
+// owning node assembles it on the tick so the engine itself never
+// touches subsystem internals.
+type Probe struct {
+	Snap   telemetry.Snapshot
+	WALErr string
+	Join   JoinStatus
+}
+
+// Config tunes the engine. The zero value enables every detector with
+// the defaults below; Disable turns evaluation off (the flight recorder
+// stays on — it is the part that must never be missing after the fact).
+type Config struct {
+	// Disable turns detector evaluation off entirely.
+	Disable bool
+	// Interval is the evaluation cadence (default 2s).
+	Interval time.Duration
+	// History is how many transitions /health retains (default 64).
+	History int
+	// FlightPerStripe sizes each flight-recorder ring stripe (default
+	// 512, i.e. 4096 events per node before overwrite).
+	FlightPerStripe int
+
+	// ConvergenceStallAfter is how long the stability frontier may sit
+	// still while writes flow before the stall raises (default 45s).
+	ConvergenceStallAfter time.Duration
+	// QueueSaturationDepth is the queue depth considered saturated
+	// (default 4096); QueueSaturationTicks is how many consecutive
+	// evaluations must see it before raising (default 3).
+	QueueSaturationDepth int64
+	QueueSaturationTicks int
+	// FsyncSpikeMs is the journal fsync latency above which an fsync
+	// counts as slow; >1% slow fsyncs in a window raises (default 50ms).
+	FsyncSpikeMs float64
+	// FlapWindow/FlapSuspects: suspect transitions per member tolerated
+	// inside the window before the flap raises (defaults 60s / 3).
+	FlapWindow   time.Duration
+	FlapSuspects int
+	// JoinStallAfter bounds snapshot-bootstrap duration (default 60s).
+	JoinStallAfter time.Duration
+	// StalenessAfter is how long a file may sit below its consistency
+	// bound before the violation raises (default 30s).
+	StalenessAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.History <= 0 {
+		c.History = 64
+	}
+	if c.ConvergenceStallAfter <= 0 {
+		c.ConvergenceStallAfter = 45 * time.Second
+	}
+	if c.QueueSaturationDepth <= 0 {
+		c.QueueSaturationDepth = 4096
+	}
+	if c.QueueSaturationTicks <= 0 {
+		c.QueueSaturationTicks = 3
+	}
+	if c.FsyncSpikeMs <= 0 {
+		c.FsyncSpikeMs = 50
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 60 * time.Second
+	}
+	if c.FlapSuspects <= 0 {
+		c.FlapSuspects = 3
+	}
+	if c.JoinStallAfter <= 0 {
+		c.JoinStallAfter = 60 * time.Second
+	}
+	if c.StalenessAfter <= 0 {
+		c.StalenessAfter = 30 * time.Second
+	}
+	return c
+}
+
+// belowFile tracks one file currently below its consistency bound.
+type belowFile struct {
+	since        time.Time
+	level, bound float64
+}
+
+// Engine evaluates the detectors on the owner's tick cadence and owns
+// the node's flight recorder. All methods are safe on a nil receiver.
+type Engine struct {
+	self id.NodeID
+	cfg  Config
+	rec  *Recorder
+
+	// fsync is the journal latency histogram handle, resolved once so
+	// the window arithmetic can count observations above the threshold
+	// (a cumulative p99 never decays and could never clear the alarm).
+	fsync *telemetry.Histogram
+
+	verdictG *telemetry.Gauge
+	activeG  *telemetry.Gauge
+	ticksC   *telemetry.Counter
+	transC   *telemetry.Counter
+	detG     map[string]*telemetry.Gauge
+
+	// belowN gates the RecordLevel fast path: when zero (the healthy
+	// steady state) a write's detect verdict costs one atomic load here.
+	belowN atomic.Int64
+
+	mu       sync.Mutex
+	onDump   func(reason string, dump FlightDump)
+	seq      uint64
+	ticks    uint64
+	lastTick int64
+	active   map[string]*anomaly
+	recent   []Event
+
+	// convergence_stall state.
+	convSeen        bool
+	lastFrontiers   int64
+	lastAdvance     time.Time
+	writesAtAdvance int64
+
+	// shard_queue_saturation state.
+	satTicks int
+
+	// wal_fsync_spike window state.
+	fsyncSeen                      bool
+	lastFsyncCount, lastFsyncAbove int64
+	fsyncIdle                      int
+
+	// membership_flap state: suspect transition times per member.
+	suspects map[id.NodeID][]time.Time
+
+	// staleness_violation state.
+	below map[id.FileID]*belowFile
+}
+
+type anomaly struct {
+	severity Severity
+	raisedAt int64
+	evidence map[string]float64
+	message  string
+	acked    bool
+}
+
+// NewEngine builds a node's health engine (and its flight recorder,
+// which stays on even when cfg.Disable turns evaluation off). The
+// registry may be nil (tests); gauges then degrade to no-ops.
+func NewEngine(self id.NodeID, cfg Config, reg *telemetry.Registry) *Engine {
+	cfg = cfg.withDefaults()
+	en := &Engine{
+		self:     self,
+		cfg:      cfg,
+		rec:      NewRecorder(cfg.FlightPerStripe),
+		fsync:    reg.Histogram("store.wal_fsync_ms"),
+		verdictG: reg.Gauge("health.verdict"),
+		activeG:  reg.Gauge("health.active_anomalies"),
+		ticksC:   reg.Counter("health.ticks_total"),
+		transC:   reg.Counter("health.transitions_total"),
+		active:   map[string]*anomaly{},
+		suspects: map[id.NodeID][]time.Time{},
+		below:    map[id.FileID]*belowFile{},
+	}
+	en.detG = map[string]*telemetry.Gauge{
+		DetConvergenceStall: reg.Gauge("health.convergence_stall"),
+		DetQueueSaturation:  reg.Gauge("health.shard_queue_saturation"),
+		DetWALFsync:         reg.Gauge("health.wal_fsync_spike"),
+		DetMembershipFlap:   reg.Gauge("health.membership_flap"),
+		DetJoinStall:        reg.Gauge("health.join_stall"),
+		DetStaleness:        reg.Gauge("health.staleness_violation"),
+	}
+	return en
+}
+
+// Recorder returns the engine's flight recorder (nil on a nil engine).
+func (en *Engine) Recorder() *Recorder {
+	if en == nil {
+		return nil
+	}
+	return en.rec
+}
+
+// Enabled reports whether detector evaluation is on.
+func (en *Engine) Enabled() bool { return en != nil && !en.cfg.Disable }
+
+// Interval returns the evaluation cadence the owner should arm.
+func (en *Engine) Interval() time.Duration {
+	if en == nil {
+		return 0
+	}
+	return en.cfg.Interval
+}
+
+// SetDumpHook installs the sink invoked (outside the engine lock) with a
+// flight-recorder dump whenever a tick raises an anomaly — the
+// "automatically dumped when a detector raises" half of the recorder.
+func (en *Engine) SetDumpHook(f func(reason string, dump FlightDump)) {
+	if en == nil {
+		return
+	}
+	en.mu.Lock()
+	en.onDump = f
+	en.mu.Unlock()
+}
+
+// Tick runs one evaluation pass over the probe, returning the raise and
+// clear transitions it produced (usually none). The owner calls it on
+// the env timer cadence with env.Now(); determinism follows.
+func (en *Engine) Tick(now time.Time, p Probe) []Event {
+	if en == nil || en.cfg.Disable {
+		return nil
+	}
+	en.mu.Lock()
+	en.ticks++
+	en.lastTick = now.UnixNano()
+	en.ticksC.Inc()
+	var evs []Event
+	en.checkConvergence(now, p, &evs)
+	en.checkQueues(now, p, &evs)
+	en.checkWAL(now, p, &evs)
+	en.checkFlap(now, &evs)
+	en.checkJoin(now, p, &evs)
+	en.checkStaleness(now, &evs)
+	en.verdictG.Set(int64(en.verdictLocked()))
+	en.activeG.Set(int64(len(en.active)))
+	dump := en.onDump
+	en.mu.Unlock()
+
+	raised := ""
+	for _, ev := range evs {
+		kind := FKHealthClear
+		if ev.Raised {
+			kind = FKHealthRaise
+			raised = ev.Detector
+		}
+		en.rec.Record(now, kind, "", id.Nil, int64(ev.Severity), ev.Detector)
+	}
+	if raised != "" && dump != nil {
+		dump(raised, DumpOf(en.self, en.rec))
+	}
+	return evs
+}
+
+// RecordSuspect feeds one membership suspect transition (the flap
+// detector's raw material). Called from the member-event path.
+func (en *Engine) RecordSuspect(now time.Time, node id.NodeID) {
+	if en == nil || en.cfg.Disable {
+		return
+	}
+	en.mu.Lock()
+	en.suspects[node] = append(en.suspects[node], now)
+	en.mu.Unlock()
+}
+
+// RecordLevel feeds one file's detected consistency level against its
+// desired bound (bound <= 0 means unbounded). Called per detect verdict
+// and per resolution adoption; the healthy path is one atomic load.
+func (en *Engine) RecordLevel(now time.Time, file id.FileID, level, bound float64) {
+	if en == nil || en.cfg.Disable {
+		return
+	}
+	if bound <= 0 || level >= bound {
+		if en.belowN.Load() == 0 {
+			return
+		}
+		en.mu.Lock()
+		if _, ok := en.below[file]; ok {
+			delete(en.below, file)
+			en.belowN.Add(-1)
+		}
+		en.mu.Unlock()
+		return
+	}
+	en.mu.Lock()
+	if bf, ok := en.below[file]; ok {
+		bf.level, bf.bound = level, bound
+	} else {
+		en.below[file] = &belowFile{since: now, level: level, bound: bound}
+		en.belowN.Add(1)
+	}
+	en.mu.Unlock()
+}
+
+// Verdict rolls up the active anomalies, worst-wins.
+func (en *Engine) Verdict() Verdict {
+	if en == nil {
+		return Healthy
+	}
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.verdictLocked()
+}
+
+func (en *Engine) verdictLocked() Verdict {
+	v := Healthy
+	for _, a := range en.active {
+		switch {
+		case a.severity >= SevCritical:
+			v = Critical
+		case a.severity >= SevWarn && v == Healthy:
+			v = Degraded
+		}
+	}
+	return v
+}
+
+// Ack acknowledges an active anomaly by detector name, reporting whether
+// one was active. An acked critical no longer fails the soak sweep.
+func (en *Engine) Ack(detector string) bool {
+	if en == nil {
+		return false
+	}
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	a := en.active[detector]
+	if a == nil {
+		return false
+	}
+	a.acked = true
+	return true
+}
+
+// Status exports the /health payload. Active anomalies are sorted by
+// detector name and transitions oldest-first, so two nodes in the same
+// state serialize identically.
+func (en *Engine) Status() Status {
+	if en == nil {
+		return Status{Verdict: Healthy}
+	}
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	st := Status{
+		Node:     en.self,
+		Verdict:  en.verdictLocked(),
+		Enabled:  !en.cfg.Disable,
+		Ticks:    en.ticks,
+		LastTick: en.lastTick,
+	}
+	names := make([]string, 0, len(en.active))
+	for det := range en.active {
+		names = append(names, det)
+	}
+	sort.Strings(names)
+	for _, det := range names {
+		a := en.active[det]
+		st.Active = append(st.Active, Anomaly{
+			Detector: det,
+			Severity: a.severity,
+			RaisedAt: a.raisedAt,
+			Evidence: copyEvidence(a.evidence),
+			Message:  a.message,
+			Acked:    a.acked,
+		})
+	}
+	st.Recent = append(st.Recent, en.recent...)
+	return st
+}
+
+func copyEvidence(ev map[string]float64) map[string]float64 {
+	if ev == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(ev))
+	for k, v := range ev {
+		out[k] = v
+	}
+	return out
+}
+
+// ---- transitions ----
+
+// raise opens (or escalates) an anomaly. A re-raise at the same severity
+// only refreshes the evidence — no transition spam on every tick.
+func (en *Engine) raise(now time.Time, det string, sev Severity, evidence map[string]float64, msg string, out *[]Event) {
+	a := en.active[det]
+	if a != nil && a.severity == sev {
+		a.evidence, a.message = evidence, msg
+		return
+	}
+	if a == nil {
+		a = &anomaly{raisedAt: now.UnixNano()}
+		en.active[det] = a
+	}
+	a.severity, a.evidence, a.message = sev, evidence, msg
+	en.detG[det].Set(int64(sev))
+	en.transition(now, det, true, sev, evidence, msg, out)
+}
+
+// clear closes an anomaly if it is active; otherwise it is a no-op, so
+// detectors call it unconditionally on their healthy branch.
+func (en *Engine) clear(now time.Time, det string, evidence map[string]float64, msg string, out *[]Event) {
+	if en.active[det] == nil {
+		return
+	}
+	delete(en.active, det)
+	en.detG[det].Set(0)
+	en.transition(now, det, false, SevNone, evidence, msg, out)
+}
+
+func (en *Engine) transition(now time.Time, det string, raised bool, sev Severity, evidence map[string]float64, msg string, out *[]Event) {
+	en.seq++
+	ev := Event{
+		Seq:      en.seq,
+		At:       now.UnixNano(),
+		Detector: det,
+		Raised:   raised,
+		Severity: sev,
+		Evidence: evidence,
+		Message:  msg,
+	}
+	if len(en.recent) >= en.cfg.History {
+		en.recent = append(en.recent[:0], en.recent[1:]...)
+		en.recent[len(en.recent)-1] = ev
+	} else {
+		en.recent = append(en.recent, ev)
+	}
+	en.transC.Inc()
+	*out = append(*out, ev)
+}
+
+// ---- detectors ----
+
+func (en *Engine) checkConvergence(now time.Time, p Probe, out *[]Event) {
+	if p.Snap.Counters["gossip.rounds_total"] == 0 {
+		// Gossip off or not started: no frontier to watch.
+		en.convSeen = false
+		en.clear(now, DetConvergenceStall, nil, "gossip idle", out)
+		return
+	}
+	frontiers := p.Snap.Counters["gossip.frontiers_learned_total"]
+	writes := p.Snap.Counters["core.writes_total"] + p.Snap.Counters["store.updates_applied_total"]
+	if !en.convSeen || frontiers > en.lastFrontiers {
+		en.convSeen = true
+		en.lastFrontiers = frontiers
+		en.lastAdvance = now
+		en.writesAtAdvance = writes
+		en.clear(now, DetConvergenceStall,
+			map[string]float64{"frontiers_learned": float64(frontiers)},
+			"stability frontier advancing", out)
+		return
+	}
+	stalled := now.Sub(en.lastAdvance)
+	writesSince := writes - en.writesAtAdvance
+	if stalled >= en.cfg.ConvergenceStallAfter && writesSince > 0 {
+		en.raise(now, DetConvergenceStall, SevCritical, map[string]float64{
+			"stalled_seconds":      stalled.Seconds(),
+			"writes_since_advance": float64(writesSince),
+			"frontiers_learned":    float64(frontiers),
+		}, "stability frontier not advancing while writes flow", out)
+	}
+}
+
+func (en *Engine) checkQueues(now time.Time, p Probe, out *[]Event) {
+	var maxDepth int64
+	for name, v := range p.Snap.Gauges {
+		if strings.HasPrefix(name, "core.shard_queue_depth.") ||
+			strings.HasPrefix(name, "transport.queue_depth.") {
+			if v > maxDepth {
+				maxDepth = v
+			}
+		}
+	}
+	if maxDepth < en.cfg.QueueSaturationDepth {
+		en.satTicks = 0
+		// Hysteresis: an active saturation clears only once the deepest
+		// queue drains below half the threshold.
+		if maxDepth < en.cfg.QueueSaturationDepth/2 {
+			en.clear(now, DetQueueSaturation,
+				map[string]float64{"max_queue_depth": float64(maxDepth)},
+				"queues drained", out)
+		}
+		return
+	}
+	en.satTicks++
+	if en.satTicks >= en.cfg.QueueSaturationTicks {
+		sev := SevWarn
+		if maxDepth >= 4*en.cfg.QueueSaturationDepth {
+			sev = SevCritical
+		}
+		en.raise(now, DetQueueSaturation, sev, map[string]float64{
+			"max_queue_depth": float64(maxDepth),
+			"threshold":       float64(en.cfg.QueueSaturationDepth),
+			"saturated_ticks": float64(en.satTicks),
+		}, "shard or peer queue saturated", out)
+	}
+}
+
+func (en *Engine) checkWAL(now time.Time, p Probe, out *[]Event) {
+	if p.WALErr != "" {
+		en.raise(now, DetWALFsync, SevCritical, map[string]float64{
+			"wal_errors": float64(p.Snap.Counters["store.wal_errors_total"]),
+		}, "journal failed (log must be treated as torn): "+p.WALErr, out)
+		return
+	}
+	count := en.fsync.Count()
+	above := en.fsync.CountAbove(en.cfg.FsyncSpikeMs)
+	if !en.fsyncSeen {
+		en.fsyncSeen = true
+		en.lastFsyncCount, en.lastFsyncAbove = count, above
+		return
+	}
+	window := count - en.lastFsyncCount
+	slow := above - en.lastFsyncAbove
+	en.lastFsyncCount, en.lastFsyncAbove = count, above
+	if window == 0 {
+		// An idle journal neither raises nor clears immediately — a
+		// spike raised during a burst decays after a few quiet windows
+		// instead of flapping against empty ones.
+		en.fsyncIdle++
+		if en.fsyncIdle >= 3 {
+			en.clear(now, DetWALFsync, nil, "journal idle", out)
+		}
+		return
+	}
+	en.fsyncIdle = 0
+	if slow*100 > window {
+		en.raise(now, DetWALFsync, SevWarn, map[string]float64{
+			"fsyncs_in_window": float64(window),
+			"slow_fsyncs":      float64(slow),
+			"threshold_ms":     en.cfg.FsyncSpikeMs,
+		}, "journal fsync p99 above threshold", out)
+	} else {
+		en.clear(now, DetWALFsync,
+			map[string]float64{"fsyncs_in_window": float64(window)},
+			"fsync latency nominal", out)
+	}
+}
+
+func (en *Engine) checkFlap(now time.Time, out *[]Event) {
+	cutoff := now.Add(-en.cfg.FlapWindow)
+	worstNode, worstCount := id.Nil, 0
+	for node, times := range en.suspects {
+		keep := times[:0]
+		for _, t := range times {
+			if t.After(cutoff) {
+				keep = append(keep, t)
+			}
+		}
+		if len(keep) == 0 {
+			delete(en.suspects, node)
+			continue
+		}
+		en.suspects[node] = keep
+		// Worst member wins; lowest ID breaks ties so the evidence is
+		// independent of map iteration order.
+		if len(keep) > worstCount || (len(keep) == worstCount && node < worstNode) {
+			worstNode, worstCount = node, len(keep)
+		}
+	}
+	if worstCount >= en.cfg.FlapSuspects {
+		en.raise(now, DetMembershipFlap, SevWarn, map[string]float64{
+			"suspect_events": float64(worstCount),
+			"node":           float64(worstNode),
+			"window_seconds": en.cfg.FlapWindow.Seconds(),
+		}, fmt.Sprintf("member %s flapping: %d suspect cycles in window", worstNode, worstCount), out)
+	} else {
+		en.clear(now, DetMembershipFlap, nil, "membership stable", out)
+	}
+}
+
+func (en *Engine) checkJoin(now time.Time, p Probe, out *[]Event) {
+	if p.Join.Active && !p.Join.Done && p.Join.Running >= en.cfg.JoinStallAfter {
+		en.raise(now, DetJoinStall, SevCritical, map[string]float64{
+			"join_running_seconds": p.Join.Running.Seconds(),
+			"threshold_seconds":    en.cfg.JoinStallAfter.Seconds(),
+		}, "snapshot-bootstrap join not completing", out)
+		return
+	}
+	en.clear(now, DetJoinStall, nil, "join complete", out)
+}
+
+func (en *Engine) checkStaleness(now time.Time, out *[]Event) {
+	if len(en.below) == 0 {
+		en.clear(now, DetStaleness, nil, "all files within bounds", out)
+		return
+	}
+	files := make([]string, 0, len(en.below))
+	for f := range en.below {
+		files = append(files, string(f))
+	}
+	sort.Strings(files)
+	var worst *belowFile
+	worstFile, violations := "", 0
+	for _, f := range files {
+		bf := en.below[id.FileID(f)]
+		if now.Sub(bf.since) < en.cfg.StalenessAfter {
+			continue
+		}
+		violations++
+		if worst == nil || bf.since.Before(worst.since) {
+			worst, worstFile = bf, f
+		}
+	}
+	if violations == 0 {
+		en.clear(now, DetStaleness, nil, "all files within bounds", out)
+		return
+	}
+	en.raise(now, DetStaleness, SevWarn, map[string]float64{
+		"files_below_bound": float64(violations),
+		"worst_age_seconds": now.Sub(worst.since).Seconds(),
+		"level":             worst.level,
+		"bound":             worst.bound,
+	}, fmt.Sprintf("file %s below its consistency bound", worstFile), out)
+}

@@ -1,0 +1,59 @@
+package health
+
+// Admin HTTP surfaces: the rich /health JSON (verdict + active anomalies
+// + evidence + recent transitions), the /debug/flight ring dump, and the
+// engine-aware /healthz liveness probe that replaces telemetry's
+// unconditional 200.
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"idea/internal/id"
+)
+
+// Handler serves the engine's Status as JSON. A POST with ?ack=<detector>
+// acknowledges an active anomaly before returning the status — how an
+// operator (or a soak script) silences a known critical without losing
+// the record of it.
+func Handler(en *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if det := r.URL.Query().Get("ack"); det != "" {
+			if r.Method != http.MethodPost {
+				http.Error(w, "ack requires POST", http.StatusMethodNotAllowed)
+				return
+			}
+			if !en.Ack(det) {
+				http.Error(w, "no active anomaly: "+det, http.StatusNotFound)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(en.Status())
+	})
+}
+
+// FlightHandler serves the flight recorder's retained ring as JSON.
+func FlightHandler(self id.NodeID, rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(DumpOf(self, rec))
+	})
+}
+
+// LivenessHandler is the engine-aware /healthz: 200 "ok" while the node
+// is not critical, 503 with the verdict name once it is — readiness an
+// orchestrator can act on, while /health keeps the full story.
+func LivenessHandler(en *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := en.Verdict(); v == Critical {
+			http.Error(w, v.String(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+}

@@ -1,0 +1,91 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func criticalEngine(t *testing.T) *Engine {
+	t.Helper()
+	en := NewEngine(2, Config{}, nil)
+	p := probe(map[string]int64{"store.wal_errors_total": 1}, nil)
+	p.WALErr = "torn"
+	en.Tick(time.Unix(1, 0), p)
+	return en
+}
+
+func TestHealthHandlerStatus(t *testing.T) {
+	en := criticalEngine(t)
+	rr := httptest.NewRecorder()
+	Handler(en).ServeHTTP(rr, httptest.NewRequest("GET", "/health", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /health = %d", rr.Code)
+	}
+	var st Status
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if st.Node != 2 || st.Verdict != Critical || len(st.Active) != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Active[0].Detector != DetWALFsync || st.Active[0].Severity != SevCritical {
+		t.Fatalf("active = %+v", st.Active[0])
+	}
+}
+
+func TestHealthHandlerAck(t *testing.T) {
+	en := criticalEngine(t)
+	// GET with ?ack is rejected: acking mutates state.
+	rr := httptest.NewRecorder()
+	Handler(en).ServeHTTP(rr, httptest.NewRequest("GET", "/health?ack="+DetWALFsync, nil))
+	if rr.Code != 405 {
+		t.Fatalf("GET ack = %d, want 405", rr.Code)
+	}
+	// Unknown detector: 404.
+	rr = httptest.NewRecorder()
+	Handler(en).ServeHTTP(rr, httptest.NewRequest("POST", "/health?ack=no_such", nil))
+	if rr.Code != 404 {
+		t.Fatalf("ack unknown = %d, want 404", rr.Code)
+	}
+	// The real ack: 200, and the returned status reflects it.
+	rr = httptest.NewRecorder()
+	Handler(en).ServeHTTP(rr, httptest.NewRequest("POST", "/health?ack="+DetWALFsync, nil))
+	if rr.Code != 200 {
+		t.Fatalf("POST ack = %d", rr.Code)
+	}
+	var st Status
+	json.Unmarshal(rr.Body.Bytes(), &st)
+	if !st.Active[0].Acked || st.UnackedCritical() != 0 {
+		t.Fatalf("ack not reflected: %+v", st.Active[0])
+	}
+}
+
+func TestLivenessHandler(t *testing.T) {
+	healthy := NewEngine(1, Config{}, nil)
+	rr := httptest.NewRecorder()
+	LivenessHandler(healthy).ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 || rr.Body.String() != "ok" {
+		t.Fatalf("healthy /healthz = %d %q", rr.Code, rr.Body.String())
+	}
+	rr = httptest.NewRecorder()
+	LivenessHandler(criticalEngine(t)).ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 503 {
+		t.Fatalf("critical /healthz = %d, want 503", rr.Code)
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(time.Unix(5, 0), FKJoinDone, "", 9, 1234, "")
+	rr := httptest.NewRecorder()
+	FlightHandler(9, r).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight", nil))
+	var d FlightDump
+	if err := json.Unmarshal(rr.Body.Bytes(), &d); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if d.Node != 9 || len(d.Events) != 1 || d.Events[0].Kind != FKJoinDone || d.Events[0].Arg != 1234 {
+		t.Fatalf("dump = %+v", d)
+	}
+}

@@ -34,6 +34,7 @@ var ProtocolPackages = map[string]bool{
 	"detect":     true,
 	"resolve":    true,
 	"gossip":     true,
+	"health":     true,
 	"membership": true,
 	"core":       true,
 	"store":      true,

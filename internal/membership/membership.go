@@ -214,6 +214,7 @@ type agentMetrics struct {
 	deaths   *telemetry.Counter   // members confirmed dead
 	joins    *telemetry.Counter   // join requests served
 	refutes  *telemetry.Counter   // self-refutations issued
+	suspect  *telemetry.Counter   // suspect transitions observed
 }
 
 // Agent is the per-node membership participant.
@@ -284,6 +285,7 @@ func (a *Agent) AttachMetrics(reg *telemetry.Registry) {
 		deaths:   reg.Counter("membership.deaths_total"),
 		joins:    reg.Counter("membership.joins_served_total"),
 		refutes:  reg.Counter("membership.refutations_total"),
+		suspect:  reg.Counter("membership.suspicions_total"),
 	}
 	a.met.alive.Set(int64(len(a.alive()) + 1)) // + self
 }
@@ -551,6 +553,7 @@ func (a *Agent) indirectTimeout(e env.Env, pd probeData) {
 	}
 	m.status = Suspect
 	inc := m.inc
+	a.met.suspect.Inc()
 	rec := wire.MemberRecord{Node: pd.target, Addr: m.addr, Status: wire.MemberSuspect, Inc: inc}
 	a.enqueue(rec)
 	a.gauges()
@@ -817,6 +820,7 @@ func (a *Agent) applyRecords(e env.Env, recs []wire.MemberRecord) {
 	// it. Arm one per freshly learned suspicion.
 	for _, ev := range events {
 		if ev.Status == Suspect {
+			a.met.suspect.Inc()
 			e.After(a.cfg.SuspectTimeout, timerConfirm, confirmData{target: ev.Node, inc: ev.Incarnation})
 		}
 	}

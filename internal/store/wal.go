@@ -63,8 +63,11 @@ type WAL struct {
 	// errMu guards firstErr: the first append error seen via the Journal
 	// hook interface, surfaced at the next Err/Sync call site (the hooks
 	// run inside the store's apply path, which has no error channel).
+	// errsC counts every noted error (store.wal_errors_total) — the
+	// health engine's evidence when the sticky error trips its critical.
 	errMu    sync.Mutex
 	firstErr error
+	errsC    *telemetry.Counter
 }
 
 type walFile struct {
@@ -114,9 +117,13 @@ func (w *WAL) SetGroupCommit(n int) {
 func (w *WAL) AttachMetrics(reg *telemetry.Registry) {
 	h := reg.HistogramWith("store.wal_fsync_ms",
 		[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250})
+	c := reg.Counter("store.wal_errors_total")
 	w.mu.Lock()
 	w.fsyncMS = h
 	w.mu.Unlock()
+	w.errMu.Lock()
+	w.errsC = c
+	w.errMu.Unlock()
 }
 
 // path maps a file ID to a filesystem-safe log name.
@@ -231,6 +238,7 @@ func (w *WAL) noteErr(err error) {
 	if w.firstErr == nil {
 		w.firstErr = err
 	}
+	w.errsC.Inc()
 	w.errMu.Unlock()
 }
 

@@ -23,10 +23,24 @@ func Handler(reg *Registry) http.Handler { return HandlerWith(reg, nil) }
 // HandlerWith is Handler plus extra routes: each pattern/handler pair in
 // extra is mounted on the same mux, letting an embedder expose
 // subsystem-specific endpoints (the node mounts the tracing journal at
-// /trace this way) without this package depending on them.
+// /trace this way) without this package depending on them. An extra
+// route wins over this package's default for the same pattern — that is
+// how the node replaces the unconditional /healthz with the
+// health-engine-aware one.
 func HandlerWith(reg *Registry, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
+	handle := func(pattern string, h http.HandlerFunc) {
+		if _, overridden := extra[pattern]; !overridden {
+			mux.HandleFunc(pattern, h)
+		}
+	}
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Scrape time is when freshness matters: refresh the process
+		// runtime gauges before exporting.
+		CollectRuntime(reg)
 		if wantsPrometheus(r) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			WritePrometheus(w, reg.Snapshot())
@@ -37,18 +51,15 @@ func HandlerWith(reg *Registry, extra map[string]http.Handler) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(reg.Snapshot())
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
 		w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	for pattern, h := range extra {
-		mux.Handle(pattern, h)
-	}
+	handle("/debug/pprof/", pprof.Index)
+	handle("/debug/pprof/cmdline", pprof.Cmdline)
+	handle("/debug/pprof/profile", pprof.Profile)
+	handle("/debug/pprof/symbol", pprof.Symbol)
+	handle("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -1,0 +1,56 @@
+package telemetry
+
+// Process runtime stats: goroutine count, heap in use, GC pauses, and
+// uptime, exported as ordinary registry metrics so idea-top and /metrics
+// show them without a pprof round trip. CollectRuntime is called at
+// scrape time by the admin handler — the registry itself stays passive
+// (and simnet nodes, which never scrape, stay deterministic: nothing
+// here runs unless something asks).
+
+import (
+	"runtime"
+	"time"
+)
+
+// procStart anchors proc.uptime_seconds at process start.
+var procStart = time.Now()
+
+// gcPauseBounds covers 10µs .. 1s of stop-the-world pause, in
+// milliseconds, matching the wal_fsync_ms convention.
+var gcPauseBounds = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000}
+
+// CollectRuntime refreshes the process runtime metrics in reg:
+//
+//	proc.goroutines        gauge     runtime.NumGoroutine
+//	proc.heap_inuse_bytes  gauge     MemStats.HeapInuse
+//	proc.gc_runs_total     gauge     completed GC cycles
+//	proc.gc_pause_ms       histogram per-cycle stop-the-world pause
+//	proc.uptime_seconds    gauge     seconds since process start
+//
+// Safe on a nil registry (no-op). Each completed GC cycle's pause is
+// observed exactly once across calls.
+func CollectRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("proc.goroutines").Set(int64(runtime.NumGoroutine()))
+	reg.Gauge("proc.heap_inuse_bytes").Set(int64(ms.HeapInuse))
+	reg.Gauge("proc.gc_runs_total").Set(int64(ms.NumGC))
+	reg.Gauge("proc.uptime_seconds").Set(int64(time.Since(procStart).Seconds()))
+
+	pause := reg.HistogramWith("proc.gc_pause_ms", gcPauseBounds)
+	reg.rtMu.Lock()
+	last := reg.rtLastGC
+	reg.rtLastGC = ms.NumGC
+	reg.rtMu.Unlock()
+	// PauseNs is a circular buffer of the last 256 cycles; cycles beyond
+	// the window since the previous collection are simply missed.
+	if ms.NumGC-last > uint32(len(ms.PauseNs)) {
+		last = ms.NumGC - uint32(len(ms.PauseNs))
+	}
+	for n := last + 1; n <= ms.NumGC; n++ {
+		pause.Observe(float64(ms.PauseNs[(n+255)%256]) / float64(time.Millisecond))
+	}
+}

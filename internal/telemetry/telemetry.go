@@ -247,6 +247,27 @@ func (h *Histogram) Count() int64 {
 	return n
 }
 
+// CountAbove returns how many observations landed in buckets entirely
+// above bound — the windowed-threshold primitive the health engine's
+// fsync detector diffs between ticks (a cumulative quantile never
+// decays, so it could never clear an alarm). The count is conservative:
+// the bucket containing bound itself is excluded, since some of its
+// observations may sit below the threshold.
+func (h *Histogram) CountAbove(bound float64) int64 {
+	if h == nil {
+		return 0
+	}
+	from := sort.SearchFloat64s(h.bounds, bound) + 1
+	var n int64
+	for i := range h.cells {
+		c := &h.cells[i]
+		for j := from; j < len(c.counts); j++ {
+			n += c.counts[j].Load()
+		}
+	}
+	return n
+}
+
 // Sum returns the accumulated total; zero on a nil receiver.
 func (h *Histogram) Sum() float64 {
 	if h == nil {
@@ -333,6 +354,11 @@ type Registry struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+
+	// rtMu/rtLastGC belong to CollectRuntime (runtime.go): the GC-pause
+	// cursor so each completed cycle is observed exactly once.
+	rtMu     sync.Mutex
+	rtLastGC uint32
 }
 
 // NewRegistry returns an empty registry.

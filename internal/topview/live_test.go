@@ -1,0 +1,150 @@
+package topview_test
+
+// End-to-end check of the introspection loop idea-top runs: three live
+// TCP nodes serve their admin endpoints, Collect sees a healthy cluster
+// under write load, an injected WAL failure flips the verdict to
+// critical (and /healthz to 503), and acking the anomaly brings the
+// sweep back to "nothing unacknowledged" without hiding the verdict.
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"idea"
+	"idea/internal/health"
+	"idea/internal/topview"
+)
+
+const board = idea.FileID("board")
+
+func TestLiveClusterHealthAndWALFailure(t *testing.T) {
+	all := []idea.NodeID{1, 2, 3}
+	tops := map[idea.FileID][]idea.NodeID{board: all}
+	walDir := filepath.Join(t.TempDir(), "wal")
+	fast := idea.HealthConfig{Interval: 50 * time.Millisecond}
+
+	nodes := make(map[idea.NodeID]*idea.LiveNode, len(all))
+	bases := make([]string, 0, len(all))
+	peers := map[idea.NodeID]string{}
+	for _, nid := range all {
+		cfg := idea.LiveNodeConfig{
+			Self: nid, Listen: "127.0.0.1:0", Peers: peers,
+			All: all, TopLayers: tops, Health: fast,
+		}
+		if nid == 1 {
+			cfg.WalDir = walDir
+		}
+		ln, err := idea.NewLiveNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		nodes[nid] = ln
+		for prev, p := range nodes {
+			if prev != nid {
+				p.AddPeer(nid, ln.Addr())
+			}
+		}
+		peers[nid] = ln.Addr()
+
+		admin, err := idea.ServeNodeAdmin("127.0.0.1:0", ln.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer admin.Close()
+		bases = append(bases, admin.Addr())
+	}
+
+	// Some load: writes on every node, so counters move and the health
+	// engines have real probes to chew on.
+	for _, nid := range all {
+		ln := nodes[nid]
+		done := make(chan struct{})
+		ln.InjectFile(board, func(e idea.Env) {
+			for i := 0; i < 10; i++ {
+				ln.N.Write(e, board, "w", []byte(fmt.Sprintf("n%d-%d", nid, i)), 0)
+			}
+			close(done)
+		})
+		<-done
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	cs := waitVerdict(t, client, bases, health.Healthy)
+	if !cs.OK() {
+		t.Fatalf("healthy cluster not OK: %+v", cs)
+	}
+	if cs.Unreachable != 0 || len(cs.Nodes) != 3 {
+		t.Fatalf("collect saw %d/%d nodes", len(cs.Nodes)-cs.Unreachable, len(all))
+	}
+
+	// Pull the WAL directory out from under node 1 and force a fresh log
+	// file: appends to already-open logs still hit their unlinked fds, so
+	// only a new file trips the journal's sticky error.
+	if err := os.RemoveAll(walDir); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	nodes[1].InjectFile("fresh", func(e idea.Env) {
+		nodes[1].N.Write(e, "fresh", "w", []byte("x"), 0)
+		close(done)
+	})
+	<-done
+
+	cs = waitVerdict(t, client, bases, health.Critical)
+	if cs.UnackedCritical == 0 {
+		t.Fatalf("critical cluster reports no unacked anomaly: %+v", cs)
+	}
+	if cs.OK() {
+		t.Fatal("OK() true with an unacked critical anomaly")
+	}
+
+	// The liveness probe must flip with the verdict.
+	resp, err := client.Get("http://" + bases[0] + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz on failed node = %d, want 503", resp.StatusCode)
+	}
+
+	// Acking clears the gate idea-top -json exits on, not the verdict.
+	resp, err = client.Post("http://"+bases[0]+"/health?ack="+health.DetWALFsync, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ack = %d, want 200", resp.StatusCode)
+	}
+	cs = topview.Collect(client, bases, false)
+	if cs.UnackedCritical != 0 || !cs.OK() {
+		t.Fatalf("after ack: unacked=%d ok=%v", cs.UnackedCritical, cs.OK())
+	}
+	if cs.Verdict != health.Critical {
+		t.Fatalf("ack hid the verdict: %v", cs.Verdict)
+	}
+}
+
+// waitVerdict polls Collect until the cluster verdict matches, failing
+// the test after a deadline.
+func waitVerdict(t *testing.T, client *http.Client, bases []string, want health.Verdict) topview.ClusterSample {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var cs topview.ClusterSample
+	for {
+		cs = topview.Collect(client, bases, false)
+		if cs.Unreachable == 0 && cs.Verdict == want {
+			return cs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never reached %v: %+v", want, cs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -158,6 +158,11 @@ type Node struct {
 	reg *telemetry.Registry
 	met transportMetrics
 
+	// onPeer observes peer-link lifecycle ("add", "remove", "up",
+	// "down") for the owner's flight recorder. Set before Start, read
+	// from the writer loops without a lock; nil is a no-op.
+	onPeer func(event string, peer id.NodeID)
+
 	mu    sync.Mutex
 	peers map[id.NodeID]string
 	links map[id.NodeID]*peerLink
@@ -353,12 +358,24 @@ func (n *Node) AttachMetrics(reg *telemetry.Registry) {
 // Addr returns the bound listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
+// SetPeerEventHook installs the peer-link lifecycle observer: "add" and
+// "remove" for registration changes, "up" for an established connection,
+// "down" for a lost one (about to redial). Call before Start.
+func (n *Node) SetPeerEventHook(f func(event string, peer id.NodeID)) { n.onPeer = f }
+
+func (n *Node) notePeer(event string, peer id.NodeID) {
+	if n.onPeer != nil {
+		n.onPeer(event, peer)
+	}
+}
+
 // AddPeer records where a peer can be dialed. Re-adding a peer updates
 // the address used on the next (re)dial.
 func (n *Node) AddPeer(nid id.NodeID, addr string) {
 	n.mu.Lock()
 	n.peers[nid] = addr
 	n.mu.Unlock()
+	n.notePeer("add", nid)
 }
 
 // RemovePeer forgets a peer at runtime — the dynamic-membership eviction
@@ -375,6 +392,7 @@ func (n *Node) RemovePeer(nid id.NodeID) {
 	if l != nil {
 		l.shutdown()
 	}
+	n.notePeer("remove", nid)
 }
 
 // HasPeer reports whether an address is registered for nid.
@@ -698,6 +716,7 @@ func (n *Node) writerLoop(l *peerLink) {
 			c = cc
 			backoff = backoffMin
 			n.met.connects.Inc()
+			n.notePeer("up", l.nid)
 		}
 		if len(batch) == 0 {
 			var first *wire.Frame
@@ -740,6 +759,7 @@ func (n *Node) writerLoop(l *peerLink) {
 			default:
 			}
 			n.logf("write %v: %v (reconnecting)", l.nid, err)
+			n.notePeer("down", l.nid)
 			c.Close()
 			c = nil
 			l.setConn(nil)

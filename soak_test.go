@@ -6,9 +6,13 @@ package idea_test
 // dynamic membership runs a mixed workload with scripted member churn for
 // SOAK_DURATION (default 3m), then must converge — every surviving node
 // vector-equal on every loaded file after a final resolution sweep. The
-// run writes its artifacts (per-node metrics snapshots, the loadgen
+// run writes its artifacts (per-node metrics snapshots, span journals,
+// flight-recorder dumps, the idea-top health timeline, the loadgen
 // report with its per-second ops timeline, and a machine-readable
-// summary) into SOAK_OUT (default "soak") for CI to upload.
+// summary) into SOAK_OUT (default "soak") for CI to upload. Every node
+// serves its admin endpoint and a collector samples cluster health the
+// way cmd/idea-top does; an unacknowledged critical anomaly still
+// active at the final sweep fails the run.
 //
 //	go test -tags soak -run TestNightlySoak -v -timeout 15m .
 //
@@ -18,8 +22,10 @@ package idea_test
 import (
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -27,6 +33,8 @@ import (
 	"idea"
 	"idea/internal/id"
 	"idea/internal/loadgen"
+	"idea/internal/telemetry"
+	"idea/internal/topview"
 	"idea/internal/tracing"
 	"idea/internal/vv"
 )
@@ -117,6 +125,72 @@ func TestNightlySoak(t *testing.T) {
 		}
 	}
 
+	// The admin surface every node ships in production: /metrics, /health,
+	// /trace, /debug/flight. A collector goroutine samples the cluster the
+	// way cmd/idea-top does and keeps the timeline as a soak artifact.
+	// adminMu guards admins against the churn callback swapping the
+	// victim's server while the collector lists bases.
+	var adminMu sync.Mutex
+	admins := make(map[idea.NodeID]*telemetry.AdminServer)
+	serveAdmin := func(nid idea.NodeID) error {
+		srv, err := idea.ServeNodeAdmin("127.0.0.1:0", nodes[nid].N)
+		if err != nil {
+			return err
+		}
+		adminMu.Lock()
+		admins[nid] = srv
+		adminMu.Unlock()
+		return nil
+	}
+	for _, nid := range all {
+		if err := serveAdmin(nid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		adminMu.Lock()
+		defer adminMu.Unlock()
+		for _, srv := range admins {
+			if srv != nil {
+				srv.Close()
+			}
+		}
+	}()
+	adminBases := func() []string {
+		adminMu.Lock()
+		defer adminMu.Unlock()
+		bases := make([]string, 0, len(admins))
+		for _, nid := range all {
+			if srv := admins[nid]; srv != nil {
+				bases = append(bases, srv.Addr())
+			}
+		}
+		return bases
+	}
+
+	healthClient := &http.Client{Timeout: 5 * time.Second}
+	var timelineMu sync.Mutex
+	var timeline []topview.ClusterSample
+	stopHealth := make(chan struct{})
+	var healthDone sync.WaitGroup
+	healthDone.Add(1)
+	go func() {
+		defer healthDone.Done()
+		tick := time.NewTicker(5 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopHealth:
+				return
+			case <-tick.C:
+				cs := topview.Collect(healthClient, adminBases(), false)
+				timelineMu.Lock()
+				timeline = append(timeline, cs)
+				timelineMu.Unlock()
+			}
+		}
+	}()
+
 	// Scripted churn: node 4 is killed every churn period and rejoins via
 	// the seed half a period later — the canary scenario: the cluster
 	// must keep serving and re-converge through live joins.
@@ -129,6 +203,12 @@ func TestNightlySoak(t *testing.T) {
 	churn := func(round int) (restart func()) {
 		ln := nodes[victim]
 		ln.Close()
+		adminMu.Lock()
+		if srv := admins[victim]; srv != nil {
+			srv.Close()
+			admins[victim] = nil
+		}
+		adminMu.Unlock()
 		return func() {
 			rejoined, err := idea.NewLiveNode(idea.LiveNodeConfig{
 				Self:       victim,
@@ -149,6 +229,9 @@ func TestNightlySoak(t *testing.T) {
 				return
 			}
 			nodes[victim] = rejoined
+			if err := serveAdmin(victim); err != nil {
+				t.Logf("soak churn: admin restart failed: %v", err)
+			}
 		}
 	}
 
@@ -227,24 +310,50 @@ func TestNightlySoak(t *testing.T) {
 		}
 	}
 
+	// Final health sweep: the gate the nightly run enforces. Transient
+	// anomalies may raise mid-churn (that history is the timeline's job);
+	// what must not survive convergence is an unacknowledged critical —
+	// poll briefly so detectors whose clear lags the final frontier
+	// advance (health ticks every 2s) get their chance, then judge.
+	close(stopHealth)
+	healthDone.Wait()
+	sweepDeadline := time.Now().Add(30 * time.Second)
+	final := topview.Collect(healthClient, adminBases(), false)
+	for !final.OK() && time.Now().Before(sweepDeadline) {
+		time.Sleep(2 * time.Second)
+		final = topview.Collect(healthClient, adminBases(), false)
+	}
+	timeline = append(timeline, final)
+	writeJSON(t, filepath.Join(out, "health-timeline.json"), timeline)
+
 	for _, nid := range all {
 		writeJSON(t, filepath.Join(out, fmt.Sprintf("metrics-node%d.json", nid)), nodes[nid].Metrics().Snapshot())
 		// Per-node span journals; CI merges them with idea-trace into a
 		// cluster-wide causal timeline and uploads it alongside the metrics.
 		writeJSON(t, filepath.Join(out, fmt.Sprintf("trace-node%d.json", nid)), tracing.DumpOf(nodes[nid].N.Tracer(), 0, ""))
+		// Flight-recorder rings: the unsampled protocol-event tail of every
+		// node, the first thing to read when a soak anomaly needs a story.
+		writeJSON(t, filepath.Join(out, fmt.Sprintf("flight-node%d.json", nid)), idea.FlightDumpOf(nodes[nid].N))
 	}
 	writeJSON(t, filepath.Join(out, "summary.json"), map[string]any{
-		"converged":    converged,
-		"duration_s":   rep.Elapsed.Seconds(),
-		"ops":          rep.Ops,
-		"ops_per_sec":  rep.OpsPerSec,
-		"timeouts":     rep.Timeouts,
-		"churn_rounds": rep.Churn.Rounds,
-		"finished_at":  time.Now().UTC().Format(time.RFC3339),
+		"converged":        converged,
+		"duration_s":       rep.Elapsed.Seconds(),
+		"ops":              rep.Ops,
+		"ops_per_sec":      rep.OpsPerSec,
+		"timeouts":         rep.Timeouts,
+		"churn_rounds":     rep.Churn.Rounds,
+		"health_verdict":   final.Verdict.String(),
+		"health_ok":        final.OK(),
+		"unacked_critical": final.UnackedCritical,
+		"finished_at":      time.Now().UTC().Format(time.RFC3339),
 	})
 
 	if !converged {
 		t.Fatal("soak cluster did not converge to vector equality within 60s of load end")
+	}
+	if !final.OK() {
+		t.Fatalf("soak ended with unreachable nodes or unacknowledged critical anomalies: verdict=%s unreachable=%d unacked=%d (see health-timeline.json)",
+			final.Verdict, final.Unreachable, final.UnackedCritical)
 	}
 	t.Logf("soak converged: %d ops at %.1f ops/s over %v with %d churn rounds",
 		rep.Ops, rep.OpsPerSec, rep.Elapsed.Round(time.Second), rep.Churn.Rounds)
