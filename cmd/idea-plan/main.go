@@ -1,0 +1,163 @@
+// Command idea-plan lists and runs scenario plans — the declarative
+// fault/workload/assertion documents of internal/plans. With no flags it
+// lists the registry; -run executes every plan matching a name regexp
+// (further narrowed by -tag) on the deterministic simnet emulator and
+// exits nonzero if any assertion fails. Each run can emit its timeline
+// JSON — the byte-reproducible artifact a failing nightly replays from.
+//
+//	go run ./cmd/idea-plan                         # list the catalog
+//	go run ./cmd/idea-plan -json                   # full plan documents
+//	go run ./cmd/idea-plan -run .                  # run everything
+//	go run ./cmd/idea-plan -run . -tag smoke       # the tier-1 subset
+//	go run ./cmd/idea-plan -run churn -seed 9      # replay under a seed
+//	go run ./cmd/idea-plan -run . -out plan-out    # write timeline JSONs
+//	go run ./cmd/idea-plan -run . -tag live -live  # live TCP rig instead
+//
+// docs/PLAN_AUTHORING.md documents the plan schema and vocabulary;
+// docs/RUNBOOK.md covers reading the timelines operationally.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"idea/internal/plans"
+)
+
+// runList renders the matching plans as a table (or, asJSON, the full
+// plan documents) and returns how many matched.
+func runList(w io.Writer, pattern, tag string, asJSON bool) (int, error) {
+	ps, err := plans.Match(pattern, tag)
+	if err != nil {
+		return 0, err
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return len(ps), enc.Encode(ps)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PLAN\tTAGS\tNODES\tDURATION\tFAULTS\tDESCRIPTION")
+	for _, p := range ps {
+		kinds := make([]string, 0, len(p.Faults))
+		for _, f := range p.Faults {
+			kinds = append(kinds, f.Kind)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%v\t%s\t%s\n",
+			p.Name, strings.Join(p.Tags, ","), p.Topology.Nodes,
+			time.Duration(p.Workload.Duration), strings.Join(kinds, ","), p.Description)
+	}
+	tw.Flush()
+	return len(ps), nil
+}
+
+// runPlans executes every matching plan and reports per-assertion
+// results; failed is how many plans failed their contract. When out is
+// non-empty each plan's timeline JSON is written to <out>/<name>.json
+// (live runs additionally drop the soak artifact set under
+// <out>/<name>/).
+func runPlans(w io.Writer, pattern, tag string, seed int64, out string, live bool, duration time.Duration) (failed int, err error) {
+	ps, err := plans.Match(pattern, tag)
+	if err != nil {
+		return 0, err
+	}
+	if len(ps) == 0 {
+		return 0, fmt.Errorf("no plans match -run %q -tag %q", pattern, tag)
+	}
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return 0, err
+		}
+	}
+	for _, p := range ps {
+		if live && !p.Live() {
+			fmt.Fprintf(w, "SKIP %s (not live-injectable)\n", p.Name)
+			continue
+		}
+		var (
+			tl     *plans.Timeline
+			runErr error
+		)
+		if live {
+			artifacts := ""
+			if out != "" {
+				artifacts = filepath.Join(out, p.Name)
+			}
+			tl, runErr = plans.RunLive(p, seed, duration, artifacts)
+		} else {
+			tl, runErr = plans.RunSim(p, seed, "")
+		}
+		if runErr != nil {
+			fmt.Fprintf(w, "FAIL %s: %v\n", p.Name, runErr)
+			failed++
+			continue
+		}
+		verdict := "PASS"
+		if !tl.Pass {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "%s %s  seed=%d  %s  ops=%d  events=%d\n",
+			verdict, p.Name, tl.Seed, time.Duration(tl.DurationMs)*time.Millisecond,
+			tl.Report.Ops, len(tl.Events))
+		for _, a := range tl.Assertions {
+			mark := "ok"
+			if !a.OK {
+				mark = "FAILED"
+			}
+			fmt.Fprintf(w, "  %-24s %-6s %s\n", a.Name, mark, a.Detail)
+		}
+		if out != "" {
+			data, err := json.MarshalIndent(tl, "", "  ")
+			if err != nil {
+				return failed, err
+			}
+			path := filepath.Join(out, p.Name+".json")
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				return failed, err
+			}
+			fmt.Fprintf(w, "  timeline: %s\n", path)
+		}
+	}
+	return failed, nil
+}
+
+func main() {
+	run := flag.String("run", "", "run every plan whose name matches this regexp (empty: list instead)")
+	tag := flag.String("tag", "", "restrict to plans carrying this tag (smoke, nightly, live)")
+	seed := flag.Int64("seed", 0, "replay seed override (0 keeps each plan's own seed)")
+	out := flag.String("out", "", "directory for per-plan timeline JSON artifacts")
+	live := flag.Bool("live", false, "execute on the live TCP rig instead of the simnet emulator (live-tagged plans only)")
+	duration := flag.Duration("duration", 0, "stretch the workload window (live runs; 0 keeps each plan's own)")
+	asJSON := flag.Bool("json", false, "list as full plan JSON documents")
+	flag.Parse()
+
+	if *run == "" {
+		n, err := runList(os.Stdout, "", *tag, *asJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if n == 0 {
+			fmt.Fprintln(os.Stderr, "no plans registered")
+			os.Exit(2)
+		}
+		return
+	}
+	failed, err := runPlans(os.Stdout, *run, *tag, *seed, *out, *live, *duration)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d plan(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

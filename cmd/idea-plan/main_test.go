@@ -1,0 +1,172 @@
+package main
+
+// CLI-level coverage in the idea-bench style: tests call the testable
+// package-level functions directly with an in-memory writer instead of
+// shelling out, so list/run/filter/failure paths are exercised without
+// process spawning. The sim runs here are real deterministic simnet
+// executions of catalog plans, so this doubles as a smoke test that the
+// CLI wiring (seed override, artifact writing, exit accounting) agrees
+// with internal/plans.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"idea/internal/loadgen"
+	"idea/internal/plans"
+)
+
+func init() {
+	// A plan that cannot pass: the ops floor is absurd. Registered here
+	// (not in the catalog) so only this test binary sees it; it exists to
+	// exercise the failed-plan accounting behind the nonzero exit path.
+	plans.Register(plans.Plan{
+		Name:        "cli-impossible",
+		Description: "test-only plan with an unreachable ops floor",
+		Tags:        []string{"cli-test"},
+		Seed:        3,
+		Topology: plans.Topology{
+			Nodes:   3,
+			Files:   1,
+			Latency: "lan",
+		},
+		Workload: plans.Workload{
+			Rate:     5,
+			Duration: plans.Duration(10 * time.Second),
+			Mix:      loadgen.Mix{Write: 1},
+			PreHint:  0.9,
+		},
+		Assert: plans.Assertions{
+			MinOps: 1 << 30,
+		},
+	})
+}
+
+func TestListTable(t *testing.T) {
+	var b strings.Builder
+	n, err := runList(&b, "", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 5 {
+		t.Fatalf("expected at least the 5 catalog plans, listed %d", n)
+	}
+	out := b.String()
+	for _, want := range []string{"PLAN", "partition-heal-stall", "churn-kill-rejoin", "wal-torn-log", "nightly"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestListJSON(t *testing.T) {
+	var b strings.Builder
+	n, err := runList(&b, "", "smoke", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps []plans.Plan
+	if err := json.Unmarshal([]byte(b.String()), &ps); err != nil {
+		t.Fatalf("list -json is not valid plan JSON: %v\n%s", err, b.String())
+	}
+	if len(ps) != n {
+		t.Fatalf("listed %d but decoded %d plans", n, len(ps))
+	}
+	for _, p := range ps {
+		if !p.HasTag("smoke") {
+			t.Errorf("plan %s leaked through the smoke tag filter (tags %v)", p.Name, p.Tags)
+		}
+	}
+}
+
+func TestListFilterByPattern(t *testing.T) {
+	var b strings.Builder
+	n, err := runList(&b, "^churn-", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !strings.Contains(b.String(), "churn-kill-rejoin") {
+		t.Fatalf("^churn- should match exactly churn-kill-rejoin, got %d:\n%s", n, b.String())
+	}
+}
+
+func TestRunGreenPlanWritesTimeline(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	failed, err := runPlans(&b, "^partition-heal-stall$", "", 0, dir, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("partition-heal-stall should pass, %d failed:\n%s", failed, b.String())
+	}
+	if !strings.Contains(b.String(), "PASS partition-heal-stall") {
+		t.Errorf("missing PASS line:\n%s", b.String())
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "partition-heal-stall.json"))
+	if err != nil {
+		t.Fatalf("timeline artifact not written: %v", err)
+	}
+	var tl plans.Timeline
+	if err := json.Unmarshal(data, &tl); err != nil {
+		t.Fatalf("timeline artifact is not valid JSON: %v", err)
+	}
+	if !tl.Pass || tl.Plan != "partition-heal-stall" || len(tl.Events) == 0 {
+		t.Errorf("timeline artifact incoherent: pass=%v plan=%q events=%d", tl.Pass, tl.Plan, len(tl.Events))
+	}
+}
+
+func TestRunSeedOverride(t *testing.T) {
+	var b strings.Builder
+	failed, err := runPlans(&b, "^partition-heal-stall$", "", 99, "", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("plan should still pass under seed 99:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "seed=99") {
+		t.Errorf("seed override not reflected in output:\n%s", b.String())
+	}
+}
+
+func TestRunFailingPlanCountsAsFailed(t *testing.T) {
+	var b strings.Builder
+	failed, err := runPlans(&b, "^cli-impossible$", "", 0, "", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Fatalf("cli-impossible must fail exactly once, got %d:\n%s", failed, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "FAIL cli-impossible") || !strings.Contains(out, "min_ops") {
+		t.Errorf("failure output should name the plan and the failed assertion:\n%s", out)
+	}
+}
+
+func TestRunNoMatchIsAnError(t *testing.T) {
+	var b strings.Builder
+	if _, err := runPlans(&b, "^no-such-plan$", "", 0, "", false, 0); err == nil {
+		t.Fatal("expected an error when no plans match")
+	}
+	if _, err := runPlans(&b, "(", "", 0, "", false, 0); err == nil {
+		t.Fatal("expected an error for an invalid regexp")
+	}
+}
+
+func TestRunLiveSkipsNonLivePlans(t *testing.T) {
+	var b strings.Builder
+	failed, err := runPlans(&b, "^partition-heal-stall$", "", 0, "", true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 || !strings.Contains(b.String(), "SKIP partition-heal-stall") {
+		t.Fatalf("-live must skip sim-only plans without failing them:\n%s", b.String())
+	}
+}

@@ -538,6 +538,11 @@ func (n *Node) Health() *health.Engine { return n.health }
 // SIGQUIT. Never nil.
 func (n *Node) Flight() *health.Recorder { return n.health.Recorder() }
 
+// Journal exposes the node's durability journal; nil when the node runs
+// memory-only (no Options.Journal). Fault harnesses use it to inject
+// torn-log and slow-disk conditions into a running node.
+func (n *Node) Journal() *store.WAL { return n.wal }
+
 // AlertsTotal returns how many bottom-layer discrepancy alerts fired.
 func (n *Node) AlertsTotal() int { return int(n.met.alerts.Value()) }
 

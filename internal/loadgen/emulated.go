@@ -14,84 +14,87 @@ import (
 	"idea/internal/telemetry"
 )
 
-// RunEmulated drives the workload against an emulated cluster under
-// virtual time: the full op schedule is derived up front from the
-// config (open-loop only — Rate must be set; zero means 20 ops/sec),
-// scheduled via simnet.CallAt across all nodes, and the simulator is run
-// for Duration plus a drain window. Write latency is the writer-observed
-// detection delay in virtual time; resolve latency is the initiator-side
-// session duration. The cluster must already be built and Started.
-func RunEmulated(cfg Config, sim *simnet.Cluster, nodes map[id.NodeID]*core.Node, reg *telemetry.Registry) *Report {
+// EmulatedRun is one workload session against an emulated cluster whose
+// simulator the caller drives. BeginEmulated installs the verdict hooks
+// and schedules the full op timetable; the caller then advances virtual
+// time however it likes — interleaving partitions, crashes, or any other
+// scripted fault between RunUntil segments — and Finish cuts the report.
+// RunEmulated wraps the three steps for callers with no faults to weave.
+//
+// Node lookups happen at op-execution time, not scheduling time: a node
+// that crashed and restarted mid-run (simnet.AddAt replacing the entry in
+// the shared nodes map) serves the ops scheduled against its ID with its
+// new incarnation. Call Attach after swapping a node in so the session's
+// verdict hooks follow it.
+type EmulatedRun struct {
+	cfg   Config
+	sim   *simnet.Cluster
+	nodes map[id.NodeID]*core.Node
+	rec   *recorder
+	ids   []id.NodeID
+	base  time.Duration
+
+	// issued tracks workload writes awaiting their detection verdict,
+	// per node; the value is the op's issue offset, so the completion
+	// can be bucketed on the per-second timeline. The simulator is
+	// single-threaded, so plain maps suffice. Tokens are only unique per
+	// (node, file shard), so correlation keys pair the file with the
+	// token. A probe with no top-layer peers finalizes synchronously
+	// inside WriteTracked — before the issuing closure can mark its
+	// token — so early verdicts are parked until the issuer claims them.
+	issued map[id.NodeID]map[writeKey]time.Duration
+	early  map[id.NodeID]map[writeKey]time.Duration
+
+	// prev remembers every attached node's original hooks; Finish
+	// restores them so an embedder reusing the cluster does not keep
+	// feeding this run's maps and recorder (the live driver's
+	// uninstallHooks equivalent).
+	prev map[*core.Node]emuHooks
+
+	// timeline buckets completed ops per virtual second since the
+	// schedule base — the dip/recovery signal scenario plans assert on.
+	timeline []int64
+	fileOps  map[id.FileID]int64
+	finished bool
+}
+
+type emuHooks struct {
+	level   core.LevelFunc
+	outcome core.OutcomeFunc
+}
+
+// BeginEmulated installs the session's hooks on every node and schedules
+// the op timetable via simnet.CallAtFile: instants paced at Rate
+// (open-loop only — zero means 20 ops/sec), linearly ramped over RampUp,
+// each assigned a seeded random node, op, and file. The cluster must
+// already be built and Started; the caller drives virtual time and then
+// calls Finish.
+func BeginEmulated(cfg Config, sim *simnet.Cluster, nodes map[id.NodeID]*core.Node, reg *telemetry.Registry) *EmulatedRun {
 	cfg = cfg.withDefaults()
 	if cfg.Rate <= 0 {
 		cfg.Rate = 20
 	}
-	rec := newRecorder(reg)
+	er := &EmulatedRun{
+		cfg:     cfg,
+		sim:     sim,
+		nodes:   nodes,
+		rec:     newRecorder(reg),
+		base:    sim.Elapsed(),
+		issued:  make(map[id.NodeID]map[writeKey]time.Duration, len(nodes)),
+		early:   make(map[id.NodeID]map[writeKey]time.Duration, len(nodes)),
+		prev:    make(map[*core.Node]emuHooks, len(nodes)),
+		fileOps: make(map[id.FileID]int64),
+	}
+	for nid := range nodes {
+		er.ids = append(er.ids, nid)
+	}
+	sort.Slice(er.ids, func(i, j int) bool { return er.ids[i] < er.ids[j] })
+	for _, nid := range er.ids {
+		er.Attach(nid)
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	fp := newFilePicker(rng, cfg.Files, cfg.ZipfSkew)
-
-	ids := make([]id.NodeID, 0, len(nodes))
-	for nid := range nodes {
-		ids = append(ids, nid)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-	// Track which detect tokens belong to workload writes, per node; the
-	// simulator is single-threaded, so plain maps suffice. Tokens are
-	// only unique per (node, file shard), so correlation keys pair the
-	// file with the token. A probe with no top-layer peers finalizes
-	// synchronously inside WriteTracked — before the issuing closure can
-	// mark its token — so early verdicts are parked until the issuer
-	// claims them.
-	issued := make(map[id.NodeID]map[writeKey]bool, len(nodes))
-	early := make(map[id.NodeID]map[writeKey]time.Duration, len(nodes))
-	// Restore every node's original hooks when the run ends so an
-	// embedder reusing the cluster does not keep feeding this run's
-	// maps and recorder (the live driver's uninstallHooks equivalent).
-	type hooks struct {
-		level   core.LevelFunc
-		outcome core.OutcomeFunc
-	}
-	prev := make(map[id.NodeID]hooks, len(nodes))
-	defer func() {
-		for _, nid := range ids {
-			nodes[nid].SetOnLevel(prev[nid].level)
-			nodes[nid].SetOnOutcome(prev[nid].outcome)
-		}
-	}()
-	for _, nid := range ids {
-		nid := nid
-		n := nodes[nid]
-		issued[nid] = make(map[writeKey]bool)
-		early[nid] = make(map[writeKey]time.Duration)
-		var prevLevel core.LevelFunc
-		prevLevel = n.SetOnLevel(func(e env.Env, f id.FileID, res detect.Result) {
-			if prevLevel != nil {
-				prevLevel(e, f, res)
-			}
-			k := writeKey{file: f, token: res.Token}
-			if issued[nid][k] {
-				delete(issued[nid], k)
-				rec.observe(OpWrite, res.Elapsed)
-			} else {
-				early[nid][k] = res.Elapsed
-			}
-		})
-		var prevOutcome core.OutcomeFunc
-		prevOutcome = n.SetOnOutcome(func(e env.Env, o resolve.Outcome) {
-			if prevOutcome != nil {
-				prevOutcome(e, o)
-			}
-			if o.Active && !o.Aborted {
-				rec.observe(OpResolve, o.Phase1+o.Phase2)
-			}
-		})
-		prev[nid] = hooks{level: prevLevel, outcome: prevOutcome}
-	}
-
-	// Build the open-loop schedule: instants paced at Rate, linearly
-	// ramped over RampUp, each assigned a random node, op, and file.
-	base := sim.Elapsed()
 	payload := make([]byte, cfg.PayloadBytes)
 	for t := time.Duration(0); t < cfg.Duration; {
 		rate := cfg.Rate
@@ -102,46 +105,139 @@ func RunEmulated(cfg Config, sim *simnet.Cluster, nodes map[id.NodeID]*core.Node
 			}
 			rate = cfg.Rate * frac
 		}
-		nid := ids[rng.Intn(len(ids))]
-		n := nodes[nid]
+		nid := er.ids[rng.Intn(len(er.ids))]
 		op := cfg.Mix.Pick(rng)
 		file := fp.pick()
+		at := t
 		switch op {
 		case OpWrite:
-			sim.CallAtFile(base+t, nid, file, func(e env.Env) {
+			sim.CallAtFile(er.base+at, nid, file, func(e env.Env) {
+				n := er.nodes[nid]
 				_, token := n.WriteTracked(e, file, "load", payload, float64(len(payload)))
 				k := writeKey{file: file, token: token}
-				if el, ok := early[nid][k]; ok {
-					delete(early[nid], k)
-					rec.observe(OpWrite, el)
+				if el, ok := er.early[nid][k]; ok {
+					delete(er.early[nid], k)
+					er.complete(OpWrite, file, at+el, el)
 					return
 				}
-				issued[nid][k] = true
+				er.issued[nid][k] = at
 			})
 		case OpRead:
-			sim.CallAtFile(base+t, nid, file, func(e env.Env) {
-				n.Read(file)
-				rec.observe(OpRead, 0) // local, free under virtual time
+			sim.CallAtFile(er.base+at, nid, file, func(e env.Env) {
+				er.nodes[nid].Read(file)
+				er.complete(OpRead, file, at, 0) // local, free under virtual time
 			})
 		case OpHint:
-			sim.CallAtFile(base+t, nid, file, func(e env.Env) {
-				n.SetHint(file, cfg.HintLevel)
-				rec.observe(OpHint, 0)
+			sim.CallAtFile(er.base+at, nid, file, func(e env.Env) {
+				er.nodes[nid].SetHint(file, cfg.HintLevel)
+				er.complete(OpHint, file, at, 0)
 			})
 		case OpResolve:
-			sim.CallAtFile(base+t, nid, file, func(e env.Env) {
-				n.DemandActiveResolution(e, file)
+			sim.CallAtFile(er.base+at, nid, file, func(e env.Env) {
+				er.nodes[nid].DemandActiveResolution(e, file)
 			})
 		}
 		t += time.Duration(float64(time.Second) / rate)
 	}
+	return er
+}
 
-	// Run the schedule plus a drain window for in-flight verdicts.
-	sim.RunFor(cfg.Duration + 10*time.Second)
-	for _, nid := range ids {
-		if len(issued[nid]) > 0 {
-			rec.timeouts.Add(int64(len(issued[nid])))
+// Attach chains the session's verdict hooks onto nodes[nid]'s current
+// incarnation. BeginEmulated attaches every node present at start; a
+// fault script that restarts a node (simnet.AddAt) calls Attach again
+// from the node's constructor so post-restart workload writes still get
+// their verdicts correlated instead of aging into timeouts.
+func (er *EmulatedRun) Attach(nid id.NodeID) {
+	n := er.nodes[nid]
+	if n == nil {
+		return
+	}
+	if _, ok := er.prev[n]; ok {
+		return // already attached to this incarnation
+	}
+	if er.issued[nid] == nil {
+		er.issued[nid] = make(map[writeKey]time.Duration)
+		er.early[nid] = make(map[writeKey]time.Duration)
+	}
+	var prevLevel core.LevelFunc
+	prevLevel = n.SetOnLevel(func(e env.Env, f id.FileID, res detect.Result) {
+		if prevLevel != nil {
+			prevLevel(e, f, res)
+		}
+		k := writeKey{file: f, token: res.Token}
+		if t0, ok := er.issued[nid][k]; ok {
+			delete(er.issued[nid], k)
+			er.complete(OpWrite, f, t0+res.Elapsed, res.Elapsed)
+		} else {
+			er.early[nid][k] = res.Elapsed
+		}
+	})
+	var prevOutcome core.OutcomeFunc
+	prevOutcome = n.SetOnOutcome(func(e env.Env, o resolve.Outcome) {
+		if prevOutcome != nil {
+			prevOutcome(e, o)
+		}
+		if o.Active && !o.Aborted && !er.finished {
+			er.rec.observe(OpResolve, o.Phase1+o.Phase2)
+		}
+	})
+	er.prev[n] = emuHooks{level: prevLevel, outcome: prevOutcome}
+}
+
+// complete records one finished op at offset at (virtual time since the
+// schedule base) with latency d.
+func (er *EmulatedRun) complete(op Op, file id.FileID, at time.Duration, d time.Duration) {
+	if er.finished {
+		return
+	}
+	er.rec.observe(op, d)
+	er.fileOps[file]++
+	if b := int(at / time.Second); b >= 0 && b < 1<<20 {
+		for len(er.timeline) <= b {
+			er.timeline = append(er.timeline, 0)
+		}
+		er.timeline[b]++
+	}
+}
+
+// Drive runs the schedule plus a drain window for in-flight verdicts —
+// the no-faults default between Begin and Finish.
+func (er *EmulatedRun) Drive() {
+	er.sim.RunFor(er.cfg.Duration + 10*time.Second)
+}
+
+// Finish counts writes whose verdicts never arrived as timeouts,
+// restores every attached node's original hooks, and cuts the report —
+// including the per-second completion timeline and per-file op counts.
+func (er *EmulatedRun) Finish() *Report {
+	er.finished = true
+	for _, nid := range er.ids {
+		if len(er.issued[nid]) > 0 {
+			er.rec.timeouts.Add(int64(len(er.issued[nid])))
 		}
 	}
-	return rec.report(cfg.Duration)
+	for n, h := range er.prev {
+		n.SetOnLevel(h.level)
+		n.SetOnOutcome(h.outcome)
+	}
+	rep := er.rec.report(er.cfg.Duration)
+	rep.Timeline = append([]int64(nil), er.timeline...)
+	rep.FileOps = make(map[id.FileID]int64, len(er.fileOps))
+	for f, c := range er.fileOps {
+		rep.FileOps[f] = c
+	}
+	return rep
+}
+
+// RunEmulated drives the workload against an emulated cluster under
+// virtual time: the full op schedule is derived up front from the
+// config (open-loop only — Rate must be set; zero means 20 ops/sec),
+// scheduled via simnet.CallAt across all nodes, and the simulator is run
+// for Duration plus a drain window. Write latency is the writer-observed
+// detection delay in virtual time; resolve latency is the initiator-side
+// session duration. The cluster must already be built and Started.
+func RunEmulated(cfg Config, sim *simnet.Cluster, nodes map[id.NodeID]*core.Node, reg *telemetry.Registry) *Report {
+	er := BeginEmulated(cfg, sim, nodes, reg)
+	er.Drive()
+	return er.Finish()
 }

@@ -175,7 +175,7 @@ func RunLive(cfg Config, n *core.Node, inj Injector, reg *telemetry.Registry) *R
 	kills := append([]int(nil), lr.killOffsets...)
 	lr.mu.Unlock()
 	if len(kills) > 0 {
-		rep.Churn = churnSummary(rep.Timeline, kills)
+		rep.Churn = ChurnSummary(rep.Timeline, kills)
 	}
 	return rep
 }
@@ -224,9 +224,12 @@ func (lr *liveRun) sleepUntil(t, deadline time.Time) bool {
 	}
 }
 
-// churnSummary derives steady/dip/recovery from the per-second ops
-// timeline and the kill instants.
-func churnSummary(timeline []int64, kills []int) *ChurnReport {
+// ChurnSummary derives steady/dip/recovery from a per-second ops
+// timeline and the disturbance instants (seconds into the window when a
+// member was killed, a flash crowd landed, or any other scripted fault
+// fired). RunLive applies it to its own churn kills; the scenario-plan
+// runner applies it to emulated timelines with fault offsets.
+func ChurnSummary(timeline []int64, kills []int) *ChurnReport {
 	cr := &ChurnReport{Rounds: len(kills)}
 	if len(timeline) == 0 {
 		return cr

@@ -242,11 +242,11 @@ type Report struct {
 	Timeouts int64
 	// PerOp breaks the run down by operation type.
 	PerOp map[string]OpStats
-	// FileOps counts measured completed ops per file (live runs only) —
-	// the input to idea-load's per-shard throughput split.
+	// FileOps counts measured completed ops per file — the input to
+	// idea-load's per-shard throughput split.
 	FileOps map[id.FileID]int64 `json:",omitempty"`
 	// Timeline is completed measured ops per second of the measured
-	// window (live runs only).
+	// window (wall seconds for live runs, virtual for emulated ones).
 	Timeline []int64 `json:",omitempty"`
 	// Churn is present when the run scripted member churn.
 	Churn *ChurnReport `json:",omitempty"`

@@ -1,0 +1,210 @@
+package plans
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"idea/internal/health"
+	"idea/internal/id"
+	"idea/internal/loadgen"
+)
+
+// AssertionResult is one evaluated assertion — named, pass/fail, with
+// the evidence a failing nightly run needs to be triaged from the
+// artifact alone.
+type AssertionResult struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// Outcome is everything assertion evaluation reads, assembled by either
+// runner (emulated or live) after the script finishes.
+type Outcome struct {
+	// Report is the workload's loadgen report.
+	Report *loadgen.Report
+	// Statuses holds the final health status of every alive node.
+	Statuses map[id.NodeID]health.Status
+	// Converged reports whether every alive node reached vector
+	// equality on every file after the final resolution sweep.
+	Converged bool
+	// Disturbances are the script's kill/crowd offsets in seconds into
+	// the workload window — the envelope's reference instants.
+	Disturbances []int
+	// ChurnRounds counts executed churn kills.
+	ChurnRounds int
+	// VisibilityP99Ms is the trace-derived write-visibility p99 (zero
+	// when tracing was off or no trace completed); Traces the merged
+	// trace count behind it.
+	VisibilityP99Ms float64
+	Traces          int
+}
+
+// transitionsOf flattens every node's recent health transitions.
+func (o Outcome) transitionsOf(detector string) []health.Event {
+	var evs []health.Event
+	for _, st := range o.Statuses {
+		for _, ev := range st.Recent {
+			if ev.Detector == detector {
+				evs = append(evs, ev)
+			}
+		}
+	}
+	return evs
+}
+
+func parseSeverity(s string) health.Severity {
+	switch s {
+	case "critical":
+		return health.SevCritical
+	case "warn":
+		return health.SevWarn
+	}
+	return health.SevNone
+}
+
+func parseVerdict(s string) health.Verdict {
+	switch s {
+	case "critical":
+		return health.Critical
+	case "degraded":
+		return health.Degraded
+	}
+	return health.Healthy
+}
+
+// Evaluate judges the plan's assertions against the outcome. The result
+// list is deterministic: fixed order, evidence rendered from virtual
+// quantities only.
+func Evaluate(p Plan, o Outcome) []AssertionResult {
+	var out []AssertionResult
+	add := func(name string, ok bool, format string, args ...any) {
+		out = append(out, AssertionResult{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	a := p.Assert
+	if a.Converged {
+		add("converged", o.Converged, "vector equality across alive nodes = %v", o.Converged)
+	}
+	if a.MinOps > 0 {
+		add("min_ops", o.Report.Ops >= a.MinOps, "completed %d ops, want >= %d", o.Report.Ops, a.MinOps)
+	}
+	if a.MaxTimeouts != nil {
+		add("max_timeouts", o.Report.Timeouts <= *a.MaxTimeouts,
+			"%d write verdicts timed out, allow <= %d", o.Report.Timeouts, *a.MaxTimeouts)
+	}
+
+	for _, exp := range a.Expect {
+		name := "expect:" + exp.Detector
+		want := parseSeverity(exp.Severity)
+		evs := o.transitionsOf(exp.Detector)
+		var raised, cleared bool
+		for _, ev := range evs {
+			if ev.Raised && (want == health.SevNone || ev.Severity == want) {
+				raised = true
+			}
+			if !ev.Raised && raised {
+				cleared = true
+			}
+		}
+		switch {
+		case !raised:
+			add(name, false, "no node raised %s%s during the run",
+				exp.Detector, sevSuffix(exp.Severity))
+		case exp.Cleared && !cleared:
+			add(name, false, "%s raised but never cleared", exp.Detector)
+		default:
+			add(name, true, "raised%s as scripted", map[bool]string{true: " and cleared", false: ""}[exp.Cleared])
+		}
+	}
+
+	for _, det := range a.Forbid {
+		var offenders []string
+		for nid, st := range o.Statuses {
+			for _, ev := range st.Recent {
+				if ev.Detector == det && ev.Raised {
+					offenders = append(offenders, nid.String())
+					break
+				}
+			}
+		}
+		sort.Strings(offenders)
+		add("forbid:"+det, len(offenders) == 0,
+			map[bool]string{true: "never raised", false: "raised on " + strings.Join(offenders, ",")}[len(offenders) == 0])
+	}
+
+	if a.MaxFinalVerdict != "" {
+		worst, worstNode := health.Healthy, id.Nil
+		ids := make([]id.NodeID, 0, len(o.Statuses))
+		for nid := range o.Statuses {
+			ids = append(ids, nid)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, nid := range ids {
+			if v := o.Statuses[nid].Verdict; v > worst {
+				worst, worstNode = v, nid
+			}
+		}
+		limit := parseVerdict(a.MaxFinalVerdict)
+		add("max_final_verdict", worst <= limit,
+			"worst final verdict %s (node %v), allow <= %s", worst, worstNode, limit)
+	}
+
+	if a.MinUnackedCritical > 0 {
+		total := 0
+		for _, st := range o.Statuses {
+			total += st.UnackedCritical()
+		}
+		add("min_unacked_critical", total >= a.MinUnackedCritical,
+			"%d unacked critical anomalies at end, want >= %d", total, a.MinUnackedCritical)
+	}
+
+	if env := a.Envelope; env != nil {
+		churn := o.Report.Churn
+		if churn == nil && len(o.Disturbances) > 0 {
+			churn = loadgen.ChurnSummary(o.Report.Timeline, o.Disturbances)
+		}
+		if churn == nil {
+			add("envelope", false, "no timeline/disturbances to judge the envelope against")
+		} else {
+			if env.MinRounds > 0 {
+				add("envelope:rounds", o.ChurnRounds >= env.MinRounds,
+					"%d churn rounds executed, want >= %d", o.ChurnRounds, env.MinRounds)
+			}
+			if env.MinSteadyOpsPerSec > 0 {
+				add("envelope:steady", churn.SteadyOpsPerSec >= env.MinSteadyOpsPerSec,
+					"steady %.1f ops/s, want >= %.1f", churn.SteadyOpsPerSec, env.MinSteadyOpsPerSec)
+			}
+			if env.MaxRecoverySeconds > 0 {
+				add("envelope:recovery", churn.RecoverySeconds <= env.MaxRecoverySeconds,
+					"recovery %.1fs (dip %.1f of steady %.1f ops/s), allow <= %.1fs",
+					churn.RecoverySeconds, churn.DipOpsPerSec, churn.SteadyOpsPerSec, env.MaxRecoverySeconds)
+			}
+		}
+	}
+
+	if a.VisibilityP99MaxMs > 0 {
+		add("visibility_p99", o.Traces > 0 && o.VisibilityP99Ms <= a.VisibilityP99MaxMs,
+			"visibility p99 %.1fms over %d traces, allow <= %.1fms",
+			o.VisibilityP99Ms, o.Traces, a.VisibilityP99MaxMs)
+	}
+	return out
+}
+
+// Pass reports whether every assertion held.
+func Pass(results []AssertionResult) bool {
+	for _, r := range results {
+		if !r.OK {
+			return false
+		}
+	}
+	return true
+}
+
+func sevSuffix(sev string) string {
+	if sev == "" {
+		return ""
+	}
+	return " at " + sev
+}

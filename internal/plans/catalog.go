@@ -1,0 +1,213 @@
+package plans
+
+// The built-in catalog: the repo's load-bearing scenarios, ported from
+// the hand-rolled determinism regressions and the soak rig into named,
+// parameterized plans. Tags wire them into the harnesses — "smoke"
+// rides tier-1 CI, "nightly" the scheduled plan matrix, "live" the soak
+// rig. docs/PLAN_AUTHORING.md walks through partition-heal-stall as the
+// worked example.
+
+import (
+	"time"
+
+	"idea/internal/loadgen"
+)
+
+func d(v time.Duration) Duration { return Duration(v) }
+
+func init() {
+	// The PR-6-era health regression as a plan: a writer partitioned
+	// from both peers keeps writing, its stability frontier stalls, the
+	// convergence-stall detector raises critical, and the heal clears it
+	// — with full vector convergence after the sweep.
+	Register(Plan{
+		Name:        "partition-heal-stall",
+		Description: "partitioned writer raises convergence_stall critical; heal clears it and the cluster converges",
+		Tags:        []string{"smoke", "nightly"},
+		Seed:        42,
+		Topology: Topology{
+			Nodes:       3,
+			Files:       1,
+			Latency:     "lan",
+			GossipEvery: d(2 * time.Second),
+			HealthEvery: d(time.Second),
+			StallAfter:  d(6 * time.Second),
+		},
+		Workload: Workload{
+			Rate:     3,
+			Duration: d(40 * time.Second),
+			Mix:      loadgen.Mix{Write: 1},
+			PreHint:  0.95,
+		},
+		Faults: []Fault{
+			{At: d(12 * time.Second), Kind: FaultPartition, A: []int{1}, B: []int{2, 3}},
+			{At: d(28 * time.Second), Kind: FaultHeal, A: []int{1}, B: []int{2, 3}},
+		},
+		Assert: Assertions{
+			Converged: true,
+			MinOps:    80,
+			Expect: []ExpectAnomaly{
+				{Detector: "convergence_stall", Severity: "critical", Cleared: true},
+			},
+			MaxFinalVerdict: "healthy",
+		},
+	})
+
+	// The soak rig's churn storm as a shared plan: one member is killed
+	// every eighth of the window and restarted half a period later,
+	// rejoining via the seed with zero static configuration. The
+	// envelope bounds the ops/sec dip and recovery; membership_flap must
+	// notice the repeated suspicion. This is the live-injectable plan
+	// the soak harness executes against real TCP nodes.
+	Register(Plan{
+		Name:        "churn-kill-rejoin",
+		Description: "periodic kill/rejoin of one member under load; flap detector fires, throughput recovers, cluster converges",
+		Tags:        []string{"nightly", "live"},
+		Seed:        7,
+		Topology: Topology{
+			Nodes:   4,
+			Shards:  2,
+			Files:   8,
+			Latency: "lan",
+			Swim:    true,
+			Wal:     true,
+			// 1-in-20 write sampling: thousands of ops over a soak window
+			// yield plenty of complete causal chains without journal
+			// pressure (the soak rig's historical setting).
+			TraceSampleEvery: 20,
+		},
+		Workload: Workload{
+			Rate:     30,
+			Duration: d(90 * time.Second),
+			Workers:  8,
+			Mix:      loadgen.Mix{Write: 16, Read: 4, Hint: 1, Resolve: 1},
+			ZipfSkew: 1.2,
+			PreHint:  0.9,
+		},
+		Faults: []Fault{
+			{Kind: FaultChurn, Node: 4},
+		},
+		Assert: Assertions{
+			Converged: true,
+			MinOps:    1800,
+			Expect: []ExpectAnomaly{
+				{Detector: "membership_flap"},
+			},
+			Envelope: &Envelope{
+				MinRounds:          3,
+				MinSteadyOpsPerSec: 15,
+				MaxRecoverySeconds: 20,
+			},
+			MaxFinalVerdict: "degraded",
+		},
+	})
+
+	// Snapshot bootstrap under load: a brand-new member joins a working
+	// cluster knowing only the seed, must not stall its join, and the
+	// cluster's trace-derived write-visibility p99 stays bounded
+	// throughout — the PR-6 SLO surfaced as a plan assertion.
+	Register(Plan{
+		Name:        "join-under-load",
+		Description: "cold join via seed while load flows; no join_stall, visibility p99 bounded, joiner converges",
+		Tags:        []string{"smoke", "nightly"},
+		Seed:        11,
+		Topology: Topology{
+			Nodes:            3,
+			Shards:           2,
+			Files:            2,
+			Latency:          "lan",
+			Swim:             true,
+			TraceSampleEvery: 5,
+		},
+		Workload: Workload{
+			Rate:     20,
+			Duration: d(45 * time.Second),
+			Mix:      loadgen.Mix{Write: 4, Read: 1},
+			PreHint:  0.9,
+		},
+		Faults: []Fault{
+			{At: d(20 * time.Second), Kind: FaultJoin, Node: 4},
+		},
+		Assert: Assertions{
+			Converged:          true,
+			MinOps:             700,
+			Forbid:             []string{"join_stall"},
+			VisibilityP99MaxMs: 15000,
+		},
+	})
+
+	// The torn-log drill: a slow disk degrades into a sticky journal
+	// failure mid-run. Health must escalate to an unacknowledged
+	// critical — the operator gate idea-top and soak refuse to pass —
+	// while the replica layer keeps serving and converging (durability
+	// is lost, availability is not).
+	Register(Plan{
+		Name:        "wal-torn-log",
+		Description: "journal brake then sticky write error; wal_fsync_spike critical raises and stays unacked, store keeps converging",
+		Tags:        []string{"smoke", "nightly"},
+		Seed:        23,
+		Topology: Topology{
+			Nodes:   3,
+			Files:   2,
+			Latency: "lan",
+			Wal:     true,
+		},
+		Workload: Workload{
+			Rate:     10,
+			Duration: d(30 * time.Second),
+			Mix:      loadgen.Mix{Write: 1},
+			PreHint:  0.9,
+		},
+		Faults: []Fault{
+			{At: d(8 * time.Second), Kind: FaultWalSlow, Node: 2, Dur: d(5 * time.Millisecond)},
+			{At: d(15 * time.Second), Kind: FaultWalTorn, Node: 2, Msg: "torn-log drill"},
+		},
+		Assert: Assertions{
+			Converged: true,
+			MinOps:    200,
+			Expect: []ExpectAnomaly{
+				{Detector: "wal_fsync_spike", Severity: "critical"},
+			},
+			MinUnackedCritical: 1,
+			MaxFinalVerdict:    "critical",
+		},
+	})
+
+	// Zipf hot-key workload over asymmetric WAN routes with a scripted
+	// flash crowd on the hottest file: the adaptive pipeline must hold
+	// the paper's staleness bound (no staleness_violation anywhere) and
+	// converge, even with one satellite replica 150/300ms away.
+	Register(Plan{
+		Name:        "flash-crowd-hotkey",
+		Description: "zipf workload over asymmetric WAN plus a flash crowd on the hot file; staleness bound holds, cluster converges",
+		Tags:        []string{"nightly"},
+		Seed:        31,
+		Topology: Topology{
+			Nodes:   5,
+			Shards:  2,
+			Files:   6,
+			Latency: "wan",
+			Links: []Link{
+				{From: 1, To: 5, OneWay: d(150 * time.Millisecond)},
+				{From: 5, To: 1, OneWay: d(300 * time.Millisecond)},
+			},
+			GossipEvery: d(2 * time.Second),
+		},
+		Workload: Workload{
+			Rate:     25,
+			Duration: d(60 * time.Second),
+			Mix:      loadgen.Mix{Write: 8, Read: 4, Hint: 1},
+			ZipfSkew: 1.3,
+			PreHint:  0.9,
+		},
+		Faults: []Fault{
+			{At: d(20 * time.Second), Kind: FaultFlashCrowd, Rate: 100, Dur: d(10 * time.Second)},
+		},
+		Assert: Assertions{
+			Converged:       true,
+			MinOps:          1200,
+			Forbid:          []string{"staleness_violation"},
+			MaxFinalVerdict: "degraded",
+		},
+	})
+}

@@ -1,0 +1,85 @@
+package plans
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+)
+
+// The registry: plans are Go values registered at init (the catalog) or
+// at runtime (tests, embedders). Name-keyed, listed in name order so
+// every runner walks the matrix in the same sequence.
+var (
+	regMu    sync.Mutex
+	registry = map[string]Plan{}
+)
+
+// Register adds a plan to the registry. It panics on an invalid plan or
+// a duplicate name — both are authoring bugs a test run should surface
+// immediately, not skip politely.
+func Register(p Plan) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[p.Name]; dup {
+		panic(fmt.Sprintf("plans: duplicate plan %q", p.Name))
+	}
+	registry[p.Name] = p
+}
+
+// All returns every registered plan in name order.
+func All() []Plan {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Plan, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the named plan.
+func Get(name string) (Plan, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// MustGet returns the named plan or panics — for callers (the soak rig)
+// whose plan is part of the build.
+func MustGet(name string) Plan {
+	p, ok := Get(name)
+	if !ok {
+		panic(fmt.Sprintf("plans: no plan %q registered", name))
+	}
+	return p
+}
+
+// Match filters the registry: pattern is a regexp matched against plan
+// names (empty matches all), tag restricts to plans carrying it (empty
+// skips the restriction).
+func Match(pattern, tag string) ([]Plan, error) {
+	var re *regexp.Regexp
+	if pattern != "" {
+		var err error
+		if re, err = regexp.Compile(pattern); err != nil {
+			return nil, fmt.Errorf("plans: bad pattern %q: %w", pattern, err)
+		}
+	}
+	var out []Plan
+	for _, p := range All() {
+		if re != nil && !re.MatchString(p.Name) {
+			continue
+		}
+		if tag != "" && !p.HasTag(tag) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

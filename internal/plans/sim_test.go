@@ -1,0 +1,250 @@
+package plans
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// runPlanJSON runs the named catalog plan on simnet and returns the
+// marshaled timeline (the exact bytes cmd/idea-plan writes).
+func runPlanJSON(t *testing.T, name string, seed int64) (*Timeline, []byte) {
+	t.Helper()
+	tl, err := RunSim(MustGet(name), seed, t.TempDir())
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	b, err := json.MarshalIndent(tl, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl, b
+}
+
+func requirePass(t *testing.T, name string, tl *Timeline) {
+	t.Helper()
+	if tl.Pass {
+		return
+	}
+	for _, a := range tl.Assertions {
+		if !a.OK {
+			t.Errorf("%s: assertion %s failed: %s", name, a.Name, a.Detail)
+		}
+	}
+	t.Fatalf("%s: plan failed", name)
+}
+
+// TestCatalogGreen runs every registered simnet plan and requires every
+// assertion to hold — the catalog is part of the build.
+func TestCatalogGreen(t *testing.T) {
+	ps := All()
+	if len(ps) < 4 {
+		t.Fatalf("catalog has %d plans, want >= 4", len(ps))
+	}
+	for _, p := range ps {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			tl, _ := runPlanJSON(t, p.Name, 0)
+			requirePass(t, p.Name, tl)
+		})
+	}
+}
+
+// TestTimelineDeterministic replays every catalog plan from its own seed
+// twice: the emitted timeline JSON — schedule hash, fault and health
+// events, workload report, vectors, assertion evidence — must be
+// byte-identical. This is the harness's core promise: a failing nightly
+// plan replays exactly from its seed.
+func TestTimelineDeterministic(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			_, b1 := runPlanJSON(t, p.Name, 0)
+			_, b2 := runPlanJSON(t, p.Name, 0)
+			if !bytes.Equal(b1, b2) {
+				i := 0
+				for i < len(b1) && i < len(b2) && b1[i] == b2[i] {
+					i++
+				}
+				lo := i - 150
+				if lo < 0 {
+					lo = 0
+				}
+				cut := func(b []byte) string {
+					hi := i + 150
+					if hi > len(b) {
+						hi = len(b)
+					}
+					return string(b[lo:hi])
+				}
+				t.Fatalf("same seed produced different timelines; first divergence at byte %d:\n--- run1 ---\n%s\n--- run2 ---\n%s",
+					i, cut(b1), cut(b2))
+			}
+		})
+	}
+}
+
+// TestSeedChangesSchedule pins the other half of the replay contract: a
+// different seed must execute a different schedule.
+func TestSeedChangesSchedule(t *testing.T) {
+	tl1, _ := runPlanJSON(t, "partition-heal-stall", 0)
+	tl2, _ := runPlanJSON(t, "partition-heal-stall", 99)
+	if tl1.ScheduleHash == tl2.ScheduleHash {
+		t.Fatalf("seeds %d and 99 produced the same schedule hash %s", tl1.Seed, tl1.ScheduleHash)
+	}
+}
+
+// TestFailingAssertionFailsPlan runs a plan whose contract cannot hold
+// and requires Pass=false with the failing assertion named — the path
+// cmd/idea-plan turns into a nonzero exit.
+func TestFailingAssertionFailsPlan(t *testing.T) {
+	p := Plan{
+		Name: "impossible",
+		Topology: Topology{
+			Nodes: 2,
+		},
+		Workload: Workload{
+			Rate:     5,
+			Duration: Duration(5 * time.Second),
+		},
+		Assert: Assertions{
+			MinOps: 1 << 30,
+			Expect: []ExpectAnomaly{{Detector: "wal_fsync_spike"}},
+		},
+	}
+	tl, err := RunSim(p, 3, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Pass {
+		t.Fatal("impossible plan passed")
+	}
+	failed := map[string]bool{}
+	for _, a := range tl.Assertions {
+		if !a.OK {
+			failed[a.Name] = true
+		}
+	}
+	if !failed["min_ops"] || !failed["expect:wal_fsync_spike"] {
+		t.Fatalf("expected min_ops and expect:wal_fsync_spike to fail, got %+v", tl.Assertions)
+	}
+}
+
+// TestPlanJSONRoundTrip pins the schema: a catalog plan marshals to
+// human-authorable JSON (durations as strings) and unmarshals back to
+// an identical value.
+func TestPlanJSONRoundTrip(t *testing.T) {
+	for _, p := range All() {
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(b, []byte("000000")) {
+			t.Fatalf("%s: durations leaked as nanosecond numbers: %s", p.Name, b)
+		}
+		var back Plan
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("%s: round trip drifted:\n  in:  %+v\n  out: %+v", p.Name, p, back)
+		}
+	}
+}
+
+// TestValidateRejects spot-checks the authoring guard rails.
+func TestValidateRejects(t *testing.T) {
+	base := MustGet("partition-heal-stall")
+	for name, mutate := range map[string]func(*Plan){
+		"no nodes":            func(p *Plan) { p.Topology.Nodes = 0 },
+		"no duration":         func(p *Plan) { p.Workload.Duration = 0 },
+		"bad latency":         func(p *Plan) { p.Topology.Latency = "warp" },
+		"partition one-sided": func(p *Plan) { p.Faults = []Fault{{Kind: FaultPartition, A: []int{1}}} },
+		"churn without swim":  func(p *Plan) { p.Faults = []Fault{{Kind: FaultChurn, Node: 1}} },
+		"wal fault no wal":    func(p *Plan) { p.Faults = []Fault{{Kind: FaultWalTorn, Node: 1}} },
+		"unknown fault":       func(p *Plan) { p.Faults = []Fault{{Kind: "meteor"}} },
+		"visibility no trace": func(p *Plan) { p.Assert.VisibilityP99MaxMs = 5 },
+		"bad verdict":         func(p *Plan) { p.Assert.MaxFinalVerdict = "fine" },
+	} {
+		p := base
+		p.Faults = append([]Fault(nil), base.Faults...)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid plan", name)
+		}
+	}
+}
+
+// TestMatchFilters pins the registry's list/filter semantics the CLI
+// builds on.
+func TestMatchFilters(t *testing.T) {
+	smoke, err := Match("", "smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smoke) == 0 {
+		t.Fatal("no smoke-tagged plans")
+	}
+	for _, p := range smoke {
+		if !p.HasTag("smoke") {
+			t.Fatalf("%s leaked into smoke filter", p.Name)
+		}
+	}
+	byName, err := Match("^churn-", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byName) != 1 || byName[0].Name != "churn-kill-rejoin" {
+		t.Fatalf("Match(^churn-) = %+v", byName)
+	}
+	if _, err := Match("(", ""); err == nil {
+		t.Fatal("bad regexp accepted")
+	}
+	live, err := Match("", "live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) == 0 {
+		t.Fatal("no live-tagged plan; the soak rig has nothing to run")
+	}
+}
+
+func TestScaleAssertions(t *testing.T) {
+	p := MustGet("churn-kill-rejoin")
+	window := p.Workload.Duration.D()
+
+	// Shrunk window: absolute floors shrink proportionally, and the
+	// round floor never scales to zero.
+	s := scaleAssertions(p, window/3)
+	if s.Assert.MinOps != p.Assert.MinOps/3 {
+		t.Errorf("min_ops at 1/3 window: got %d, want %d", s.Assert.MinOps, p.Assert.MinOps/3)
+	}
+	if got := s.Assert.Envelope.MinRounds; got != 1 {
+		t.Errorf("min_rounds at 1/3 window: got %d, want 1", got)
+	}
+
+	// Stretched window: floors grow so a longer run stays meaningful.
+	s = scaleAssertions(p, 2*window)
+	if s.Assert.MinOps != 2*p.Assert.MinOps {
+		t.Errorf("min_ops at 2x window: got %d, want %d", s.Assert.MinOps, 2*p.Assert.MinOps)
+	}
+	if got, want := s.Assert.Envelope.MinRounds, 2*p.Assert.Envelope.MinRounds; got != want {
+		t.Errorf("min_rounds at 2x window: got %d, want %d", got, want)
+	}
+
+	// Same window (and the zero sentinel): untouched, including the
+	// shared Envelope pointer's value.
+	if s := scaleAssertions(p, window); s.Assert.MinOps != p.Assert.MinOps {
+		t.Errorf("same-window scaling changed min_ops")
+	}
+	if s := scaleAssertions(p, 0); s.Assert.MinOps != p.Assert.MinOps {
+		t.Errorf("zero-duration scaling changed min_ops")
+	}
+	if p.Assert.Envelope.MinRounds != MustGet("churn-kill-rejoin").Assert.Envelope.MinRounds {
+		t.Errorf("scaling mutated the registered plan's envelope")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"idea/internal/id"
@@ -68,6 +69,10 @@ type WAL struct {
 	errMu    sync.Mutex
 	firstErr error
 	errsC    *telemetry.Counter
+
+	// syncDelayNS is the fault-injection fsync brake (see
+	// InjectSyncDelay); zero means the disk runs at its real pace.
+	syncDelayNS atomic.Int64
 }
 
 type walFile struct {
@@ -251,6 +256,25 @@ func (w *WAL) Err() error {
 	return w.firstErr
 }
 
+// InjectError latches msg as the journal's sticky error without touching
+// the disk — the torn-disk fault hook scenario plans script against live
+// and emulated clusters alike. The latched error is indistinguishable
+// from a real append failure: Err surfaces it, store.wal_errors_total
+// counts it, and the owning node's next health tick escalates it to a
+// critical wal_fsync_spike anomaly (the log must be treated as torn).
+func (w *WAL) InjectError(msg string) {
+	w.noteErr(errors.New("injected: " + msg))
+}
+
+// InjectSyncDelay brakes every subsequent fsync by d — the slow-disk
+// fault hook. The delay is observed by the store.wal_fsync_ms histogram
+// exactly like real disk latency, so the health engine's fsync-spike
+// detector sees a degraded disk, not a synthetic signal. Zero restores
+// the real disk's pace.
+func (w *WAL) InjectSyncDelay(d time.Duration) {
+	w.syncDelayNS.Store(int64(d))
+}
+
 // Flush pushes a file's buffered records to the OS without fsync.
 func (w *WAL) Flush(file id.FileID) error {
 	w.mu.RLock()
@@ -286,6 +310,10 @@ func (w *WAL) syncFile(wf *walFile, hist *telemetry.Histogram) error {
 	if err := wf.bw.Flush(); err != nil {
 		w.noteErr(err)
 		return err
+	}
+	if d := time.Duration(w.syncDelayNS.Load()); d > 0 {
+		//idealint:allow determinism fault-injection brake emulating a slow disk at the layer real fsync latency arises
+		time.Sleep(d)
 	}
 	err := wf.f.Sync()
 	if hist != nil {

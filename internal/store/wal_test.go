@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"idea/internal/id"
 	"idea/internal/telemetry"
@@ -402,5 +403,58 @@ func TestWALFsyncHistogram(t *testing.T) {
 	}
 	if got := reg.Histogram("store.wal_fsync_ms").Count(); got != 2 {
 		t.Fatalf("store.wal_fsync_ms count = %d, want 2", got)
+	}
+}
+
+func TestWALInjectError(t *testing.T) {
+	w := OpenWALMust(t, t.TempDir())
+	reg := telemetry.NewRegistry()
+	w.AttachMetrics(reg)
+	if w.Err() != nil {
+		t.Fatalf("fresh WAL reports error: %v", w.Err())
+	}
+	w.InjectError("torn-log drill")
+	err := w.Err()
+	if err == nil {
+		t.Fatal("InjectError did not latch a sticky error")
+	}
+	if want := "injected: torn-log drill"; err.Error() != want {
+		t.Fatalf("Err() = %q, want %q", err, want)
+	}
+	if got := reg.Counter("store.wal_errors_total").Value(); got != 1 {
+		t.Fatalf("store.wal_errors_total = %d, want 1", got)
+	}
+	// Sticky: a later injection does not replace the first error.
+	w.InjectError("second fault")
+	if w.Err().Error() != "injected: torn-log drill" {
+		t.Fatalf("first error was not sticky: %v", w.Err())
+	}
+	// The journal keeps appending — durability is suspect, not the
+	// in-memory path (the real torn-log contract).
+	if err := w.AppendUpdate(wire.Update{File: fBoard, Writer: nA, Seq: 1, Op: "w"}); err != nil {
+		t.Fatalf("append after injected error: %v", err)
+	}
+}
+
+func TestWALInjectSyncDelay(t *testing.T) {
+	w := OpenWALMust(t, t.TempDir())
+	reg := telemetry.NewRegistry()
+	w.AttachMetrics(reg)
+	w.AppendUpdate(wire.Update{File: fBoard, Writer: nA, Seq: 1, Op: "w"})
+	w.InjectSyncDelay(30 * time.Millisecond)
+	if err := w.Sync(fBoard); err != nil {
+		t.Fatal(err)
+	}
+	h := reg.Histogram("store.wal_fsync_ms")
+	if got := h.CountAbove(20); got != 1 {
+		t.Fatalf("braked fsync not visible in histogram: CountAbove(20ms) = %d, want 1", got)
+	}
+	// Clearing the brake restores the real disk's pace.
+	w.InjectSyncDelay(0)
+	if err := w.Sync(fBoard); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Count(); got != 2 {
+		t.Fatalf("fsync count = %d, want 2", got)
 	}
 }

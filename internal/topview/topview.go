@@ -119,6 +119,16 @@ func getJSON(client *http.Client, url string, into any) error {
 	return json.NewDecoder(resp.Body).Decode(into)
 }
 
+// SLOFromDumps merges per-node span journals and returns the p99 of
+// every completed trace's visibility and resolution latency in
+// milliseconds, plus the number of merged traces — the same estimate
+// Collect derives from live /trace endpoints, reusable against dumps
+// gathered any other way (soak artifacts, the scenario-plan runner's
+// emulated tracers).
+func SLOFromDumps(dumps []tracing.Dump) (visP99, resP99 float64, traces int) {
+	return sloEstimate(dumps)
+}
+
 // sloEstimate merges the per-node journals and takes the p99 of every
 // completed trace's visibility and resolution latency.
 func sloEstimate(dumps []tracing.Dump) (visP99, resP99 float64, traces int) {

@@ -2,17 +2,18 @@
 
 package idea_test
 
-// The nightly soak (canary-testing style): a 4-node live TCP cluster with
-// dynamic membership runs a mixed workload with scripted member churn for
-// SOAK_DURATION (default 3m), then must converge — every surviving node
-// vector-equal on every loaded file after a final resolution sweep. The
-// run writes its artifacts (per-node metrics snapshots, span journals,
-// flight-recorder dumps, the idea-top health timeline, the loadgen
-// report with its per-second ops timeline, and a machine-readable
-// summary) into SOAK_OUT (default "soak") for CI to upload. Every node
-// serves its admin endpoint and a collector samples cluster health the
-// way cmd/idea-top does; an unacknowledged critical anomaly still
-// active at the final sweep fails the run.
+// The nightly soak (canary-testing style) is the scenario-plan harness's
+// live path: the churn-kill-rejoin plan — the same named plan the
+// deterministic simnet runner replays byte-for-byte in tier-1 — executed
+// against a real 4-node TCP cluster for SOAK_DURATION (default 3m).
+// plans.RunLive owns the rig: live nodes with dynamic membership and
+// journals, per-node admin endpoints, an idea-top-style health collector,
+// the scripted kill/rejoin churn, the final resolution sweep, and the
+// artifact set (workload report, health timeline, per-node
+// metrics/trace/flight dumps) written into SOAK_OUT (default "soak") for
+// CI to upload. The plan's assertions — convergence, ops floor, the
+// membership-flap expectation, the dip/recovery envelope, the final
+// health verdict — are the gate; any failed assertion fails the run.
 //
 //	go test -tags soak -run TestNightlySoak -v -timeout 15m .
 //
@@ -21,27 +22,13 @@ package idea_test
 
 import (
 	"encoding/json"
-	"fmt"
-	"net/http"
 	"os"
 	"path/filepath"
-	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
-	"idea"
-	"idea/internal/id"
-	"idea/internal/loadgen"
-	"idea/internal/telemetry"
-	"idea/internal/topview"
-	"idea/internal/tracing"
-	"idea/internal/vv"
+	"idea/internal/plans"
 )
-
-// soakTracing samples 1-in-20 writes: thousands of ops over a 3m soak
-// yield plenty of complete causal chains without journal pressure.
-var soakTracing = idea.TracingConfig{SampleEvery: 20, BufferPerStripe: 8192}
 
 func soakDuration() time.Duration {
 	if s := os.Getenv("SOAK_DURATION"); s != "" {
@@ -75,286 +62,42 @@ func writeJSON(t *testing.T, path string, v any) {
 }
 
 func TestNightlySoak(t *testing.T) {
+	p := plans.MustGet("churn-kill-rejoin")
 	duration := soakDuration()
 	out := soakOut(t)
 
-	all := []idea.NodeID{1, 2, 3, 4}
-	files := make([]id.FileID, 8)
-	for i := range files {
-		files[i] = id.FileID(fmt.Sprintf("soak-%d", i))
+	// A wall-clock seed: live runs make no replay promise, and distinct
+	// nightly runs should walk distinct op schedules.
+	tl, err := plans.RunLive(p, time.Now().UnixNano(), duration, out)
+	if err != nil {
+		t.Fatal(err)
 	}
-	top := map[idea.FileID][]idea.NodeID{}
-	for _, f := range files {
-		top[idea.FileID(f)] = all
-	}
-
-	nodes := make(map[idea.NodeID]*idea.LiveNode)
-	addrs := make(map[idea.NodeID]string)
-	newNode := func(nid idea.NodeID) *idea.LiveNode {
-		ln, err := idea.NewLiveNode(idea.LiveNodeConfig{
-			Self:       nid,
-			Listen:     "127.0.0.1:0",
-			All:        all,
-			TopLayers:  top,
-			Shards:     2,
-			Swim:       true,
-			SwimConfig: fastSwim(),
-			Tracing:    soakTracing,
-			WalDir:     t.TempDir(),
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return ln
-	}
-	for _, nid := range all {
-		ln := newNode(nid)
-		nodes[nid] = ln
-		addrs[nid] = ln.Addr()
-	}
-	defer func() {
-		for _, ln := range nodes {
-			ln.Close()
-		}
-	}()
-	for _, nid := range all {
-		for _, peer := range all {
-			if nid != peer {
-				nodes[nid].AddPeer(peer, addrs[peer])
-			}
-		}
-	}
-
-	// The admin surface every node ships in production: /metrics, /health,
-	// /trace, /debug/flight. A collector goroutine samples the cluster the
-	// way cmd/idea-top does and keeps the timeline as a soak artifact.
-	// adminMu guards admins against the churn callback swapping the
-	// victim's server while the collector lists bases.
-	var adminMu sync.Mutex
-	admins := make(map[idea.NodeID]*telemetry.AdminServer)
-	serveAdmin := func(nid idea.NodeID) error {
-		srv, err := idea.ServeNodeAdmin("127.0.0.1:0", nodes[nid].N)
-		if err != nil {
-			return err
-		}
-		adminMu.Lock()
-		admins[nid] = srv
-		adminMu.Unlock()
-		return nil
-	}
-	for _, nid := range all {
-		if err := serveAdmin(nid); err != nil {
-			t.Fatal(err)
-		}
-	}
-	defer func() {
-		adminMu.Lock()
-		defer adminMu.Unlock()
-		for _, srv := range admins {
-			if srv != nil {
-				srv.Close()
-			}
-		}
-	}()
-	adminBases := func() []string {
-		adminMu.Lock()
-		defer adminMu.Unlock()
-		bases := make([]string, 0, len(admins))
-		for _, nid := range all {
-			if srv := admins[nid]; srv != nil {
-				bases = append(bases, srv.Addr())
-			}
-		}
-		return bases
-	}
-
-	healthClient := &http.Client{Timeout: 5 * time.Second}
-	var timelineMu sync.Mutex
-	var timeline []topview.ClusterSample
-	stopHealth := make(chan struct{})
-	var healthDone sync.WaitGroup
-	healthDone.Add(1)
-	go func() {
-		defer healthDone.Done()
-		tick := time.NewTicker(5 * time.Second)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stopHealth:
-				return
-			case <-tick.C:
-				cs := topview.Collect(healthClient, adminBases(), false)
-				timelineMu.Lock()
-				timeline = append(timeline, cs)
-				timelineMu.Unlock()
-			}
-		}
-	}()
-
-	// Scripted churn: node 4 is killed every churn period and rejoins via
-	// the seed half a period later — the canary scenario: the cluster
-	// must keep serving and re-converge through live joins.
-	churnEvery := duration / 8
-	if churnEvery < 10*time.Second {
-		churnEvery = 10 * time.Second
-	}
-	victim := idea.NodeID(4)
-	var rejoinFailed atomic.Bool
-	churn := func(round int) (restart func()) {
-		ln := nodes[victim]
-		ln.Close()
-		adminMu.Lock()
-		if srv := admins[victim]; srv != nil {
-			srv.Close()
-			admins[victim] = nil
-		}
-		adminMu.Unlock()
-		return func() {
-			rejoined, err := idea.NewLiveNode(idea.LiveNodeConfig{
-				Self:       victim,
-				Listen:     "127.0.0.1:0",
-				TopLayers:  top,
-				Shards:     2,
-				SwimConfig: fastSwim(),
-				Join:       nodes[1].Addr(),
-				Tracing:    soakTracing,
-				WalDir:     t.TempDir(),
-			})
-			if err != nil {
-				// InjectFile on the closed node left in nodes[victim]
-				// would silently drop callbacks and hang the convergence
-				// phase — record the failure and bail out after RunLive.
-				t.Logf("soak churn: rejoin failed: %v", err)
-				rejoinFailed.Store(true)
-				return
-			}
-			nodes[victim] = rejoined
-			if err := serveAdmin(victim); err != nil {
-				t.Logf("soak churn: admin restart failed: %v", err)
-			}
-		}
-	}
-
-	rep := loadgen.RunLive(loadgen.Config{
-		Seed:       time.Now().UnixNano(),
-		Duration:   duration,
-		Workers:    8,
-		OpTimeout:  5 * time.Second,
-		Files:      files,
-		ZipfSkew:   1.2,
-		Mix:        loadgen.Mix{Write: 16, Read: 4, Hint: 1, Resolve: 1},
-		ChurnEvery: churnEvery,
-		Churn:      churn,
-	}, nodes[1].N, nodes[1], nodes[1].Metrics())
-	t.Logf("soak workload:\n%s", rep)
-	writeJSON(t, filepath.Join(out, "report.json"), rep)
-
-	if rep.Ops == 0 {
-		t.Fatal("soak completed zero operations")
-	}
-	if rep.Churn == nil || rep.Churn.Rounds < 1 {
-		t.Fatalf("soak scripted no churn rounds (churn report %+v)", rep.Churn)
-	}
-	if rejoinFailed.Load() {
-		t.Fatal("soak churn: the killed node failed to rejoin (see log)")
-	}
-
-	// Convergence: demand a final resolution sweep from the driver, then
-	// every surviving node must reach vector equality on every file.
-	// Injected reads are time-bounded: a closed node drops callbacks, and
-	// a silent hang here must fail the run, not eat the test timeout.
-	vecOf := func(ln *idea.LiveNode, f id.FileID) *vv.Vector {
-		ch := make(chan *vv.Vector, 1)
-		ln.InjectFile(idea.FileID(f), func(e idea.Env) {
-			ch <- ln.N.Store().Open(f).Vector()
-		})
-		select {
-		case v := <-ch:
-			return v
-		case <-time.After(30 * time.Second):
-			t.Fatalf("soak: reading %s's vector timed out (node dead?)", f)
-			return nil
-		}
-	}
-	deadline := time.Now().Add(60 * time.Second)
-	converged := false
-	for !converged {
-		for _, f := range files {
-			func(f id.FileID) {
-				done := make(chan struct{})
-				nodes[1].InjectFile(idea.FileID(f), func(e idea.Env) {
-					nodes[1].N.DemandActiveResolution(e, f)
-					close(done)
-				})
-				select {
-				case <-done:
-				case <-time.After(30 * time.Second):
-					t.Fatalf("soak: resolution demand for %s timed out", f)
-				}
-			}(f)
-		}
-		time.Sleep(2 * time.Second)
-		converged = true
-	check:
-		for _, f := range files {
-			want := vecOf(nodes[1], f)
-			for _, nid := range all[1:] {
-				if vv.Compare(vecOf(nodes[nid], f), want) != vv.Equal {
-					converged = false
-					break check
-				}
-			}
-		}
-		if !converged && time.Now().After(deadline) {
-			break
-		}
-	}
-
-	// Final health sweep: the gate the nightly run enforces. Transient
-	// anomalies may raise mid-churn (that history is the timeline's job);
-	// what must not survive convergence is an unacknowledged critical —
-	// poll briefly so detectors whose clear lags the final frontier
-	// advance (health ticks every 2s) get their chance, then judge.
-	close(stopHealth)
-	healthDone.Wait()
-	sweepDeadline := time.Now().Add(30 * time.Second)
-	final := topview.Collect(healthClient, adminBases(), false)
-	for !final.OK() && time.Now().Before(sweepDeadline) {
-		time.Sleep(2 * time.Second)
-		final = topview.Collect(healthClient, adminBases(), false)
-	}
-	timeline = append(timeline, final)
-	writeJSON(t, filepath.Join(out, "health-timeline.json"), timeline)
-
-	for _, nid := range all {
-		writeJSON(t, filepath.Join(out, fmt.Sprintf("metrics-node%d.json", nid)), nodes[nid].Metrics().Snapshot())
-		// Per-node span journals; CI merges them with idea-trace into a
-		// cluster-wide causal timeline and uploads it alongside the metrics.
-		writeJSON(t, filepath.Join(out, fmt.Sprintf("trace-node%d.json", nid)), tracing.DumpOf(nodes[nid].N.Tracer(), 0, ""))
-		// Flight-recorder rings: the unsampled protocol-event tail of every
-		// node, the first thing to read when a soak anomaly needs a story.
-		writeJSON(t, filepath.Join(out, fmt.Sprintf("flight-node%d.json", nid)), idea.FlightDumpOf(nodes[nid].N))
-	}
+	writeJSON(t, filepath.Join(out, "timeline.json"), tl)
 	writeJSON(t, filepath.Join(out, "summary.json"), map[string]any{
-		"converged":        converged,
-		"duration_s":       rep.Elapsed.Seconds(),
-		"ops":              rep.Ops,
-		"ops_per_sec":      rep.OpsPerSec,
-		"timeouts":         rep.Timeouts,
-		"churn_rounds":     rep.Churn.Rounds,
-		"health_verdict":   final.Verdict.String(),
-		"health_ok":        final.OK(),
-		"unacked_critical": final.UnackedCritical,
-		"finished_at":      time.Now().UTC().Format(time.RFC3339),
+		"plan":        p.Name,
+		"pass":        tl.Pass,
+		"duration_s":  float64(tl.DurationMs) / 1000,
+		"ops":         tl.Report.Ops,
+		"ops_per_sec": tl.Report.OpsPerSec,
+		"timeouts":    tl.Report.Timeouts,
+		"verdicts":    tl.Verdicts,
+		"assertions":  tl.Assertions,
+		"finished_at": time.Now().UTC().Format(time.RFC3339),
 	})
+	t.Logf("soak workload:\n%s", tl.Report)
 
-	if !converged {
-		t.Fatal("soak cluster did not converge to vector equality within 60s of load end")
+	for _, a := range tl.Assertions {
+		if !a.OK {
+			t.Errorf("assertion %s failed: %s", a.Name, a.Detail)
+		} else {
+			t.Logf("assertion %s ok: %s", a.Name, a.Detail)
+		}
 	}
-	if !final.OK() {
-		t.Fatalf("soak ended with unreachable nodes or unacknowledged critical anomalies: verdict=%s unreachable=%d unacked=%d (see health-timeline.json)",
-			final.Verdict, final.Unreachable, final.UnackedCritical)
+	if !tl.Pass {
+		t.Fatalf("soak plan %s failed (see %s/timeline.json)", p.Name, out)
 	}
-	t.Logf("soak converged: %d ops at %.1f ops/s over %v with %d churn rounds",
-		rep.Ops, rep.OpsPerSec, rep.Elapsed.Round(time.Second), rep.Churn.Rounds)
+	if c := tl.Report.Churn; c != nil {
+		t.Logf("soak converged: %d ops at %.1f ops/s with %d churn rounds (dip %.1f, recovery %.1fs)",
+			tl.Report.Ops, tl.Report.OpsPerSec, c.Rounds, c.DipOpsPerSec, c.RecoverySeconds)
+	}
 }
